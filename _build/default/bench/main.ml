@@ -1,0 +1,328 @@
+(* Benchmark harness: regenerates the paper's evaluation.
+
+   Figure 5 - time for ATOM to instrument the benchmark suite with each
+   of the 11 tools (host wall-clock; the paper measured seconds on an
+   Alpha 3000/400 over 20 SPEC92 programs).
+
+   Figure 6 - execution-time ratio of instrumented vs uninstrumented
+   programs per tool (we measure simulated instructions, the paper
+   measured wall-clock; shapes are comparable, absolute values are not).
+
+   Ablations - the design alternatives of paper section 4: wrapper
+   routines vs inlined saves, dataflow-summary register saving vs
+   save-all, and the linked vs partitioned heap.
+
+   Usage: main.exe [fig5|fig6|ablations|bechamel|quick|all]  *)
+
+let time_it fn =
+  let t0 = Unix.gettimeofday () in
+  let r = fn () in
+  (r, Unix.gettimeofday () -. t0)
+
+let hrule width = print_endline (String.make width '-')
+
+(* -- shared runs -------------------------------------------------------- *)
+
+let base_cache : (string, Objfile.Exe.t * (int * int)) Hashtbl.t = Hashtbl.create 16
+
+let base_of2 w =
+  match Hashtbl.find_opt base_cache w.Workloads.w_name with
+  | Some x -> x
+  | None ->
+      let exe = Workloads.compile w in
+      let outcome, m = Workloads.run_exe exe in
+      (match outcome with
+      | Machine.Sim.Exit 0 -> ()
+      | _ -> failwith (w.Workloads.w_name ^ ": base run failed"));
+      let st = Machine.Sim.stats m in
+      let v = (exe, (st.Machine.Sim.st_insns, st.Machine.Sim.st_pair_cycles)) in
+      Hashtbl.replace base_cache w.Workloads.w_name v;
+      v
+
+let base_of w =
+  let exe, (insns, _) = base_of2 w in
+  (exe, insns)
+
+let run_instrumented2 exe' name =
+  let outcome, m = Workloads.run_exe exe' in
+  (match outcome with
+  | Machine.Sim.Exit 0 -> ()
+  | Machine.Sim.Exit n -> failwith (Printf.sprintf "%s: exit %d" name n)
+  | Machine.Sim.Fault f -> failwith (Printf.sprintf "%s: fault %s" name f)
+  | Machine.Sim.Out_of_fuel -> failwith (name ^ ": out of fuel"));
+  let st = Machine.Sim.stats m in
+  (st.Machine.Sim.st_insns, st.Machine.Sim.st_pair_cycles)
+
+let run_instrumented exe' name = fst (run_instrumented2 exe' name)
+
+(* -- Figure 5 ------------------------------------------------------------ *)
+
+let fig5 () =
+  print_endline "";
+  print_endline
+    "Figure 5: time taken by ATOM to instrument the benchmark suite";
+  print_endline
+    "(paper: 20 SPEC92 programs on an Alpha 3000/400; here: the 15 workload";
+  print_endline "stand-ins on the host machine; shape, not seconds, is comparable)";
+  print_endline "";
+  Printf.printf "%-9s %-42s %9s %9s %12s\n" "Tool" "Description" "total(s)"
+    "avg(s)" "paper avg(s)";
+  hrule 86;
+  let exes = List.map (fun w -> base_of w |> fst) Workloads.all in
+  let rows =
+    List.map
+      (fun tool ->
+        let _, dt =
+          time_it (fun () ->
+              List.iter (fun exe -> ignore (Tools.Tool.apply tool exe)) exes)
+        in
+        Printf.printf "%-9s %-42s %9.3f %9.4f %12.2f\n%!" tool.Tools.Tool.name
+          tool.Tools.Tool.description dt
+          (dt /. float_of_int (List.length exes))
+          tool.Tools.Tool.paper_avg_instr_secs;
+        (tool.Tools.Tool.name, dt))
+      Tools.Registry.all
+  in
+  hrule 86;
+  let slowest =
+    List.fold_left (fun (n, t) (n', t') -> if t' > t then (n', t') else (n, t))
+      ("", 0.) rows
+  in
+  let fastest =
+    List.fold_left (fun (n, t) (n', t') -> if t' < t then (n', t') else (n, t))
+      ("", infinity) rows
+  in
+  Printf.printf "slowest to instrument: %s (paper: pipe)\n" (fst slowest);
+  Printf.printf "fastest to instrument: %s (paper: malloc)\n" (fst fastest)
+
+(* -- Figure 6 ------------------------------------------------------------ *)
+
+let geomean xs =
+  exp (List.fold_left (fun a x -> a +. log x) 0.0 xs /. float_of_int (List.length xs))
+
+let fig6 ?(tools = Tools.Registry.all) ?(workloads = Workloads.all) () =
+  print_endline "";
+  print_endline
+    "Figure 6: execution of instrumented programs vs uninstrumented";
+  print_endline
+    "(ratio of simulated instruction counts, geometric mean over the suite)";
+  print_endline "";
+  Printf.printf "%-9s %-33s %5s %9s %9s %12s\n" "Tool" "Instrumentation points"
+    "args" "insns" "cycles" "paper ratio";
+  hrule 84;
+  List.iter
+    (fun tool ->
+      let ratios =
+        List.map
+          (fun w ->
+            let exe, (base_i, base_c) = base_of2 w in
+            let exe', _ = Tools.Tool.apply tool exe in
+            let insns, cycles =
+              run_instrumented2 exe'
+                (tool.Tools.Tool.name ^ "/" ^ w.Workloads.w_name)
+            in
+            ( float_of_int insns /. float_of_int base_i,
+              float_of_int cycles /. float_of_int base_c ))
+          workloads
+      in
+      Printf.printf "%-9s %-33s %5d %8.2fx %8.2fx %11.2fx\n%!" tool.Tools.Tool.name
+        tool.Tools.Tool.points tool.Tools.Tool.nargs
+        (geomean (List.map fst ratios))
+        (geomean (List.map snd ratios))
+        tool.Tools.Tool.paper_ratio)
+    tools;
+  hrule 84
+
+(* -- ablations ------------------------------------------------------------ *)
+
+let ablation_tools () =
+  List.filter
+    (fun t -> List.mem t.Tools.Tool.name [ "branch"; "cache" ])
+    Tools.Registry.all
+
+let ablate_wrapper () =
+  print_endline "";
+  print_endline "Ablation A: wrapper routines vs saves inlined at every site";
+  print_endline
+    "(paper section 4: the wrapper adds an indirection but avoids code explosion)";
+  print_endline "";
+  Printf.printf "%-9s %-12s %12s %14s\n" "Tool" "style" "run ratio" "text growth";
+  hrule 52;
+  List.iter
+    (fun tool ->
+      List.iter
+        (fun (style, label) ->
+          let options =
+            { Atom.Instrument.default_options with
+              Atom.Instrument.call_style = style }
+          in
+          let w = Option.get (Workloads.find "compress") in
+          let exe, base = base_of w in
+          let exe', info = Tools.Tool.apply ~options tool exe in
+          let insns = run_instrumented exe' (tool.Tools.Tool.name ^ "-" ^ label) in
+          Printf.printf "%-9s %-12s %11.2fx %13dK\n%!" tool.Tools.Tool.name label
+            (float_of_int insns /. float_of_int base)
+            (info.Atom.Instrument.i_text_growth / 1024))
+        [ (Atom.Instrument.Wrapper, "wrapper");
+          (Atom.Instrument.Inline_saves, "inline") ])
+    (ablation_tools ())
+
+let ablate_saves () =
+  print_endline "";
+  print_endline
+    "Ablation B: dataflow-summary register saving vs save-all-caller-save";
+  print_endline
+    "(paper section 4: summaries cut the registers saved around each call)";
+  print_endline "";
+  Printf.printf "%-9s %-10s %12s %14s\n" "Tool" "saves" "run ratio" "text growth";
+  hrule 50;
+  List.iter
+    (fun tool ->
+      List.iter
+        (fun (strategy, label) ->
+          let options =
+            { Atom.Instrument.default_options with
+              Atom.Instrument.save_strategy = strategy }
+          in
+          let w = Option.get (Workloads.find "compress") in
+          let exe, base = base_of w in
+          let exe', info = Tools.Tool.apply ~options tool exe in
+          let insns = run_instrumented exe' (tool.Tools.Tool.name ^ "-" ^ label) in
+          Printf.printf "%-9s %-10s %11.2fx %13dK\n%!" tool.Tools.Tool.name label
+            (float_of_int insns /. float_of_int base)
+            (info.Atom.Instrument.i_text_growth / 1024))
+        [ (Atom.Instrument.Summary, "summary"); (Atom.Instrument.Save_all, "all") ])
+    (ablation_tools ())
+
+let ablate_liveness () =
+  print_endline "";
+  print_endline
+    "Ablation D: live-register filtering of saves (the paper's planned";
+  print_endline "optimization, implemented here as Summary_and_live)";
+  print_endline "";
+  Printf.printf "%-9s %-22s %12s %14s\n" "Tool" "saves" "run ratio" "text growth";
+  hrule 62;
+  List.iter
+    (fun tool ->
+      List.iter
+        (fun (options, label) ->
+          let w = Option.get (Workloads.find "compress") in
+          let exe, base = base_of w in
+          let exe', info = Tools.Tool.apply ~options tool exe in
+          let insns = run_instrumented exe' (tool.Tools.Tool.name ^ "-" ^ label) in
+          Printf.printf "%-9s %-22s %11.2fx %13dK\n%!" tool.Tools.Tool.name label
+            (float_of_int insns /. float_of_int base)
+            (info.Atom.Instrument.i_text_growth / 1024))
+        [
+          (Atom.Instrument.default_options, "summary");
+          ( { Atom.Instrument.default_options with
+              Atom.Instrument.save_strategy = Atom.Instrument.Summary_and_live },
+            "summary+live" );
+          ( { Atom.Instrument.default_options with
+              Atom.Instrument.save_strategy = Atom.Instrument.Summary_and_live;
+              call_style = Atom.Instrument.Inline_saves },
+            "summary+live+inline" );
+          ( { Atom.Instrument.default_options with
+              Atom.Instrument.save_strategy = Atom.Instrument.Summary_and_live;
+              call_style = Atom.Instrument.Inline_body },
+            "summary+live+spliced" );
+        ])
+    (ablation_tools ())
+
+let ablate_heap () =
+  print_endline "";
+  print_endline "Ablation C: linked vs partitioned sbrk (paper section 4, heap modes)";
+  print_endline "";
+  let w = Option.get (Workloads.find "lisp") in
+  let exe, base = base_of w in
+  let malloc_tool = Option.get (Tools.Registry.find "malloc") in
+  List.iter
+    (fun (mode, label) ->
+      let options =
+        { Atom.Instrument.default_options with Atom.Instrument.heap_mode = mode }
+      in
+      let exe', _ = Tools.Tool.apply ~options malloc_tool exe in
+      let insns = run_instrumented exe' ("heap-" ^ label) in
+      Printf.printf "  %-14s ok, ratio %.3fx\n%!" label
+        (float_of_int insns /. float_of_int base))
+    [ (Atom.Instrument.Linked, "linked");
+      (Atom.Instrument.Partitioned (1 lsl 24), "partitioned") ]
+
+(* -- bechamel micro-benchmarks ------------------------------------------- *)
+
+let bechamel () =
+  let open Bechamel in
+  let compress = Option.get (Workloads.find "compress") in
+  let exe, _ = base_of compress in
+  let instrument_test tool_name =
+    let tool = Option.get (Tools.Registry.find tool_name) in
+    Test.make ~name:(Printf.sprintf "fig5/instrument-%s" tool_name)
+      (Staged.stage (fun () -> ignore (Tools.Tool.apply tool exe)))
+  in
+  let run_test tool_name =
+    let tool = Option.get (Tools.Registry.find tool_name) in
+    let exe', _ = Tools.Tool.apply tool exe in
+    Test.make ~name:(Printf.sprintf "fig6/run-%s" tool_name)
+      (Staged.stage (fun () -> ignore (run_instrumented exe' tool_name)))
+  in
+  let tests =
+    Test.make_grouped ~name:"atom"
+      [ instrument_test "malloc"; instrument_test "branch";
+        instrument_test "pipe"; run_test "inline" ]
+  in
+  let cfg = Benchmark.cfg ~limit:6 ~quota:(Time.second 2.0) () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  print_endline "";
+  print_endline "Bechamel micro-benchmarks (ns per call, OLS on monotonic clock):";
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "  %-28s %12.0f ns\n" name est
+      | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+    results
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match mode with
+  | "fig5" -> fig5 ()
+  | "fig6" -> fig6 ()
+  | "ablations" | "ablate" ->
+      ablate_wrapper ();
+      ablate_saves ();
+      ablate_liveness ();
+      ablate_heap ()
+  | "ablate-wrapper" -> ablate_wrapper ()
+  | "ablate-saves" -> ablate_saves ()
+  | "ablate-heap" -> ablate_heap ()
+  | "ablate-liveness" -> ablate_liveness ()
+  | "bechamel" -> bechamel ()
+  | "quick" ->
+      let tools =
+        List.filter
+          (fun t -> List.mem t.Tools.Tool.name [ "inline"; "dyninst" ])
+          Tools.Registry.all
+      in
+      let workloads =
+        List.filter
+          (fun w -> List.mem w.Workloads.w_name [ "cover"; "sieve"; "qsort" ])
+          Workloads.all
+      in
+      fig6 ~tools ~workloads ()
+  | "all" ->
+      fig5 ();
+      fig6 ();
+      ablate_wrapper ();
+      ablate_saves ();
+      ablate_liveness ();
+      ablate_heap ();
+      bechamel ()
+  | other ->
+      Printf.eprintf "unknown mode %S (fig5|fig6|ablations|bechamel|quick|all)\n"
+        other;
+      exit 2

@@ -1,0 +1,1 @@
+bin/ald.ml: Arg Linker List Objfile Printf Rtlib

@@ -1,0 +1,1 @@
+bin/asmc.ml: Arg Asmlib Filename In_channel List Objfile Printf

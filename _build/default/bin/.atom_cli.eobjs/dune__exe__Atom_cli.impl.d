@@ -1,0 +1,1 @@
+bin/atom_cli.ml: Arg Atom Filename List Machine Objfile Printf Tools

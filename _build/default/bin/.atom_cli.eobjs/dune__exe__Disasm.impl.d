@@ -1,0 +1,1 @@
+bin/disasm.ml: Alpha Arg Bytes Exe Format Hashtbl List Objfile Printf Types Unit_file

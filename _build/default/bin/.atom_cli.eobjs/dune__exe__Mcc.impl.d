@@ -1,0 +1,1 @@
+bin/mcc.ml: Arg Filename In_channel Linker List Minic Objfile Printf Rtlib

@@ -1,0 +1,1 @@
+bin/runsim.ml: Arg In_channel List Machine Objfile Printf String

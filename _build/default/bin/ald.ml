@@ -1,0 +1,41 @@
+(* ald: the standard linker driver.
+
+     ald a.o b.o [-lc] [--entry SYM] -o prog.exe
+
+   [-lc] appends the bundled runtime library archive; [--crt0] prepends
+   the startup module. *)
+
+let usage = "ald [-o OUT] [--entry SYM] [--crt0] [-lc] objects..."
+
+let () =
+  let output = ref "a.exe" in
+  let entry = ref "__start" in
+  let with_libc = ref false in
+  let with_crt0 = ref false in
+  let inputs = ref [] in
+  Arg.parse
+    [
+      ("-o", Arg.Set_string output, "output executable");
+      ("--entry", Arg.Set_string entry, "entry symbol (default __start)");
+      ("-lc", Arg.Set with_libc, "link the bundled runtime library");
+      ("--crt0", Arg.Set with_crt0, "prepend the bundled startup module");
+    ]
+    (fun f -> inputs := f :: !inputs)
+    usage;
+  try
+    let objs =
+      List.rev_map (fun f -> Linker.Link.Unit (Objfile.Unit_file.load f)) !inputs
+    in
+    let pre = if !with_crt0 then [ Linker.Link.Unit (Rtlib.crt0 ()) ] else [] in
+    let post = if !with_libc then [ Linker.Link.Lib (Rtlib.libc ()) ] else [] in
+    let exe = Linker.Link.link ~entry:!entry (pre @ objs @ post) in
+    Objfile.Exe.save !output exe;
+    Printf.printf "wrote %s: entry %#x, text %d bytes\n" !output
+      exe.Objfile.Exe.x_entry exe.Objfile.Exe.x_text_size
+  with
+  | Linker.Link.Error m | Sys_error m ->
+      prerr_endline m;
+      exit 1
+  | Objfile.Wire.Corrupt m ->
+      Printf.eprintf "corrupt object file: %s\n" m;
+      exit 1

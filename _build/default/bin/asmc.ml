@@ -1,0 +1,32 @@
+(* asmc: the assembler driver.
+
+     asmc file.s [-o file.o]  *)
+
+let usage = "asmc [-o OUT] file.s"
+
+let () =
+  let output = ref "" in
+  let inputs = ref [] in
+  Arg.parse
+    [ ("-o", Arg.Set_string output, "output object file") ]
+    (fun f -> inputs := f :: !inputs)
+    usage;
+  match List.rev !inputs with
+  | [ f ] -> (
+      try
+        let src = In_channel.with_open_bin f In_channel.input_all in
+        let u = Asmlib.Assemble.assemble ~name:(Filename.basename f) src in
+        let out =
+          if !output <> "" then !output else Filename.remove_extension f ^ ".o"
+        in
+        Objfile.Unit_file.save out u
+      with
+      | Asmlib.Assemble.Error (ln, m) | Asmlib.Parse.Error (ln, m) ->
+          Printf.eprintf "%s:%d: %s\n" f ln m;
+          exit 1
+      | Sys_error m ->
+          prerr_endline m;
+          exit 1)
+  | _ ->
+      prerr_endline usage;
+      exit 2

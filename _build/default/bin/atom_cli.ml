@@ -1,0 +1,110 @@
+(* atom: instrument an executable with one of the packaged tools —
+   the command-line face of the paper's
+
+       atom prog inst.c anal.c -o prog.atom
+
+   Our instrumentation routines are OCaml programs against the ATOM API,
+   so the CLI exposes the packaged tools by name:
+
+       atom prog.exe branch -o prog.atom
+       atom prog.exe cache --run --dump-files
+       atom --list
+
+   Options mirror the engine's: --save-all (no dataflow-summary register
+   reduction), --inline-saves (no wrapper routines), --heap-offset N
+   (partitioned heap). *)
+
+let usage =
+  "atom [--list] [-o OUT] [--run] [--dump-files] [--save-all] \
+   [--inline-saves] [--heap-offset N] prog.exe tool"
+
+let () =
+  let list_tools = ref false in
+  let output = ref "" in
+  let run = ref false in
+  let dump = ref false in
+  let save_all = ref false in
+  let inline_saves = ref false in
+  let heap_offset = ref 0 in
+  let rest = ref [] in
+  Arg.parse
+    [
+      ("--list", Arg.Set list_tools, "list the packaged tools");
+      ("-o", Arg.Set_string output, "output executable");
+      ("--run", Arg.Set run, "run the instrumented program afterwards");
+      ("--dump-files", Arg.Set dump, "with --run: print analysis output files");
+      ("--save-all", Arg.Set save_all, "save all caller-save registers");
+      ("--inline-saves", Arg.Set inline_saves, "inline saves at sites (no wrappers)");
+      ("--heap-offset", Arg.Set_int heap_offset, "partitioned analysis heap at break+N");
+    ]
+    (fun a -> rest := a :: !rest)
+    usage;
+  if !list_tools then begin
+    List.iter
+      (fun t ->
+        Printf.printf "%-9s %s (%s)\n" t.Tools.Tool.name t.Tools.Tool.description
+          t.Tools.Tool.points)
+      Tools.Registry.all;
+    exit 0
+  end;
+  match List.rev !rest with
+  | [ prog; tool_name ] -> (
+      match Tools.Registry.find tool_name with
+      | None ->
+          Printf.eprintf "unknown tool %S; try --list\n" tool_name;
+          exit 2
+      | Some tool -> (
+          try
+            let exe = Objfile.Exe.load prog in
+            let options =
+              {
+                Atom.Instrument.save_strategy =
+                  (if !save_all then Atom.Instrument.Save_all
+                   else Atom.Instrument.Summary);
+                call_style =
+                  (if !inline_saves then Atom.Instrument.Inline_saves
+                   else Atom.Instrument.Wrapper);
+                heap_mode =
+                  (if !heap_offset > 0 then Atom.Instrument.Partitioned !heap_offset
+                   else Atom.Instrument.Linked);
+              }
+            in
+            let exe', info = Tools.Tool.apply ~options tool exe in
+            let out =
+              if !output <> "" then !output
+              else Filename.remove_extension prog ^ ".atom"
+            in
+            Objfile.Exe.save out exe';
+            Printf.printf
+              "wrote %s: %d instrumentation points, text %+d bytes, analysis \
+               module %d bytes\n"
+              out info.Atom.Instrument.i_sites info.Atom.Instrument.i_text_growth
+              info.Atom.Instrument.i_analysis_bytes;
+            if !run then begin
+              let m = Machine.Sim.load exe' in
+              let outcome = Machine.Sim.run m in
+              print_string (Machine.Sim.stdout m);
+              if !dump then
+                List.iter
+                  (fun (name, contents) ->
+                    Printf.printf "=== %s ===\n%s" name contents)
+                  (Machine.Sim.output_files m);
+              match outcome with
+              | Machine.Sim.Exit n -> exit n
+              | Machine.Sim.Fault f ->
+                  Printf.eprintf "fault: %s\n" f;
+                  exit 125
+              | Machine.Sim.Out_of_fuel ->
+                  prerr_endline "out of fuel";
+                  exit 124
+            end
+          with
+          | Atom.Instrument.Error m ->
+              Printf.eprintf "atom: %s\n" m;
+              exit 1
+          | Sys_error m | Objfile.Wire.Corrupt m ->
+              prerr_endline m;
+              exit 1))
+  | _ ->
+      prerr_endline usage;
+      exit 2

@@ -1,0 +1,102 @@
+(* disasm: objdump-style disassembler for executables and object modules.
+
+     disasm prog.exe [--proc NAME]
+     disasm -c file.o
+
+   Branch targets are annotated with symbol names where known; procedure
+   boundaries come from the symbol table, exactly the view OM rebuilds. *)
+
+let usage = "disasm [--proc NAME] [-c] file"
+
+let print_exe ?only exe =
+  let open Objfile in
+  let text = Exe.text_bytes exe in
+  let base = exe.Exe.x_text_start in
+  let sym_at = Hashtbl.create 64 in
+  List.iter
+    (fun s -> if not (Hashtbl.mem sym_at s.Exe.x_addr) then
+        Hashtbl.replace sym_at s.Exe.x_addr s.Exe.x_name)
+    exe.Exe.x_symbols;
+  let name_of addr =
+    match Hashtbl.find_opt sym_at addr with
+    | Some n -> Printf.sprintf "%#x <%s>" addr n
+    | None -> Printf.sprintf "%#x" addr
+  in
+  let funcs = Exe.funcs_sorted exe in
+  let in_selection addr =
+    match only with
+    | None -> true
+    | Some name -> (
+        match List.find_opt (fun s -> s.Exe.x_name = name) funcs with
+        | Some s ->
+            addr >= s.Exe.x_addr
+            && addr < s.Exe.x_addr + max s.Exe.x_size 4
+        | None -> false)
+  in
+  let n = exe.Exe.x_text_size / 4 in
+  for i = 0 to n - 1 do
+    let pc = base + (4 * i) in
+    if in_selection pc then begin
+      (match Hashtbl.find_opt sym_at pc with
+      | Some name -> Printf.printf "\n%08x <%s>:\n" pc name
+      | None -> ());
+      let w = Alpha.Code.read_word text (4 * i) in
+      let insn = Alpha.Code.decode w in
+      let annot =
+        match Alpha.Insn.branch_target ~pc insn with
+        | Some t -> Printf.sprintf "\t# -> %s" (name_of t)
+        | None -> ""
+      in
+      Printf.printf "  %08x:  %08x  %s%s\n" pc w (Alpha.Insn.to_string insn) annot
+    end
+  done
+
+let print_unit u =
+  let open Objfile in
+  Printf.printf "object module %s\n" u.Unit_file.u_name;
+  Printf.printf "  .text %d bytes, .rdata %d, .data %d, .bss %d\n"
+    (Bytes.length u.Unit_file.u_text)
+    (Bytes.length u.Unit_file.u_rdata)
+    (Bytes.length u.Unit_file.u_data)
+    u.Unit_file.u_bss_size;
+  print_endline "symbols:";
+  List.iter
+    (fun s -> Format.printf "  %a@." Types.pp_symbol s)
+    u.Unit_file.u_symbols;
+  print_endline "relocations:";
+  List.iter
+    (fun (sec, r) ->
+      Format.printf "  %s %a@." (Types.sec_name sec) Types.pp_reloc r)
+    u.Unit_file.u_relocs;
+  print_endline "text:";
+  let n = Bytes.length u.Unit_file.u_text / 4 in
+  for i = 0 to n - 1 do
+    let w = Alpha.Code.read_word u.Unit_file.u_text (4 * i) in
+    Printf.printf "  %6x:  %08x  %s\n" (4 * i) w
+      (Alpha.Insn.to_string (Alpha.Code.decode w))
+  done
+
+let () =
+  let obj_mode = ref false in
+  let only = ref "" in
+  let file = ref "" in
+  Arg.parse
+    [
+      ("-c", Arg.Set obj_mode, "input is an object module, not an executable");
+      ("--proc", Arg.Set_string only, "disassemble only the named procedure");
+    ]
+    (fun f -> file := f)
+    usage;
+  if !file = "" then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  try
+    if !obj_mode then print_unit (Objfile.Unit_file.load !file)
+    else
+      print_exe
+        ?only:(if !only = "" then None else Some !only)
+        (Objfile.Exe.load !file)
+  with Sys_error m | Objfile.Wire.Corrupt m ->
+    prerr_endline m;
+    exit 1

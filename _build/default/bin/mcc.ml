@@ -1,0 +1,68 @@
+(* mcc: the Mini-C compiler driver.
+
+     mcc file.c            compile and link -> file.exe
+     mcc -c file.c         compile -> file.o (object module)
+     mcc -S file.c         emit assembly on stdout
+     mcc -o out ...        choose the output path
+     mcc --freestanding    do not prepend the library prototypes *)
+
+let usage = "mcc [-c|-S] [-o OUT] [--freestanding] file.c"
+
+let () =
+  let emit_asm = ref false in
+  let object_only = ref false in
+  let freestanding = ref false in
+  let output = ref "" in
+  let inputs = ref [] in
+  Arg.parse
+    [
+      ("-S", Arg.Set emit_asm, "emit assembly to stdout");
+      ("-c", Arg.Set object_only, "produce an object module, do not link");
+      ("-o", Arg.Set_string output, "output file");
+      ("--freestanding", Arg.Set freestanding, "no runtime-library prototypes");
+    ]
+    (fun f -> inputs := f :: !inputs)
+    usage;
+  match List.rev !inputs with
+  | [] ->
+      prerr_endline usage;
+      exit 2
+  | files -> (
+      try
+        let read f = In_channel.with_open_bin f In_channel.input_all in
+        let compile f =
+          let src = read f in
+          if !freestanding then Minic.Driver.compile ~name:(Filename.basename f) src
+          else Rtlib.compile_user ~name:(Filename.basename f) src
+        in
+        if !emit_asm then
+          List.iter
+            (fun f ->
+              let src = read f in
+              let src = if !freestanding then src else Rtlib.header ^ "\n" ^ src in
+              print_string (Minic.Driver.compile_to_asm src))
+            files
+        else if !object_only then
+          List.iter
+            (fun f ->
+              let u = compile f in
+              let out =
+                if !output <> "" then !output
+                else Filename.remove_extension f ^ ".o"
+              in
+              Objfile.Unit_file.save out u)
+            files
+        else begin
+          let units = List.map compile files in
+          let exe = Rtlib.link_program units in
+          let out = if !output <> "" then !output else "a.exe" in
+          Objfile.Exe.save out exe;
+          Printf.printf "wrote %s (%d bytes of text)\n" out exe.Objfile.Exe.x_text_size
+        end
+      with
+      | Minic.Driver.Error m | Linker.Link.Error m ->
+          prerr_endline m;
+          exit 1
+      | Sys_error m ->
+          prerr_endline m;
+          exit 1)

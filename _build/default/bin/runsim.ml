@@ -1,0 +1,83 @@
+(* runsim: run an executable on the machine simulator.
+
+     runsim prog.exe [--stdin FILE] [--input NAME=FILE] [--stats]
+                     [--dump-files] [--fuel N]  *)
+
+let usage =
+  "runsim [--stdin FILE] [--input NAME=FILE] [--stats] [--dump-files] prog.exe"
+
+let () =
+  let stdin_file = ref "" in
+  let inputs = ref [] in
+  let stats = ref false in
+  let dump = ref false in
+  let fuel = ref 2_000_000_000 in
+  let prog = ref "" in
+  Arg.parse
+    [
+      ("--stdin", Arg.Set_string stdin_file, "file supplying simulated stdin");
+      ( "--input",
+        Arg.String
+          (fun s ->
+            match String.index_opt s '=' with
+            | Some i ->
+                inputs :=
+                  ( String.sub s 0 i,
+                    String.sub s (i + 1) (String.length s - i - 1) )
+                  :: !inputs
+            | None -> raise (Arg.Bad "--input NAME=FILE")),
+        "register a virtual input file" );
+      ("--stats", Arg.Set stats, "print execution statistics");
+      ("--dump-files", Arg.Set dump, "print files the program wrote");
+      ("--fuel", Arg.Set_int fuel, "instruction budget");
+    ]
+    (fun f -> prog := f)
+    usage;
+  if !prog = "" then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  try
+    let exe = Objfile.Exe.load !prog in
+    let stdin_data =
+      if !stdin_file = "" then ""
+      else In_channel.with_open_bin !stdin_file In_channel.input_all
+    in
+    let vfs_inputs =
+      List.map
+        (fun (name, file) ->
+          (name, In_channel.with_open_bin file In_channel.input_all))
+        !inputs
+    in
+    let m = Machine.Sim.load ~stdin:stdin_data ~inputs:vfs_inputs exe in
+    let outcome = Machine.Sim.run ~max_insns:!fuel m in
+    print_string (Machine.Sim.stdout m);
+    let err = Machine.Sim.stderr m in
+    if err <> "" then Printf.eprintf "%s" err;
+    if !dump then
+      List.iter
+        (fun (name, contents) ->
+          Printf.printf "=== %s ===\n%s" name contents;
+          if contents = "" || contents.[String.length contents - 1] <> '\n' then
+            print_newline ())
+        (Machine.Sim.output_files m);
+    if !stats then begin
+      let s = Machine.Sim.stats m in
+      Printf.eprintf
+        "insns=%d loads=%d stores=%d cond-branches=%d (taken %d) calls=%d \
+         syscalls=%d\n"
+        s.Machine.Sim.st_insns s.Machine.Sim.st_loads s.Machine.Sim.st_stores
+        s.Machine.Sim.st_cond_branches s.Machine.Sim.st_taken
+        s.Machine.Sim.st_calls s.Machine.Sim.st_syscalls
+    end;
+    match outcome with
+    | Machine.Sim.Exit n -> exit n
+    | Machine.Sim.Fault f ->
+        Printf.eprintf "fault: %s\n" f;
+        exit 125
+    | Machine.Sim.Out_of_fuel ->
+        prerr_endline "out of fuel";
+        exit 124
+  with Sys_error m | Objfile.Wire.Corrupt m ->
+    prerr_endline m;
+    exit 1

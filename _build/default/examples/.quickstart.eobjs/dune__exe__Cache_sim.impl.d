@@ -1,0 +1,1 @@
+examples/cache_sim.ml: List Machine Option Printf Tools Workloads

@@ -1,0 +1,1 @@
+examples/edge_profile.ml: Atom List Machine Option Printf Workloads

@@ -1,0 +1,1 @@
+examples/hotblocks.ml: Atom List Machine Option Workloads

@@ -1,0 +1,1 @@
+examples/malloc_histogram.ml: Atom List Machine Option Printf Tools Workloads

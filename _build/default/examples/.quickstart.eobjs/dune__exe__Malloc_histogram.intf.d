@@ -1,0 +1,1 @@
+examples/malloc_histogram.mli:

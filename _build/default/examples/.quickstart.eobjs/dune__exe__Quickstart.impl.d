@@ -1,0 +1,1 @@
+examples/quickstart.ml: Atom List Machine Printf Rtlib String

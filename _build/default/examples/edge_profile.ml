@@ -1,0 +1,79 @@
+(* Edge profiling: the paper notes "adding calls to edges is not
+   implemented" in ATOM; this repository implements it (taken edges are
+   lowered by inverting the branch over a trampoline).  The example
+   profiles every conditional branch's two outgoing edges and prints the
+   most biased branches — the candidates a trace scheduler or branch
+   predictor designer would care about.
+
+     dune exec examples/edge_profile.exe *)
+
+let instrument api =
+  let open Atom.Api in
+  add_call_proto api "EdgeInit(int)";
+  add_call_proto api "EdgeHit(int)";
+  add_call_proto api "EdgeLabel(int, long)";
+  add_call_proto api "EdgeReport()";
+  let n = ref 0 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun b ->
+          let last = get_last_inst b in
+          if is_inst_type last Inst_cond_branch then begin
+            (* two counters per branch: taken, fall-through *)
+            add_call_edge api b Taken "EdgeHit" [ Int (2 * !n) ];
+            add_call_edge api b Fallthrough "EdgeHit" [ Int ((2 * !n) + 1) ];
+            add_call_program api Program_after "EdgeLabel" [ Int !n; Inst_pc last ];
+            incr n
+          end)
+        (blocks p))
+    (procs api);
+  add_call_program api Program_before "EdgeInit" [ Int !n ];
+  add_call_program api Program_after "EdgeReport" []
+
+let analysis =
+  {|
+long *__counts;
+long __n;
+void *__f;
+
+void EdgeInit(long n) {
+  __n = n;
+  __counts = (long *) calloc(2 * n, sizeof(long));
+}
+
+void EdgeHit(long slot) { __counts[slot]++; }
+
+void EdgeLabel(long id, long pc) {
+  long t = __counts[2 * id];
+  long f = __counts[2 * id + 1];
+  long total = t + f;
+  if (!__f) {
+    __f = fopen("edges.out", "w");
+    fprintf(__f, "branch\ttaken\tfall\tbias%%\n");
+  }
+  if (total >= 1000) {
+    long bias = (t > f ? t : f) * 100 / total;
+    fprintf(__f, "0x%x\t%d\t%d\t%d\n", pc, t, f, bias);
+  }
+}
+
+void EdgeReport(void) { if (__f) fclose(__f); }
+|}
+
+let () =
+  let w = Option.get (Workloads.find "qsort") in
+  let exe = Workloads.compile w in
+  let exe', info =
+    Atom.Instrument.instrument_source ~exe ~tool:instrument ~analysis_src:analysis ()
+  in
+  Printf.printf "instrumented %d edges\n" info.Atom.Instrument.i_sites;
+  let m = Machine.Sim.load exe' in
+  (match Machine.Sim.run m with
+  | Machine.Sim.Exit 0 -> ()
+  | _ -> failwith "run failed");
+  print_string (Machine.Sim.stdout m);
+  print_endline "\nheavily executed branches (edges.out):";
+  match List.assoc_opt "edges.out" (Machine.Sim.output_files m) with
+  | Some s -> print_string s
+  | None -> print_endline "(missing)"

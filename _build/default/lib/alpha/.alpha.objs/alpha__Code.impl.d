@@ -1,0 +1,1 @@
+lib/alpha/code.ml: Bytes Char Hashtbl Insn List Printf

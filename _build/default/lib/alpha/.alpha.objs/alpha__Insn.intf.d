@@ -1,0 +1,1 @@
+lib/alpha/insn.mli: Format Reg Regset

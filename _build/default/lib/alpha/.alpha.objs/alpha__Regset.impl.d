@@ -1,0 +1,1 @@
+lib/alpha/regset.ml: Format List Reg String

@@ -1,0 +1,1 @@
+lib/alpha/regset.mli: Format Reg

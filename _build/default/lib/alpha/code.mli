@@ -1,0 +1,30 @@
+(** Binary encoding of instructions.
+
+    The encodings are the real Alpha AXP formats (Alpha Architecture
+    Reference Manual): memory, branch, integer-operate (register and
+    8-bit-literal forms), floating-operate, jump and PAL formats, with the
+    architecture's opcode and function-code assignments.  Words are held in
+    OCaml [int]s restricted to 32 bits and serialised little-endian. *)
+
+val encode : Insn.t -> int
+(** The 32-bit word for an instruction.  [Raw w] encodes to [w].
+    @raise Invalid_argument if a displacement or literal is out of range. *)
+
+val decode : int -> Insn.t
+(** Decode a 32-bit word.  Words outside the implemented subset decode to
+    [Raw]. *)
+
+val read_word : bytes -> int -> int
+(** [read_word b off] reads a little-endian 32-bit word. *)
+
+val write_word : bytes -> int -> int -> unit
+(** [write_word b off w] stores [w] little-endian at [off]. *)
+
+val decode_at : bytes -> int -> Insn.t
+val encode_at : bytes -> int -> Insn.t -> unit
+
+val fits_disp16 : int -> bool
+(** Whether a byte displacement fits the signed 16-bit memory format. *)
+
+val fits_disp21 : int -> bool
+(** Whether a word displacement fits the signed 21-bit branch format. *)

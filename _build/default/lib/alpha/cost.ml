@@ -1,0 +1,108 @@
+open Insn
+
+type cls = C_load | C_store | C_iop | C_fop | C_ibr | C_fbr | C_misc
+
+let classify i =
+  match kind i with
+  | K_load -> C_load
+  | K_store -> C_store
+  | K_ialu -> C_iop
+  | K_fop -> C_fop
+  | K_cond_branch -> ( match i with Fbr _ -> C_fbr | _ -> C_ibr)
+  | K_uncond_branch | K_jump -> C_ibr
+  | K_pal | K_other -> C_misc
+
+let latency i =
+  match i with
+  | Mem { op = Lda | Ldah; _ } -> 1
+  | Mem { op; _ } -> if mem_is_load op then 3 else 1
+  | Opr { op = Mull; _ } -> 21
+  | Opr { op = Mulq | Umulh; _ } -> 23
+  | Opr { op = Cmoveq | Cmovne | Cmovlt | Cmovge | Cmovle | Cmovgt | Cmovlbs | Cmovlbc; _ }
+    ->
+      2
+  | Opr _ -> 1
+  | Fop { op = Divt; _ } -> 34
+  | Fop { op = Cpys | Cpysn; _ } -> 1
+  | Fop _ -> 6
+  | Br _ | Cbr _ | Fbr _ | Jump _ -> 1
+  | Call_pal _ -> 20
+  | Raw _ -> 1
+
+(* 21064 dual-issue legality: at most one memory operation, at most one
+   branch, and the two instructions must use different boxes — an integer
+   operate pairs with a floating operate or a memory operation or a
+   floating branch, a floating operate pairs with an integer branch, a
+   memory operation pairs with almost anything but another memory
+   operation.  PAL/misc instructions never dual-issue. *)
+let can_pair a b =
+  match (a, b) with
+  | C_misc, _ | _, C_misc -> false
+  | (C_load | C_store), (C_load | C_store) -> false
+  | C_iop, C_iop -> false
+  | C_fop, C_fop -> false
+  | (C_ibr | C_fbr), (C_ibr | C_fbr) -> false
+  | C_iop, C_fbr | C_fbr, C_iop -> true
+  | C_fop, C_ibr | C_ibr, C_fop -> true
+  | C_iop, C_ibr | C_ibr, C_iop -> false  (* both need the integer box *)
+  | C_fop, C_fbr | C_fbr, C_fop -> false  (* both need the floating box *)
+  | (C_load | C_store), _ | _, (C_load | C_store) -> true
+  | C_iop, C_fop | C_fop, C_iop -> true
+
+let issue_cycles ?(base_align = 0) insns =
+  let n = Array.length insns in
+  let out = Array.make n 0 in
+  if n = 0 then out
+  else begin
+    let iready = Array.make 32 0 and fready = Array.make 32 0 in
+    let operands_ready i =
+      let u = uses insns.(i) in
+      let ri = Regset.fold_ints (fun r acc -> max acc iready.(r)) u 0 in
+      Regset.fold_fps (fun r acc -> max acc fready.(r)) u ri
+    in
+    let retire i cyc =
+      let done_at = cyc + latency insns.(i) in
+      Regset.fold_ints (fun r () -> if r < 31 then iready.(r) <- max iready.(r) done_at)
+        (defs insns.(i)) ();
+      Regset.fold_fps (fun r () -> if r < 31 then fready.(r) <- max fready.(r) done_at)
+        (defs insns.(i)) ()
+    in
+    let cycle = ref 0 in
+    let idx = ref 0 in
+    while !idx < n do
+      let i = !idx in
+      let c = max !cycle (operands_ready i) in
+      out.(i) <- c;
+      retire i c;
+      (* try to dual-issue the second instruction of an aligned pair *)
+      let aligned_first = (i + base_align) land 1 = 0 in
+      if
+        aligned_first && i + 1 < n
+        && can_pair (classify insns.(i)) (classify insns.(i + 1))
+        && operands_ready (i + 1) <= c
+      then begin
+        out.(i + 1) <- c;
+        retire (i + 1) c;
+        cycle := c + 1;
+        idx := i + 2
+      end
+      else begin
+        cycle := c + 1;
+        idx := i + 1
+      end
+    done;
+    out
+  end
+
+let schedule ?(base_align = 0) insns =
+  let n = Array.length insns in
+  if n = 0 then 0
+  else begin
+    let cycles = issue_cycles ~base_align insns in
+    let finish = cycles.(n - 1) + latency insns.(n - 1) in
+    max finish ((n + 1) / 2)
+  end
+
+let stalls insns =
+  let n = Array.length insns in
+  if n = 0 then 0 else max 0 (schedule insns - ((n + 1) / 2))

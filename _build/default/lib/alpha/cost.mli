@@ -1,0 +1,43 @@
+(** A static cost model of the Alpha 21064 pipeline: dual-issue, in-order,
+    with the machine's aligned-pair issue rules.
+
+    The 21064 fetches aligned instruction pairs and can issue both only
+    when their classes are compatible (at most one memory operation, at
+    most one branch, an integer operate cannot pair with another integer
+    operate, ...), both instructions' operands are ready, and the first
+    of the pair actually issues.  Results become available after a
+    class-dependent latency (loads 3, integer multiply 21+, floating
+    add/mul 6, floating divide 34, ...).
+
+    This is what the paper's [pipe] tool computes per basic block at
+    instrumentation time ("static CPU pipeline scheduling"). *)
+
+type cls =
+  | C_load
+  | C_store
+  | C_iop  (** integer operate *)
+  | C_fop  (** floating operate *)
+  | C_ibr  (** integer conditional/unconditional branch, jsr *)
+  | C_fbr
+  | C_misc  (** PAL calls and anything else; never dual-issues *)
+
+val classify : Insn.t -> cls
+
+val latency : Insn.t -> int
+(** Result latency in cycles. *)
+
+val can_pair : cls -> cls -> bool
+(** Whether two adjacent, aligned instructions may issue together. *)
+
+val issue_cycles : ?base_align:int -> Insn.t array -> int array
+(** [issue_cycles insns] simulates the in-order dual-issue front end over
+    one execution of the block and returns each instruction's issue
+    cycle.  [base_align] is the word alignment (0 or 1) of the first
+    instruction within its fetch pair. *)
+
+val schedule : ?base_align:int -> Insn.t array -> int
+(** Total cycles to execute the block once: the last issue cycle plus the
+    last instruction's latency, at least [ceil n/2]. *)
+
+val stalls : Insn.t array -> int
+(** [schedule insns] minus the dual-issue ideal [ceil n/2]. *)

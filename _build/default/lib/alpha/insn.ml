@@ -1,0 +1,246 @@
+type mem_op =
+  | Lda | Ldah
+  | Ldbu | Ldwu | Ldl | Ldq | Ldq_u
+  | Stb | Stw | Stl | Stq | Stq_u
+  | Ldt | Stt
+
+type opr_op =
+  | Addl | Subl | Addq | Subq | S4addq | S8addq
+  | Mull | Mulq | Umulh
+  | Cmpeq | Cmplt | Cmple | Cmpult | Cmpule | Cmpbge
+  | And_ | Bic | Bis | Ornot | Xor | Eqv
+  | Sll | Srl | Sra
+  | Zap | Zapnot
+  | Extbl | Extwl | Extll | Extql
+  | Insbl | Inswl | Insll | Insql
+  | Mskbl | Mskwl | Mskll | Mskql
+  | Cmoveq | Cmovne | Cmovlt | Cmovge | Cmovle | Cmovgt | Cmovlbs | Cmovlbc
+
+type fop_op =
+  | Addt | Subt | Mult | Divt
+  | Cmpteq | Cmptlt | Cmptle
+  | Cvtqt | Cvttq
+  | Cpys | Cpysn
+
+type br_cond = Beq | Bne | Blt | Ble | Bgt | Bge | Blbc | Blbs
+type fbr_cond = Fbeq | Fbne | Fblt | Fble | Fbgt | Fbge
+type jmp_kind = Jmp | Jsr | Ret | Jsr_coroutine
+
+type operand = Reg of Reg.t | Imm of int
+
+type t =
+  | Mem of { op : mem_op; ra : int; rb : Reg.t; disp : int }
+  | Opr of { op : opr_op; ra : Reg.t; rb : operand; rc : Reg.t }
+  | Fop of { op : fop_op; fa : Reg.f; fb : Reg.f; fc : Reg.f }
+  | Br of { link : bool; ra : Reg.t; disp : int }
+  | Cbr of { cond : br_cond; ra : Reg.t; disp : int }
+  | Fbr of { cond : fbr_cond; fa : Reg.f; disp : int }
+  | Jump of { kind : jmp_kind; ra : Reg.t; rb : Reg.t; hint : int }
+  | Call_pal of int
+  | Raw of int
+
+type kind =
+  | K_load | K_store | K_ialu | K_fop
+  | K_cond_branch | K_uncond_branch | K_jump | K_pal | K_other
+
+let nop = Opr { op = Bis; ra = Reg.zero; rb = Reg Reg.zero; rc = Reg.zero }
+
+let mem_is_load = function
+  | Ldbu | Ldwu | Ldl | Ldq | Ldq_u | Ldt -> true
+  | Lda | Ldah | Stb | Stw | Stl | Stq | Stq_u | Stt -> false
+
+let mem_is_store = function
+  | Stb | Stw | Stl | Stq | Stq_u | Stt -> true
+  | Lda | Ldah | Ldbu | Ldwu | Ldl | Ldq | Ldq_u | Ldt -> false
+
+let mem_is_fp = function
+  | Ldt | Stt -> true
+  | Lda | Ldah | Ldbu | Ldwu | Ldl | Ldq | Ldq_u | Stb | Stw | Stl | Stq | Stq_u -> false
+
+let kind = function
+  | Mem { op = Lda | Ldah; _ } -> K_ialu
+  | Mem { op; _ } -> if mem_is_load op then K_load else K_store
+  | Opr _ -> K_ialu
+  | Fop _ -> K_fop
+  | Br _ -> K_uncond_branch
+  | Cbr _ | Fbr _ -> K_cond_branch
+  | Jump _ -> K_jump
+  | Call_pal _ -> K_pal
+  | Raw _ -> K_other
+
+let is_cond_branch i = kind i = K_cond_branch
+let is_load i = kind i = K_load
+let is_store i = kind i = K_store
+let is_memory_ref i = is_load i || is_store i
+
+let is_call = function
+  | Br { link = true; _ } | Jump { kind = Jsr; _ } -> true
+  | Mem _ | Opr _ | Fop _ | Br _ | Cbr _ | Fbr _ | Jump _ | Call_pal _ | Raw _ -> false
+
+let is_return = function
+  | Jump { kind = Ret; _ } -> true
+  | Mem _ | Opr _ | Fop _ | Br _ | Cbr _ | Fbr _ | Jump _ | Call_pal _ | Raw _ -> false
+
+let is_terminator = function
+  | Br _ | Cbr _ | Fbr _ | Jump _ -> true
+  | Call_pal _ -> false
+  | Mem _ | Opr _ | Fop _ | Raw _ -> false
+
+let falls_through = function
+  | Br _ | Jump _ -> false
+  | Cbr _ | Fbr _ -> true
+  | Mem _ | Opr _ | Fop _ | Call_pal _ | Raw _ -> true
+
+let branch_disp = function
+  | Br { disp; _ } | Cbr { disp; _ } | Fbr { disp; _ } -> Some disp
+  | Mem _ | Opr _ | Fop _ | Jump _ | Call_pal _ | Raw _ -> None
+
+let invert_cond = function
+  | Beq -> Bne | Bne -> Beq | Blt -> Bge | Bge -> Blt
+  | Ble -> Bgt | Bgt -> Ble | Blbc -> Blbs | Blbs -> Blbc
+
+let invert_fcond = function
+  | Fbeq -> Fbne | Fbne -> Fbeq | Fblt -> Fbge | Fbge -> Fblt
+  | Fble -> Fbgt | Fbgt -> Fble
+
+let invert_branch = function
+  | Cbr b -> Some (Cbr { b with cond = invert_cond b.cond })
+  | Fbr b -> Some (Fbr { b with cond = invert_fcond b.cond })
+  | Mem _ | Opr _ | Fop _ | Br _ | Jump _ | Call_pal _ | Raw _ -> None
+
+let with_branch_disp i disp =
+  match i with
+  | Br b -> Br { b with disp }
+  | Cbr b -> Cbr { b with disp }
+  | Fbr b -> Fbr { b with disp }
+  | Mem _ | Opr _ | Fop _ | Jump _ | Call_pal _ | Raw _ ->
+      invalid_arg "Insn.with_branch_disp: not a PC-relative branch"
+
+let branch_target ~pc i =
+  match branch_disp i with
+  | Some d -> Some (pc + 4 + (d * 4))
+  | None -> None
+
+let access_bytes = function
+  | Mem { op = Ldbu | Stb; _ } -> 1
+  | Mem { op = Ldwu | Stw; _ } -> 2
+  | Mem { op = Ldl | Stl; _ } -> 4
+  | Mem { op = Ldq | Stq | Ldq_u | Stq_u | Ldt | Stt; _ } -> 8
+  | Mem { op = Lda | Ldah; _ } -> 0
+  | Opr _ | Fop _ | Br _ | Cbr _ | Fbr _ | Jump _ | Call_pal _ | Raw _ -> 0
+
+let defs = function
+  | Mem { op; ra; rb = _; _ } ->
+      if mem_is_store op then Regset.empty
+      else if mem_is_fp op then Regset.add_f ra Regset.empty
+      else Regset.add ra Regset.empty
+  | Opr { rc; _ } -> Regset.add rc Regset.empty
+  | Fop { fc; _ } -> Regset.add_f fc Regset.empty
+  | Br { ra; _ } -> Regset.add ra Regset.empty
+  | Cbr _ | Fbr _ -> Regset.empty
+  | Jump { ra; _ } -> Regset.add ra Regset.empty
+  | Call_pal _ ->
+      (* callsys: the kernel returns its result in v0 and an error flag in
+         a3; everything else is preserved by our PAL model. *)
+      Regset.of_list [ Reg.v0; 19 ]
+  | Raw _ -> Regset.empty
+
+let uses = function
+  | Mem { op; ra; rb; _ } ->
+      let base = Regset.add rb Regset.empty in
+      if mem_is_store op then
+        if mem_is_fp op then Regset.add_f ra base else Regset.add ra base
+      else base
+  | Opr { ra; rb; _ } -> (
+      let s = Regset.add ra Regset.empty in
+      match rb with Reg r -> Regset.add r s | Imm _ -> s)
+  | Fop { fa; fb; _ } -> Regset.add_f fa (Regset.add_f fb Regset.empty)
+  | Br _ -> Regset.empty
+  | Cbr { ra; _ } -> Regset.add ra Regset.empty
+  | Fbr { fa; _ } -> Regset.add_f fa Regset.empty
+  | Jump { rb; _ } -> Regset.add rb Regset.empty
+  | Call_pal _ -> Regset.of_list [ Reg.v0; 16; 17; 18 ]
+  | Raw _ -> Regset.empty
+
+let all_opr_ops =
+  [ Addl; Subl; Addq; Subq; S4addq; S8addq; Mull; Mulq; Umulh;
+    Cmpeq; Cmplt; Cmple; Cmpult; Cmpule; Cmpbge;
+    And_; Bic; Bis; Ornot; Xor; Eqv; Sll; Srl; Sra; Zap; Zapnot;
+    Extbl; Extwl; Extll; Extql; Insbl; Inswl; Insll; Insql;
+    Mskbl; Mskwl; Mskll; Mskql;
+    Cmoveq; Cmovne; Cmovlt; Cmovge; Cmovle; Cmovgt; Cmovlbs; Cmovlbc ]
+
+let all_fop_ops =
+  [ Addt; Subt; Mult; Divt; Cmpteq; Cmptlt; Cmptle; Cvtqt; Cvttq; Cpys; Cpysn ]
+
+let all_br_conds = [ Beq; Bne; Blt; Ble; Bgt; Bge; Blbc; Blbs ]
+let all_fbr_conds = [ Fbeq; Fbne; Fblt; Fble; Fbgt; Fbge ]
+
+let all_mem_ops =
+  [ Lda; Ldah; Ldbu; Ldwu; Ldl; Ldq; Ldq_u; Stb; Stw; Stl; Stq; Stq_u; Ldt; Stt ]
+
+let mem_op_name = function
+  | Lda -> "lda" | Ldah -> "ldah"
+  | Ldbu -> "ldbu" | Ldwu -> "ldwu" | Ldl -> "ldl" | Ldq -> "ldq" | Ldq_u -> "ldq_u"
+  | Stb -> "stb" | Stw -> "stw" | Stl -> "stl" | Stq -> "stq" | Stq_u -> "stq_u"
+  | Ldt -> "ldt" | Stt -> "stt"
+
+let opr_op_name = function
+  | Addl -> "addl" | Subl -> "subl" | Addq -> "addq" | Subq -> "subq"
+  | S4addq -> "s4addq" | S8addq -> "s8addq"
+  | Mull -> "mull" | Mulq -> "mulq" | Umulh -> "umulh"
+  | Cmpeq -> "cmpeq" | Cmplt -> "cmplt" | Cmple -> "cmple"
+  | Cmpult -> "cmpult" | Cmpule -> "cmpule" | Cmpbge -> "cmpbge"
+  | And_ -> "and" | Bic -> "bic" | Bis -> "bis" | Ornot -> "ornot"
+  | Xor -> "xor" | Eqv -> "eqv"
+  | Sll -> "sll" | Srl -> "srl" | Sra -> "sra"
+  | Zap -> "zap" | Zapnot -> "zapnot"
+  | Extbl -> "extbl" | Extwl -> "extwl" | Extll -> "extll" | Extql -> "extql"
+  | Insbl -> "insbl" | Inswl -> "inswl" | Insll -> "insll" | Insql -> "insql"
+  | Mskbl -> "mskbl" | Mskwl -> "mskwl" | Mskll -> "mskll" | Mskql -> "mskql"
+  | Cmoveq -> "cmoveq" | Cmovne -> "cmovne" | Cmovlt -> "cmovlt"
+  | Cmovge -> "cmovge" | Cmovle -> "cmovle" | Cmovgt -> "cmovgt"
+  | Cmovlbs -> "cmovlbs" | Cmovlbc -> "cmovlbc"
+
+let fop_op_name = function
+  | Addt -> "addt" | Subt -> "subt" | Mult -> "mult" | Divt -> "divt"
+  | Cmpteq -> "cmpteq" | Cmptlt -> "cmptlt" | Cmptle -> "cmptle"
+  | Cvtqt -> "cvtqt" | Cvttq -> "cvttq"
+  | Cpys -> "cpys" | Cpysn -> "cpysn"
+
+let br_cond_name = function
+  | Beq -> "beq" | Bne -> "bne" | Blt -> "blt" | Ble -> "ble"
+  | Bgt -> "bgt" | Bge -> "bge" | Blbc -> "blbc" | Blbs -> "blbs"
+
+let fbr_cond_name = function
+  | Fbeq -> "fbeq" | Fbne -> "fbne" | Fblt -> "fblt"
+  | Fble -> "fble" | Fbgt -> "fbgt" | Fbge -> "fbge"
+
+let jmp_kind_name = function
+  | Jmp -> "jmp" | Jsr -> "jsr" | Ret -> "ret" | Jsr_coroutine -> "jsr_coroutine"
+
+let to_string i =
+  let r = Reg.name and f = Reg.fname in
+  match i with
+  | Mem { op; ra; rb; disp } ->
+      let dst = if mem_is_fp op then f ra else r ra in
+      Printf.sprintf "%s %s, %d(%s)" (mem_op_name op) dst disp (r rb)
+  | Opr { op; ra; rb; rc } ->
+      let rb_s = match rb with Reg x -> r x | Imm n -> Printf.sprintf "#%d" n in
+      Printf.sprintf "%s %s, %s, %s" (opr_op_name op) (r ra) rb_s (r rc)
+  | Fop { op; fa; fb; fc } ->
+      Printf.sprintf "%s %s, %s, %s" (fop_op_name op) (f fa) (f fb) (f fc)
+  | Br { link; ra; disp } ->
+      Printf.sprintf "%s %s, %d" (if link then "bsr" else "br") (r ra) disp
+  | Cbr { cond; ra; disp } ->
+      Printf.sprintf "%s %s, %d" (br_cond_name cond) (r ra) disp
+  | Fbr { cond; fa; disp } ->
+      Printf.sprintf "%s %s, %d" (fbr_cond_name cond) (f fa) disp
+  | Jump { kind; ra; rb; hint } ->
+      Printf.sprintf "%s %s, (%s), %d" (jmp_kind_name kind) (r ra) (r rb) hint
+  | Call_pal n -> Printf.sprintf "call_pal %#x" n
+  | Raw w -> Printf.sprintf ".word %#010x" (w land 0xFFFFFFFF)
+
+let pp ppf i = Format.pp_print_string ppf (to_string i)
+
+let equal (a : t) (b : t) = a = b

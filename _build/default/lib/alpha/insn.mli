@@ -1,0 +1,135 @@
+(** Alpha AXP instruction subset.
+
+    Instructions are represented symbolically; {!Code} maps them to and from
+    real 32-bit Alpha encodings.  Branch displacements are stored as signed
+    displacements in {e words} relative to the updated PC (the address of
+    the instruction plus 4), exactly as encoded in the hardware format. *)
+
+type mem_op =
+  | Lda   (** [ra <- rb + sext(disp)] *)
+  | Ldah  (** [ra <- rb + sext(disp) * 65536] *)
+  | Ldbu | Ldwu | Ldl | Ldq | Ldq_u
+  | Stb | Stw | Stl | Stq | Stq_u
+  | Ldt   (** floating load, [ra] names an FP register *)
+  | Stt   (** floating store, [ra] names an FP register *)
+
+type opr_op =
+  | Addl | Subl | Addq | Subq | S4addq | S8addq
+  | Mull | Mulq | Umulh
+  | Cmpeq | Cmplt | Cmple | Cmpult | Cmpule | Cmpbge
+  | And_ | Bic | Bis | Ornot | Xor | Eqv
+  | Sll | Srl | Sra
+  | Zap | Zapnot
+  | Extbl | Extwl | Extll | Extql
+  | Insbl | Inswl | Insll | Insql
+  | Mskbl | Mskwl | Mskll | Mskql
+  | Cmoveq | Cmovne | Cmovlt | Cmovge | Cmovle | Cmovgt | Cmovlbs | Cmovlbc
+
+type fop_op =
+  | Addt | Subt | Mult | Divt
+  | Cmpteq | Cmptlt | Cmptle
+  | Cvtqt  (** integer (in FP reg) to T-float *)
+  | Cvttq  (** T-float to integer, truncating *)
+  | Cpys | Cpysn
+
+type br_cond = Beq | Bne | Blt | Ble | Bgt | Bge | Blbc | Blbs
+type fbr_cond = Fbeq | Fbne | Fblt | Fble | Fbgt | Fbge
+type jmp_kind = Jmp | Jsr | Ret | Jsr_coroutine
+
+type operand =
+  | Reg of Reg.t
+  | Imm of int  (** unsigned 8-bit literal *)
+
+type t =
+  | Mem of { op : mem_op; ra : int; rb : Reg.t; disp : int }
+      (** [disp] is a signed 16-bit byte displacement.  For [Ldt]/[Stt],
+          [ra] is a floating register number. *)
+  | Opr of { op : opr_op; ra : Reg.t; rb : operand; rc : Reg.t }
+  | Fop of { op : fop_op; fa : Reg.f; fb : Reg.f; fc : Reg.f }
+  | Br of { link : bool; ra : Reg.t; disp : int }
+      (** [br]/[bsr]; [disp] is a signed 21-bit word displacement. *)
+  | Cbr of { cond : br_cond; ra : Reg.t; disp : int }
+  | Fbr of { cond : fbr_cond; fa : Reg.f; disp : int }
+  | Jump of { kind : jmp_kind; ra : Reg.t; rb : Reg.t; hint : int }
+  | Call_pal of int
+  | Raw of int  (** an undecodable 32-bit word, kept verbatim *)
+
+type kind =
+  | K_load | K_store | K_ialu | K_fop
+  | K_cond_branch | K_uncond_branch | K_jump | K_pal | K_other
+
+val nop : t
+(** The canonical no-op, [bis $31,$31,$31]. *)
+
+val kind : t -> kind
+
+val mem_is_load : mem_op -> bool
+val mem_is_store : mem_op -> bool
+
+val mem_is_fp : mem_op -> bool
+(** Whether the [ra] field of the memory instruction names an FP register. *)
+
+val is_cond_branch : t -> bool
+(** Integer or floating conditional branch. *)
+
+val is_memory_ref : t -> bool
+(** True load or store ([lda]/[ldah] excluded). *)
+
+val is_load : t -> bool
+val is_store : t -> bool
+
+val is_call : t -> bool
+(** [bsr] or [jsr]: a subroutine call that links through a register. *)
+
+val is_return : t -> bool
+
+val is_terminator : t -> bool
+(** Whether control does not necessarily fall through: any branch, jump or
+    the [halt]/[exit]-style PAL calls.  Basic blocks end at terminators. *)
+
+val falls_through : t -> bool
+(** Whether execution may continue at the next instruction. *)
+
+val branch_disp : t -> int option
+(** The word displacement of a PC-relative branch ([br]/[bsr]/[cbr]/[fbr]). *)
+
+val invert_branch : t -> t option
+(** The branch with the opposite condition (same displacement); [None]
+    for anything that is not a conditional branch. *)
+
+val with_branch_disp : t -> int -> t
+(** Replace the displacement of a PC-relative branch.
+    @raise Invalid_argument on other instructions. *)
+
+val branch_target : pc:int -> t -> int option
+(** Absolute target address of a PC-relative branch located at [pc]. *)
+
+val access_bytes : t -> int
+(** Size in bytes of the memory access (1, 2, 4 or 8); 0 when not a memory
+    reference. *)
+
+val defs : t -> Regset.t
+(** Registers possibly written by the instruction. *)
+
+val uses : t -> Regset.t
+(** Registers read by the instruction. *)
+
+val all_opr_ops : opr_op list
+val all_fop_ops : fop_op list
+val all_br_conds : br_cond list
+val all_fbr_conds : fbr_cond list
+val all_mem_ops : mem_op list
+
+val mem_op_name : mem_op -> string
+val opr_op_name : opr_op -> string
+val fop_op_name : fop_op -> string
+val br_cond_name : br_cond -> string
+val fbr_cond_name : fbr_cond -> string
+val jmp_kind_name : jmp_kind -> string
+
+val to_string : t -> string
+(** Disassemble one instruction, e.g. ["ldq a0, 16(sp)"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

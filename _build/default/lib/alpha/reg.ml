@@ -1,0 +1,63 @@
+type t = int
+type f = int
+
+let v0 = 0
+let t0 = 1
+let s0 = 9
+let fp = 15
+let a0 = 16
+let t8 = 22
+let ra = 26
+let pv = 27
+let at = 28
+let gp = 29
+let sp = 30
+let zero = 31
+let fzero = 31
+
+let arg_regs = [ 16; 17; 18; 19; 20; 21 ]
+let farg_regs = [ 16; 17; 18; 19; 20; 21 ]
+
+let is_callee_save r = r >= 9 && r <= 15
+
+let is_caller_save r =
+  r >= 0 && r <= 28 && not (is_callee_save r)
+
+let is_caller_save_f r = (r >= 0 && r <= 1) || (r >= 10 && r <= 30)
+
+let caller_save = List.filter is_caller_save (List.init 32 Fun.id)
+let caller_save_f = List.filter is_caller_save_f (List.init 32 Fun.id)
+
+let names =
+  [| "v0"; "t0"; "t1"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7";
+     "s0"; "s1"; "s2"; "s3"; "s4"; "s5"; "fp";
+     "a0"; "a1"; "a2"; "a3"; "a4"; "a5";
+     "t8"; "t9"; "t10"; "t11"; "ra"; "pv"; "at"; "gp"; "sp"; "zero" |]
+
+let name r =
+  if r >= 0 && r < 32 then names.(r) else Printf.sprintf "r?%d" r
+
+let fname r = Printf.sprintf "f%d" r
+let dollar r = Printf.sprintf "$%d" r
+
+let of_name s =
+  let parse_num body =
+    match int_of_string_opt body with
+    | Some n when n >= 0 && n < 32 -> Some n
+    | Some _ | None -> None
+  in
+  if String.length s >= 2 && s.[0] = '$' then
+    parse_num (String.sub s 1 (String.length s - 1))
+  else
+    let rec find i = if i >= 32 then None else if names.(i) = s then Some i else find (i + 1) in
+    find 0
+
+let of_fname s =
+  let body =
+    if String.length s >= 2 && s.[0] = '$' then String.sub s 1 (String.length s - 1) else s
+  in
+  if String.length body >= 2 && body.[0] = 'f' then
+    match int_of_string_opt (String.sub body 1 (String.length body - 1)) with
+    | Some n when n >= 0 && n < 32 -> Some n
+    | Some _ | None -> None
+  else None

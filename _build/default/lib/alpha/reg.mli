@@ -1,0 +1,77 @@
+(** Register names and the OSF/1 Alpha calling standard.
+
+    Integer registers are numbered 0..31 with [$31] hardwired to zero, and
+    floating-point registers 0..31 with [$f31] hardwired to zero.  The
+    conventional role of each register follows the OSF/1 calling standard
+    that ATOM relies on when deciding which registers must be saved around
+    an inserted analysis call. *)
+
+type t = int
+(** An integer register number, in [0, 31]. *)
+
+type f = int
+(** A floating-point register number, in [0, 31]. *)
+
+val v0 : t (** [$0], integer return value. *)
+
+val t0 : t (** [$1], first integer temporary. *)
+
+val s0 : t (** [$9], first callee-saved register. *)
+
+val fp : t (** [$15], frame pointer (callee-saved). *)
+
+val a0 : t (** [$16], first integer argument register. *)
+
+val t8 : t (** [$22]. *)
+
+val ra : t (** [$26], return address. *)
+
+val pv : t (** [$27], procedure value ([t12]). *)
+
+val at : t (** [$28], assembler temporary. *)
+
+val gp : t (** [$29], global pointer. *)
+
+val sp : t (** [$30], stack pointer. *)
+
+val zero : t (** [$31], always reads as zero. *)
+
+val fzero : f (** [$f31], always reads as +0.0. *)
+
+val arg_regs : t list
+(** The six integer argument registers [$16]..[$21], in order. *)
+
+val farg_regs : f list
+(** The six floating argument registers [$f16]..[$f21], in order. *)
+
+val is_caller_save : t -> bool
+(** Whether an integer register is the caller's responsibility to preserve
+    across a call (includes [v0], temporaries, argument registers, [ra],
+    [pv] and [at]; excludes [s0]-[s6], [gp], [sp] and [zero]). *)
+
+val is_callee_save : t -> bool
+(** [$9]..[$15]: preserved by any routine that follows the standard. *)
+
+val is_caller_save_f : f -> bool
+(** Caller-save floating registers: all but [$f2]..[$f9] and [$f31]. *)
+
+val caller_save : t list
+(** All caller-save integer registers, ascending. *)
+
+val caller_save_f : f list
+(** All caller-save floating registers, ascending. *)
+
+val name : t -> string
+(** Conventional name, e.g. [name 16 = "a0"], [name 30 = "sp"]. *)
+
+val fname : f -> string
+(** Floating register name, e.g. [fname 2 = "f2"]. *)
+
+val dollar : t -> string
+(** Assembly spelling, e.g. [dollar 16 = "$16"]. *)
+
+val of_name : string -> t option
+(** Parse either spelling: ["$7"], ["t6"], ["sp"], ... *)
+
+val of_fname : string -> f option
+(** Parse a floating register: ["$f10"] or ["f10"]. *)

@@ -1,0 +1,42 @@
+type t = { i : int; f : int }
+
+let empty = { i = 0; f = 0 }
+let is_empty s = s.i = 0 && s.f = 0
+
+let bit r = if r >= 0 && r < 31 then 1 lsl r else 0
+
+let add r s = { s with i = s.i lor bit r }
+let add_f r s = { s with f = s.f lor bit r }
+let mem r s = r >= 0 && r < 31 && s.i land (1 lsl r) <> 0
+let mem_f r s = r >= 0 && r < 31 && s.f land (1 lsl r) <> 0
+let remove r s = { s with i = s.i land lnot (bit r) }
+let remove_f r s = { s with f = s.f land lnot (bit r) }
+let union a b = { i = a.i lor b.i; f = a.f lor b.f }
+let inter a b = { i = a.i land b.i; f = a.f land b.f }
+let diff a b = { i = a.i land lnot b.i; f = a.f land lnot b.f }
+let subset a b = a.i land lnot b.i = 0 && a.f land lnot b.f = 0
+let equal a b = a.i = b.i && a.f = b.f
+
+let of_list rs = List.fold_left (fun s r -> add r s) empty rs
+let of_list_f rs = List.fold_left (fun s r -> add_f r s) empty rs
+
+let members mask =
+  let rec go r acc = if r < 0 then acc else go (r - 1) (if mask land (1 lsl r) <> 0 then r :: acc else acc) in
+  go 30 []
+
+let ints s = members s.i
+let fps s = members s.f
+
+let cardinal s = List.length (ints s) + List.length (fps s)
+
+let fold_ints fn s acc = List.fold_left (fun acc r -> fn r acc) acc (ints s)
+let fold_fps fn s acc = List.fold_left (fun acc r -> fn r acc) acc (fps s)
+
+let caller_saves =
+  union (of_list Reg.caller_save) (of_list_f Reg.caller_save_f)
+
+let pp ppf s =
+  let names =
+    List.map Reg.name (ints s) @ List.map Reg.fname (fps s)
+  in
+  Format.fprintf ppf "{%s}" (String.concat "," names)

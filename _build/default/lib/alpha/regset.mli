@@ -1,0 +1,41 @@
+(** Compact sets of machine registers.
+
+    A value holds one 32-bit mask for the integer register file and one for
+    the floating-point register file.  The hardwired zero registers ([$31]
+    and [$f31]) are never members: adding them is a no-op, which lets
+    def/use computations stay oblivious to the zero-register convention. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val add : Reg.t -> t -> t
+val add_f : Reg.f -> t -> t
+val mem : Reg.t -> t -> bool
+val mem_f : Reg.f -> t -> bool
+val remove : Reg.t -> t -> t
+val remove_f : Reg.f -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+
+val of_list : Reg.t list -> t
+val of_list_f : Reg.f list -> t
+
+val ints : t -> Reg.t list
+(** Integer members, ascending. *)
+
+val fps : t -> Reg.f list
+(** Floating members, ascending. *)
+
+val cardinal : t -> int
+
+val fold_ints : (Reg.t -> 'a -> 'a) -> t -> 'a -> 'a
+val fold_fps : (Reg.f -> 'a -> 'a) -> t -> 'a -> 'a
+
+val caller_saves : t
+(** All caller-save registers of both files, per {!Reg}. *)
+
+val pp : Format.formatter -> t -> unit

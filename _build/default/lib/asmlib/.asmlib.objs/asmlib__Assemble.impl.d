@@ -1,0 +1,1 @@
+lib/asmlib/assemble.ml: Alpha Bytes Char Hashtbl Int64 List Objfile Option Parse Printf Src String Types Unit_file

@@ -1,0 +1,1 @@
+lib/asmlib/assemble.mli: Objfile Src

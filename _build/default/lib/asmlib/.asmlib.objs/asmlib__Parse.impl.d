@@ -1,0 +1,1 @@
+lib/asmlib/parse.ml: Alpha Buffer Char List Objfile Printf Src String

@@ -1,0 +1,1 @@
+lib/asmlib/parse.mli: Src

@@ -1,0 +1,1 @@
+lib/asmlib/src.ml: Alpha Buffer Char Format List Objfile Printf String

@@ -1,0 +1,1 @@
+lib/asmlib/src.mli: Alpha Buffer Format Objfile

@@ -1,0 +1,494 @@
+open Objfile
+
+exception Error of int * string
+
+let err ln fmt = Printf.ksprintf (fun m -> raise (Error (ln, m))) fmt
+
+(* Growable byte buffer that allows patching already-emitted words. *)
+module Secbuf = struct
+  type t = { mutable data : bytes; mutable len : int }
+
+  let create () = { data = Bytes.create 256; len = 0 }
+
+  let ensure b n =
+    if b.len + n > Bytes.length b.data then begin
+      let cap = max (2 * Bytes.length b.data) (b.len + n) in
+      let data = Bytes.create cap in
+      Bytes.blit b.data 0 data 0 b.len;
+      b.data <- data
+    end
+
+  let add_byte b v =
+    ensure b 1;
+    Bytes.set b.data b.len (Char.chr (v land 0xFF));
+    b.len <- b.len + 1
+
+  let add_word b w =
+    ensure b 4;
+    Alpha.Code.write_word b.data b.len w;
+    b.len <- b.len + 4
+
+  let add_i64 b v =
+    let v64 = Int64.of_int v in
+    for i = 0 to 7 do
+      add_byte b (Int64.to_int (Int64.shift_right_logical v64 (8 * i)) land 0xFF)
+    done
+
+  let add_i64_bits b (v : int64) =
+    for i = 0 to 7 do
+      add_byte b (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF)
+    done
+
+  let add_string b s = String.iter (fun c -> add_byte b (Char.code c)) s
+
+  let align b n =
+    while b.len mod n <> 0 do
+      add_byte b 0
+    done
+
+  let patch_word b off w = Alpha.Code.write_word b.data off w
+  let read_word b off = Alpha.Code.read_word b.data off
+  let contents b = Bytes.sub b.data 0 b.len
+end
+
+type patch_kind = P_br | P_hi | P_lo
+
+type patch = {
+  p_line : int;
+  p_sec : Types.sec_id;
+  p_off : int;
+  p_kind : patch_kind;
+  p_sym : string;
+  p_add : int;
+}
+
+type state = {
+  text : Secbuf.t;
+  rdata : Secbuf.t;
+  data : Secbuf.t;
+  mutable bss_size : int;
+  mutable cur : Types.sec_id;
+  labels : (string, Types.sec_id * int) Hashtbl.t;
+  globls : (string, unit) Hashtbl.t;
+  ents : (string, unit) Hashtbl.t;
+  sizes : (string, int) Hashtbl.t;
+  mutable patches : patch list;
+  mutable relocs : (Types.sec_id * Types.reloc) list;
+  pool : (int64, string) Hashtbl.t;
+  mutable pool_order : (int64 * string) list;
+  mutable label_order : string list;
+}
+
+let fresh_state () =
+  {
+    text = Secbuf.create ();
+    rdata = Secbuf.create ();
+    data = Secbuf.create ();
+    bss_size = 0;
+    cur = Types.Text;
+    labels = Hashtbl.create 64;
+    globls = Hashtbl.create 16;
+    ents = Hashtbl.create 16;
+    sizes = Hashtbl.create 16;
+    patches = [];
+    relocs = [];
+    pool = Hashtbl.create 16;
+    pool_order = [];
+    label_order = [];
+  }
+
+let buf_of st = function
+  | Types.Text -> st.text
+  | Types.Rdata -> st.rdata
+  | Types.Data -> st.data
+  | Types.Bss -> invalid_arg ".bss has no buffer"
+
+let here st =
+  match st.cur with
+  | Types.Bss -> st.bss_size
+  | sec -> (buf_of st sec).Secbuf.len
+
+let define_label st ln name =
+  if Hashtbl.mem st.labels name then err ln "duplicate label %S" name;
+  Hashtbl.replace st.labels name (st.cur, here st);
+  st.label_order <- name :: st.label_order
+
+let add_patch st p = st.patches <- p :: st.patches
+let add_reloc st sec r = st.relocs <- (sec, r) :: st.relocs
+
+let emit_insn st ln insn =
+  if st.cur <> Types.Text then err ln "instruction outside .text";
+  Secbuf.add_word st.text (Alpha.Code.encode insn)
+
+(* Intern a 64-bit literal in the read-only pool; returns its label. *)
+let pool_label st (v : int64) =
+  match Hashtbl.find_opt st.pool v with
+  | Some l -> l
+  | None ->
+      let l = Printf.sprintf ".Lpool%d" (Hashtbl.length st.pool) in
+      Hashtbl.replace st.pool v l;
+      st.pool_order <- st.pool_order @ [ (v, l) ];
+      l
+
+let at = Alpha.Reg.at
+let zero = Alpha.Reg.zero
+
+(* ldah r, HI(sym)(base); used with a paired LO16 on the next insn *)
+let emit_hi st ln ~reg ~base sym addend =
+  add_patch st
+    { p_line = ln; p_sec = Types.Text; p_off = st.text.Secbuf.len; p_kind = P_hi;
+      p_sym = sym; p_add = addend };
+  emit_insn st ln (Alpha.Insn.Mem { op = Ldah; ra = reg; rb = base; disp = 0 })
+
+let emit_lo_mem st ln op ~reg ~base sym addend =
+  add_patch st
+    { p_line = ln; p_sec = Types.Text; p_off = st.text.Secbuf.len; p_kind = P_lo;
+      p_sym = sym; p_add = addend };
+  emit_insn st ln (Alpha.Insn.Mem { op; ra = reg; rb = base; disp = 0 })
+
+(* lda r, sym : materialise the address of sym in r. *)
+let emit_lda_sym st ln reg sym addend =
+  emit_hi st ln ~reg ~base:zero sym addend;
+  emit_lo_mem st ln Alpha.Insn.Lda ~reg ~base:reg sym addend
+
+(* A memory operation on a global: op reg, sym -> ldah $at + op LO($at). *)
+let emit_mem_sym st ln op reg sym addend =
+  emit_hi st ln ~reg:at ~base:zero sym addend;
+  emit_lo_mem st ln op ~reg ~base:at sym addend
+
+let fits16 n = n >= -32768 && n <= 32767
+let fits_hi_lo n = n >= -0x8000_0000 && n <= 0x7FFF_7FFF
+
+(* Materialise an arbitrary 64-bit constant. *)
+let emit_ldiq st ln reg n =
+  if fits16 n then
+    emit_insn st ln (Alpha.Insn.Mem { op = Lda; ra = reg; rb = zero; disp = n })
+  else if fits_hi_lo n then begin
+    let hi = (n + 0x8000) asr 16 in
+    let lo = n - (hi lsl 16) in
+    emit_insn st ln (Alpha.Insn.Mem { op = Ldah; ra = reg; rb = zero; disp = hi });
+    emit_insn st ln (Alpha.Insn.Mem { op = Lda; ra = reg; rb = reg; disp = lo })
+  end
+  else begin
+    let l = pool_label st (Int64.of_int n) in
+    emit_mem_sym st ln Alpha.Insn.Ldq reg l 0
+  end
+
+let emit_ldit st ln freg x =
+  let l = pool_label st (Int64.bits_of_float x) in
+  emit_mem_sym st ln Alpha.Insn.Ldt freg l 0
+
+(* Branch to a symbol: patched in pass 2 (or relocated). *)
+let emit_branch st ln mk sym addend =
+  add_patch st
+    { p_line = ln; p_sec = Types.Text; p_off = st.text.Secbuf.len; p_kind = P_br;
+      p_sym = sym; p_add = addend };
+  emit_insn st ln (mk 0)
+
+(* -- mnemonic tables ------------------------------------------------- *)
+
+let mem_table =
+  let open Alpha.Insn in
+  [ ("lda", Lda); ("ldah", Ldah); ("ldbu", Ldbu); ("ldwu", Ldwu); ("ldl", Ldl);
+    ("ldq", Ldq); ("ldq_u", Ldq_u); ("stb", Stb); ("stw", Stw); ("stl", Stl);
+    ("stq", Stq); ("stq_u", Stq_u); ("ldt", Ldt); ("stt", Stt) ]
+
+let opr_table =
+  let open Alpha.Insn in
+  List.map (fun op -> (opr_op_name op, op)) all_opr_ops
+
+let fop_table =
+  let open Alpha.Insn in
+  List.map (fun op -> (fop_op_name op, op)) all_fop_ops
+
+let cbr_table =
+  let open Alpha.Insn in
+  List.map (fun c -> (br_cond_name c, c)) all_br_conds
+
+let fbr_table =
+  let open Alpha.Insn in
+  List.map (fun c -> (fbr_cond_name c, c)) all_fbr_conds
+
+let reg ln = function
+  | Src.O_reg r -> r
+  | o -> err ln "expected integer register, got %s" (Src.operand_to_string o)
+
+let freg ln = function
+  | Src.O_freg r -> r
+  | o -> err ln "expected floating register, got %s" (Src.operand_to_string o)
+
+let special st ln m ops =
+  let open Alpha.Insn in
+  match (m, ops) with
+  | "br", [ Src.O_sym (s, off) ] ->
+      emit_branch st ln (fun disp -> Br { link = false; ra = zero; disp }) s off
+  | "br", [ a; Src.O_sym (s, off) ] ->
+      let ra = reg ln a in
+      emit_branch st ln (fun disp -> Br { link = false; ra; disp }) s off
+  | "bsr", [ Src.O_sym (s, off) ] ->
+      emit_branch st ln (fun disp -> Br { link = true; ra = Alpha.Reg.ra; disp }) s off
+  | "bsr", [ a; Src.O_sym (s, off) ] ->
+      let ra = reg ln a in
+      emit_branch st ln (fun disp -> Br { link = true; ra; disp }) s off
+  | "jmp", [ a; Src.O_mem (0, rb) ] ->
+      emit_insn st ln (Jump { kind = Jmp; ra = reg ln a; rb; hint = 0 })
+  | "jsr", [ a; Src.O_mem (0, rb) ] ->
+      emit_insn st ln (Jump { kind = Jsr; ra = reg ln a; rb; hint = 0 })
+  | "ret", [] ->
+      emit_insn st ln (Jump { kind = Ret; ra = zero; rb = Alpha.Reg.ra; hint = 1 })
+  | "ret", [ a; Src.O_mem (0, rb) ] ->
+      emit_insn st ln (Jump { kind = Ret; ra = reg ln a; rb; hint = 1 })
+  | "ret", [ a; Src.O_mem (0, rb); Src.O_imm h ] ->
+      emit_insn st ln (Jump { kind = Ret; ra = reg ln a; rb; hint = h })
+  | "call_pal", [ Src.O_imm n ] -> emit_insn st ln (Call_pal n)
+  | "nop", [] -> emit_insn st ln nop
+  | "fnop", [] ->
+      emit_insn st ln (Fop { op = Cpys; fa = Alpha.Reg.fzero; fb = Alpha.Reg.fzero; fc = Alpha.Reg.fzero })
+  | "mov", [ Src.O_reg a; b ] ->
+      emit_insn st ln (Opr { op = Bis; ra = zero; rb = Reg a; rc = reg ln b })
+  | "mov", [ Src.O_imm n; b ] -> emit_ldiq st ln (reg ln b) n
+  | "clr", [ a ] -> emit_insn st ln (Opr { op = Bis; ra = zero; rb = Reg zero; rc = reg ln a })
+  | "not", [ a; b ] ->
+      emit_insn st ln (Opr { op = Ornot; ra = zero; rb = Reg (reg ln a); rc = reg ln b })
+  | "negq", [ a; b ] ->
+      emit_insn st ln (Opr { op = Subq; ra = zero; rb = Reg (reg ln a); rc = reg ln b })
+  | "sextl", [ a; b ] ->
+      emit_insn st ln (Opr { op = Addl; ra = reg ln a; rb = Imm 0; rc = reg ln b })
+  | "ldiq", [ a; Src.O_imm n ] -> emit_ldiq st ln (reg ln a) n
+  | "ldiq", [ a; Src.O_sym (s, off) ] -> emit_lda_sym st ln (reg ln a) s off
+  | "ldit", [ a; Src.O_fimm x ] -> emit_ldit st ln (freg ln a) x
+  | "ldit", [ a; Src.O_imm n ] -> emit_ldit st ln (freg ln a) (float_of_int n)
+  | "fmov", [ a; b ] ->
+      let fa = freg ln a in
+      emit_insn st ln (Fop { op = Cpys; fa; fb = fa; fc = freg ln b })
+  | "fneg", [ a; b ] ->
+      let fa = freg ln a in
+      emit_insn st ln (Fop { op = Cpysn; fa; fb = fa; fc = freg ln b })
+  | "fclr", [ a ] ->
+      emit_insn st ln
+        (Fop { op = Cpys; fa = Alpha.Reg.fzero; fb = Alpha.Reg.fzero; fc = freg ln a })
+  | _ -> err ln "unknown instruction %S" m
+
+let instruction st ln m ops =
+  let open Alpha.Insn in
+  match (List.assoc_opt m mem_table, ops) with
+  | Some Lda, [ a; Src.O_imm n ] -> emit_ldiq st ln (reg ln a) n
+  | Some Lda, [ a; Src.O_sym (s, off) ] -> emit_lda_sym st ln (reg ln a) s off
+  | Some op, [ a; Src.O_mem (d, rb) ] ->
+      let ra = if mem_is_fp op then freg ln a else reg ln a in
+      if not (Alpha.Code.fits_disp16 d) then err ln "displacement %d out of range" d;
+      emit_insn st ln (Mem { op; ra; rb; disp = d })
+  | Some op, [ a; Src.O_sym (s, off) ] when op <> Ldah ->
+      let ra = if mem_is_fp op then freg ln a else reg ln a in
+      emit_mem_sym st ln op ra s off
+  | Some _, _ -> err ln "bad operands for %s" m
+  | None, _ -> (
+      match (List.assoc_opt m opr_table, ops) with
+      | Some op, [ a; b; c ] ->
+          let rb =
+            match b with
+            | Src.O_reg r -> Reg r
+            | Src.O_imm n ->
+                if n < 0 || n > 255 then
+                  err ln "literal %d out of range 0..255 (use ldiq)" n
+                else Imm n
+            | o -> err ln "bad operand %s" (Src.operand_to_string o)
+          in
+          emit_insn st ln (Opr { op; ra = reg ln a; rb; rc = reg ln c })
+      | Some _, _ -> err ln "bad operands for %s" m
+      | None, _ -> (
+          match (List.assoc_opt m fop_table, ops) with
+          | Some op, [ a; b; c ] ->
+              emit_insn st ln (Fop { op; fa = freg ln a; fb = freg ln b; fc = freg ln c })
+          | Some _, _ -> err ln "bad operands for %s" m
+          | None, _ -> (
+              match (List.assoc_opt m cbr_table, ops) with
+              | Some cond, [ a; Src.O_sym (s, off) ] ->
+                  let ra = reg ln a in
+                  emit_branch st ln (fun disp -> Cbr { cond; ra; disp }) s off
+              | Some cond, [ a; Src.O_imm d ] ->
+                  emit_insn st ln (Cbr { cond; ra = reg ln a; disp = d })
+              | Some _, _ -> err ln "bad operands for %s" m
+              | None, _ -> (
+                  match (List.assoc_opt m fbr_table, ops) with
+                  | Some cond, [ a; Src.O_sym (s, off) ] ->
+                      let fa = freg ln a in
+                      emit_branch st ln (fun disp -> Fbr { cond; fa; disp }) s off
+                  | Some _, _ -> err ln "bad operands for %s" m
+                  | None, _ -> special st ln m ops))))
+
+let datum_quad st ln sec o =
+  let b = buf_of st sec in
+  match o with
+  | Src.O_imm n -> Secbuf.add_i64 b n
+  | Src.O_fimm x -> Secbuf.add_i64_bits b (Int64.bits_of_float x)
+  | Src.O_sym (s, off) ->
+      add_reloc st sec
+        { Types.r_offset = b.Secbuf.len; r_kind = Types.R_quad64; r_symbol = s; r_addend = off };
+      Secbuf.add_i64 b 0
+  | o -> err ln "bad .quad operand %s" (Src.operand_to_string o)
+
+let datum_long st ln sec o =
+  let b = buf_of st sec in
+  match o with
+  | Src.O_imm n ->
+      Secbuf.add_word b (n land 0xFFFFFFFF)
+  | Src.O_sym (s, off) ->
+      add_reloc st sec
+        { Types.r_offset = b.Secbuf.len; r_kind = Types.R_long32; r_symbol = s; r_addend = off };
+      Secbuf.add_word b 0
+  | o -> err ln "bad .long operand %s" (Src.operand_to_string o)
+
+let stmt st { Src.line = ln; it } =
+  match it with
+  | Src.L name -> define_label st ln name
+  | Src.I (m, ops) -> instruction st ln m ops
+  | Src.D_section sec -> st.cur <- sec
+  | Src.D_globl s -> Hashtbl.replace st.globls s ()
+  | Src.D_quad ops ->
+      if st.cur = Types.Bss then err ln ".quad in .bss";
+      Secbuf.align (buf_of st st.cur) 8;
+      List.iter (datum_quad st ln st.cur) ops
+  | Src.D_long ops ->
+      if st.cur = Types.Bss then err ln ".long in .bss";
+      Secbuf.align (buf_of st st.cur) 4;
+      List.iter (datum_long st ln st.cur) ops
+  | Src.D_byte ns ->
+      if st.cur = Types.Bss then err ln ".byte in .bss";
+      List.iter (fun n -> Secbuf.add_byte (buf_of st st.cur) n) ns
+  | Src.D_double fs ->
+      if st.cur = Types.Bss then err ln ".double in .bss";
+      Secbuf.align (buf_of st st.cur) 8;
+      List.iter (fun f -> Secbuf.add_i64_bits (buf_of st st.cur) (Int64.bits_of_float f)) fs
+  | Src.D_ascii (s, z) ->
+      if st.cur = Types.Bss then err ln ".ascii in .bss";
+      let b = buf_of st st.cur in
+      Secbuf.add_string b s;
+      if z then Secbuf.add_byte b 0
+  | Src.D_space n ->
+      if st.cur = Types.Bss then st.bss_size <- st.bss_size + n
+      else
+        for _ = 1 to n do
+          Secbuf.add_byte (buf_of st st.cur) 0
+        done
+  | Src.D_align n ->
+      if n > 0 then begin
+        let bytes = 1 lsl n in
+        match st.cur with
+        | Types.Bss ->
+            st.bss_size <- (st.bss_size + bytes - 1) / bytes * bytes
+        | sec -> Secbuf.align (buf_of st sec) bytes
+      end
+  | Src.D_ent s ->
+      Hashtbl.replace st.ents s ()
+  | Src.D_endp s -> (
+      match Hashtbl.find_opt st.labels s with
+      | Some (Types.Text, off) -> Hashtbl.replace st.sizes s (st.text.Secbuf.len - off)
+      | Some _ | None -> ())
+  | Src.D_comm (s, size, binding) ->
+      st.bss_size <- (st.bss_size + 7) / 8 * 8;
+      Hashtbl.replace st.labels s (Types.Bss, st.bss_size);
+      st.label_order <- s :: st.label_order;
+      st.bss_size <- st.bss_size + size;
+      if binding = Types.Global then Hashtbl.replace st.globls s ();
+      Hashtbl.replace st.sizes s size
+
+let flush_pool st =
+  Secbuf.align st.rdata 8;
+  List.iter
+    (fun (v, l) ->
+      Hashtbl.replace st.labels l (Types.Rdata, st.rdata.Secbuf.len);
+      st.label_order <- l :: st.label_order;
+      Secbuf.add_i64_bits st.rdata v)
+    st.pool_order
+
+(* Pass 2: resolve branch patches to in-module text labels; everything else
+   becomes a relocation. *)
+let resolve st =
+  List.iter
+    (fun p ->
+      let reloc kind =
+        add_reloc st p.p_sec
+          { Types.r_offset = p.p_off; r_kind = kind; r_symbol = p.p_sym; r_addend = p.p_add }
+      in
+      match p.p_kind with
+      | P_hi -> reloc Types.R_hi16
+      | P_lo -> reloc Types.R_lo16
+      | P_br -> (
+          match Hashtbl.find_opt st.labels p.p_sym with
+          | Some (Types.Text, target) ->
+              let disp = (target + p.p_add - (p.p_off + 4)) / 4 in
+              if not (Alpha.Code.fits_disp21 disp) then
+                err p.p_line "branch to %s out of range" p.p_sym;
+              let w = Secbuf.read_word st.text p.p_off in
+              let w = (w land lnot 0x1FFFFF) lor (disp land 0x1FFFFF) in
+              Secbuf.patch_word st.text p.p_off w
+          | Some (sec, _) ->
+              err p.p_line "branch to non-text symbol %s (%s)" p.p_sym (Types.sec_name sec)
+          | None -> reloc Types.R_br21))
+    (List.rev st.patches)
+
+let build_symbols st =
+  let defined = List.rev st.label_order in
+  let syms =
+    List.map
+      (fun name ->
+        let sec, off = Hashtbl.find st.labels name in
+        let binding =
+          if Hashtbl.mem st.globls name then Types.Global else Types.Local
+        in
+        let s_type =
+          if Hashtbl.mem st.ents name then Types.Func
+          else if sec = Types.Text then Types.Notype
+          else Types.Object
+        in
+        {
+          Types.s_name = name;
+          s_binding = binding;
+          s_def = Types.Defined (sec, off);
+          s_type;
+          s_size = Option.value ~default:0 (Hashtbl.find_opt st.sizes name);
+        })
+      defined
+  in
+  (* referenced but not defined here: undefined globals *)
+  let undef = Hashtbl.create 8 in
+  List.iter
+    (fun (_, r) ->
+      if not (Hashtbl.mem st.labels r.Types.r_symbol) then
+        Hashtbl.replace undef r.Types.r_symbol ())
+    st.relocs;
+  let undef_syms =
+    Hashtbl.fold
+      (fun name () acc ->
+        {
+          Types.s_name = name;
+          s_binding = Types.Global;
+          s_def = Types.Undefined;
+          s_type = Types.Notype;
+          s_size = 0;
+        }
+        :: acc)
+      undef []
+  in
+  syms @ List.sort (fun a b -> compare a.Types.s_name b.Types.s_name) undef_syms
+
+let unit_of_stmts ~name stmts =
+  let st = fresh_state () in
+  List.iter (stmt st) stmts;
+  flush_pool st;
+  resolve st;
+  {
+    Unit_file.u_name = name;
+    u_text = Secbuf.contents st.text;
+    u_rdata = Secbuf.contents st.rdata;
+    u_data = Secbuf.contents st.data;
+    u_bss_size = st.bss_size;
+    u_relocs = List.rev st.relocs;
+    u_symbols = build_symbols st;
+  }
+
+let assemble ~name source =
+  match Parse.program source with
+  | stmts -> unit_of_stmts ~name stmts
+  | exception Parse.Error (ln, m) -> raise (Error (ln, m))

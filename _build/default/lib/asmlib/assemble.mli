@@ -1,0 +1,26 @@
+(** Two-pass assembler: statements to a relocatable object module.
+
+    Pass one lays out every section (macro expansions have layout-independent
+    sizes, so label offsets are final after a single sweep); pass two patches
+    branch displacements to in-module labels and emits relocations for
+    everything the linker must finish:
+
+    - [R_br21] for branches to symbols not defined in the module;
+    - [R_hi16]/[R_lo16] pairs for absolute addresses built with
+      [ldah]/[lda] (the [lda r, sym] macro and friends);
+    - [R_quad64]/[R_long32] for addresses stored in data.
+
+    Macros (beyond the architectural mnemonics of {!Alpha.Insn}):
+    [nop], [mov], [clr], [not], [negq], [sextl],
+    [ldiq r, imm] (materialise any 64-bit constant, via the literal pool
+    when it does not fit 32 bits), [ldit f, fimm],
+    [lda r, sym] (address of a symbol, two instructions),
+    [ldq/stq/... r, sym] (global load/store through [$at]),
+    [fmov], [fneg], [fclr], [br/bsr label], [ret] with no operands. *)
+
+exception Error of int * string
+
+val unit_of_stmts : name:string -> Src.stmt list -> Objfile.Unit_file.t
+
+val assemble : name:string -> string -> Objfile.Unit_file.t
+(** Parse and assemble a complete source file. *)

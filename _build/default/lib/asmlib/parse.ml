@@ -1,0 +1,333 @@
+exception Error of int * string
+
+let err ln fmt = Printf.ksprintf (fun m -> raise (Error (ln, m))) fmt
+
+(* A tiny cursor over one line. *)
+type cur = { s : string; mutable pos : int; ln : int }
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t') ->
+        advance c;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+let at_end c =
+  skip_ws c;
+  c.pos >= String.length c.s
+
+let is_ident_start ch =
+  (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch = '_' || ch = '.' || ch = '$'
+
+let is_ident_char ch = is_ident_start ch || (ch >= '0' && ch <= '9')
+
+let ident c =
+  skip_ws c;
+  let start = c.pos in
+  let rec go () =
+    match peek c with
+    | Some ch when is_ident_char ch ->
+        advance c;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  if c.pos = start then err c.ln "expected identifier";
+  String.sub c.s start (c.pos - start)
+
+let expect c ch =
+  skip_ws c;
+  match peek c with
+  | Some got when got = ch -> advance c
+  | Some got -> err c.ln "expected '%c', got '%c'" ch got
+  | None -> err c.ln "expected '%c', got end of line" ch
+
+let try_char c ch =
+  skip_ws c;
+  match peek c with
+  | Some got when got = ch ->
+      advance c;
+      true
+  | Some _ | None -> false
+
+(* Numbers: decimal or 0x hex, optional sign.  Returned as int. *)
+let number c =
+  skip_ws c;
+  let start = c.pos in
+  if peek c = Some '-' || peek c = Some '+' then advance c;
+  let rec go () =
+    match peek c with
+    | Some ch
+      when (ch >= '0' && ch <= '9')
+           || (ch >= 'a' && ch <= 'f')
+           || (ch >= 'A' && ch <= 'F')
+           || ch = 'x' || ch = 'X' ->
+        advance c;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  let text = String.sub c.s start (c.pos - start) in
+  match int_of_string_opt text with
+  | Some n -> n
+  | None -> err c.ln "bad number %S" text
+
+let float_number c =
+  skip_ws c;
+  let start = c.pos in
+  let rec go () =
+    match peek c with
+    | Some ch
+      when (ch >= '0' && ch <= '9')
+           || ch = '.' || ch = '-' || ch = '+' || ch = 'e' || ch = 'E' || ch = 'x'
+           || (ch >= 'a' && ch <= 'f')
+           || (ch >= 'A' && ch <= 'F')
+           || ch = 'p' || ch = 'P' ->
+        advance c;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  let text = String.sub c.s start (c.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> f
+  | None -> err c.ln "bad floating literal %S" text
+
+let string_lit c =
+  skip_ws c;
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> err c.ln "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' ->
+        advance c;
+        (match peek c with
+        | Some 'n' -> Buffer.add_char b '\n'
+        | Some 't' -> Buffer.add_char b '\t'
+        | Some 'r' -> Buffer.add_char b '\r'
+        | Some '0' -> Buffer.add_char b '\000'
+        | Some '\\' -> Buffer.add_char b '\\'
+        | Some '"' -> Buffer.add_char b '"'
+        | Some 'x' ->
+            advance c;
+            let hex = Buffer.create 2 in
+            (match peek c with
+            | Some ch -> Buffer.add_char hex ch
+            | None -> err c.ln "bad \\x escape");
+            advance c;
+            (match peek c with
+            | Some ch -> Buffer.add_char hex ch
+            | None -> err c.ln "bad \\x escape");
+            (match int_of_string_opt ("0x" ^ Buffer.contents hex) with
+            | Some n -> Buffer.add_char b (Char.chr n)
+            | None -> err c.ln "bad \\x escape")
+        | Some ch -> err c.ln "bad escape '\\%c'" ch
+        | None -> err c.ln "bad escape at end of line");
+        advance c;
+        go ()
+    | Some ch ->
+        Buffer.add_char b ch;
+        advance c;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let register_operand ln tok =
+  (* tok starts with '$' *)
+  let body = String.sub tok 1 (String.length tok - 1) in
+  match Alpha.Reg.of_fname body with
+  | Some f when body <> "fp" -> Src.O_freg f
+  | Some _ | None -> (
+      match Alpha.Reg.of_name tok with
+      | Some r -> Src.O_reg r
+      | None -> err ln "unknown register %S" tok)
+
+let operand c =
+  skip_ws c;
+  match peek c with
+  | None -> err c.ln "expected operand"
+  | Some '(' ->
+      (* (reg) = 0(reg) *)
+      advance c;
+      let tok = ident c in
+      expect c ')';
+      (match register_operand c.ln tok with
+      | Src.O_reg r -> Src.O_mem (0, r)
+      | Src.O_freg _ -> err c.ln "base register must be an integer register"
+      | _ -> assert false)
+  | Some ch when ch = '-' || ch = '+' || (ch >= '0' && ch <= '9') ->
+      (* Number, possibly float, possibly disp(reg). *)
+      let looks_float =
+        (* scan ahead for '.' or exponent before a delimiter *)
+        let rec scan i seen_x =
+          if i >= String.length c.s then false
+          else
+            match c.s.[i] with
+            | '.' -> true
+            | ('e' | 'E' | 'p' | 'P') when not seen_x -> true
+            | 'x' | 'X' -> scan (i + 1) true
+            | ch
+              when (ch >= '0' && ch <= '9')
+                   || (ch >= 'a' && ch <= 'f')
+                   || (ch >= 'A' && ch <= 'F')
+                   || ch = '-' || ch = '+' ->
+                scan (i + 1) seen_x
+            | _ -> false
+        in
+        scan c.pos false
+      in
+      if looks_float then Src.O_fimm (float_number c)
+      else begin
+        let n = number c in
+        if try_char c '(' then begin
+          let tok = ident c in
+          expect c ')';
+          match register_operand c.ln tok with
+          | Src.O_reg r -> Src.O_mem (n, r)
+          | Src.O_freg _ -> err c.ln "base register must be an integer register"
+          | _ -> assert false
+        end
+        else Src.O_imm n
+      end
+  | Some ch when is_ident_start ch ->
+      let tok = ident c in
+      if tok.[0] = '$' then register_operand c.ln tok
+      else begin
+        (* symbol with optional +off, never followed by '(' in our syntax *)
+        skip_ws c;
+        match peek c with
+        | Some ('+' | '-') ->
+            let off = number c in
+            Src.O_sym (tok, off)
+        | Some _ | None -> Src.O_sym (tok, 0)
+      end
+  | Some ch -> err c.ln "unexpected character '%c'" ch
+
+let operands c =
+  if at_end c then []
+  else begin
+    let rec go acc =
+      let o = operand c in
+      if try_char c ',' then go (o :: acc) else List.rev (o :: acc)
+    in
+    go []
+  end
+
+let strip_comment line =
+  let n = String.length line in
+  let b = Buffer.create n in
+  let rec go i in_str =
+    if i >= n then ()
+    else
+      match line.[i] with
+      | '#' when not in_str -> ()
+      | '"' ->
+          Buffer.add_char b '"';
+          go (i + 1) (not in_str)
+      | '\\' when in_str && i + 1 < n ->
+          Buffer.add_char b '\\';
+          Buffer.add_char b line.[i + 1];
+          go (i + 2) in_str
+      | ch ->
+          Buffer.add_char b ch;
+          go (i + 1) in_str
+  in
+  go 0 false;
+  Buffer.contents b
+
+let int_list c =
+  let rec go acc =
+    let n = number c in
+    if try_char c ',' then go (n :: acc) else List.rev (n :: acc)
+  in
+  go []
+
+let float_list c =
+  let rec go acc =
+    let f = float_number c in
+    if try_char c ',' then go (f :: acc) else List.rev (f :: acc)
+  in
+  go []
+
+let directive c name =
+  let ln = c.ln in
+  match name with
+  | ".text" -> Src.D_section Objfile.Types.Text
+  | ".rdata" | ".rodata" -> Src.D_section Objfile.Types.Rdata
+  | ".data" -> Src.D_section Objfile.Types.Data
+  | ".bss" -> Src.D_section Objfile.Types.Bss
+  | ".globl" | ".global" -> Src.D_globl (ident c)
+  | ".quad" -> Src.D_quad (operands c)
+  | ".long" -> Src.D_long (operands c)
+  | ".byte" -> Src.D_byte (int_list c)
+  | ".double" | ".t_floating" -> Src.D_double (float_list c)
+  | ".ascii" -> Src.D_ascii (string_lit c, false)
+  | ".asciiz" | ".string" -> Src.D_ascii (string_lit c, true)
+  | ".space" | ".skip" -> Src.D_space (number c)
+  | ".align" -> Src.D_align (number c)
+  | ".ent" -> Src.D_ent (ident c)
+  | ".end" -> Src.D_endp (ident c)
+  | ".comm" ->
+      let s = ident c in
+      expect c ',';
+      Src.D_comm (s, number c, Objfile.Types.Global)
+  | ".lcomm" ->
+      let s = ident c in
+      expect c ',';
+      Src.D_comm (s, number c, Objfile.Types.Local)
+  | ".file" | ".loc" | ".frame" | ".mask" | ".prologue" | ".set" ->
+      (* accepted and ignored, for compatibility *)
+      c.pos <- String.length c.s;
+      Src.D_align 0
+  | _ -> err ln "unknown directive %s" name
+
+let line ln text =
+  let text = strip_comment text in
+  let c = { s = text; pos = 0; ln } in
+  let stmts = ref [] in
+  let push it = stmts := { Src.line = ln; it } :: !stmts in
+  let rec labels () =
+    skip_ws c;
+    match peek c with
+    | Some ch when is_ident_start ch ->
+        let save = c.pos in
+        let tok = ident c in
+        if try_char c ':' then begin
+          if tok.[0] = '$' then err ln "label may not start with '$'";
+          push (Src.L tok);
+          labels ()
+        end
+        else begin
+          c.pos <- save;
+          body ()
+        end
+    | Some _ | None -> body ()
+  and body () =
+    if not (at_end c) then begin
+      match peek c with
+      | Some '.' ->
+          let name = ident c in
+          let d = directive c name in
+          (match d with Src.D_align 0 -> () | _ -> push d)
+      | Some _ ->
+          let m = ident c in
+          push (Src.I (String.lowercase_ascii m, operands c))
+      | None -> ()
+    end;
+    if not (at_end c) then err ln "trailing junk: %S" (String.sub c.s c.pos (String.length c.s - c.pos))
+  in
+  labels ();
+  List.rev !stmts
+
+let program source =
+  let lines = String.split_on_char '\n' source in
+  List.concat (List.mapi (fun i l -> line (i + 1) l) lines)

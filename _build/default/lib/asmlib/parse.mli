@@ -1,0 +1,16 @@
+(** Parser for the assembly source language.
+
+    The syntax follows classic Unix [as] for Alpha: one statement per line,
+    [#] comments, [label:] definitions, dot-directives, and instructions
+    with comma-separated operands.  Registers are written with a [$]
+    prefix: [$0]..[$31], [$v0], [$sp], [$f0]..[$f31], ... *)
+
+exception Error of int * string
+(** Line number and message. *)
+
+val program : string -> Src.stmt list
+(** Parse a whole source file. *)
+
+val line : int -> string -> Src.stmt list
+(** Parse one line (which may hold several label definitions and at most
+    one instruction or directive). *)

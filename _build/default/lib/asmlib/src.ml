@@ -1,0 +1,86 @@
+type operand =
+  | O_reg of Alpha.Reg.t
+  | O_freg of Alpha.Reg.f
+  | O_imm of int
+  | O_fimm of float
+  | O_mem of int * Alpha.Reg.t
+  | O_sym of string * int
+
+type item =
+  | L of string
+  | I of string * operand list
+  | D_section of Objfile.Types.sec_id
+  | D_globl of string
+  | D_quad of operand list
+  | D_long of operand list
+  | D_byte of int list
+  | D_double of float list
+  | D_ascii of string * bool
+  | D_space of int
+  | D_align of int
+  | D_ent of string
+  | D_endp of string
+  | D_comm of string * int * Objfile.Types.binding
+
+type stmt = { line : int; it : item }
+
+let operand_to_string = function
+  | O_reg r -> Alpha.Reg.dollar r
+  | O_freg r -> "$f" ^ string_of_int r
+  | O_imm n -> string_of_int n
+  | O_fimm f -> Printf.sprintf "%h" f
+  | O_mem (d, r) -> Printf.sprintf "%d(%s)" d (Alpha.Reg.dollar r)
+  | O_sym (s, 0) -> s
+  | O_sym (s, off) -> Printf.sprintf "%s%+d" s off
+
+let pp_operand ppf o = Format.pp_print_string ppf (operand_to_string o)
+
+let escape_ascii s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\000' -> Buffer.add_string b "\\0"
+      | c when Char.code c < 32 || Char.code c > 126 ->
+          Buffer.add_string b (Printf.sprintf "\\x%02x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let item_to_string = function
+  | L l -> l ^ ":"
+  | I (m, ops) ->
+      Printf.sprintf "\t%s\t%s" m (String.concat ", " (List.map operand_to_string ops))
+  | D_section sec -> "\t" ^ Objfile.Types.sec_name sec
+  | D_globl s -> "\t.globl\t" ^ s
+  | D_quad ops ->
+      "\t.quad\t" ^ String.concat ", " (List.map operand_to_string ops)
+  | D_long ops ->
+      "\t.long\t" ^ String.concat ", " (List.map operand_to_string ops)
+  | D_byte ns -> "\t.byte\t" ^ String.concat ", " (List.map string_of_int ns)
+  | D_double fs ->
+      "\t.double\t" ^ String.concat ", " (List.map (Printf.sprintf "%h") fs)
+  | D_ascii (s, z) ->
+      Printf.sprintf "\t%s\t\"%s\"" (if z then ".asciiz" else ".ascii") (escape_ascii s)
+  | D_space n -> "\t.space\t" ^ string_of_int n
+  | D_align n -> "\t.align\t" ^ string_of_int n
+  | D_ent s -> "\t.ent\t" ^ s
+  | D_endp s -> "\t.end\t" ^ s
+  | D_comm (s, n, b) ->
+      Printf.sprintf "\t%s\t%s, %d"
+        (match b with Objfile.Types.Global -> ".comm" | Objfile.Types.Local -> ".lcomm")
+        s n
+
+let pp_stmt ppf s = Format.pp_print_string ppf (item_to_string s.it)
+
+let print_program buf stmts =
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (item_to_string s.it);
+      Buffer.add_char buf '\n')
+    stmts

@@ -1,0 +1,36 @@
+(** Source-level assembly statements, as produced by the parser and by the
+    Mini-C compiler's code generator. *)
+
+type operand =
+  | O_reg of Alpha.Reg.t
+  | O_freg of Alpha.Reg.f
+  | O_imm of int
+  | O_fimm of float
+  | O_mem of int * Alpha.Reg.t  (** [disp(reg)] *)
+  | O_sym of string * int  (** [sym] or [sym+off]: an address or branch target *)
+
+type item =
+  | L of string  (** label definition *)
+  | I of string * operand list  (** instruction or macro mnemonic *)
+  | D_section of Objfile.Types.sec_id
+  | D_globl of string
+  | D_quad of operand list  (** [.quad]: numbers or [sym+off] addresses *)
+  | D_long of operand list
+  | D_byte of int list
+  | D_double of float list
+  | D_ascii of string * bool  (** contents, whether to append a NUL *)
+  | D_space of int
+  | D_align of int  (** align to [2^n] bytes *)
+  | D_ent of string  (** begin procedure: marks the symbol as [Func] *)
+  | D_endp of string  (** end procedure: records its size *)
+  | D_comm of string * int * Objfile.Types.binding  (** [.bss] allocation *)
+
+type stmt = { line : int; it : item }
+
+val operand_to_string : operand -> string
+val pp_operand : Format.formatter -> operand -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+
+val print_program : Buffer.t -> stmt list -> unit
+(** Render statements back to parsable assembly text (used to dump the
+    Mini-C compiler's output). *)

@@ -1,0 +1,1 @@
+lib/core/api.ml: Alpha Array Hashtbl List Objfile Om Printf Proto

@@ -1,0 +1,1 @@
+lib/core/instrument.ml: Alpha Api Array Buffer Bytes Char Exe Fun Hashtbl Int64 Linker List Minic Objfile Om Option Printf Proto Rtlib Stubgen

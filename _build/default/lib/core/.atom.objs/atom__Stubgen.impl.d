@@ -1,0 +1,1 @@
+lib/core/stubgen.ml: Alpha Code Insn Int64 List Om Reg Regset

@@ -1,0 +1,1 @@
+lib/core/stubgen.mli: Alpha Om

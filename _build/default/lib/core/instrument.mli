@@ -1,0 +1,91 @@
+(** The ATOM pipeline: custom tool + application executable + analysis
+    routines -> instrumented executable (paper §2 and §4).
+
+    The instrumented executable is organised per Figure 4:
+
+    - the application's data, rdata, stack base, and heap base keep their
+      original addresses — analysis routines observe the program as if it
+      ran uninstrumented (original PCs are presented for text addresses);
+    - the instrumented program text replaces the original at the same
+      base; the analysis module (its own text, read-only data, data, and
+      its [.bss] converted to zero-initialised data), the wrapper
+      routines, and ATOM's interned strings all sit in the gap between
+      the program text and the program data;
+    - taken procedure addresses in the application are retargeted using
+      the executable's relocation knowledge (OM is a link-time system);
+    - the analysis module gets its own copy of the runtime library and is
+      initialised by an implicit [ProgramBefore] call to its
+      [__libc_init]. *)
+
+type save_strategy =
+  | Summary  (** save only registers in the analysis routine's dataflow summary *)
+  | Save_all  (** save every caller-save register (ablation baseline) *)
+  | Summary_and_live
+      (** additionally drop saves of registers that are dead in the
+          application at the site (the paper's planned live-register
+          optimization, implemented here); with the [Wrapper] call style
+          this trims the site saves ([$ra], argument registers), with
+          [Inline_saves] the whole save set is live-filtered *)
+
+type call_style =
+  | Wrapper  (** shared per-procedure wrapper does the summary saves (default) *)
+  | Inline_saves
+      (** all saves inlined at each site: no indirection, bigger code
+          (the paper's higher-optimisation option, modelled at the site) *)
+  | Inline_body
+      (** additionally splice the analysis procedure's body into the site
+          when it qualifies (position-independent: no calls, branches
+          internal, single trailing [ret]) — the paper's planned inlining
+          optimization; non-qualifying procedures fall back to direct
+          calls *)
+
+type heap_mode =
+  | Linked
+      (** the two [sbrk]s share one break variable; each allocation starts
+          where the other left off (default) *)
+  | Partitioned of int
+      (** the analysis heap starts at the application's initial break plus
+          the given offset; application heap addresses match the
+          uninstrumented run even if both sides allocate *)
+
+type options = {
+  save_strategy : save_strategy;
+  call_style : call_style;
+  heap_mode : heap_mode;
+}
+
+val default_options : options
+(** [{ save_strategy = Summary; call_style = Wrapper; heap_mode = Linked }] *)
+
+type info = {
+  i_sites : int;  (** instrumentation points (stubs inserted) *)
+  i_calls : int;  (** analysis procedures referenced *)
+  i_text_growth : int;  (** bytes added to the application text *)
+  i_analysis_bytes : int;  (** bytes of analysis module + wrappers *)
+  i_map : int -> int;  (** old text address -> new *)
+}
+
+exception Error of string
+
+val instrument :
+  ?options:options ->
+  exe:Objfile.Exe.t ->
+  tool:(Api.t -> unit) ->
+  analysis:Objfile.Unit_file.t list ->
+  unit ->
+  Objfile.Exe.t * info
+(** Build the instrumented program.  [tool] is the user's instrumentation
+    routine; [analysis] the compiled analysis modules (they are linked
+    with their own copy of the runtime library).
+    @raise Error on any failure (undefined analysis procedure, overflow of
+    the text gap, malformed prototypes...). *)
+
+val instrument_source :
+  ?options:options ->
+  exe:Objfile.Exe.t ->
+  tool:(Api.t -> unit) ->
+  analysis_src:string ->
+  unit ->
+  Objfile.Exe.t * info
+(** Convenience: compile the analysis routines from Mini-C source (with
+    the runtime-library prototypes in scope) and instrument. *)

@@ -1,0 +1,49 @@
+type kind = K_const | K_regv | K_value
+
+type t = { p_name : string; p_params : kind list }
+
+exception Parse_error of string
+
+let kind_name = function
+  | K_const -> "int"
+  | K_regv -> "REGV"
+  | K_value -> "VALUE"
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+let parse s =
+  let s = String.trim s in
+  match String.index_opt s '(' with
+  | None -> fail "missing '(' in prototype %S" s
+  | Some i ->
+      let p_name = String.trim (String.sub s 0 i) in
+      if p_name = "" then fail "missing procedure name in %S" s;
+      if s.[String.length s - 1] <> ')' then fail "missing ')' in prototype %S" s;
+      let inner = String.sub s (i + 1) (String.length s - i - 2) in
+      let inner = String.trim inner in
+      let p_params =
+        if inner = "" || inner = "void" then []
+        else
+          List.map
+            (fun tok ->
+              let tok = String.trim tok in
+              (* strip a parameter name if present: keep the leading
+                 type word(s) and stars *)
+              let base =
+                match String.index_opt tok ' ' with
+                | Some j -> String.sub tok 0 j
+                | None -> tok
+              in
+              let base =
+                match String.index_opt base '*' with
+                | Some j -> String.sub base 0 j
+                | None -> base
+              in
+              (match base with
+              | "REGV" -> K_regv
+              | "VALUE" -> K_value
+              | "int" | "long" | "char" | "void" | "unsigned" -> K_const
+              | _ -> fail "unknown parameter type %S in %S" tok s))
+            (String.split_on_char ',' inner)
+      in
+      { p_name; p_params }

@@ -1,0 +1,21 @@
+(** Analysis-procedure prototypes, in the paper's C-like string form:
+    ["CondBranch(int, VALUE)"], ["OpenFile(int)"], ["CloseFile()"].
+
+    The prototype tells ATOM how to interpret the actual arguments given
+    at each [add_call_*] site.  Recognised parameter types: [int], [long],
+    [char*] / [char *], [void*], [REGV] (a register number whose run-time
+    contents are passed) and [VALUE] ([EffAddrValue] or [BrCondValue]). *)
+
+type kind =
+  | K_const  (** int / long / pointers: a 64-bit constant *)
+  | K_regv
+  | K_value
+
+type t = { p_name : string; p_params : kind list }
+
+exception Parse_error of string
+
+val parse : string -> t
+(** @raise Parse_error on malformed prototype strings. *)
+
+val kind_name : kind -> string

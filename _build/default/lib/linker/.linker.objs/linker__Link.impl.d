@@ -1,0 +1,1 @@
+lib/linker/link.ml: Alpha Archive Array Bytes Char Exe Hashtbl Int64 List Objfile Printf Types Unit_file

@@ -1,0 +1,267 @@
+open Objfile
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+type input = Unit of Unit_file.t | Lib of Archive.t
+
+let rdata_base = 0x1380_0000
+
+(* -- archive member selection ---------------------------------------- *)
+
+let select_units inputs =
+  let explicit =
+    List.filter_map (function Unit u -> Some u | Lib _ -> None) inputs
+  in
+  let libs = List.filter_map (function Lib a -> Some a | Unit _ -> None) inputs in
+  let defined = Hashtbl.create 64 in
+  let undefined = Hashtbl.create 64 in
+  let note_unit u =
+    List.iter
+      (fun s ->
+        if s.Types.s_binding = Types.Global && s.Types.s_def <> Types.Undefined then begin
+          Hashtbl.replace defined s.Types.s_name ();
+          Hashtbl.remove undefined s.Types.s_name
+        end)
+      u.Unit_file.u_symbols;
+    List.iter
+      (fun name ->
+        if not (Hashtbl.mem defined name) then Hashtbl.replace undefined name ())
+      (Unit_file.undefined_symbols u)
+  in
+  List.iter note_unit explicit;
+  let selected = ref (List.rev explicit) in
+  let progress = ref true in
+  while !progress && Hashtbl.length undefined > 0 do
+    progress := false;
+    let needs = Hashtbl.fold (fun n () acc -> n :: acc) undefined [] in
+    List.iter
+      (fun name ->
+        if Hashtbl.mem undefined name then
+          List.iter
+            (fun lib ->
+              if Hashtbl.mem undefined name then
+                match Archive.members_defining lib name with
+                | [] -> ()
+                | m :: _ ->
+                    selected := m :: !selected;
+                    note_unit m;
+                    progress := true)
+            libs)
+      needs
+  done;
+  List.rev !selected
+
+(* -- layout ----------------------------------------------------------- *)
+
+type placement = {
+  pl_units : (Unit_file.t * int array) list;
+  pl_sizes : int array;
+}
+
+let sec_index = function Types.Text -> 0 | Types.Rdata -> 1 | Types.Data -> 2 | Types.Bss -> 3
+
+let align_up n a = (n + a - 1) / a * a
+
+let layout units =
+  let cursors = [| 0; 0; 0; 0 |] in
+  let pl_units =
+    List.map
+      (fun u ->
+        let offs = Array.make 4 0 in
+        List.iter
+          (fun sec ->
+            let i = sec_index sec in
+            cursors.(i) <- align_up cursors.(i) 8;
+            offs.(i) <- cursors.(i);
+            cursors.(i) <- cursors.(i) + Unit_file.section_size u sec)
+          Types.all_sections;
+        (u, offs))
+      units
+  in
+  { pl_units; pl_sizes = Array.copy cursors }
+
+type bases = { b_text : int; b_rdata : int; b_data : int; b_bss : int }
+
+let bases_for pl ~text ~rdata ~data =
+  { b_text = text; b_rdata = rdata; b_data = data;
+    b_bss = align_up (data + pl.pl_sizes.(2)) 8 }
+
+type image = {
+  i_text : bytes;
+  i_rdata : bytes;
+  i_data : bytes;
+  i_bss_size : int;
+  i_globals : (string * Exe.sym) list;
+  i_code_refs : Exe.code_ref list;
+}
+
+let base_of bases sec =
+  match sec with
+  | Types.Text -> bases.b_text
+  | Types.Rdata -> bases.b_rdata
+  | Types.Data -> bases.b_data
+  | Types.Bss -> bases.b_bss
+
+(* -- relocation application ------------------------------------------ *)
+
+let emit ?(symbol_overrides = []) pl bases =
+  let text_lo = bases.b_text and text_hi = bases.b_text + pl.pl_sizes.(0) in
+  let code_refs = ref [] in
+  let note_code_ref kind addr target =
+    if target >= text_lo && target < text_hi then
+      code_refs := { Exe.cr_kind = kind; cr_addr = addr; cr_target = target } :: !code_refs
+  in
+  let text = Bytes.make pl.pl_sizes.(0) '\000' in
+  let rdata = Bytes.make pl.pl_sizes.(1) '\000' in
+  let data = Bytes.make pl.pl_sizes.(2) '\000' in
+  (* copy section contents *)
+  List.iter
+    (fun (u, offs) ->
+      let copy sec dst =
+        let b = Unit_file.section_bytes u sec in
+        Bytes.blit b 0 dst offs.(sec_index sec) (Bytes.length b)
+      in
+      copy Types.Text text;
+      copy Types.Rdata rdata;
+      copy Types.Data data)
+    pl.pl_units;
+  (* global symbol addresses *)
+  let globals = Hashtbl.create 64 in
+  let exported = ref [] in
+  List.iter
+    (fun (u, offs) ->
+      List.iter
+        (fun s ->
+          match s.Types.s_def with
+          | Types.Undefined -> ()
+          | Types.Defined (sec, off) ->
+              let addr = base_of bases sec + offs.(sec_index sec) + off in
+              let xsym =
+                { Exe.x_name = s.Types.s_name; x_addr = addr;
+                  x_type = s.Types.s_type; x_size = s.Types.s_size }
+              in
+              if s.Types.s_binding = Types.Global then begin
+                if Hashtbl.mem globals s.Types.s_name then
+                  fail "multiple definition of %s (in %s)" s.Types.s_name
+                    u.Unit_file.u_name;
+                Hashtbl.replace globals s.Types.s_name addr;
+                exported := (s.Types.s_name, xsym) :: !exported
+              end
+              else if s.Types.s_type = Types.Func then
+                exported := (s.Types.s_name, xsym) :: !exported)
+        u.Unit_file.u_symbols)
+    pl.pl_units;
+  (* apply relocations *)
+  let buffer_of sec =
+    match sec with
+    | Types.Text -> text
+    | Types.Rdata -> rdata
+    | Types.Data -> data
+    | Types.Bss -> fail "relocation in .bss"
+  in
+  List.iter
+    (fun (u, offs) ->
+      let local_addr name =
+        match Unit_file.find_symbol u name with
+        | Some { Types.s_def = Types.Defined (sec, off); s_binding = Types.Local; _ } ->
+            Some (base_of bases sec + offs.(sec_index sec) + off)
+        | Some _ | None -> None
+      in
+      let resolve name =
+        match List.assoc_opt name symbol_overrides with
+        | Some a -> a
+        | None -> (
+            match local_addr name with
+            | Some a -> a
+            | None -> (
+                match Hashtbl.find_opt globals name with
+                | Some a -> a
+                | None ->
+                    fail "undefined symbol %s (referenced from %s)" name
+                      u.Unit_file.u_name))
+      in
+      List.iter
+        (fun (sec, r) ->
+          let buf = buffer_of sec in
+          let off = offs.(sec_index sec) + r.Types.r_offset in
+          let s = resolve r.Types.r_symbol + r.Types.r_addend in
+          let field_addr = base_of bases sec + off in
+          match r.Types.r_kind with
+          | Types.R_br21 ->
+              let pc = base_of bases sec + off in
+              let disp = (s - (pc + 4)) / 4 in
+              if not (Alpha.Code.fits_disp21 disp) then
+                fail "branch to %s out of range from %s" r.Types.r_symbol
+                  u.Unit_file.u_name;
+              let w = Alpha.Code.read_word buf off in
+              Alpha.Code.write_word buf off
+                ((w land lnot 0x1FFFFF) lor (disp land 0x1FFFFF))
+          | Types.R_hi16 ->
+              note_code_ref Exe.Cr_hi field_addr s;
+              let hi = ((s + 0x8000) asr 16) land 0xFFFF in
+              let w = Alpha.Code.read_word buf off in
+              Alpha.Code.write_word buf off ((w land lnot 0xFFFF) lor hi)
+          | Types.R_lo16 ->
+              note_code_ref Exe.Cr_lo field_addr s;
+              let lo = s land 0xFFFF in
+              let w = Alpha.Code.read_word buf off in
+              Alpha.Code.write_word buf off ((w land lnot 0xFFFF) lor lo)
+          | Types.R_quad64 ->
+              note_code_ref Exe.Cr_quad field_addr s;
+              let s64 = Int64.of_int s in
+              for i = 0 to 7 do
+                Bytes.set buf (off + i)
+                  (Char.chr
+                     (Int64.to_int (Int64.shift_right_logical s64 (8 * i)) land 0xFF))
+              done
+          | Types.R_long32 ->
+              note_code_ref Exe.Cr_long field_addr s;
+              Alpha.Code.write_word buf off (s land 0xFFFFFFFF))
+        u.Unit_file.u_relocs)
+    pl.pl_units;
+  {
+    i_text = text;
+    i_rdata = rdata;
+    i_data = data;
+    i_bss_size = pl.pl_sizes.(3);
+    i_globals = List.rev !exported;
+    i_code_refs = List.rev !code_refs;
+  }
+
+let link ?(text_base = Exe.text_base) ?(rdata_base = rdata_base)
+    ?(data_base = Exe.data_base) ?(entry = "__start") inputs =
+  let units = select_units inputs in
+  if units = [] then fail "nothing to link";
+  let pl = layout units in
+  let bases = bases_for pl ~text:text_base ~rdata:rdata_base ~data:data_base in
+  if text_base + pl.pl_sizes.(0) > rdata_base then
+    fail "text overflows into .rdata (%#x bytes of text)" pl.pl_sizes.(0);
+  if rdata_base + pl.pl_sizes.(1) > data_base then
+    fail ".rdata overflows into .data";
+  let break_addr = align_up (bases.b_bss + pl.pl_sizes.(3)) 8 in
+  let img = emit ~symbol_overrides:[ ("_end", break_addr) ] pl bases in
+  let entry_addr =
+    match List.assoc_opt entry img.i_globals with
+    | Some s -> s.Exe.x_addr
+    | None -> fail "entry symbol %s undefined" entry
+  in
+  let segs =
+    [
+      { Exe.seg_vaddr = bases.b_text; seg_bytes = img.i_text; seg_bss = 0 };
+      { Exe.seg_vaddr = bases.b_rdata; seg_bytes = img.i_rdata; seg_bss = 0 };
+      { Exe.seg_vaddr = bases.b_data; seg_bytes = img.i_data; seg_bss = img.i_bss_size };
+    ]
+  in
+  let segs = List.filter (fun s -> Bytes.length s.Exe.seg_bytes + s.Exe.seg_bss > 0) segs in
+  {
+    Exe.x_entry = entry_addr;
+    x_segs = segs;
+    x_symbols = List.map snd img.i_globals;
+    x_text_start = bases.b_text;
+    x_text_size = Bytes.length img.i_text;
+    x_data_start = bases.b_data;
+    x_break = break_addr;
+    x_code_refs = img.i_code_refs;
+  }

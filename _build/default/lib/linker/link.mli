@@ -1,0 +1,72 @@
+(** The standard linker.
+
+    Combines object modules and archives into an executable: archive
+    members are pulled only when they satisfy an undefined symbol,
+    sections are concatenated per kind, and relocations are applied
+    against the final layout.
+
+    The lower-level staging functions ([select_units], [layout], [emit])
+    are exposed because ATOM reuses them: the analysis module is linked by
+    ATOM itself at bases chosen to sit in the gap between the instrumented
+    program's text and its (unmoved) data segment. *)
+
+exception Error of string
+
+type input = Unit of Objfile.Unit_file.t | Lib of Objfile.Archive.t
+
+val select_units : input list -> Objfile.Unit_file.t list
+(** Explicit units plus the archive members needed to close the set of
+    undefined symbols, in link order. *)
+
+type placement = {
+  pl_units : (Objfile.Unit_file.t * int array) list;
+      (** per unit, the offset of each of its four sections within the
+          combined section ([Text;Rdata;Data;Bss] indexed 0..3) *)
+  pl_sizes : int array;  (** combined size of each section kind *)
+}
+
+val layout : Objfile.Unit_file.t list -> placement
+
+type bases = {
+  b_text : int;
+  b_rdata : int;
+  b_data : int;
+  b_bss : int;
+}
+
+type image = {
+  i_text : bytes;
+  i_rdata : bytes;
+  i_data : bytes;
+  i_bss_size : int;
+  i_globals : (string * Objfile.Exe.sym) list;
+      (** resolved global symbols, plus every [Func]-typed symbol *)
+  i_code_refs : Objfile.Exe.code_ref list;
+      (** fields that encode absolute text addresses (see {!Objfile.Exe}) *)
+}
+
+val emit : ?symbol_overrides:(string * int) list -> placement -> bases -> image
+(** Apply all relocations and produce the section images.
+
+    [symbol_overrides] forces the named global symbols to resolve to the
+    given absolute addresses instead of their local definitions — ATOM
+    uses this to alias the analysis module's [__curbrk] to the
+    application's copy (the paper's linked-[sbrk] heap mode).
+    @raise Error on undefined or multiply-defined symbols. *)
+
+val bases_for : placement -> text:int -> rdata:int -> data:int -> bases
+(** Compute section bases with [.bss] packed directly after [.data]
+    (8-byte aligned).  [text], [rdata] and [data] are taken as given. *)
+
+val link :
+  ?text_base:int ->
+  ?rdata_base:int ->
+  ?data_base:int ->
+  ?entry:string ->
+  input list ->
+  Objfile.Exe.t
+(** Produce a complete executable.  [entry] defaults to ["__start"].
+    Defaults: text at {!Objfile.Exe.text_base}, [.rdata] at
+    [0x1380_0000], data at {!Objfile.Exe.data_base}. *)
+
+val rdata_base : int

@@ -1,0 +1,1 @@
+lib/machine/sim.ml: Alpha Array Bytes Code Cost Insn Int64 List Mem Objfile Printf Reg Regset Vfs

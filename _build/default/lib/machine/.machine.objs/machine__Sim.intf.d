@@ -1,0 +1,1 @@
+lib/machine/sim.mli: Alpha Mem Objfile Vfs

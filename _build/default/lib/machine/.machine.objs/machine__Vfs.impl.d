@@ -1,0 +1,1 @@
+lib/machine/vfs.ml: Array Buffer Bytes Hashtbl List String

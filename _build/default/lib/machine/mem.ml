@@ -1,0 +1,107 @@
+let page_bits = 12
+let page_size = 1 lsl page_bits
+let page_mask = page_size - 1
+
+type t = { pages : (int, bytes) Hashtbl.t }
+
+let create () = { pages = Hashtbl.create 256 }
+
+let page m a =
+  let idx = a lsr page_bits in
+  match Hashtbl.find_opt m.pages idx with
+  | Some p -> p
+  | None ->
+      let p = Bytes.make page_size '\000' in
+      Hashtbl.replace m.pages idx p;
+      p
+
+let read_u8 m a = Char.code (Bytes.unsafe_get (page m a) (a land page_mask))
+
+let write_u8 m a v =
+  Bytes.unsafe_set (page m a) (a land page_mask) (Char.unsafe_chr (v land 0xFF))
+
+(* Fast paths when the access stays within one page. *)
+let read_u16 m a =
+  let off = a land page_mask in
+  if off + 2 <= page_size then
+    let p = page m a in
+    Char.code (Bytes.unsafe_get p off) lor (Char.code (Bytes.unsafe_get p (off + 1)) lsl 8)
+  else read_u8 m a lor (read_u8 m (a + 1) lsl 8)
+
+let read_u32 m a =
+  let off = a land page_mask in
+  if off + 4 <= page_size then begin
+    let p = page m a in
+    Char.code (Bytes.unsafe_get p off)
+    lor (Char.code (Bytes.unsafe_get p (off + 1)) lsl 8)
+    lor (Char.code (Bytes.unsafe_get p (off + 2)) lsl 16)
+    lor (Char.code (Bytes.unsafe_get p (off + 3)) lsl 24)
+  end
+  else read_u16 m a lor (read_u16 m (a + 2) lsl 16)
+
+let read_u64 m a =
+  let off = a land page_mask in
+  if off + 8 <= page_size then
+    let p = page m a in
+    Int64.logor
+      (Int64.of_int
+         (Char.code (Bytes.unsafe_get p off)
+         lor (Char.code (Bytes.unsafe_get p (off + 1)) lsl 8)
+         lor (Char.code (Bytes.unsafe_get p (off + 2)) lsl 16)
+         lor (Char.code (Bytes.unsafe_get p (off + 3)) lsl 24)))
+      (Int64.shift_left
+         (Int64.of_int
+            (Char.code (Bytes.unsafe_get p (off + 4))
+            lor (Char.code (Bytes.unsafe_get p (off + 5)) lsl 8)
+            lor (Char.code (Bytes.unsafe_get p (off + 6)) lsl 16)
+            lor (Char.code (Bytes.unsafe_get p (off + 7)) lsl 24)))
+         32)
+  else
+    Int64.logor
+      (Int64.of_int (read_u32 m a))
+      (Int64.shift_left (Int64.of_int (read_u32 m (a + 4))) 32)
+
+let write_u16 m a v =
+  write_u8 m a v;
+  write_u8 m (a + 1) (v lsr 8)
+
+let write_u32 m a v =
+  let off = a land page_mask in
+  if off + 4 <= page_size then begin
+    let p = page m a in
+    Bytes.unsafe_set p off (Char.unsafe_chr (v land 0xFF));
+    Bytes.unsafe_set p (off + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+    Bytes.unsafe_set p (off + 2) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+    Bytes.unsafe_set p (off + 3) (Char.unsafe_chr ((v lsr 24) land 0xFF))
+  end
+  else begin
+    write_u16 m a v;
+    write_u16 m (a + 2) (v lsr 16)
+  end
+
+let write_u64 m a v =
+  let lo = Int64.to_int (Int64.logand v 0xFFFFFFFFL) in
+  let hi = Int64.to_int (Int64.shift_right_logical v 32) in
+  write_u32 m a lo;
+  write_u32 m (a + 4) hi
+
+let write_bytes m a b =
+  Bytes.iteri (fun i c -> write_u8 m (a + i) (Char.code c)) b
+
+let read_block m a n = Bytes.init n (fun i -> Char.chr (read_u8 m (a + i)))
+
+let read_cstring m a =
+  let buf = Buffer.create 32 in
+  let rec go i =
+    if i >= 1 lsl 20 then Buffer.contents buf
+    else
+      let c = read_u8 m (a + i) in
+      if c = 0 then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Char.chr c);
+        go (i + 1)
+      end
+  in
+  go 0
+
+let pages_touched m = Hashtbl.length m.pages

@@ -1,0 +1,24 @@
+(** Sparse byte-addressable memory, allocated in 4 KiB pages on first
+    touch.  Addresses are plain OCaml [int]s (the simulated address space
+    stays far below 2{^62}); values are [int64]. *)
+
+type t
+
+val create : unit -> t
+
+val read_u8 : t -> int -> int
+val read_u16 : t -> int -> int
+val read_u32 : t -> int -> int
+val read_u64 : t -> int -> int64
+val write_u8 : t -> int -> int -> unit
+val write_u16 : t -> int -> int -> unit
+val write_u32 : t -> int -> int -> unit
+val write_u64 : t -> int -> int64 -> unit
+
+val write_bytes : t -> int -> bytes -> unit
+val read_block : t -> int -> int -> bytes
+
+val read_cstring : t -> int -> string
+(** NUL-terminated string at the address (capped at 1 MiB). *)
+
+val pages_touched : t -> int

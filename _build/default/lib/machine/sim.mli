@@ -1,0 +1,69 @@
+(** The Alpha machine simulator.
+
+    Executes a linked {!Objfile.Exe.t} with the OSF/1-style process model
+    of the paper's Figure 4: the stack starts at the base of the text
+    segment and grows down; the heap starts at the program break (end of
+    [.bss]) and grows up via the [brk] system call.
+
+    System calls are made with [call_pal 0x83] (callsys): the call number
+    in [$v0], arguments in [$a0]..[$a2], result in [$v0] and an error flag
+    in [$a3].  Numbers: exit 1, read 3, write 4, close 6, brk 17, open 45.
+
+    Code is predecoded per executable segment (any segment based below the
+    data segment), so the inner loop never re-decodes instructions. *)
+
+type t
+
+type outcome =
+  | Exit of int
+  | Fault of string  (** bad PC, undecodable instruction, bad PAL call... *)
+  | Out_of_fuel  (** hit the [max_insns] budget *)
+
+type stats = {
+  st_insns : int;  (** instructions retired *)
+  st_cycles : int;  (** weighted cycles (see {!Alpha.Cost.latency}) *)
+  st_pair_cycles : int;
+      (** issue cycles under an optimistic 21064 dual-issue model: an
+          aligned, class-compatible, dependence-free instruction pair
+          executed in sequence costs one cycle; comparable to the paper's
+          wall-clock measurements in a way raw instruction counts are
+          not *)
+  st_loads : int;
+  st_stores : int;
+  st_cond_branches : int;
+  st_taken : int;
+  st_calls : int;
+  st_syscalls : int;
+}
+
+val sys_exit : int
+val sys_read : int
+val sys_write : int
+val sys_close : int
+val sys_brk : int
+val sys_open : int
+
+val load : ?stdin:string -> ?inputs:(string * string) list -> Objfile.Exe.t -> t
+(** Build a machine with the image mapped, [$sp] set, and registered input
+    files available to [open]. *)
+
+val run : ?max_insns:int -> t -> outcome
+(** Execute until exit, fault or fuel exhaustion ([max_insns] defaults to
+    2 {e billion}). *)
+
+val stats : t -> stats
+val vfs : t -> Vfs.t
+val stdout : t -> string
+val stderr : t -> string
+val output_files : t -> (string * string) list
+
+val reg : t -> Alpha.Reg.t -> int64
+val freg_bits : t -> Alpha.Reg.f -> int64
+val pc : t -> int
+val mem : t -> Mem.t
+
+val read_u64 : t -> int -> int64
+(** Read simulated memory (for tests and tools). *)
+
+val set_trace : t -> (int -> Alpha.Insn.t -> unit) -> unit
+(** Install a per-instruction hook (used by tests to observe execution). *)

@@ -1,0 +1,107 @@
+type stream =
+  | Reader of { data : string; mutable pos : int }
+  | Writer of Buffer.t
+
+type t = {
+  inputs : (string, string) Hashtbl.t;
+  outputs : (string, Buffer.t) Hashtbl.t;
+  mutable fds : stream option array;
+  out : Buffer.t;
+  err : Buffer.t;
+}
+
+let create ?(stdin = "") () =
+  let t =
+    {
+      inputs = Hashtbl.create 8;
+      outputs = Hashtbl.create 8;
+      fds = Array.make 16 None;
+      out = Buffer.create 256;
+      err = Buffer.create 64;
+    }
+  in
+  t.fds.(0) <- Some (Reader { data = stdin; pos = 0 });
+  t.fds.(1) <- Some (Writer t.out);
+  t.fds.(2) <- Some (Writer t.err);
+  t
+
+let add_input t path contents = Hashtbl.replace t.inputs path contents
+
+let alloc_fd t stream =
+  let n = Array.length t.fds in
+  let rec find i =
+    if i >= n then begin
+      let fds = Array.make (2 * n) None in
+      Array.blit t.fds 0 fds 0 n;
+      t.fds <- fds;
+      find i
+    end
+    else
+      match t.fds.(i) with
+      | None ->
+          t.fds.(i) <- Some stream;
+          i
+      | Some _ -> find (i + 1)
+  in
+  find 3
+
+let sys_open t path flags =
+  match flags with
+  | 0 -> (
+      (* prefer files written earlier in this run, then registered inputs *)
+      match Hashtbl.find_opt t.outputs path with
+      | Some b -> alloc_fd t (Reader { data = Buffer.contents b; pos = 0 })
+      | None -> (
+          match Hashtbl.find_opt t.inputs path with
+          | Some data -> alloc_fd t (Reader { data; pos = 0 })
+          | None -> -1))
+  | 1 ->
+      let b = Buffer.create 256 in
+      Hashtbl.replace t.outputs path b;
+      alloc_fd t (Writer b)
+  | 2 ->
+      let b =
+        match Hashtbl.find_opt t.outputs path with
+        | Some b -> b
+        | None ->
+            let b = Buffer.create 256 in
+            Hashtbl.replace t.outputs path b;
+            b
+      in
+      alloc_fd t (Writer b)
+  | _ -> -1
+
+let sys_close t fd =
+  if fd >= 3 && fd < Array.length t.fds && t.fds.(fd) <> None then begin
+    t.fds.(fd) <- None;
+    0
+  end
+  else if fd >= 0 && fd <= 2 then 0
+  else -1
+
+let sys_read t fd buf =
+  if fd < 0 || fd >= Array.length t.fds then -1
+  else
+    match t.fds.(fd) with
+    | Some (Reader r) ->
+        let n = min (Bytes.length buf) (String.length r.data - r.pos) in
+        Bytes.blit_string r.data r.pos buf 0 n;
+        r.pos <- r.pos + n;
+        n
+    | Some (Writer _) | None -> -1
+
+let sys_write t fd s =
+  if fd < 0 || fd >= Array.length t.fds then -1
+  else
+    match t.fds.(fd) with
+    | Some (Writer b) ->
+        Buffer.add_string b s;
+        String.length s
+    | Some (Reader _) | None -> -1
+
+let stdout t = Buffer.contents t.out
+let stderr t = Buffer.contents t.err
+
+let output_files t =
+  Hashtbl.fold (fun name b acc -> (name, Buffer.contents b) :: acc) t.outputs []
+  |> List.sort compare

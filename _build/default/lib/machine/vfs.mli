@@ -1,0 +1,30 @@
+(** The simulated process's I/O world: a file-descriptor table over an
+    in-memory file system.
+
+    Input files are registered before the run; files opened for writing
+    accumulate into buffers the harness can inspect afterwards.  FDs 0, 1
+    and 2 are stdin (a preset string), stdout and stderr. *)
+
+type t
+
+val create : ?stdin:string -> unit -> t
+
+val add_input : t -> string -> string -> unit
+(** [add_input vfs path contents] registers a readable file. *)
+
+val sys_open : t -> string -> int -> int
+(** [sys_open vfs path flags]: flags [0] read, [1] write-truncate,
+    [2] append.  Returns an fd, or [-1]. *)
+
+val sys_close : t -> int -> int
+val sys_read : t -> int -> bytes -> int
+(** Read up to [Bytes.length buf]; returns count read, 0 at EOF, -1 on a
+    bad fd. *)
+
+val sys_write : t -> int -> string -> int
+
+val stdout : t -> string
+val stderr : t -> string
+
+val output_files : t -> (string * string) list
+(** Every file written during the run, with its final contents. *)

@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Alpha Array Asmlib Ast Buffer Int64 List Objfile Printf Tast

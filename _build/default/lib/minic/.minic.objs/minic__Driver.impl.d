@@ -1,0 +1,1 @@
+lib/minic/driver.ml: Asmlib Codegen Lexer Parser Printf Typecheck

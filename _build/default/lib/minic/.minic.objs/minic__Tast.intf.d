@@ -1,0 +1,1 @@
+lib/minic/tast.mli: Ast

@@ -1,0 +1,1 @@
+lib/minic/typecheck.ml: Array Ast Char Hashtbl Int64 List Option Printf Tast

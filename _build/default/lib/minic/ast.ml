@@ -1,0 +1,95 @@
+type ty =
+  | Tvoid
+  | Tlong
+  | Tchar
+  | Tdouble
+  | Tptr of ty
+  | Tarr of ty * int
+  | Tstruct of string
+  | Tfun of ty * ty list * bool
+
+type unop = Neg | Lognot | Bitnot
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Band | Bor | Bxor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+
+type expr = { eline : int; e : expr' }
+
+and expr' =
+  | Enum of int64
+  | Efnum of float
+  | Estr of string
+  | Echar of char
+  | Eident of string
+  | Eun of unop * expr
+  | Ebin of binop * expr * expr
+  | Elogand of expr * expr
+  | Elogor of expr * expr
+  | Econd of expr * expr * expr
+  | Eassign of expr * expr
+  | Eassign_op of binop * expr * expr
+  | Epre of binop * expr
+  | Epost of binop * expr
+  | Ecall of expr * expr list
+  | Eindex of expr * expr
+  | Emember of expr * string
+  | Earrow of expr * string
+  | Ederef of expr
+  | Eaddr of expr
+  | Ecast of ty * expr
+  | Esizeof_ty of ty
+  | Esizeof of expr
+
+type stmt = { sline : int; s : stmt' }
+
+and stmt' =
+  | Sexpr of expr
+  | Sdecl of ty * string * expr option
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sdo of stmt list * expr
+  | Sfor of stmt option * expr option * expr option * stmt list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+  | Sseq of stmt list
+
+type init = Iscalar of expr | Ilist of expr list
+
+type top =
+  | Dfun of ty * string * (ty * string) list * bool * stmt list
+  | Dproto of ty * string * ty list * bool
+  | Dglobal of ty * string * init option
+  | Dextern of ty * string
+  | Dstruct of string * (ty * string) list
+
+type program = top list
+
+let rec ty_to_string = function
+  | Tvoid -> "void"
+  | Tlong -> "long"
+  | Tchar -> "char"
+  | Tdouble -> "double"
+  | Tptr t -> ty_to_string t ^ "*"
+  | Tarr (t, n) -> Printf.sprintf "%s[%d]" (ty_to_string t) n
+  | Tstruct s -> "struct " ^ s
+  | Tfun (r, args, va) ->
+      Printf.sprintf "%s( * )(%s%s)" (ty_to_string r)
+        (String.concat "," (List.map ty_to_string args))
+        (if va then ",..." else "")
+
+let rec equal_ty a b =
+  match (a, b) with
+  | Tvoid, Tvoid | Tlong, Tlong | Tchar, Tchar | Tdouble, Tdouble -> true
+  | Tptr a, Tptr b -> equal_ty a b
+  | Tarr (a, n), Tarr (b, m) -> n = m && equal_ty a b
+  | Tstruct a, Tstruct b -> a = b
+  | Tfun (r1, a1, v1), Tfun (r2, a2, v2) ->
+      v1 = v2 && equal_ty r1 r2
+      && List.length a1 = List.length a2
+      && List.for_all2 equal_ty a1 a2
+  | (Tvoid | Tlong | Tchar | Tdouble | Tptr _ | Tarr _ | Tstruct _ | Tfun _), _ ->
+      false

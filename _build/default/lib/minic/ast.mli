@@ -1,0 +1,86 @@
+(** Mini-C: the small C-like language used to author workloads, runtime
+    library and analysis routines.
+
+    The dialect: [long] (64-bit, [int] is an alias), [char] (unsigned
+    byte), [double], [void], pointers, sized arrays, [struct]s (by
+    reference only), function pointers in the restricted
+    [ret ( \* name)(args)] declarator form, and varargs ([...]).  Everything
+    else is classic C expression and statement syntax. *)
+
+type ty =
+  | Tvoid
+  | Tlong
+  | Tchar
+  | Tdouble
+  | Tptr of ty
+  | Tarr of ty * int
+  | Tstruct of string
+  | Tfun of ty * ty list * bool  (** return, parameters, varargs *)
+
+type unop = Neg | Lognot | Bitnot
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Band | Bor | Bxor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+
+type expr = { eline : int; e : expr' }
+
+and expr' =
+  | Enum of int64
+  | Efnum of float
+  | Estr of string
+  | Echar of char
+  | Eident of string
+  | Eun of unop * expr
+  | Ebin of binop * expr * expr
+  | Elogand of expr * expr
+  | Elogor of expr * expr
+  | Econd of expr * expr * expr
+  | Eassign of expr * expr
+  | Eassign_op of binop * expr * expr  (** [x op= e] *)
+  | Epre of binop * expr  (** [++x] / [--x]: op is [Add] or [Sub] *)
+  | Epost of binop * expr
+  | Ecall of expr * expr list
+  | Eindex of expr * expr
+  | Emember of expr * string  (** [e.f] *)
+  | Earrow of expr * string  (** [e->f] *)
+  | Ederef of expr
+  | Eaddr of expr
+  | Ecast of ty * expr
+  | Esizeof_ty of ty
+  | Esizeof of expr
+
+type stmt = { sline : int; s : stmt' }
+
+and stmt' =
+  | Sexpr of expr
+  | Sdecl of ty * string * expr option
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sdo of stmt list * expr
+  | Sfor of stmt option * expr option * expr option * stmt list
+      (** init is an expression or declaration statement *)
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+  | Sseq of stmt list
+      (** spliced statements (multi-declarator lists); opens no scope *)
+
+type init =
+  | Iscalar of expr
+  | Ilist of expr list  (** brace initialiser for arrays *)
+
+type top =
+  | Dfun of ty * string * (ty * string) list * bool * stmt list
+      (** return type, name, parameters, varargs, body *)
+  | Dproto of ty * string * ty list * bool
+  | Dglobal of ty * string * init option
+  | Dextern of ty * string
+  | Dstruct of string * (ty * string) list
+
+type program = top list
+
+val ty_to_string : ty -> string
+val equal_ty : ty -> ty -> bool

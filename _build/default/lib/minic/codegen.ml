@@ -1,0 +1,672 @@
+open Tast
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+(* Integer and floating temporary pools (all caller-save). *)
+let ipool = [| 1; 2; 3; 4; 5; 6; 7; 8; 22; 23; 24; 25 |]
+let fpool = [| 10; 11; 12; 13; 14; 15; 22; 23; 24; 25; 26; 27 |]
+
+let fp = Alpha.Reg.fp
+let sp = Alpha.Reg.sp
+let ra = Alpha.Reg.ra
+let pv = Alpha.Reg.pv
+let v0 = Alpha.Reg.v0
+
+type ctx = {
+  mutable out : Asmlib.Src.stmt list;  (* reversed *)
+  mutable nlabel : int;
+  fname : string;
+  frame : int;
+  nparams : int;
+  slot_off : int array;  (* local-area offset per slot id (params unused) *)
+  varargs : bool;
+  light : bool;
+      (* leaf function: parameters stay in the argument registers, locals
+         are addressed off $sp, and no frame header is built *)
+  mutable breaks : string list;
+  mutable continues : string list;
+}
+
+let push ctx it = ctx.out <- { Asmlib.Src.line = 0; it } :: ctx.out
+
+let ins ctx name ops = push ctx (Asmlib.Src.I (name, ops))
+let label ctx l = push ctx (Asmlib.Src.L l)
+
+let fresh ctx tag =
+  let n = ctx.nlabel in
+  ctx.nlabel <- n + 1;
+  Printf.sprintf ".L%s.%s%d" ctx.fname tag n
+
+let r x = Asmlib.Src.O_reg x
+let f x = Asmlib.Src.O_freg x
+let imm n = Asmlib.Src.O_imm n
+let mem d b = Asmlib.Src.O_mem (d, b)
+let sym s = Asmlib.Src.O_sym (s, 0)
+
+let it ctx d =
+  if d >= Array.length ipool then fail "%s: expression too complex" ctx.fname;
+  ipool.(d)
+
+let ft ctx d =
+  if d >= Array.length fpool then fail "%s: expression too complex" ctx.fname;
+  fpool.(d)
+
+(* Address of a stack slot relative to the frame base.  In a normal
+   function that base is $fp and parameter homes live at the top of the
+   frame, contiguous with caller-pushed stack arguments, so slot i
+   (i < nparams) is at [frame - 48 + 8i] even for i >= 6.  In a light
+   leaf the base is $sp and parameters have no slots at all. *)
+let slot_addr ctx id =
+  if ctx.light then begin
+    assert (id >= ctx.nparams);
+    ctx.slot_off.(id)
+  end
+  else if id < ctx.nparams then ctx.frame - 48 + (8 * id)
+  else ctx.slot_off.(id)
+
+let base ctx = if ctx.light then sp else fp
+
+let is_light_param ctx = function
+  | Loc_addr id when ctx.light && id < ctx.nparams -> Some (16 + id)
+  | _ -> None
+
+let str_label i = Printf.sprintf ".Lstr%d" i
+
+(* Addressing modes foldable into a single memory operand. *)
+type amode =
+  | A_fp of int  (* disp(frame base) *)
+  | A_sym of string
+  | A_preg of int  (* a light leaf's parameter, live in this register *)
+  | A_dyn of texpr
+
+let amode ctx addr =
+  match is_light_param ctx addr with
+  | Some reg -> A_preg reg
+  | None -> (
+      match addr with
+      | Loc_addr id when slot_addr ctx id <= 32000 -> A_fp (slot_addr ctx id)
+      | Bin (Ast.Add, Lint, Loc_addr id, Cint c)
+        when is_light_param ctx (Loc_addr id) = None
+             && Int64.to_int c + slot_addr ctx id <= 32000
+             && Int64.to_int c >= 0 ->
+          A_fp (slot_addr ctx id + Int64.to_int c)
+      | Glob_addr s -> A_sym s
+      | _ -> A_dyn addr)
+
+let load_op = function S8 -> "ldbu" | S64 -> "ldq" | SF64 -> "ldt"
+let store_op = function S8 -> "stb" | S64 -> "stq" | SF64 -> "stt"
+
+let dest_reg ctx sc d = match sc with SF64 -> f (ft ctx d) | S8 | S64 -> r (it ctx d)
+
+(* Materialise a 64-bit constant delta addition: old(d1) + delta -> rc *)
+let emit_add_const ctx d1 rc delta =
+  let dv = Int64.to_int delta in
+  if dv >= 0 && dv <= 255 then ins ctx "addq" [ r (it ctx d1); imm dv; rc ]
+  else if dv < 0 && dv >= -255 then ins ctx "subq" [ r (it ctx d1); imm (-dv); rc ]
+  else begin
+    ins ctx "ldiq" [ rc; imm dv ];
+    match rc with
+    | Asmlib.Src.O_reg rcn -> ins ctx "addq" [ r (it ctx d1); r rcn; r rcn ]
+    | _ -> assert false
+  end
+
+let rec eval ctx d e =
+  match e with
+  | Cint v ->
+      ins ctx "ldiq" [ r (it ctx d); imm (Int64.to_int v) ]
+  | Cfloat x -> ins ctx "ldit" [ f (ft ctx d); Asmlib.Src.O_fimm x ]
+  | Cstr i -> ins ctx "lda" [ r (it ctx d); sym (str_label i) ]
+  | Glob_addr s -> ins ctx "lda" [ r (it ctx d); sym s ]
+  | Loc_addr id ->
+      let off = slot_addr ctx id in
+      if off <= 32000 then ins ctx "lda" [ r (it ctx d); mem off (base ctx) ]
+      else fail "%s: frame too large" ctx.fname
+  | Load (sc, addr) -> (
+      match amode ctx addr with
+      | A_preg reg -> ins ctx "mov" [ r reg; r (it ctx d) ]
+      | A_fp off -> ins ctx (load_op sc) [ dest_reg ctx sc d; mem off (base ctx) ]
+      | A_sym s -> ins ctx (load_op sc) [ dest_reg ctx sc d; sym s ]
+      | A_dyn a ->
+          eval ctx d a;
+          ins ctx (load_op sc) [ dest_reg ctx sc d; mem 0 (it ctx d) ])
+  | Store (sc, addr, v) -> (
+      match amode ctx addr with
+      | A_preg reg ->
+          eval ctx d v;
+          ins ctx "mov" [ r (it ctx d); r reg ]
+      | A_fp off ->
+          eval ctx d v;
+          ins ctx (store_op sc) [ dest_reg ctx sc d; mem off (base ctx) ]
+      | A_sym s ->
+          eval ctx d v;
+          ins ctx (store_op sc) [ dest_reg ctx sc d; sym s ]
+      | A_dyn a ->
+          eval ctx d a;
+          eval ctx (d + 1) v;
+          ins ctx (store_op sc) [ dest_reg ctx sc (d + 1); mem 0 (it ctx d) ];
+          (* the value is the expression's result *)
+          if sc = SF64 then ins ctx "fmov" [ f (ft ctx (d + 1)); f (ft ctx d) ]
+          else ins ctx "mov" [ r (it ctx (d + 1)); r (it ctx d) ])
+  | Un (Ast.Neg, Lint, a) ->
+      eval ctx d a;
+      ins ctx "negq" [ r (it ctx d); r (it ctx d) ]
+  | Un (Ast.Neg, Ldouble, a) ->
+      eval ctx d a;
+      ins ctx "fneg" [ f (ft ctx d); f (ft ctx d) ]
+  | Un (Ast.Lognot, _, a) ->
+      eval ctx d a;
+      ins ctx "cmpeq" [ r (it ctx d); imm 0; r (it ctx d) ]
+  | Un (Ast.Bitnot, _, a) ->
+      eval ctx d a;
+      ins ctx "not" [ r (it ctx d); r (it ctx d) ]
+  | Bin (op, Lint, a, Cint n)
+    when Int64.to_int n >= 0 && Int64.to_int n <= 255
+         && (match op with
+            | Ast.Add | Ast.Sub | Ast.Mul | Ast.Band | Ast.Bor | Ast.Bxor
+            | Ast.Shl | Ast.Shr | Ast.Lt | Ast.Le | Ast.Eq ->
+                true
+            | Ast.Gt | Ast.Ge | Ast.Ne | Ast.Div | Ast.Mod -> false) ->
+      eval ctx d a;
+      let rd = r (it ctx d) in
+      let n = Int64.to_int n in
+      (match op with
+      | Ast.Add -> ins ctx "addq" [ rd; imm n; rd ]
+      | Ast.Sub -> ins ctx "subq" [ rd; imm n; rd ]
+      | Ast.Mul -> ins ctx "mulq" [ rd; imm n; rd ]
+      | Ast.Band -> ins ctx "and" [ rd; imm n; rd ]
+      | Ast.Bor -> ins ctx "bis" [ rd; imm n; rd ]
+      | Ast.Bxor -> ins ctx "xor" [ rd; imm n; rd ]
+      | Ast.Shl -> ins ctx "sll" [ rd; imm n; rd ]
+      | Ast.Shr -> ins ctx "sra" [ rd; imm n; rd ]
+      | Ast.Lt -> ins ctx "cmplt" [ rd; imm n; rd ]
+      | Ast.Le -> ins ctx "cmple" [ rd; imm n; rd ]
+      | Ast.Eq -> ins ctx "cmpeq" [ rd; imm n; rd ]
+      | Ast.Gt | Ast.Ge | Ast.Ne | Ast.Div | Ast.Mod -> assert false)
+  | Bin (op, Lint, a, b) -> (
+      eval ctx d a;
+      eval ctx (d + 1) b;
+      let ra_ = r (it ctx d) and rb_ = r (it ctx (d + 1)) in
+      match op with
+      | Ast.Add -> ins ctx "addq" [ ra_; rb_; ra_ ]
+      | Ast.Sub -> ins ctx "subq" [ ra_; rb_; ra_ ]
+      | Ast.Mul -> ins ctx "mulq" [ ra_; rb_; ra_ ]
+      | Ast.Div -> emit_div_call ctx d "__divq"
+      | Ast.Mod -> emit_div_call ctx d "__remq"
+      | Ast.Band -> ins ctx "and" [ ra_; rb_; ra_ ]
+      | Ast.Bor -> ins ctx "bis" [ ra_; rb_; ra_ ]
+      | Ast.Bxor -> ins ctx "xor" [ ra_; rb_; ra_ ]
+      | Ast.Shl -> ins ctx "sll" [ ra_; rb_; ra_ ]
+      | Ast.Shr -> ins ctx "sra" [ ra_; rb_; ra_ ]
+      | Ast.Lt -> ins ctx "cmplt" [ ra_; rb_; ra_ ]
+      | Ast.Le -> ins ctx "cmple" [ ra_; rb_; ra_ ]
+      | Ast.Gt -> ins ctx "cmplt" [ rb_; ra_; ra_ ]
+      | Ast.Ge -> ins ctx "cmple" [ rb_; ra_; ra_ ]
+      | Ast.Eq -> ins ctx "cmpeq" [ ra_; rb_; ra_ ]
+      | Ast.Ne ->
+          ins ctx "cmpeq" [ ra_; rb_; ra_ ];
+          ins ctx "xor" [ ra_; imm 1; ra_ ])
+  | Bin (op, Ldouble, a, b) -> (
+      eval ctx d a;
+      eval ctx (d + 1) b;
+      let fa = f (ft ctx d) and fb = f (ft ctx (d + 1)) in
+      match op with
+      | Ast.Add -> ins ctx "addt" [ fa; fb; fa ]
+      | Ast.Sub -> ins ctx "subt" [ fa; fb; fa ]
+      | Ast.Mul -> ins ctx "mult" [ fa; fb; fa ]
+      | Ast.Div -> ins ctx "divt" [ fa; fb; fa ]
+      | Ast.Lt -> fcompare ctx d "cmptlt" fa fb true
+      | Ast.Le -> fcompare ctx d "cmptle" fa fb true
+      | Ast.Gt -> fcompare ctx d "cmptlt" fb fa true
+      | Ast.Ge -> fcompare ctx d "cmptle" fb fa true
+      | Ast.Eq -> fcompare ctx d "cmpteq" fa fb true
+      | Ast.Ne -> fcompare ctx d "cmpteq" fa fb false
+      | Ast.Mod | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Shl | Ast.Shr ->
+          fail "%s: integer operator on double" ctx.fname)
+  | Logand (a, b) ->
+      let lfalse = fresh ctx "and_f" and lend = fresh ctx "and_e" in
+      eval ctx d a;
+      ins ctx "beq" [ r (it ctx d); sym lfalse ];
+      eval ctx d b;
+      ins ctx "beq" [ r (it ctx d); sym lfalse ];
+      ins ctx "ldiq" [ r (it ctx d); imm 1 ];
+      ins ctx "br" [ sym lend ];
+      label ctx lfalse;
+      ins ctx "clr" [ r (it ctx d) ];
+      label ctx lend
+  | Logor (a, b) ->
+      let ltrue = fresh ctx "or_t" and lend = fresh ctx "or_e" in
+      eval ctx d a;
+      ins ctx "bne" [ r (it ctx d); sym ltrue ];
+      eval ctx d b;
+      ins ctx "bne" [ r (it ctx d); sym ltrue ];
+      ins ctx "clr" [ r (it ctx d) ];
+      ins ctx "br" [ sym lend ];
+      label ctx ltrue;
+      ins ctx "ldiq" [ r (it ctx d); imm 1 ];
+      label ctx lend
+  | Cond (_, c, a, b) ->
+      let lelse = fresh ctx "c_else" and lend = fresh ctx "c_end" in
+      eval ctx d c;
+      ins ctx "beq" [ r (it ctx d); sym lelse ];
+      eval ctx d a;
+      ins ctx "br" [ sym lend ];
+      label ctx lelse;
+      eval ctx d b;
+      label ctx lend
+  | Call call -> emit_call ctx d call
+  | Cast_i2d a ->
+      eval ctx d a;
+      scratch_int_to_fp ctx (it ctx d) (ft ctx d);
+      ins ctx "cvtqt" [ f Alpha.Reg.fzero; f (ft ctx d); f (ft ctx d) ]
+  | Cast_d2i a ->
+      eval ctx d a;
+      ins ctx "cvttq" [ f Alpha.Reg.fzero; f (ft ctx d); f (ft ctx d) ];
+      scratch_fp_to_int ctx (ft ctx d) (it ctx d)
+  | Incdec { sc; addr; delta; post } -> (
+      let fetch_store amode_v =
+        let old_r = r (it ctx (d + 1)) and new_r = r (it ctx (d + 2)) in
+        (match amode_v with
+        | A_preg reg -> ins ctx "mov" [ r reg; old_r ]
+        | A_fp off -> ins ctx (load_op sc) [ old_r; mem off (base ctx) ]
+        | A_sym s -> ins ctx (load_op sc) [ old_r; sym s ]
+        | A_dyn _ -> ins ctx (load_op sc) [ old_r; mem 0 (it ctx d) ]);
+        emit_add_const ctx (d + 1) new_r delta;
+        (match amode_v with
+        | A_preg reg -> ins ctx "mov" [ new_r; r reg ]
+        | A_fp off -> ins ctx (store_op sc) [ new_r; mem off (base ctx) ]
+        | A_sym s -> ins ctx (store_op sc) [ new_r; sym s ]
+        | A_dyn _ -> ins ctx (store_op sc) [ new_r; mem 0 (it ctx d) ]);
+        let result = if post then old_r else new_r in
+        ins ctx "mov" [ result; r (it ctx d) ]
+      in
+      match amode ctx addr with
+      | A_dyn a ->
+          eval ctx d a;
+          fetch_store (A_dyn a)
+      | m -> fetch_store m)
+  | Assignop { sc; cls = Lint; op; addr; value } -> (
+      let with_addr amode_v =
+        let old_r = r (it ctx (d + 1)) in
+        (match amode_v with
+        | A_preg reg -> ins ctx "mov" [ r reg; old_r ]
+        | A_fp off -> ins ctx (load_op sc) [ old_r; mem off (base ctx) ]
+        | A_sym s -> ins ctx (load_op sc) [ old_r; sym s ]
+        | A_dyn _ -> ins ctx (load_op sc) [ old_r; mem 0 (it ctx d) ]);
+        eval ctx (d + 2) value;
+        let vr = r (it ctx (d + 2)) in
+        (match op with
+        | Ast.Add -> ins ctx "addq" [ old_r; vr; old_r ]
+        | Ast.Sub -> ins ctx "subq" [ old_r; vr; old_r ]
+        | Ast.Mul -> ins ctx "mulq" [ old_r; vr; old_r ]
+        | Ast.Div -> emit_div_call ctx (d + 1) "__divq"
+        | Ast.Mod -> emit_div_call ctx (d + 1) "__remq"
+        | Ast.Band -> ins ctx "and" [ old_r; vr; old_r ]
+        | Ast.Bor -> ins ctx "bis" [ old_r; vr; old_r ]
+        | Ast.Bxor -> ins ctx "xor" [ old_r; vr; old_r ]
+        | Ast.Shl -> ins ctx "sll" [ old_r; vr; old_r ]
+        | Ast.Shr -> ins ctx "sra" [ old_r; vr; old_r ]
+        | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne ->
+            fail "%s: comparison in compound assignment" ctx.fname);
+        (match amode_v with
+        | A_preg reg -> ins ctx "mov" [ old_r; r reg ]
+        | A_fp off -> ins ctx (store_op sc) [ old_r; mem off (base ctx) ]
+        | A_sym s -> ins ctx (store_op sc) [ old_r; sym s ]
+        | A_dyn _ -> ins ctx (store_op sc) [ old_r; mem 0 (it ctx d) ]);
+        ins ctx "mov" [ old_r; r (it ctx d) ]
+      in
+      match amode ctx addr with
+      | A_dyn a ->
+          eval ctx d a;
+          with_addr (A_dyn a)
+      | m -> with_addr m)
+  | Assignop { sc; cls = Ldouble; op; addr; value } -> (
+      let with_addr amode_v =
+        let old_f = f (ft ctx (d + 1)) in
+        (match amode_v with
+        | A_preg _ -> fail "%s: double compound on a register parameter" ctx.fname
+        | A_fp off -> ins ctx "ldt" [ old_f; mem off (base ctx) ]
+        | A_sym s -> ins ctx "ldt" [ old_f; sym s ]
+        | A_dyn _ -> ins ctx "ldt" [ old_f; mem 0 (it ctx d) ]);
+        eval ctx (d + 2) value;
+        let vf = f (ft ctx (d + 2)) in
+        (match op with
+        | Ast.Add -> ins ctx "addt" [ old_f; vf; old_f ]
+        | Ast.Sub -> ins ctx "subt" [ old_f; vf; old_f ]
+        | Ast.Mul -> ins ctx "mult" [ old_f; vf; old_f ]
+        | Ast.Div -> ins ctx "divt" [ old_f; vf; old_f ]
+        | _ -> fail "%s: bad compound operator for double" ctx.fname);
+        ignore sc;
+        (match amode_v with
+        | A_preg _ -> fail "%s: double compound on a register parameter" ctx.fname
+        | A_fp off -> ins ctx "stt" [ old_f; mem off (base ctx) ]
+        | A_sym s -> ins ctx "stt" [ old_f; sym s ]
+        | A_dyn _ -> ins ctx "stt" [ old_f; mem 0 (it ctx d) ]);
+        ins ctx "fmov" [ old_f; f (ft ctx d) ]
+      in
+      match amode ctx addr with
+      | A_dyn a ->
+          eval ctx d a;
+          with_addr (A_dyn a)
+      | m -> with_addr m)
+
+(* Move an integer register's bits into an FP register through the stack. *)
+and scratch_int_to_fp ctx ir fr =
+  ins ctx "lda" [ r sp; mem (-8) sp ];
+  ins ctx "stq" [ r ir; mem 0 sp ];
+  ins ctx "ldt" [ f fr; mem 0 sp ];
+  ins ctx "lda" [ r sp; mem 8 sp ]
+
+and scratch_fp_to_int ctx fr ir =
+  ins ctx "lda" [ r sp; mem (-8) sp ];
+  ins ctx "stt" [ f fr; mem 0 sp ];
+  ins ctx "ldq" [ r ir; mem 0 sp ];
+  ins ctx "lda" [ r sp; mem 8 sp ]
+
+(* Floating compare: result 0/1 in the integer temp at depth d.
+   [positive] selects "condition held" (bits non-zero). *)
+and fcompare ctx d opname fa fb positive =
+  ins ctx opname [ fa; fb; f (ft ctx d) ];
+  scratch_fp_to_int ctx (ft ctx d) (it ctx d);
+  if positive then begin
+    ins ctx "cmpeq" [ r (it ctx d); imm 0; r (it ctx d) ];
+    ins ctx "xor" [ r (it ctx d); imm 1; r (it ctx d) ]
+  end
+  else ins ctx "cmpeq" [ r (it ctx d); imm 0; r (it ctx d) ]
+
+(* A call to __divq/__remq with operands in temps d and d+1; result in d.
+   Temps below d are live and must survive. *)
+and emit_div_call ctx d helper =
+  let live = d in
+  if live > 0 then begin
+    ins ctx "lda" [ r sp; mem (-8 * live) sp ];
+    for k = 0 to live - 1 do
+      ins ctx "stq" [ r ipool.(k); mem (8 * k) sp ]
+    done
+  end;
+  ins ctx "mov" [ r (it ctx d); r 16 ];
+  ins ctx "mov" [ r (it ctx (d + 1)); r 17 ];
+  ins ctx "bsr" [ r ra; sym helper ];
+  ins ctx "mov" [ r v0; r (it ctx d) ];
+  if live > 0 then begin
+    for k = 0 to live - 1 do
+      ins ctx "ldq" [ r ipool.(k); mem (8 * k) sp ]
+    done;
+    ins ctx "lda" [ r sp; mem (8 * live) sp ]
+  end
+
+and emit_call ctx d { c_fn; c_args; c_ret } =
+  let live = d in
+  (* save live temps *)
+  if live > 0 then begin
+    ins ctx "lda" [ r sp; mem (-8 * live) sp ];
+    for k = 0 to live - 1 do
+      ins ctx "stq" [ r ipool.(k); mem (8 * k) sp ]
+    done
+  end;
+  let n = List.length c_args in
+  let indirect = match c_fn with Indirect _ -> true | Direct _ -> false in
+  let total = n + if indirect then 1 else 0 in
+  if total > 0 then ins ctx "lda" [ r sp; mem (-8 * total) sp ];
+  List.iteri
+    (fun k (cls, arg) ->
+      eval ctx 0 arg;
+      match cls with
+      | Lint -> ins ctx "stq" [ r (it ctx 0); mem (8 * k) sp ]
+      | Ldouble -> ins ctx "stt" [ f (ft ctx 0); mem (8 * k) sp ])
+    c_args;
+  (match c_fn with
+  | Indirect fe ->
+      eval ctx 0 fe;
+      ins ctx "stq" [ r (it ctx 0); mem (8 * n) sp ]
+  | Direct _ -> ());
+  (* register arguments *)
+  for k = 0 to min n 6 - 1 do
+    ins ctx "ldq" [ r (16 + k); mem (8 * k) sp ]
+  done;
+  if indirect then ins ctx "ldq" [ r pv; mem (8 * n) sp ];
+  (* position sp for stack arguments *)
+  let bump = if n <= 6 then 8 * total else 48 in
+  if bump > 0 then ins ctx "lda" [ r sp; mem bump sp ];
+  (match c_fn with
+  | Direct name -> ins ctx "bsr" [ r ra; sym name ]
+  | Indirect _ -> ins ctx "jsr" [ r ra; mem 0 pv ]);
+  let unbump = (8 * total) - bump in
+  if unbump > 0 then ins ctx "lda" [ r sp; mem unbump sp ];
+  (* result *)
+  (match c_ret with
+  | Some Lint | None -> ins ctx "mov" [ r v0; r (it ctx d) ]
+  | Some Ldouble -> ins ctx "fmov" [ f 0; f (ft ctx d) ]);
+  (* restore live temps *)
+  if live > 0 then begin
+    for k = 0 to live - 1 do
+      ins ctx "ldq" [ r ipool.(k); mem (8 * k) sp ]
+    done;
+    ins ctx "lda" [ r sp; mem (8 * live) sp ]
+  end
+
+(* -- statements -------------------------------------------------------- *)
+
+let ret_label ctx = Printf.sprintf ".L%s.ret" ctx.fname
+
+let rec stmt ctx s =
+  match s with
+  | Texpr e -> eval ctx 0 e
+  | Tif (c, a, b) ->
+      let lelse = fresh ctx "else" and lend = fresh ctx "endif" in
+      eval ctx 0 c;
+      ins ctx "beq" [ r (it ctx 0); sym (if b = [] then lend else lelse) ];
+      List.iter (stmt ctx) a;
+      if b <> [] then begin
+        ins ctx "br" [ sym lend ];
+        label ctx lelse;
+        List.iter (stmt ctx) b
+      end;
+      label ctx lend
+  | Tloop { l_cond; l_post_test; l_body; l_step } ->
+      let ltop = fresh ctx "top"
+      and lcont = fresh ctx "cont"
+      and lend = fresh ctx "end" in
+      ctx.breaks <- lend :: ctx.breaks;
+      ctx.continues <- lcont :: ctx.continues;
+      label ctx ltop;
+      if not l_post_test then begin
+        match l_cond with
+        | Some c ->
+            eval ctx 0 c;
+            ins ctx "beq" [ r (it ctx 0); sym lend ]
+        | None -> ()
+      end;
+      List.iter (stmt ctx) l_body;
+      label ctx lcont;
+      List.iter (fun e -> eval ctx 0 e) l_step;
+      (if l_post_test then begin
+         match l_cond with
+         | Some c ->
+             eval ctx 0 c;
+             ins ctx "bne" [ r (it ctx 0); sym ltop ]
+         | None -> ins ctx "br" [ sym ltop ]
+       end
+       else ins ctx "br" [ sym ltop ]);
+      label ctx lend;
+      ctx.breaks <- List.tl ctx.breaks;
+      ctx.continues <- List.tl ctx.continues
+  | Treturn None -> ins ctx "br" [ sym (ret_label ctx) ]
+  | Treturn (Some (cls, e)) ->
+      eval ctx 0 e;
+      (match cls with
+      | Lint -> ins ctx "mov" [ r (it ctx 0); r v0 ]
+      | Ldouble -> ins ctx "fmov" [ f (ft ctx 0); f 0 ]);
+      ins ctx "br" [ sym (ret_label ctx) ]
+  | Tbreak -> (
+      match ctx.breaks with
+      | l :: _ -> ins ctx "br" [ sym l ]
+      | [] -> fail "%s: break outside loop" ctx.fname)
+  | Tcontinue -> (
+      match ctx.continues with
+      | l :: _ -> ins ctx "br" [ sym l ]
+      | [] -> fail "%s: continue outside loop" ctx.fname)
+
+(* -- functions --------------------------------------------------------- *)
+
+(* A function qualifies as a "light leaf" when it makes no calls (integer
+   division counts as a call to the runtime helpers), never takes a
+   parameter's address, and only accesses parameters as whole 64-bit
+   integer values.  Such functions keep parameters in the argument
+   registers and need no frame header at all. *)
+let rec light_expr np e =
+  let ok = light_expr np in
+  match e with
+  | Cint _ | Cfloat _ | Cstr _ | Glob_addr _ -> true
+  | Loc_addr id -> id >= np
+  | Load (S64, Loc_addr id) when id < np -> true
+  | Load (_, a) -> ok a
+  | Store (S64, Loc_addr id, v) when id < np -> ok v
+  | Store (_, a, v) -> ok a && ok v
+  | Un (_, _, a) -> ok a
+  | Bin ((Ast.Div | Ast.Mod), Lint, _, _) -> false
+  | Bin (_, _, a, b) -> ok a && ok b
+  | Logand (a, b) | Logor (a, b) -> ok a && ok b
+  | Cond (_, c, a, b) -> ok c && ok a && ok b
+  | Call _ -> false
+  | Cast_i2d a | Cast_d2i a -> ok a
+  | Incdec { sc = S64; addr = Loc_addr id; _ } when id < np -> true
+  | Incdec { addr; _ } -> ok addr
+  | Assignop { op = Ast.Div | Ast.Mod; cls = Lint; _ } -> false
+  | Assignop { sc = S64; addr = Loc_addr id; value; _ } when id < np -> ok value
+  | Assignop { addr; value; _ } -> ok addr && ok value
+
+let rec light_stmt np s =
+  match s with
+  | Texpr e -> light_expr np e
+  | Tif (c, a, b) ->
+      light_expr np c && List.for_all (light_stmt np) a
+      && List.for_all (light_stmt np) b
+  | Tloop { l_cond; l_body; l_step; _ } ->
+      (match l_cond with None -> true | Some c -> light_expr np c)
+      && List.for_all (light_stmt np) l_body
+      && List.for_all (light_expr np) l_step
+  | Treturn None | Tbreak | Tcontinue -> true
+  | Treturn (Some (_, e)) -> light_expr np e
+
+let qualifies_light fn =
+  let np = List.length fn.f_params in
+  (not fn.f_varargs) && np <= 6 && List.for_all (light_stmt np) fn.f_body
+
+let func (fn : tfunc) : Asmlib.Src.stmt list =
+  let nparams = List.length fn.f_params in
+  (* lay out non-parameter slots in the locals area *)
+  let nslots = List.length fn.f_slots in
+  let slot_off = Array.make (max nslots 1) 0 in
+  let cursor = ref 0 in
+  List.iter
+    (fun sl ->
+      if sl.sl_id >= nparams then begin
+        slot_off.(sl.sl_id) <- !cursor;
+        cursor := !cursor + ((sl.sl_size + 7) / 8 * 8)
+      end)
+    fn.f_slots;
+  let locals = !cursor in
+  let light = qualifies_light fn in
+  let frame =
+    if light then (locals + 15) / 16 * 16 else (locals + 64 + 15) / 16 * 16
+  in
+  if frame > 32000 then fail "%s: frame too large" fn.f_name;
+  let ctx =
+    {
+      out = [];
+      nlabel = 0;
+      fname = fn.f_name;
+      frame;
+      nparams;
+      slot_off;
+      varargs = fn.f_varargs;
+      light;
+      breaks = [];
+      continues = [];
+    }
+  in
+  push ctx (Asmlib.Src.D_globl fn.f_name);
+  push ctx (Asmlib.Src.D_ent fn.f_name);
+  label ctx fn.f_name;
+  (* prologue *)
+  if light then begin
+    if frame > 0 then ins ctx "lda" [ r sp; mem (-frame) sp ]
+  end
+  else begin
+    ins ctx "lda" [ r sp; mem (-frame) sp ];
+    ins ctx "stq" [ r ra; mem (frame - 56) sp ];
+    ins ctx "stq" [ r fp; mem (frame - 64) sp ];
+    ins ctx "mov" [ r sp; r fp ];
+    let homes = if fn.f_varargs then 6 else min nparams 6 in
+    for i = 0 to homes - 1 do
+      ins ctx "stq" [ r (16 + i); mem (frame - 48 + (8 * i)) fp ]
+    done
+  end;
+  List.iter (stmt ctx) fn.f_body;
+  (* epilogue *)
+  label ctx (ret_label ctx);
+  if light then begin
+    if frame > 0 then ins ctx "lda" [ r sp; mem frame sp ]
+  end
+  else begin
+    ins ctx "mov" [ r fp; r sp ];
+    ins ctx "ldq" [ r ra; mem (frame - 56) sp ];
+    ins ctx "ldq" [ r fp; mem (frame - 64) sp ];
+    ins ctx "lda" [ r sp; mem frame sp ]
+  end;
+  ins ctx "ret" [];
+  push ctx (Asmlib.Src.D_endp fn.f_name);
+  List.rev ctx.out
+
+(* -- whole program ------------------------------------------------------ *)
+
+let mk it = { Asmlib.Src.line = 0; it }
+
+let global (g : tglobal) : Asmlib.Src.stmt list =
+  match g.g_init with
+  | None -> [ mk (Asmlib.Src.D_comm (g.g_name, g.g_size, Objfile.Types.Global)) ]
+  | Some inits ->
+      let header =
+        [ mk (Asmlib.Src.D_section Objfile.Types.Data);
+          mk (Asmlib.Src.D_align 3);
+          mk (Asmlib.Src.D_globl g.g_name);
+          mk (Asmlib.Src.L g.g_name) ]
+      in
+      let one init =
+        match (init, g.g_elem) with
+        | Gint v, 1 -> mk (Asmlib.Src.D_byte [ Int64.to_int v land 0xFF ])
+        | Gint v, _ -> mk (Asmlib.Src.D_quad [ Asmlib.Src.O_imm (Int64.to_int v) ])
+        | Gfloat x, _ -> mk (Asmlib.Src.D_double [ x ])
+        | Gaddr (s, off), _ -> mk (Asmlib.Src.D_quad [ Asmlib.Src.O_sym (s, off) ])
+        | Gstr i, _ -> mk (Asmlib.Src.D_quad [ Asmlib.Src.O_sym (str_label i, 0) ])
+      in
+      let body = List.map one inits in
+      let used = List.length inits * g.g_elem in
+      let pad = if g.g_size > used then [ mk (Asmlib.Src.D_space (g.g_size - used)) ] else [] in
+      header @ body @ pad
+
+let strings (tbl : string array) : Asmlib.Src.stmt list =
+  if Array.length tbl = 0 then []
+  else
+    mk (Asmlib.Src.D_section Objfile.Types.Rdata)
+    :: List.concat
+         (List.mapi
+            (fun i s ->
+              [ mk (Asmlib.Src.L (str_label i)); mk (Asmlib.Src.D_ascii (s, true)) ])
+            (Array.to_list tbl))
+
+let program (p : Tast.program) : Asmlib.Src.stmt list =
+  let text =
+    mk (Asmlib.Src.D_section Objfile.Types.Text)
+    :: List.concat_map func p.p_funcs
+  in
+  let data = List.concat_map global p.p_globals in
+  let ro = strings p.p_strings in
+  text @ data @ ro
+
+let to_asm_text p =
+  let buf = Buffer.create 4096 in
+  Asmlib.Src.print_program buf (program p);
+  Buffer.contents buf

@@ -1,0 +1,22 @@
+(** Code generation from {!Tast} to assembly statements.
+
+    Conventions (the OSF/1 calling standard, with one documented
+    simplification):
+
+    - arguments go in [$16]..[$21], then the stack; {e doubles travel as
+      bit patterns in the integer argument registers}, which makes varargs
+      layout uniform (DESIGN.md, "Mini-C ABI");
+    - results come back in [$0] ([$f0] for doubles);
+    - every function builds a frame addressed through [$fp] and spills its
+      first six arguments into home slots adjacent to the caller-pushed
+      stack arguments, so [&arg] and varargs walk one contiguous array;
+    - expression evaluation uses the caller-save temporaries
+      [$1]-[$8]/[$22]-[$25] as a register stack; [/] and [%] call the
+      runtime helpers [__divq]/[__remq]. *)
+
+exception Error of string
+
+val program : Tast.program -> Asmlib.Src.stmt list
+
+val to_asm_text : Tast.program -> string
+(** The generated statements rendered as assembly source. *)

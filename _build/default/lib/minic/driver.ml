@@ -1,0 +1,20 @@
+exception Error of string
+
+let wrap name fn =
+  try fn () with
+  | Lexer.Error (ln, m) | Parser.Error (ln, m) | Typecheck.Error (ln, m) ->
+      raise (Error (Printf.sprintf "%s:%d: %s" name ln m))
+  | Codegen.Error m | Failure m -> raise (Error (Printf.sprintf "%s: %s" name m))
+  | Asmlib.Assemble.Error (ln, m) ->
+      raise (Error (Printf.sprintf "%s (generated asm line %d): %s" name ln m))
+
+let compile ~name source =
+  wrap name (fun () ->
+      let ast = Parser.program source in
+      let tast = Typecheck.program ast in
+      let stmts = Codegen.program tast in
+      Asmlib.Assemble.unit_of_stmts ~name stmts)
+
+let compile_to_asm source =
+  wrap "<source>" (fun () ->
+      Codegen.to_asm_text (Typecheck.program (Parser.program source)))

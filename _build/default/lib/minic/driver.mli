@@ -1,0 +1,11 @@
+(** One-call compiler pipeline: Mini-C source to a relocatable object
+    module (or assembly text, for inspection). *)
+
+exception Error of string
+(** Any compilation failure, with a location prefix where available. *)
+
+val compile : name:string -> string -> Objfile.Unit_file.t
+(** Parse, typecheck, generate code and assemble. *)
+
+val compile_to_asm : string -> string
+(** Stop after code generation; returns assembly source. *)

@@ -1,0 +1,174 @@
+type token =
+  | INT of int64
+  | FLOAT of float
+  | STRING of string
+  | CHAR of char
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type t = { tok : token; line : int }
+
+exception Error of int * string
+
+let err ln fmt = Printf.ksprintf (fun m -> raise (Error (ln, m))) fmt
+
+let keywords =
+  [ "long"; "int"; "char"; "double"; "void"; "struct"; "extern"; "static";
+    "return"; "if"; "else"; "while"; "for"; "do"; "break"; "continue"; "sizeof" ]
+
+(* multi-character punctuation, longest first *)
+let puncts3 = [ "<<="; ">>="; "..." ]
+
+let puncts2 =
+  [ "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>"; "+="; "-="; "*="; "/=";
+    "%="; "&="; "|="; "^="; "++"; "--"; "->" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident c = is_ident_start c || is_digit c
+
+let escape ln = function
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '\'' -> '\''
+  | '"' -> '"'
+  | c -> err ln "bad escape '\\%c'" c
+
+let tokens src =
+  let n = String.length src in
+  let line = ref 1 in
+  let out = ref [] in
+  let push tok = out := { tok; line = !line } :: !out in
+  let rec go i =
+    if i >= n then ()
+    else
+      match src.[i] with
+      | '\n' ->
+          incr line;
+          go (i + 1)
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+          let rec skip j = if j >= n || src.[j] = '\n' then j else skip (j + 1) in
+          go (skip (i + 2))
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+          let rec skip j =
+            if j + 1 >= n then err !line "unterminated comment"
+            else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+            else begin
+              if src.[j] = '\n' then incr line;
+              skip (j + 1)
+            end
+          in
+          go (skip (i + 2))
+      | '"' ->
+          let b = Buffer.create 16 in
+          let rec scan j =
+            if j >= n then err !line "unterminated string"
+            else
+              match src.[j] with
+              | '"' -> j + 1
+              | '\\' when j + 1 < n ->
+                  Buffer.add_char b (escape !line src.[j + 1]);
+                  scan (j + 2)
+              | c ->
+                  if c = '\n' then incr line;
+                  Buffer.add_char b c;
+                  scan (j + 1)
+          in
+          let j = scan (i + 1) in
+          push (STRING (Buffer.contents b));
+          go j
+      | '\'' ->
+          let c, j =
+            if i + 1 < n && src.[i + 1] = '\\' then begin
+              if i + 2 >= n then err !line "unterminated char";
+              (escape !line src.[i + 2], i + 3)
+            end
+            else if i + 1 < n then (src.[i + 1], i + 2)
+            else err !line "unterminated char"
+          in
+          if j >= n || src.[j] <> '\'' then err !line "unterminated char literal";
+          push (CHAR c);
+          go (j + 1)
+      | c when is_digit c ->
+          let hex = c = '0' && i + 1 < n && (src.[i + 1] = 'x' || src.[i + 1] = 'X') in
+          let start = i in
+          let rec scan j seen_dot =
+            if j >= n then (j, seen_dot)
+            else
+              match src.[j] with
+              | c when is_digit c -> scan (j + 1) seen_dot
+              | c when hex && is_hex c -> scan (j + 1) seen_dot
+              | 'x' | 'X' when hex && j = start + 1 -> scan (j + 1) seen_dot
+              | '.' when not hex && not seen_dot -> scan (j + 1) true
+              | ('e' | 'E') when (not hex) && j + 1 < n
+                                 && (is_digit src.[j + 1]
+                                    || ((src.[j + 1] = '+' || src.[j + 1] = '-')
+                                       && j + 2 < n && is_digit src.[j + 2])) ->
+                  let j = if src.[j + 1] = '+' || src.[j + 1] = '-' then j + 2 else j + 1 in
+                  scan (j + 1) true
+              | _ -> (j, seen_dot)
+          in
+          let j, is_float = scan i false in
+          let text = String.sub src i (j - i) in
+          if is_float then
+            match float_of_string_opt text with
+            | Some f -> push (FLOAT f); go j
+            | None -> err !line "bad float literal %S" text
+          else begin
+            (match Int64.of_string_opt text with
+            | Some v -> push (INT v)
+            | None -> err !line "bad integer literal %S" text);
+            go j
+          end
+      | c when is_ident_start c ->
+          let rec scan j = if j < n && is_ident src.[j] then scan (j + 1) else j in
+          let j = scan i in
+          let word = String.sub src i (j - i) in
+          if List.mem word keywords then push (KW word) else push (IDENT word);
+          go j
+      | _ ->
+          let try_punct lst len =
+            if i + len <= n && List.mem (String.sub src i len) lst then
+              Some (String.sub src i len)
+            else None
+          in
+          (match try_punct puncts3 3 with
+          | Some p ->
+              push (PUNCT p);
+              go (i + 3)
+          | None -> (
+              match try_punct puncts2 2 with
+              | Some p ->
+                  push (PUNCT p);
+                  go (i + 2)
+              | None ->
+                  let c = src.[i] in
+                  if String.contains "+-*/%&|^~!<>=(){}[];,.?:" c then begin
+                    push (PUNCT (String.make 1 c));
+                    go (i + 1)
+                  end
+                  else err !line "unexpected character %C" c))
+  in
+  go 0;
+  push EOF;
+  List.rev !out
+
+let token_to_string = function
+  | INT v -> Int64.to_string v
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "%S" s
+  | CHAR c -> Printf.sprintf "%C" c
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> s
+  | EOF -> "<eof>"

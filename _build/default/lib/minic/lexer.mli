@@ -1,0 +1,19 @@
+(** Tokeniser for Mini-C.  Supports [//] and [/* */] comments, decimal /
+    hex / char / string / floating literals with the usual escapes. *)
+
+type token =
+  | INT of int64
+  | FLOAT of float
+  | STRING of string
+  | CHAR of char
+  | IDENT of string
+  | KW of string  (** one of the reserved words *)
+  | PUNCT of string  (** operators and punctuation, longest-match *)
+  | EOF
+
+type t = { tok : token; line : int }
+
+exception Error of int * string
+
+val tokens : string -> t list
+val token_to_string : token -> string

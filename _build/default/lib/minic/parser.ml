@@ -1,0 +1,594 @@
+open Ast
+
+exception Error of int * string
+
+type state = { toks : Lexer.t array; mutable pos : int }
+
+let err st fmt =
+  let ln = st.toks.(min st.pos (Array.length st.toks - 1)).Lexer.line in
+  Printf.ksprintf (fun m -> raise (Error (ln, m))) fmt
+
+let peek st = st.toks.(st.pos).Lexer.tok
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1).Lexer.tok else Lexer.EOF
+
+let line st = st.toks.(st.pos).Lexer.line
+let advance st = st.pos <- st.pos + 1
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let eat_punct st p =
+  match peek st with
+  | Lexer.PUNCT q when q = p -> advance st
+  | t -> err st "expected %S, got %s" p (Lexer.token_to_string t)
+
+let try_punct st p =
+  match peek st with
+  | Lexer.PUNCT q when q = p ->
+      advance st;
+      true
+  | _ -> false
+
+let eat_kw st k =
+  match peek st with
+  | Lexer.KW q when q = k -> advance st
+  | t -> err st "expected %S, got %s" k (Lexer.token_to_string t)
+
+let ident st =
+  match next st with
+  | Lexer.IDENT s -> s
+  | t -> err st "expected identifier, got %s" (Lexer.token_to_string t)
+
+let starts_type st =
+  match peek st with
+  | Lexer.KW ("long" | "int" | "char" | "double" | "void" | "struct") -> true
+  | _ -> false
+
+let base_type st =
+  match next st with
+  | Lexer.KW "long" | Lexer.KW "int" -> Tlong
+  | Lexer.KW "char" -> Tchar
+  | Lexer.KW "double" -> Tdouble
+  | Lexer.KW "void" -> Tvoid
+  | Lexer.KW "struct" -> Tstruct (ident st)
+  | t -> err st "expected a type, got %s" (Lexer.token_to_string t)
+
+let rec stars st ty = if try_punct st "*" then stars st (Tptr ty) else ty
+
+(* An abstract type (casts, sizeof, prototype parameters): base, stars,
+   optionally the function-pointer form ( \* )(args). *)
+and abstract_type st =
+  let ty = stars st (base_type st) in
+  if peek st = Lexer.PUNCT "(" && peek2 st = Lexer.PUNCT "*" then begin
+    eat_punct st "(";
+    eat_punct st "*";
+    eat_punct st ")";
+    let args, va = param_types st in
+    Tptr (Tfun (ty, args, va))
+  end
+  else ty
+
+and param_types st =
+  eat_punct st "(";
+  if try_punct st ")" then ([], false)
+  else begin
+    let va = ref false in
+    let rec go acc =
+      if try_punct st "..." then begin
+        va := true;
+        eat_punct st ")";
+        List.rev acc
+      end
+      else begin
+        let ty = abstract_type st in
+        (* optional parameter name in prototypes *)
+        (match peek st with Lexer.IDENT _ -> advance st | _ -> ());
+        if try_punct st "," then go (ty :: acc)
+        else begin
+          eat_punct st ")";
+          List.rev (ty :: acc)
+        end
+      end
+    in
+    let tys = go [] in
+    (* "(void)" means no parameters *)
+    let tys = match tys with [ Tvoid ] -> [] | tys -> tys in
+    (tys, !va)
+  end
+
+(* -- expressions ------------------------------------------------------ *)
+
+let mk ln e = { eline = ln; e }
+
+let rec expr st = assignment st
+
+and assignment st =
+  let ln = line st in
+  let lhs = conditional st in
+  match peek st with
+  | Lexer.PUNCT "=" ->
+      advance st;
+      mk ln (Eassign (lhs, assignment st))
+  | Lexer.PUNCT ("+=" | "-=" | "*=" | "/=" | "%=" | "&=" | "|=" | "^=" | "<<=" | ">>=") ->
+      let p = match next st with Lexer.PUNCT p -> p | _ -> assert false in
+      let op =
+        match p with
+        | "+=" -> Add | "-=" -> Sub | "*=" -> Mul | "/=" -> Div | "%=" -> Mod
+        | "&=" -> Band | "|=" -> Bor | "^=" -> Bxor | "<<=" -> Shl | _ -> Shr
+      in
+      mk ln (Eassign_op (op, lhs, assignment st))
+  | _ -> lhs
+
+and conditional st =
+  let ln = line st in
+  let c = logor st in
+  if try_punct st "?" then begin
+    let t = expr st in
+    eat_punct st ":";
+    let e = conditional st in
+    mk ln (Econd (c, t, e))
+  end
+  else c
+
+and logor st =
+  let ln = line st in
+  let rec go acc =
+    if try_punct st "||" then go (mk ln (Elogor (acc, logand st))) else acc
+  in
+  go (logand st)
+
+and logand st =
+  let ln = line st in
+  let rec go acc =
+    if try_punct st "&&" then go (mk ln (Elogand (acc, bitor st))) else acc
+  in
+  go (bitor st)
+
+and binlevel st ops sub =
+  let ln = line st in
+  let rec go acc =
+    match peek st with
+    | Lexer.PUNCT p when List.mem_assoc p ops ->
+        advance st;
+        go (mk ln (Ebin (List.assoc p ops, acc, sub st)))
+    | _ -> acc
+  in
+  go (sub st)
+
+and bitor st = binlevel st [ ("|", Bor) ] bitxor
+and bitxor st = binlevel st [ ("^", Bxor) ] bitand
+and bitand st = binlevel st [ ("&", Band) ] equality
+and equality st = binlevel st [ ("==", Eq); ("!=", Ne) ] relational
+
+and relational st =
+  binlevel st [ ("<", Lt); ("<=", Le); (">", Gt); (">=", Ge) ] shift
+
+and shift st = binlevel st [ ("<<", Shl); (">>", Shr) ] additive
+and additive st = binlevel st [ ("+", Add); ("-", Sub) ] multiplicative
+and multiplicative st = binlevel st [ ("*", Mul); ("/", Div); ("%", Mod) ] unary
+
+and unary st =
+  let ln = line st in
+  match peek st with
+  | Lexer.PUNCT "-" ->
+      advance st;
+      mk ln (Eun (Neg, unary st))
+  | Lexer.PUNCT "+" ->
+      advance st;
+      unary st
+  | Lexer.PUNCT "!" ->
+      advance st;
+      mk ln (Eun (Lognot, unary st))
+  | Lexer.PUNCT "~" ->
+      advance st;
+      mk ln (Eun (Bitnot, unary st))
+  | Lexer.PUNCT "*" ->
+      advance st;
+      mk ln (Ederef (unary st))
+  | Lexer.PUNCT "&" ->
+      advance st;
+      mk ln (Eaddr (unary st))
+  | Lexer.PUNCT "++" ->
+      advance st;
+      mk ln (Epre (Add, unary st))
+  | Lexer.PUNCT "--" ->
+      advance st;
+      mk ln (Epre (Sub, unary st))
+  | Lexer.KW "sizeof" ->
+      advance st;
+      if peek st = Lexer.PUNCT "(" && (match peek2 st with
+                                       | Lexer.KW ("long" | "int" | "char" | "double" | "void" | "struct") -> true
+                                       | _ -> false)
+      then begin
+        eat_punct st "(";
+        let ty = abstract_type st in
+        let ty = array_suffix st ty in
+        eat_punct st ")";
+        mk ln (Esizeof_ty ty)
+      end
+      else mk ln (Esizeof (unary st))
+  | Lexer.PUNCT "(" when (match peek2 st with
+                          | Lexer.KW ("long" | "int" | "char" | "double" | "void" | "struct") -> true
+                          | _ -> false) ->
+      eat_punct st "(";
+      let ty = abstract_type st in
+      eat_punct st ")";
+      mk ln (Ecast (ty, unary st))
+  | _ -> postfix st
+
+and array_suffix st ty =
+  if peek st = Lexer.PUNCT "[" then begin
+    eat_punct st "[";
+    let e = conditional st in
+    let n =
+      match const_eval e with
+      | Some v -> Int64.to_int v
+      | None -> err st "array size is not a constant expression"
+    in
+    if n <= 0 then err st "array size must be positive";
+    eat_punct st "]";
+    Tarr (array_suffix st ty, n)
+  end
+  else ty
+
+(* constant folding for array dimensions *)
+and const_eval (e : expr) : int64 option =
+  let ( let* ) = Option.bind in
+  match e.e with
+  | Enum v -> Some v
+  | Echar c -> Some (Int64.of_int (Char.code c))
+  | Eun (Neg, a) ->
+      let* a = const_eval a in
+      Some (Int64.neg a)
+  | Eun (Bitnot, a) ->
+      let* a = const_eval a in
+      Some (Int64.lognot a)
+  | Ebin (op, a, b) -> (
+      let* a = const_eval a in
+      let* b = const_eval b in
+      match op with
+      | Add -> Some (Int64.add a b)
+      | Sub -> Some (Int64.sub a b)
+      | Mul -> Some (Int64.mul a b)
+      | Div -> if b = 0L then None else Some (Int64.div a b)
+      | Mod -> if b = 0L then None else Some (Int64.rem a b)
+      | Band -> Some (Int64.logand a b)
+      | Bor -> Some (Int64.logor a b)
+      | Bxor -> Some (Int64.logxor a b)
+      | Shl -> Some (Int64.shift_left a (Int64.to_int b land 63))
+      | Shr -> Some (Int64.shift_right a (Int64.to_int b land 63))
+      | Lt | Le | Gt | Ge | Eq | Ne -> None)
+  | _ -> None
+
+and postfix st =
+  let ln = line st in
+  let rec go acc =
+    match peek st with
+    | Lexer.PUNCT "[" ->
+        advance st;
+        let i = expr st in
+        eat_punct st "]";
+        go (mk ln (Eindex (acc, i)))
+    | Lexer.PUNCT "(" ->
+        advance st;
+        let args =
+          if try_punct st ")" then []
+          else begin
+            let rec args acc =
+              let a = assignment st in
+              if try_punct st "," then args (a :: acc)
+              else begin
+                eat_punct st ")";
+                List.rev (a :: acc)
+              end
+            in
+            args []
+          end
+        in
+        go (mk ln (Ecall (acc, args)))
+    | Lexer.PUNCT "." ->
+        advance st;
+        go (mk ln (Emember (acc, ident st)))
+    | Lexer.PUNCT "->" ->
+        advance st;
+        go (mk ln (Earrow (acc, ident st)))
+    | Lexer.PUNCT "++" ->
+        advance st;
+        go (mk ln (Epost (Add, acc)))
+    | Lexer.PUNCT "--" ->
+        advance st;
+        go (mk ln (Epost (Sub, acc)))
+    | _ -> acc
+  in
+  go (primary st)
+
+and primary st =
+  let ln = line st in
+  match next st with
+  | Lexer.INT v -> mk ln (Enum v)
+  | Lexer.FLOAT f -> mk ln (Efnum f)
+  | Lexer.STRING s ->
+      (* adjacent string literals concatenate *)
+      let rec more acc =
+        match peek st with
+        | Lexer.STRING s2 ->
+            advance st;
+            more (acc ^ s2)
+        | _ -> acc
+      in
+      mk ln (Estr (more s))
+  | Lexer.CHAR c -> mk ln (Echar c)
+  | Lexer.IDENT s -> mk ln (Eident s)
+  | Lexer.PUNCT "(" ->
+      let e = expr st in
+      eat_punct st ")";
+      e
+  | t -> err st "unexpected token %s in expression" (Lexer.token_to_string t)
+
+(* -- declarators ------------------------------------------------------ *)
+
+(* Parse one declarator given the base type: returns (type, name). *)
+let declarator st base =
+  let ty = stars st base in
+  if peek st = Lexer.PUNCT "(" && peek2 st = Lexer.PUNCT "*" then begin
+    eat_punct st "(";
+    eat_punct st "*";
+    let name = ident st in
+    eat_punct st ")";
+    let args, va = param_types st in
+    (Tptr (Tfun (ty, args, va)), name)
+  end
+  else begin
+    let name = ident st in
+    let ty = array_suffix st ty in
+    (ty, name)
+  end
+
+(* -- statements -------------------------------------------------------- *)
+
+let rec stmt st =
+  let ln = line st in
+  let s s' = { sline = ln; s = s' } in
+  match peek st with
+  | Lexer.PUNCT "{" -> s (Sblock (block st))
+  | Lexer.KW "if" ->
+      advance st;
+      eat_punct st "(";
+      let c = expr st in
+      eat_punct st ")";
+      let then_ = branch_body st in
+      let else_ =
+        if peek st = Lexer.KW "else" then begin
+          advance st;
+          branch_body st
+        end
+        else []
+      in
+      s (Sif (c, then_, else_))
+  | Lexer.KW "while" ->
+      advance st;
+      eat_punct st "(";
+      let c = expr st in
+      eat_punct st ")";
+      s (Swhile (c, branch_body st))
+  | Lexer.KW "do" ->
+      advance st;
+      let body = branch_body st in
+      eat_kw st "while";
+      eat_punct st "(";
+      let c = expr st in
+      eat_punct st ")";
+      eat_punct st ";";
+      s (Sdo (body, c))
+  | Lexer.KW "for" ->
+      advance st;
+      eat_punct st "(";
+      let init =
+        if try_punct st ";" then None
+        else if starts_type st then begin
+          let d = decl_stmt st in
+          Some d
+        end
+        else begin
+          let e = expr st in
+          eat_punct st ";";
+          Some { sline = ln; s = Sexpr e }
+        end
+      in
+      let cond = if peek st = Lexer.PUNCT ";" then None else Some (expr st) in
+      eat_punct st ";";
+      let step = if peek st = Lexer.PUNCT ")" then None else Some (expr st) in
+      eat_punct st ")";
+      s (Sfor (init, cond, step, branch_body st))
+  | Lexer.KW "return" ->
+      advance st;
+      if try_punct st ";" then s (Sreturn None)
+      else begin
+        let e = expr st in
+        eat_punct st ";";
+        s (Sreturn (Some e))
+      end
+  | Lexer.KW "break" ->
+      advance st;
+      eat_punct st ";";
+      s Sbreak
+  | Lexer.KW "continue" ->
+      advance st;
+      eat_punct st ";";
+      s Scontinue
+  | Lexer.KW ("long" | "int" | "char" | "double" | "void" | "struct") ->
+      decl_stmt st
+  | _ ->
+      let e = expr st in
+      eat_punct st ";";
+      s (Sexpr e)
+
+(* One declaration statement; multiple declarators expand into a block. *)
+and decl_stmt st =
+  let ln = line st in
+  let base = base_type st in
+  let rec go acc =
+    let ty, name = declarator st base in
+    let init = if try_punct st "=" then Some (assignment st) else None in
+    let d = { sline = ln; s = Sdecl (ty, name, init) } in
+    if try_punct st "," then go (d :: acc)
+    else begin
+      eat_punct st ";";
+      List.rev (d :: acc)
+    end
+  in
+  match go [] with
+  | [ d ] -> d
+  | ds -> { sline = ln; s = Sseq ds }
+
+and branch_body st =
+  if try_punct st "{" then begin
+    let rec go acc =
+      if try_punct st "}" then List.rev acc else go (stmt st :: acc)
+    in
+    go []
+  end
+  else [ stmt st ]
+
+and block st =
+  eat_punct st "{";
+  let rec go acc = if try_punct st "}" then List.rev acc else go (stmt st :: acc) in
+  go []
+
+(* -- top level --------------------------------------------------------- *)
+
+let params st =
+  eat_punct st "(";
+  if try_punct st ")" then ([], false)
+  else begin
+    let va = ref false in
+    let rec go acc =
+      if try_punct st "..." then begin
+        va := true;
+        eat_punct st ")";
+        List.rev acc
+      end
+      else begin
+        let base = base_type st in
+        if base = Tvoid && peek st = Lexer.PUNCT ")" then begin
+          advance st;
+          List.rev acc
+        end
+        else begin
+          let ty, name = declarator st base in
+          (* array parameters decay to pointers *)
+          let ty = match ty with Tarr (t, _) -> Tptr t | t -> t in
+          if try_punct st "," then go ((ty, name) :: acc)
+          else begin
+            eat_punct st ")";
+            List.rev ((ty, name) :: acc)
+          end
+        end
+      end
+    in
+    let ps = go [] in
+    (ps, !va)
+  end
+
+let initializer_ st =
+  if try_punct st "{" then begin
+    if try_punct st "}" then Ilist []
+    else begin
+      let rec go acc =
+        let e = assignment st in
+        if try_punct st "," then
+          if peek st = Lexer.PUNCT "}" then begin
+            advance st;
+            List.rev (e :: acc)
+          end
+          else go (e :: acc)
+        else begin
+          eat_punct st "}";
+          List.rev (e :: acc)
+        end
+      in
+      Ilist (go [])
+    end
+  end
+  else Iscalar (assignment st)
+
+let top st =
+  match peek st with
+  | Lexer.KW "struct" when (match peek2 st with Lexer.IDENT _ -> true | _ -> false)
+                           && st.toks.(st.pos + 2).Lexer.tok = Lexer.PUNCT "{" ->
+      advance st;
+      let name = ident st in
+      eat_punct st "{";
+      let rec fields acc =
+        if try_punct st "}" then List.rev acc
+        else begin
+          let base = base_type st in
+          let rec decls acc =
+            let ty, fname = declarator st base in
+            if try_punct st "," then decls ((ty, fname) :: acc)
+            else begin
+              eat_punct st ";";
+              List.rev ((ty, fname) :: acc)
+            end
+          in
+          fields (List.rev_append (decls []) acc)
+        end
+      in
+      let fs = fields [] in
+      eat_punct st ";";
+      [ Dstruct (name, fs) ]
+  | Lexer.KW "extern" ->
+      advance st;
+      let base = base_type st in
+      let ty, name = declarator st base in
+      if peek st = Lexer.PUNCT "(" then begin
+        let args, va = param_types st in
+        eat_punct st ";";
+        [ Dproto (ty, name, args, va) ]
+      end
+      else begin
+        eat_punct st ";";
+        [ Dextern (ty, name) ]
+      end
+  | _ ->
+      (match peek st with Lexer.KW "static" -> advance st | _ -> ());
+      let base = base_type st in
+      let ty, name = declarator st base in
+      if peek st = Lexer.PUNCT "(" then begin
+        (* function definition or prototype *)
+        let ps, va = params st in
+        if try_punct st ";" then [ Dproto (ty, name, List.map fst ps, va) ]
+        else begin
+          let body = block st in
+          [ Dfun (ty, name, ps, va, body) ]
+        end
+      end
+      else begin
+        (* globals, possibly a comma-separated list *)
+        let rec go acc ty name =
+          let init = if try_punct st "=" then Some (initializer_ st) else None in
+          let acc = Dglobal (ty, name, init) :: acc in
+          if try_punct st "," then begin
+            let ty, name = declarator st base in
+            go acc ty name
+          end
+          else begin
+            eat_punct st ";";
+            List.rev acc
+          end
+        in
+        go [] ty name
+      end
+
+let program source =
+  match Lexer.tokens source with
+  | exception Lexer.Error (ln, m) -> raise (Error (ln, m))
+  | toks ->
+      let st = { toks = Array.of_list toks; pos = 0 } in
+      let rec go acc =
+        if peek st = Lexer.EOF then List.concat (List.rev acc) else go (top st :: acc)
+      in
+      go []

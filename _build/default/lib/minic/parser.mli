@@ -1,0 +1,11 @@
+(** Recursive-descent parser for Mini-C.
+
+    There are no typedefs, so the grammar is unambiguous: a parenthesis
+    followed by a type keyword is a cast, a statement starting with a type
+    keyword is a declaration.  Declarations accept comma-separated
+    declarator lists and the restricted function-pointer declarator
+    [ret ( \* name)(argtypes)]. *)
+
+exception Error of int * string
+
+val program : string -> Ast.program

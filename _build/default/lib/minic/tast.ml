@@ -1,0 +1,84 @@
+
+
+type lty = Lint | Ldouble
+
+type scalar =
+  | S8  
+  | S64  
+  | SF64  
+
+type texpr =
+  | Cint of int64
+  | Cfloat of float
+  | Cstr of int  
+  | Glob_addr of string  
+  | Loc_addr of int  
+  | Load of scalar * texpr
+  | Store of scalar * texpr * texpr  
+  | Un of Ast.unop * lty * texpr
+  | Bin of Ast.binop * lty * texpr * texpr
+      
+  | Logand of texpr * texpr
+  | Logor of texpr * texpr
+  | Cond of lty * texpr * texpr * texpr
+  | Call of call
+  | Cast_i2d of texpr
+  | Cast_d2i of texpr
+  | Incdec of { sc : scalar; addr : texpr; delta : int64; post : bool }
+      
+  | Assignop of { sc : scalar; cls : lty; op : Ast.binop; addr : texpr; value : texpr }
+      
+
+and call = {
+  c_fn : fn_target;
+  c_args : (lty * texpr) list;
+  c_ret : lty option;  
+}
+
+and fn_target = Direct of string | Indirect of texpr
+
+type tstmt =
+  | Texpr of texpr
+  | Tif of texpr * tstmt list * tstmt list
+  | Tloop of loop
+  | Treturn of (lty * texpr) option
+  | Tbreak
+  | Tcontinue
+
+and loop = {
+  l_cond : texpr option;  
+  l_post_test : bool;  
+  l_body : tstmt list;
+  l_step : texpr list;  
+}
+
+type slot = { sl_id : int; sl_name : string; sl_size : int }
+
+type tfunc = {
+  f_name : string;
+  f_ret : lty option;
+  f_params : slot list;  
+  f_varargs : bool;
+  f_slots : slot list;  
+  f_body : tstmt list;
+}
+
+type ginit =
+  | Gint of int64
+  | Gfloat of float
+  | Gaddr of string * int  
+  | Gstr of int  
+
+type tglobal = {
+  g_name : string;
+  g_size : int;
+  g_elem : int;  
+  g_init : ginit list option;  
+}
+
+type program = {
+  p_funcs : tfunc list;
+  p_globals : tglobal list;
+  p_strings : string array;
+  p_externs : string list;  
+}

@@ -1,0 +1,91 @@
+(** The typed, lowered form of Mini-C the code generator consumes.
+
+    Typechecking lowers all memory access to explicit address arithmetic:
+    l-values become address expressions, loads and stores are explicit and
+    carry the scalar width, pointer arithmetic is pre-scaled, struct
+    members are constant offsets.  Every remaining value is either a
+    64-bit integer class value ([Lint]: longs, chars, pointers) or a
+    double ([Ldouble]). *)
+
+type lty = Lint | Ldouble
+
+type scalar =
+  | S8  (** unsigned byte ([char]) *)
+  | S64  (** long / pointer *)
+  | SF64  (** double *)
+
+type texpr =
+  | Cint of int64
+  | Cfloat of float
+  | Cstr of int  (** index into the program's string table *)
+  | Glob_addr of string  (** address of a global datum or function *)
+  | Loc_addr of int  (** address of a stack slot, by slot id *)
+  | Load of scalar * texpr
+  | Store of scalar * texpr * texpr  (** address, value; yields the value *)
+  | Un of Ast.unop * lty * texpr
+  | Bin of Ast.binop * lty * texpr * texpr
+      (** [lty] classifies the {e operands}; comparisons yield [Lint] *)
+  | Logand of texpr * texpr
+  | Logor of texpr * texpr
+  | Cond of lty * texpr * texpr * texpr
+  | Call of call
+  | Cast_i2d of texpr
+  | Cast_d2i of texpr
+  | Incdec of { sc : scalar; addr : texpr; delta : int64; post : bool }
+      (** [++]/[--] on an integer-class l-value; [delta] is pre-scaled *)
+  | Assignop of { sc : scalar; cls : lty; op : Ast.binop; addr : texpr; value : texpr }
+      (** [x op= e]: the address is evaluated once; yields the new value *)
+
+and call = {
+  c_fn : fn_target;
+  c_args : (lty * texpr) list;
+  c_ret : lty option;  (** [None] for void *)
+}
+
+and fn_target = Direct of string | Indirect of texpr
+
+type tstmt =
+  | Texpr of texpr
+  | Tif of texpr * tstmt list * tstmt list
+  | Tloop of loop
+  | Treturn of (lty * texpr) option
+  | Tbreak
+  | Tcontinue
+
+and loop = {
+  l_cond : texpr option;  (** tested before each iteration; [None] = true *)
+  l_post_test : bool;  (** do-while: run body once before first test *)
+  l_body : tstmt list;
+  l_step : texpr list;  (** run after body and on [continue] *)
+}
+
+type slot = { sl_id : int; sl_name : string; sl_size : int }
+
+type tfunc = {
+  f_name : string;
+  f_ret : lty option;
+  f_params : slot list;  (** in declaration order; each 8 bytes *)
+  f_varargs : bool;
+  f_slots : slot list;  (** every stack slot, parameters included *)
+  f_body : tstmt list;
+}
+
+type ginit =
+  | Gint of int64
+  | Gfloat of float
+  | Gaddr of string * int  (** symbol + byte offset *)
+  | Gstr of int  (** pointer to interned string *)
+
+type tglobal = {
+  g_name : string;
+  g_size : int;
+  g_elem : int;  (** bytes per initialiser element: 1 for char arrays, else 8 *)
+  g_init : ginit list option;  (** [None]: zero-initialised (.bss) *)
+}
+
+type program = {
+  p_funcs : tfunc list;
+  p_globals : tglobal list;
+  p_strings : string array;
+  p_externs : string list;  (** referenced but defined elsewhere *)
+}

@@ -1,0 +1,596 @@
+open Ast
+open Tast
+
+exception Error of int * string
+
+let err ln fmt = Printf.ksprintf (fun m -> raise (Error (ln, m))) fmt
+
+type struct_info = { si_fields : (string * int * ty) list; si_size : int }
+
+type env = {
+  structs : (string, struct_info) Hashtbl.t;
+  globals : (string, ty) Hashtbl.t;  (* data objects, incl. externs *)
+  funcs : (string, ty) Hashtbl.t;  (* always Tfun *)
+  defined : (string, unit) Hashtbl.t;  (* functions/globals defined here *)
+  strings : (string, int) Hashtbl.t;
+  mutable strings_rev : string list;
+  mutable nstrings : int;
+  (* current function *)
+  mutable scopes : (string * (int * ty)) list list;
+  mutable slots : slot list;
+  mutable nslots : int;
+  mutable ret : ty;
+}
+
+let fresh_env () =
+  {
+    structs = Hashtbl.create 16;
+    globals = Hashtbl.create 64;
+    funcs = Hashtbl.create 64;
+    defined = Hashtbl.create 64;
+    strings = Hashtbl.create 64;
+    strings_rev = [];
+    nstrings = 0;
+    scopes = [];
+    slots = [];
+    nslots = 0;
+    ret = Tvoid;
+  }
+
+let intern env s =
+  match Hashtbl.find_opt env.strings s with
+  | Some i -> i
+  | None ->
+      let i = env.nstrings in
+      Hashtbl.replace env.strings s i;
+      env.strings_rev <- s :: env.strings_rev;
+      env.nstrings <- i + 1;
+      i
+
+let rec sizeof env ln = function
+  | Tvoid -> err ln "sizeof void"
+  | Tchar -> 1
+  | Tlong | Tdouble | Tptr _ -> 8
+  | Tarr (t, n) -> n * sizeof env ln t
+  | Tstruct name -> (
+      match Hashtbl.find_opt env.structs name with
+      | Some si -> si.si_size
+      | None -> err ln "unknown struct %s" name)
+  | Tfun _ -> err ln "sizeof function"
+
+let alignof _env ln = function
+  | Tchar -> 1
+  | Tarr (Tchar, _) -> 1
+  | Tvoid -> err ln "align of void"
+  | Tlong | Tdouble | Tptr _ | Tstruct _ | Tfun _ | Tarr _ -> 8
+
+let class_of ln = function
+  | Tdouble -> Ldouble
+  | Tlong | Tchar | Tptr _ | Tarr _ | Tfun _ -> Lint
+  | Tvoid -> err ln "void value used"
+  | Tstruct _ -> err ln "struct used as a value (use pointers)"
+
+let scalar_of ln = function
+  | Tchar -> S8
+  | Tdouble -> SF64
+  | Tlong | Tptr _ -> S64
+  | t -> err ln "cannot load/store a %s" (ty_to_string t)
+
+let field env ln sname f =
+  match Hashtbl.find_opt env.structs sname with
+  | None -> err ln "unknown struct %s" sname
+  | Some si -> (
+      match List.find_opt (fun (n, _, _) -> n = f) si.si_fields with
+      | Some (_, off, ty) -> (off, ty)
+      | None -> err ln "struct %s has no member %s" sname f)
+
+let new_slot env name size =
+  let id = env.nslots in
+  env.nslots <- id + 1;
+  env.slots <- { sl_id = id; sl_name = name; sl_size = size } :: env.slots;
+  id
+
+let bind env name id ty =
+  match env.scopes with
+  | scope :: rest -> env.scopes <- ((name, (id, ty)) :: scope) :: rest
+  | [] -> invalid_arg "bind: no scope"
+
+let lookup_local env name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+        match List.assoc_opt name scope with Some x -> Some x | None -> go rest)
+  in
+  go env.scopes
+
+(* decay arrays to pointers in value contexts *)
+let decay = function Tarr (t, _) -> Tptr t | t -> t
+
+let is_int_class ty = match ty with Tlong | Tchar | Tptr _ | Tarr _ -> true | _ -> false
+
+(* Coerce a typed rvalue to an expected type, inserting conversions. *)
+let coerce ln (ty, e) want =
+  let ty = decay ty and want = decay want in
+  match (ty, want) with
+  | Tdouble, Tdouble -> e
+  | Tdouble, (Tlong | Tchar) -> Cast_d2i e
+  | (Tlong | Tchar), Tdouble -> Cast_i2d e
+  | (Tlong | Tchar | Tptr _), (Tlong | Tptr _) -> e
+  | (Tlong | Tptr _), Tchar -> Bin (Band, Lint, e, Cint 0xFFL)
+  | Tchar, Tchar -> e
+  | Tfun _, Tptr _ -> e
+  | _ ->
+      err ln "cannot convert %s to %s" (ty_to_string ty) (ty_to_string want)
+
+let truth ln (ty, e) =
+  match decay ty with
+  | Tdouble -> Bin (Ne, Ldouble, e, Cfloat 0.0)
+  | t when is_int_class t -> e
+  | t -> err ln "%s used as a condition" (ty_to_string t)
+
+let rec rvalue env (x : expr) : ty * texpr =
+  let ln = x.eline in
+  match x.e with
+  | Enum v -> (Tlong, Cint v)
+  | Efnum f -> (Tdouble, Cfloat f)
+  | Echar c -> (Tlong, Cint (Int64.of_int (Char.code c)))
+  | Estr s -> (Tptr Tchar, Cstr (intern env s))
+  | Eident name -> (
+      match lookup_local env name with
+      | Some (id, ty) -> load_from ln (Loc_addr id) ty
+      | None -> (
+          match Hashtbl.find_opt env.globals name with
+          | Some ty -> load_from ln (Glob_addr name) ty
+          | None -> (
+              match Hashtbl.find_opt env.funcs name with
+              | Some fty -> (Tptr fty, Glob_addr name)
+              | None -> err ln "undeclared identifier %s" name)))
+  | Eun (Neg, e) -> (
+      let ty, v = rvalue env e in
+      match class_of ln (decay ty) with
+      | Ldouble -> (Tdouble, Un (Neg, Ldouble, v))
+      | Lint -> (Tlong, Un (Neg, Lint, v)))
+  | Eun (Lognot, e) ->
+      let tv = rvalue env e in
+      (Tlong, Un (Lognot, Lint, truth ln tv))
+  | Eun (Bitnot, e) ->
+      let ty, v = rvalue env e in
+      if class_of ln (decay ty) <> Lint then err ln "~ on a double";
+      (Tlong, Un (Bitnot, Lint, v))
+  | Ebin (op, a, b) -> binop env ln op a b
+  | Elogand (a, b) -> (Tlong, Logand (truth ln (rvalue env a), truth ln (rvalue env b)))
+  | Elogor (a, b) -> (Tlong, Logor (truth ln (rvalue env a), truth ln (rvalue env b)))
+  | Econd (c, a, b) -> (
+      let cv = truth ln (rvalue env c) in
+      let ta, va = rvalue env a in
+      let tb, vb = rvalue env b in
+      match (class_of ln (decay ta), class_of ln (decay tb)) with
+      | Lint, Lint -> (decay ta, Cond (Lint, cv, va, vb))
+      | Ldouble, Ldouble -> (Tdouble, Cond (Ldouble, cv, va, vb))
+      | Lint, Ldouble -> (Tdouble, Cond (Ldouble, cv, Cast_i2d va, vb))
+      | Ldouble, Lint -> (Tdouble, Cond (Ldouble, cv, va, Cast_i2d vb)))
+  | Eassign (lhs, rhs) ->
+      let lty, addr = lvalue env lhs in
+      let v = coerce ln (rvalue env rhs) lty in
+      (lty, Store (scalar_of ln lty, addr, v))
+  | Eassign_op (op, lhs, rhs) -> (
+      let lty, addr = lvalue env lhs in
+      let sc = scalar_of ln lty in
+      match decay lty with
+      | Tptr pointee when op = Add || op = Sub ->
+          let size = sizeof env ln pointee in
+          let idx = coerce ln (rvalue env rhs) Tlong in
+          let scaled = Bin (Mul, Lint, idx, Cint (Int64.of_int size)) in
+          (lty, Assignop { sc; cls = Lint; op; addr; value = scaled })
+      | Tdouble ->
+          let v = coerce ln (rvalue env rhs) Tdouble in
+          if not (List.mem op [ Add; Sub; Mul; Div ]) then
+            err ln "bad compound operator for double";
+          (lty, Assignop { sc; cls = Ldouble; op; addr; value = v })
+      | t when is_int_class t ->
+          let v = coerce ln (rvalue env rhs) Tlong in
+          (lty, Assignop { sc; cls = Lint; op; addr; value = v })
+      | t -> err ln "compound assignment on %s" (ty_to_string t))
+  | Epre (op, lhs) | Epost (op, lhs) -> (
+      let post = match x.e with Epost _ -> true | _ -> false in
+      let lty, addr = lvalue env lhs in
+      let delta =
+        match decay lty with
+        | Tptr pointee -> Int64.of_int (sizeof env ln pointee)
+        | Tlong | Tchar -> 1L
+        | t -> err ln "++/-- on %s" (ty_to_string t)
+      in
+      let delta = if op = Sub then Int64.neg delta else delta in
+      match scalar_of ln lty with
+      | SF64 -> err ln "++/-- on double"
+      | sc -> (lty, Incdec { sc; addr; delta; post }))
+  | Ecall (f, args) -> call env ln f args
+  | Eindex (a, i) ->
+      let ty, addr = index_addr env ln a i in
+      load_from ln addr ty
+  | Emember (e, f) ->
+      let ty, addr = member_addr env ln e f false in
+      load_from ln addr ty
+  | Earrow (e, f) ->
+      let ty, addr = member_addr env ln e f true in
+      load_from ln addr ty
+  | Ederef e -> (
+      let ty, v = rvalue env e in
+      match decay ty with
+      | Tptr pointee -> load_from ln v pointee
+      | t -> err ln "dereference of %s" (ty_to_string t))
+  | Eaddr e ->
+      let ty, addr = lvalue env e in
+      (Tptr ty, addr)
+  | Ecast (want, e) -> (
+      let got = rvalue env e in
+      match (decay (fst got), decay want) with
+      | t, w when equal_ty t w -> (want, snd got)
+      | _, (Tlong | Tchar | Tdouble) -> (want, coerce ln got want)
+      | (Tlong | Tptr _ | Tchar), Tptr _ -> (want, snd got)
+      | Tdouble, Tptr _ -> err ln "cast double to pointer"
+      | _ -> err ln "bad cast to %s" (ty_to_string want))
+  | Esizeof_ty ty -> (Tlong, Cint (Int64.of_int (sizeof env ln ty)))
+  | Esizeof e ->
+      (* typecheck but discard; only the type's size matters *)
+      let ty, _ = rvalue_or_struct env e in
+      (Tlong, Cint (Int64.of_int (sizeof env ln ty)))
+
+(* Like rvalue, but a bare struct expression is allowed (for sizeof). *)
+and rvalue_or_struct env (x : expr) =
+  match x.e with
+  | Eident name -> (
+      match lookup_local env name with
+      | Some (id, ty) -> (ty, Loc_addr id)
+      | None -> (
+          match Hashtbl.find_opt env.globals name with
+          | Some ty -> (ty, Glob_addr name)
+          | None -> rvalue env x))
+  | Ederef e -> (
+      let ty, v = rvalue env e in
+      match decay ty with
+      | Tptr pointee -> (pointee, v)
+      | _ -> rvalue env x)
+  | _ -> rvalue env x
+
+(* rvalue of a memory object of a given type at a given address *)
+and load_from ln addr ty =
+  match ty with
+  | Tarr (t, _) -> (Tptr t, addr)  (* decay *)
+  | Tstruct _ -> (ty, addr)  (* structs are handled by reference *)
+  | Tvoid -> err ln "void object"
+  | Tfun _ -> (Tptr ty, addr)
+  | Tchar | Tlong | Tdouble | Tptr _ -> (ty, Load (scalar_of ln ty, addr))
+
+and index_addr env ln a i =
+  let ta, va = rvalue env a in
+  match decay ta with
+  | Tptr pointee ->
+      let size = sizeof env ln pointee in
+      let iv = coerce ln (rvalue env i) Tlong in
+      let off =
+        if size = 1 then iv else Bin (Mul, Lint, iv, Cint (Int64.of_int size))
+      in
+      (pointee, Bin (Add, Lint, va, off))
+  | t -> err ln "indexing a %s" (ty_to_string t)
+
+and member_addr env ln e f through_ptr =
+  let base_ty, base_addr =
+    if through_ptr then begin
+      let ty, v = rvalue env e in
+      match decay ty with
+      | Tptr (Tstruct s) -> (s, v)
+      | t -> err ln "-> on %s" (ty_to_string t)
+    end
+    else begin
+      let ty, addr = lvalue env e in
+      match ty with
+      | Tstruct s -> (s, addr)
+      | t -> err ln ". on %s" (ty_to_string t)
+    end
+  in
+  let off, fty = field env ln base_ty f in
+  let addr =
+    if off = 0 then base_addr else Bin (Add, Lint, base_addr, Cint (Int64.of_int off))
+  in
+  (fty, addr)
+
+(* l-value: returns the object type and its address expression *)
+and lvalue env (x : expr) : ty * texpr =
+  let ln = x.eline in
+  match x.e with
+  | Eident name -> (
+      match lookup_local env name with
+      | Some (id, ty) -> (ty, Loc_addr id)
+      | None -> (
+          match Hashtbl.find_opt env.globals name with
+          | Some ty -> (ty, Glob_addr name)
+          | None -> (
+              match Hashtbl.find_opt env.funcs name with
+              | Some fty -> (fty, Glob_addr name)
+              | None -> err ln "undeclared identifier %s" name)))
+  | Ederef e -> (
+      let ty, v = rvalue env e in
+      match decay ty with
+      | Tptr pointee -> (pointee, v)
+      | t -> err ln "dereference of %s" (ty_to_string t))
+  | Eindex (a, i) -> index_addr env ln a i
+  | Emember (e, f) -> member_addr env ln e f false
+  | Earrow (e, f) -> member_addr env ln e f true
+  | Ecast (_, e) -> lvalue env e
+  | _ -> err ln "expression is not an l-value"
+
+and binop env ln op a b =
+  let ta, va = rvalue env a in
+  let tb, vb = rvalue env b in
+  let ta = decay ta and tb = decay tb in
+  let arith_result cls = match cls with Lint -> Tlong | Ldouble -> Tdouble in
+  match (op, ta, tb) with
+  (* pointer arithmetic *)
+  | (Add | Sub), Tptr p, t when is_int_class t && t <> Tptr p ->
+      let size = sizeof env ln p in
+      let scaled = Bin (Mul, Lint, vb, Cint (Int64.of_int size)) in
+      (Tptr p, Bin (op, Lint, va, scaled))
+  | Add, t, Tptr p when is_int_class t ->
+      let size = sizeof env ln p in
+      let scaled = Bin (Mul, Lint, va, Cint (Int64.of_int size)) in
+      (Tptr p, Bin (Add, Lint, vb, scaled))
+  | Sub, Tptr p, Tptr _ ->
+      let size = sizeof env ln p in
+      (Tlong, Bin (Div, Lint, Bin (Sub, Lint, va, vb), Cint (Int64.of_int size)))
+  | (Lt | Le | Gt | Ge | Eq | Ne), Tptr _, Tptr _ -> (Tlong, Bin (op, Lint, va, vb))
+  | (Eq | Ne | Lt | Le | Gt | Ge), Tptr _, t when is_int_class t ->
+      (Tlong, Bin (op, Lint, va, vb))
+  | (Eq | Ne | Lt | Le | Gt | Ge), t, Tptr _ when is_int_class t ->
+      (Tlong, Bin (op, Lint, va, vb))
+  | _ -> (
+      match (class_of ln ta, class_of ln tb) with
+      | Lint, Lint -> (
+          match op with
+          | Lt | Le | Gt | Ge | Eq | Ne -> (Tlong, Bin (op, Lint, va, vb))
+          | _ -> (Tlong, Bin (op, Lint, va, vb)))
+      | ca, cb ->
+          let va = if ca = Lint then Cast_i2d va else va in
+          let vb = if cb = Lint then Cast_i2d vb else vb in
+          (match op with
+          | Mod | Band | Bor | Bxor | Shl | Shr -> err ln "integer operator on double"
+          | _ -> ());
+          (match op with
+          | Lt | Le | Gt | Ge | Eq | Ne -> (Tlong, Bin (op, Ldouble, va, vb))
+          | _ -> (arith_result Ldouble, Bin (op, Ldouble, va, vb))))
+
+and call env ln f args =
+  let direct_sig =
+    match f.e with
+    | Eident name when lookup_local env name = None
+                       && not (Hashtbl.mem env.globals name) -> (
+        match Hashtbl.find_opt env.funcs name with
+        | Some (Tfun (ret, ps, va)) -> Some (Direct name, ret, ps, va)
+        | Some _ | None -> err ln "call of undeclared function %s" name)
+    | _ -> None
+  in
+  let target, ret, ps, va =
+    match direct_sig with
+    | Some x -> x
+    | None -> (
+        let ty, v = rvalue env f in
+        match decay ty with
+        | Tptr (Tfun (ret, ps, va)) -> (Indirect v, ret, ps, va)
+        | t -> err ln "call of non-function (%s)" (ty_to_string t))
+  in
+  let nps = List.length ps in
+  if List.length args < nps then err ln "too few arguments";
+  if (not va) && List.length args > nps then err ln "too many arguments";
+  let c_args =
+    List.mapi
+      (fun i arg ->
+        let tv = rvalue env arg in
+        if i < nps then begin
+          let want = List.nth ps i in
+          (class_of ln (decay want), coerce ln tv want)
+        end
+        else
+          (* varargs: pass by class unchanged *)
+          (class_of ln (decay (fst tv)), snd tv))
+      args
+  in
+  let c_ret = match ret with Tvoid -> None | t -> Some (class_of ln (decay t)) in
+  (ret, Call { c_fn = target; c_args; c_ret })
+
+(* -- statements -------------------------------------------------------- *)
+
+let rec check_stmt env (x : stmt) : tstmt list =
+  let ln = x.sline in
+  match x.s with
+  | Sexpr e ->
+      let _, v = rvalue env e in
+      [ Texpr v ]
+  | Sdecl (ty, name, init) -> (
+      (match ty with
+      | Tvoid -> err ln "void variable %s" name
+      | Tfun _ -> err ln "local function declaration"
+      | _ -> ());
+      let size = sizeof env ln ty in
+      let id = new_slot env name size in
+      bind env name id ty;
+      match init with
+      | None -> []
+      | Some e ->
+          let v = coerce ln (rvalue env e) ty in
+          (match ty with
+          | Tarr _ | Tstruct _ -> err ln "initialiser on aggregate local"
+          | _ -> ());
+          [ Texpr (Store (scalar_of ln ty, Loc_addr id, v)) ])
+  | Sif (c, a, b) ->
+      let cv = truth ln (rvalue env c) in
+      [ Tif (cv, check_block env a, check_block env b) ]
+  | Swhile (c, body) ->
+      let cv = truth ln (rvalue env c) in
+      [ Tloop { l_cond = Some cv; l_post_test = false; l_body = check_block env body; l_step = [] } ]
+  | Sdo (body, c) ->
+      let bl = check_block env body in
+      let cv = truth ln (rvalue env c) in
+      [ Tloop { l_cond = Some cv; l_post_test = true; l_body = bl; l_step = [] } ]
+  | Sfor (init, cond, step, body) ->
+      env.scopes <- [] :: env.scopes;
+      let init_t = match init with None -> [] | Some s -> check_stmt env s in
+      let cond_t = Option.map (fun c -> truth ln (rvalue env c)) cond in
+      let body_t = check_block env body in
+      let step_t =
+        match step with
+        | None -> []
+        | Some e ->
+            let _, v = rvalue env e in
+            [ v ]
+      in
+      env.scopes <- List.tl env.scopes;
+      init_t @ [ Tloop { l_cond = cond_t; l_post_test = false; l_body = body_t; l_step = step_t } ]
+  | Sreturn None ->
+      if env.ret <> Tvoid then err ln "return without a value";
+      [ Treturn None ]
+  | Sreturn (Some e) ->
+      if env.ret = Tvoid then err ln "return with a value in void function";
+      let v = coerce ln (rvalue env e) env.ret in
+      [ Treturn (Some (class_of ln (decay env.ret), v)) ]
+  | Sbreak -> [ Tbreak ]
+  | Scontinue -> [ Tcontinue ]
+  | Sblock body -> check_block env body
+  | Sseq body -> List.concat_map (check_stmt env) body
+
+and check_block env body =
+  env.scopes <- [] :: env.scopes;
+  let out = List.concat_map (check_stmt env) body in
+  env.scopes <- List.tl env.scopes;
+  out
+
+(* -- constant initialisers -------------------------------------------- *)
+
+let rec const_init env ln want (e : expr) : ginit =
+  match (e.e, decay want) with
+  | Enum v, Tdouble -> Gfloat (Int64.to_float v)
+  | Enum v, _ -> Gint v
+  | Echar c, _ -> Gint (Int64.of_int (Char.code c))
+  | Efnum f, Tdouble -> Gfloat f
+  | Efnum _, _ -> err ln "float initialiser for integer"
+  | Eun (Neg, { e = Enum v; _ }), Tdouble -> Gfloat (Int64.to_float (Int64.neg v))
+  | Eun (Neg, { e = Enum v; _ }), _ -> Gint (Int64.neg v)
+  | Eun (Neg, { e = Efnum f; _ }), Tdouble -> Gfloat (-.f)
+  | Estr s, _ -> Gstr (intern env s)
+  | Eident name, _
+    when Hashtbl.mem env.funcs name || Hashtbl.mem env.globals name ->
+      Gaddr (name, 0)
+  | Eaddr { e = Eident name; _ }, _ when Hashtbl.mem env.globals name ->
+      Gaddr (name, 0)
+  | Ecast (_, inner), w -> const_init env ln w inner
+  | _ -> err ln "initialiser is not a constant"
+
+(* -- top level --------------------------------------------------------- *)
+
+let register_struct env ln name fields =
+  if Hashtbl.mem env.structs name then err ln "duplicate struct %s" name;
+  let off = ref 0 in
+  let laid =
+    List.map
+      (fun (ty, fname) ->
+        let al = alignof env ln ty in
+        off := (!off + al - 1) / al * al;
+        let o = !off in
+        off := !off + sizeof env ln ty;
+        (fname, o, ty))
+      fields
+  in
+  let size = (!off + 7) / 8 * 8 in
+  Hashtbl.replace env.structs name { si_fields = laid; si_size = max size 8 }
+
+let register_func env ln name ty =
+  match Hashtbl.find_opt env.funcs name with
+  | Some old when not (equal_ty old ty) ->
+      err ln "conflicting declarations for %s" name
+  | Some _ | None -> Hashtbl.replace env.funcs name ty
+
+let program (tops : Ast.program) : Tast.program =
+  let env = fresh_env () in
+  (* pass 1: signatures and layouts, in order (structs may be used by
+     later struct definitions) *)
+  List.iter
+    (fun top ->
+      match top with
+      | Dstruct (name, fields) -> register_struct env 0 name fields
+      | Dfun (ret, name, params, va, _) ->
+          register_func env 0 name (Tfun (ret, List.map fst params, va));
+          Hashtbl.replace env.defined name ()
+      | Dproto (ret, name, args, va) -> register_func env 0 name (Tfun (ret, args, va))
+      | Dglobal (ty, name, _) ->
+          Hashtbl.replace env.globals name ty;
+          Hashtbl.replace env.defined name ()
+      | Dextern (ty, name) -> (
+          match ty with
+          | Tfun (ret, args, va) -> register_func env 0 name (Tfun (ret, args, va))
+          | _ -> Hashtbl.replace env.globals name ty))
+    tops;
+  (* pass 2: bodies and initialisers *)
+  let funcs = ref [] and globals = ref [] in
+  List.iter
+    (fun top ->
+      match top with
+      | Dstruct _ | Dproto _ | Dextern _ -> ()
+      | Dglobal (ty, name, init) ->
+          let size = sizeof env 0 ty in
+          let g_elem =
+            match ty with
+            | Tarr (elt, _) -> sizeof env 0 elt
+            | Tchar -> 1
+            | _ -> 8
+          in
+          let g_init =
+            match init with
+            | None -> None
+            | Some (Iscalar e) -> Some [ const_init env e.eline ty e ]
+            | Some (Ilist es) -> (
+                match ty with
+                | Tarr (elt, n) ->
+                    if List.length es > n then
+                      failwith (Printf.sprintf "too many initialisers for %s" name);
+                    Some (List.map (fun e -> const_init env e.eline elt e) es)
+                | _ -> failwith "brace initialiser on a non-array")
+          in
+          globals := { g_name = name; g_size = size; g_elem; g_init } :: !globals
+      | Dfun (ret, name, params, va, body) ->
+          env.scopes <- [ [] ];
+          env.slots <- [];
+          env.nslots <- 0;
+          env.ret <- ret;
+          let f_params =
+            List.map
+              (fun (ty, pname) ->
+                let id = new_slot env pname 8 in
+                bind env pname id ty;
+                { sl_id = id; sl_name = pname; sl_size = 8 })
+              params
+          in
+          let f_body = check_block env body in
+          let f_ret = match ret with Tvoid -> None | t -> Some (class_of 0 (decay t)) in
+          funcs :=
+            {
+              f_name = name;
+              f_ret;
+              f_params;
+              f_varargs = va;
+              f_slots = List.rev env.slots;
+              f_body;
+            }
+            :: !funcs)
+    tops;
+  let externs =
+    let here = env.defined in
+    let refs = Hashtbl.create 16 in
+    Hashtbl.iter (fun n _ -> if not (Hashtbl.mem here n) then Hashtbl.replace refs n ()) env.funcs;
+    Hashtbl.iter (fun n _ -> if not (Hashtbl.mem here n) then Hashtbl.replace refs n ()) env.globals;
+    Hashtbl.fold (fun n () acc -> n :: acc) refs []
+  in
+  {
+    p_funcs = List.rev !funcs;
+    p_globals = List.rev !globals;
+    p_strings = Array.of_list (List.rev env.strings_rev);
+    p_externs = List.sort compare externs;
+  }

@@ -1,0 +1,11 @@
+(** Type checking and lowering to {!Tast}.
+
+    Two passes: the first registers struct layouts, global variables and
+    every function signature (so mutual recursion needs no forward
+    prototypes within a file); the second checks bodies, inserts implicit
+    [long]/[double] conversions, scales pointer arithmetic and resolves
+    struct member offsets. *)
+
+exception Error of int * string
+
+val program : Ast.program -> Tast.program

@@ -1,0 +1,1 @@
+lib/objfile/archive.ml: List Types Unit_file Wire

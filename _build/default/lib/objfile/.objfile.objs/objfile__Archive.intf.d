@@ -1,0 +1,1 @@
+lib/objfile/archive.mli: Unit_file

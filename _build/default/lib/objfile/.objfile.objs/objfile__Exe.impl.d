@@ -1,0 +1,1 @@
+lib/objfile/exe.ml: List Types Wire

@@ -1,0 +1,1 @@
+lib/objfile/exe.mli: Types

@@ -1,0 +1,1 @@
+lib/objfile/types.ml: Format Printf Wire

@@ -1,0 +1,1 @@
+lib/objfile/types.mli: Format Wire

@@ -1,0 +1,1 @@
+lib/objfile/unit_file.mli: Types

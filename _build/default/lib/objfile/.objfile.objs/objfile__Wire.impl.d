@@ -1,0 +1,1 @@
+lib/objfile/wire.ml: Buffer Bytes Char Int64 List Printf String

@@ -1,0 +1,42 @@
+type t = { a_name : string; a_members : Unit_file.t list }
+
+let magic = "AARC1\n"
+
+let create a_name a_members = { a_name; a_members }
+
+let members_defining a name =
+  List.filter
+    (fun u ->
+      List.exists
+        (fun s ->
+          s.Types.s_name = name
+          && s.Types.s_binding = Types.Global
+          && s.Types.s_def <> Types.Undefined)
+        u.Unit_file.u_symbols)
+    a.a_members
+
+let to_string a =
+  let w = Wire.writer () in
+  Wire.put_raw w magic;
+  Wire.put_str w a.a_name;
+  Wire.put_list w (fun u -> Wire.put_str w (Unit_file.to_string u)) a.a_members;
+  Wire.contents w
+
+let of_string s =
+  let rd = Wire.reader s in
+  Wire.expect_magic rd magic;
+  let a_name = Wire.get_str rd in
+  let a_members = Wire.get_list rd (fun rd -> Unit_file.of_string (Wire.get_str rd)) in
+  { a_name; a_members }
+
+let save path a =
+  let oc = open_out_bin path in
+  output_string oc (to_string a);
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s

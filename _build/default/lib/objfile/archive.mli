@@ -1,0 +1,16 @@
+(** Static libraries: a named bag of object modules.  The linker pulls a
+    member only when it defines a still-undefined symbol, like [ar]
+    archives under classic Unix linkers. *)
+
+type t = { a_name : string; a_members : Unit_file.t list }
+
+val create : string -> Unit_file.t list -> t
+
+val members_defining : t -> string -> Unit_file.t list
+(** Members that define the given global symbol. *)
+
+val to_string : t -> string
+val of_string : string -> t
+val save : string -> t -> unit
+val load : string -> t
+val magic : string

@@ -1,0 +1,132 @@
+type seg = { seg_vaddr : int; seg_bytes : bytes; seg_bss : int }
+
+type sym = {
+  x_name : string;
+  x_addr : int;
+  x_type : Types.sym_type;
+  x_size : int;
+}
+
+type code_ref_kind = Cr_quad | Cr_long | Cr_hi | Cr_lo
+
+type code_ref = { cr_kind : code_ref_kind; cr_addr : int; cr_target : int }
+
+type t = {
+  x_entry : int;
+  x_segs : seg list;
+  x_symbols : sym list;
+  x_text_start : int;
+  x_text_size : int;
+  x_data_start : int;
+  x_break : int;
+  x_code_refs : code_ref list;
+}
+
+let magic = "AEXE1\n"
+let text_base = 0x1200_0000
+let data_base = 0x1400_0000
+let stack_top x = x.x_text_start
+
+let find_symbol x name = List.find_opt (fun s -> s.x_name = name) x.x_symbols
+
+let symbol_at x addr =
+  List.find_opt (fun s -> s.x_addr = addr && s.x_type = Types.Func) x.x_symbols
+
+let funcs_sorted x =
+  let fs =
+    List.filter
+      (fun s ->
+        s.x_type = Types.Func
+        && s.x_addr >= x.x_text_start
+        && s.x_addr < x.x_text_start + x.x_text_size)
+      x.x_symbols
+  in
+  List.sort (fun a b -> compare a.x_addr b.x_addr) fs
+
+let text_bytes x =
+  match List.find_opt (fun s -> s.seg_vaddr = x.x_text_start) x.x_segs with
+  | Some s -> s.seg_bytes
+  | None -> invalid_arg "Exe.text_bytes: no text segment"
+
+let to_string x =
+  let w = Wire.writer () in
+  Wire.put_raw w magic;
+  Wire.put_i64 w x.x_entry;
+  Wire.put_i64 w x.x_text_start;
+  Wire.put_i64 w x.x_text_size;
+  Wire.put_i64 w x.x_data_start;
+  Wire.put_i64 w x.x_break;
+  Wire.put_list w
+    (fun s ->
+      Wire.put_i64 w s.seg_vaddr;
+      Wire.put_bytes w s.seg_bytes;
+      Wire.put_i64 w s.seg_bss)
+    x.x_segs;
+  Wire.put_list w
+    (fun s ->
+      Wire.put_str w s.x_name;
+      Wire.put_i64 w s.x_addr;
+      Wire.put_u8 w (match s.x_type with Types.Func -> 0 | Types.Object -> 1 | Types.Notype -> 2);
+      Wire.put_i64 w s.x_size)
+    x.x_symbols;
+  Wire.put_list w
+    (fun c ->
+      Wire.put_u8 w
+        (match c.cr_kind with Cr_quad -> 0 | Cr_long -> 1 | Cr_hi -> 2 | Cr_lo -> 3);
+      Wire.put_i64 w c.cr_addr;
+      Wire.put_i64 w c.cr_target)
+    x.x_code_refs;
+  Wire.contents w
+
+let of_string str =
+  let rd = Wire.reader str in
+  Wire.expect_magic rd magic;
+  let x_entry = Wire.get_i64 rd in
+  let x_text_start = Wire.get_i64 rd in
+  let x_text_size = Wire.get_i64 rd in
+  let x_data_start = Wire.get_i64 rd in
+  let x_break = Wire.get_i64 rd in
+  let x_segs =
+    Wire.get_list rd (fun rd ->
+        let seg_vaddr = Wire.get_i64 rd in
+        let seg_bytes = Wire.get_bytes rd in
+        let seg_bss = Wire.get_i64 rd in
+        { seg_vaddr; seg_bytes; seg_bss })
+  in
+  let x_symbols =
+    Wire.get_list rd (fun rd ->
+        let x_name = Wire.get_str rd in
+        let x_addr = Wire.get_i64 rd in
+        let x_type =
+          match Wire.get_u8 rd with 0 -> Types.Func | 1 -> Types.Object | _ -> Types.Notype
+        in
+        let x_size = Wire.get_i64 rd in
+        { x_name; x_addr; x_type; x_size })
+  in
+  let x_code_refs =
+    Wire.get_list rd (fun rd ->
+        let cr_kind =
+          match Wire.get_u8 rd with
+          | 0 -> Cr_quad
+          | 1 -> Cr_long
+          | 2 -> Cr_hi
+          | _ -> Cr_lo
+        in
+        let cr_addr = Wire.get_i64 rd in
+        let cr_target = Wire.get_i64 rd in
+        { cr_kind; cr_addr; cr_target })
+  in
+  { x_entry; x_segs; x_symbols; x_text_start; x_text_size; x_data_start; x_break;
+    x_code_refs }
+
+let save path x =
+  let oc = open_out_bin path in
+  output_string oc (to_string x);
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s

@@ -1,0 +1,70 @@
+(** Fully linked executable images.
+
+    The layout mirrors the paper's Figure 4 (Alpha OSF/1): text low, data
+    high with a gap in between, the stack starting at the base of text and
+    growing down, and the heap starting at the program break (the end of
+    uninitialised data) and growing up.  The image keeps its symbol table —
+    OM rebuilds its symbolic view of the program from it. *)
+
+type seg = {
+  seg_vaddr : int;
+  seg_bytes : bytes;
+  seg_bss : int;  (** zero-filled bytes following [seg_bytes] *)
+}
+
+type sym = {
+  x_name : string;
+  x_addr : int;
+  x_type : Types.sym_type;
+  x_size : int;
+}
+
+(** Places in the image that encode an absolute {e text} address (taken
+    function addresses and the like).  OM consumes these when it moves
+    code: link-time systems keep relocation knowledge that a plain
+    executable would have lost. *)
+type code_ref_kind = Cr_quad | Cr_long | Cr_hi | Cr_lo
+
+type code_ref = {
+  cr_kind : code_ref_kind;
+  cr_addr : int;  (** address of the patched field *)
+  cr_target : int;  (** the text address the field encodes *)
+}
+
+type t = {
+  x_entry : int;
+  x_segs : seg list;
+  x_symbols : sym list;
+  x_text_start : int;
+  x_text_size : int;  (** bytes of executable text at [x_text_start] *)
+  x_data_start : int;
+  x_break : int;  (** initial heap break: first address past [.bss] *)
+  x_code_refs : code_ref list;
+}
+
+val text_base : int
+(** Default base of the text segment, [0x1200_0000]. *)
+
+val data_base : int
+(** Default base of the data segment, [0x1400_0000]. *)
+
+val stack_top : t -> int
+(** Initial stack pointer: the base of the text segment (the OSF/1 stack
+    grows from text start towards low memory). *)
+
+val find_symbol : t -> string -> sym option
+
+val symbol_at : t -> int -> sym option
+(** The function symbol whose address is exactly the given one. *)
+
+val funcs_sorted : t -> sym list
+(** Function symbols within text, sorted by address. *)
+
+val text_bytes : t -> bytes
+(** Contents of the text segment. *)
+
+val to_string : t -> string
+val of_string : string -> t
+val save : string -> t -> unit
+val load : string -> t
+val magic : string

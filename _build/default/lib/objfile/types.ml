@@ -1,0 +1,127 @@
+type sec_id = Text | Rdata | Data | Bss
+
+let sec_name = function
+  | Text -> ".text"
+  | Rdata -> ".rdata"
+  | Data -> ".data"
+  | Bss -> ".bss"
+
+let sec_of_name = function
+  | ".text" -> Some Text
+  | ".rdata" -> Some Rdata
+  | ".data" -> Some Data
+  | ".bss" -> Some Bss
+  | _ -> None
+
+let all_sections = [ Text; Rdata; Data; Bss ]
+
+type reloc_kind = R_br21 | R_hi16 | R_lo16 | R_quad64 | R_long32
+
+type reloc = {
+  r_offset : int;
+  r_kind : reloc_kind;
+  r_symbol : string;
+  r_addend : int;
+}
+
+type binding = Local | Global
+type sym_type = Func | Object | Notype
+type sym_def = Defined of sec_id * int | Undefined
+
+type symbol = {
+  s_name : string;
+  s_binding : binding;
+  s_def : sym_def;
+  s_type : sym_type;
+  s_size : int;
+}
+
+let reloc_kind_name = function
+  | R_br21 -> "BR21"
+  | R_hi16 -> "HI16"
+  | R_lo16 -> "LO16"
+  | R_quad64 -> "QUAD64"
+  | R_long32 -> "LONG32"
+
+let pp_symbol ppf s =
+  let where =
+    match s.s_def with
+    | Defined (sec, off) -> Printf.sprintf "%s+%#x" (sec_name sec) off
+    | Undefined -> "undef"
+  in
+  Format.fprintf ppf "%s %s (%s%s)" s.s_name where
+    (match s.s_binding with Local -> "local" | Global -> "global")
+    (match s.s_type with Func -> ",func" | Object -> ",object" | Notype -> "")
+
+let pp_reloc ppf r =
+  Format.fprintf ppf "%#x: %s %s%+d" r.r_offset (reloc_kind_name r.r_kind)
+    r.r_symbol r.r_addend
+
+let reloc_kind_code = function
+  | R_br21 -> 0
+  | R_hi16 -> 1
+  | R_lo16 -> 2
+  | R_quad64 -> 3
+  | R_long32 -> 4
+
+let reloc_kind_of_code = function
+  | 0 -> R_br21
+  | 1 -> R_hi16
+  | 2 -> R_lo16
+  | 3 -> R_quad64
+  | 4 -> R_long32
+  | n -> raise (Wire.Corrupt (Printf.sprintf "bad reloc kind %d" n))
+
+let sec_code = function Text -> 0 | Rdata -> 1 | Data -> 2 | Bss -> 3
+
+let sec_of_code = function
+  | 0 -> Text
+  | 1 -> Rdata
+  | 2 -> Data
+  | 3 -> Bss
+  | n -> raise (Wire.Corrupt (Printf.sprintf "bad section code %d" n))
+
+let put_reloc w r =
+  Wire.put_i64 w r.r_offset;
+  Wire.put_u8 w (reloc_kind_code r.r_kind);
+  Wire.put_str w r.r_symbol;
+  Wire.put_i64 w r.r_addend
+
+let get_reloc rd =
+  let r_offset = Wire.get_i64 rd in
+  let r_kind = reloc_kind_of_code (Wire.get_u8 rd) in
+  let r_symbol = Wire.get_str rd in
+  let r_addend = Wire.get_i64 rd in
+  { r_offset; r_kind; r_symbol; r_addend }
+
+let put_symbol w s =
+  Wire.put_str w s.s_name;
+  Wire.put_u8 w (match s.s_binding with Local -> 0 | Global -> 1);
+  Wire.put_u8 w (match s.s_type with Func -> 0 | Object -> 1 | Notype -> 2);
+  Wire.put_i64 w s.s_size;
+  match s.s_def with
+  | Undefined -> Wire.put_u8 w 0
+  | Defined (sec, off) ->
+      Wire.put_u8 w 1;
+      Wire.put_u8 w (sec_code sec);
+      Wire.put_i64 w off
+
+let get_symbol rd =
+  let s_name = Wire.get_str rd in
+  let s_binding = if Wire.get_u8 rd = 0 then Local else Global in
+  let s_type =
+    match Wire.get_u8 rd with
+    | 0 -> Func
+    | 1 -> Object
+    | _ -> Notype
+  in
+  let s_size = Wire.get_i64 rd in
+  let s_def =
+    match Wire.get_u8 rd with
+    | 0 -> Undefined
+    | _ ->
+        let sec = sec_of_code (Wire.get_u8 rd) in
+        let off = Wire.get_i64 rd in
+        Defined (sec, off)
+  in
+  { s_name; s_binding; s_def; s_type; s_size }

@@ -1,0 +1,52 @@
+(** Common vocabulary of the object-module format: sections, symbols and
+    relocations. *)
+
+type sec_id = Text | Rdata | Data | Bss
+
+val sec_name : sec_id -> string
+val sec_of_name : string -> sec_id option
+val all_sections : sec_id list
+
+type reloc_kind =
+  | R_br21
+      (** 21-bit word displacement in the low bits of a branch instruction;
+          target is [symbol + addend], PC-relative. *)
+  | R_hi16
+      (** High half of a 32-bit absolute address in the displacement field
+          of an [ldah]; computed as [(addr + 0x8000) lsr 16] so that the
+          paired sign-extending [lda] reconstructs the address. *)
+  | R_lo16  (** Low half, in the displacement field of an [lda]/load/store. *)
+  | R_quad64  (** 8 absolute bytes in a data section. *)
+  | R_long32  (** 4 absolute bytes in a data section. *)
+
+type reloc = {
+  r_offset : int;  (** byte offset within the section *)
+  r_kind : reloc_kind;
+  r_symbol : string;
+  r_addend : int;
+}
+
+type binding = Local | Global
+
+type sym_type = Func | Object | Notype
+
+type sym_def =
+  | Defined of sec_id * int  (** section and byte offset within it *)
+  | Undefined
+
+type symbol = {
+  s_name : string;
+  s_binding : binding;
+  s_def : sym_def;
+  s_type : sym_type;
+  s_size : int;  (** 0 when unknown *)
+}
+
+val reloc_kind_name : reloc_kind -> string
+val pp_symbol : Format.formatter -> symbol -> unit
+val pp_reloc : Format.formatter -> reloc -> unit
+
+val put_reloc : Wire.writer -> reloc -> unit
+val get_reloc : Wire.reader -> reloc
+val put_symbol : Wire.writer -> symbol -> unit
+val get_symbol : Wire.reader -> symbol

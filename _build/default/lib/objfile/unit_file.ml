@@ -1,0 +1,103 @@
+type t = {
+  u_name : string;
+  u_text : bytes;
+  u_rdata : bytes;
+  u_data : bytes;
+  u_bss_size : int;
+  u_relocs : (Types.sec_id * Types.reloc) list;
+  u_symbols : Types.symbol list;
+}
+
+let magic = "AOBJ1\n"
+
+let empty name =
+  {
+    u_name = name;
+    u_text = Bytes.empty;
+    u_rdata = Bytes.empty;
+    u_data = Bytes.empty;
+    u_bss_size = 0;
+    u_relocs = [];
+    u_symbols = [];
+  }
+
+let section_bytes u = function
+  | Types.Text -> u.u_text
+  | Types.Rdata -> u.u_rdata
+  | Types.Data -> u.u_data
+  | Types.Bss -> invalid_arg "Unit_file.section_bytes: .bss has no contents"
+
+let section_size u = function
+  | Types.Bss -> u.u_bss_size
+  | sec -> Bytes.length (section_bytes u sec)
+
+let find_symbol u name =
+  List.find_opt (fun s -> s.Types.s_name = name) u.u_symbols
+
+let defined_globals u =
+  List.filter
+    (fun s -> s.Types.s_binding = Types.Global && s.Types.s_def <> Types.Undefined)
+    u.u_symbols
+
+let undefined_symbols u =
+  List.filter_map
+    (fun s -> if s.Types.s_def = Types.Undefined then Some s.Types.s_name else None)
+    u.u_symbols
+
+let write w u =
+  Wire.put_str w u.u_name;
+  Wire.put_bytes w u.u_text;
+  Wire.put_bytes w u.u_rdata;
+  Wire.put_bytes w u.u_data;
+  Wire.put_i64 w u.u_bss_size;
+  Wire.put_list w
+    (fun (sec, r) ->
+      Wire.put_u8 w
+        (match sec with Types.Text -> 0 | Types.Rdata -> 1 | Types.Data -> 2 | Types.Bss -> 3);
+      Types.put_reloc w r)
+    u.u_relocs;
+  Wire.put_list w (Types.put_symbol w) u.u_symbols
+
+let read rd =
+  let u_name = Wire.get_str rd in
+  let u_text = Wire.get_bytes rd in
+  let u_rdata = Wire.get_bytes rd in
+  let u_data = Wire.get_bytes rd in
+  let u_bss_size = Wire.get_i64 rd in
+  let u_relocs =
+    Wire.get_list rd (fun rd ->
+        let sec =
+          match Wire.get_u8 rd with
+          | 0 -> Types.Text
+          | 1 -> Types.Rdata
+          | 2 -> Types.Data
+          | 3 -> Types.Bss
+          | n -> raise (Wire.Corrupt (Printf.sprintf "bad section tag %d" n))
+        in
+        (sec, Types.get_reloc rd))
+  in
+  let u_symbols = Wire.get_list rd Types.get_symbol in
+  { u_name; u_text; u_rdata; u_data; u_bss_size; u_relocs; u_symbols }
+
+let to_string u =
+  let w = Wire.writer () in
+  Wire.put_raw w magic;
+  write w u;
+  Wire.contents w
+
+let of_string s =
+  let rd = Wire.reader s in
+  Wire.expect_magic rd magic;
+  read rd
+
+let save path u =
+  let oc = open_out_bin path in
+  output_string oc (to_string u);
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s

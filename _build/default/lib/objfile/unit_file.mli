@@ -1,0 +1,39 @@
+(** Relocatable object modules.
+
+    A unit carries four sections ([.text], [.rdata], [.data] and the sizes
+    only of [.bss]), per-section relocation lists and a symbol table.  The
+    on-disk form starts with the magic ["AOBJ1\n"]. *)
+
+type t = {
+  u_name : string;  (** module name, used in diagnostics *)
+  u_text : bytes;
+  u_rdata : bytes;
+  u_data : bytes;
+  u_bss_size : int;
+  u_relocs : (Types.sec_id * Types.reloc) list;
+      (** relocations, tagged by the section they patch *)
+  u_symbols : Types.symbol list;
+}
+
+val empty : string -> t
+
+val section_bytes : t -> Types.sec_id -> bytes
+(** @raise Invalid_argument for [Bss], which has no contents. *)
+
+val section_size : t -> Types.sec_id -> int
+
+val find_symbol : t -> string -> Types.symbol option
+
+val defined_globals : t -> Types.symbol list
+val undefined_symbols : t -> string list
+
+val to_string : t -> string
+(** Serialise to the on-disk format. *)
+
+val of_string : string -> t
+(** @raise Wire.Corrupt on malformed input. *)
+
+val save : string -> t -> unit
+val load : string -> t
+
+val magic : string

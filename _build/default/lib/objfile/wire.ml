@@ -1,0 +1,83 @@
+exception Corrupt of string
+
+type writer = Buffer.t
+
+let writer () = Buffer.create 1024
+let put_u8 b n = Buffer.add_char b (Char.chr (n land 0xFF))
+
+let put_u32 b n =
+  put_u8 b n;
+  put_u8 b (n lsr 8);
+  put_u8 b (n lsr 16);
+  put_u8 b (n lsr 24)
+
+let put_i64 b n =
+  let n64 = Int64.of_int n in
+  for i = 0 to 7 do
+    put_u8 b (Int64.to_int (Int64.shift_right_logical n64 (8 * i)) land 0xFF)
+  done
+
+let put_raw b s = Buffer.add_string b s
+
+let put_str b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_bytes b s =
+  put_u32 b (Bytes.length s);
+  Buffer.add_bytes b s
+
+let contents = Buffer.contents
+
+type reader = { src : string; mutable pos : int }
+
+let reader src = { src; pos = 0 }
+
+let need r n =
+  if r.pos + n > String.length r.src then raise (Corrupt "truncated input")
+
+let get_u8 r =
+  need r 1;
+  let c = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let get_u32 r =
+  let a = get_u8 r in
+  let b = get_u8 r in
+  let c = get_u8 r in
+  let d = get_u8 r in
+  a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24)
+
+let get_i64 r =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int (get_u8 r)) (8 * i))
+  done;
+  Int64.to_int !v
+
+let get_str r =
+  let n = get_u32 r in
+  need r n;
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_bytes r = Bytes.of_string (get_str r)
+let at_end r = r.pos >= String.length r.src
+
+let expect_magic r magic =
+  let n = String.length magic in
+  need r n;
+  let got = String.sub r.src r.pos n in
+  if got <> magic then
+    raise (Corrupt (Printf.sprintf "bad magic: expected %S, got %S" magic got));
+  r.pos <- r.pos + n
+
+let put_list w fn xs =
+  put_u32 w (List.length xs);
+  List.iter fn xs
+
+let get_list r fn =
+  let n = get_u32 r in
+  List.init n (fun _ -> fn r)

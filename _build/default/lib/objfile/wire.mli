@@ -1,0 +1,33 @@
+(** Little binary reader/writer used by the object, archive and executable
+    file formats.  All integers are little-endian; strings and byte blobs
+    are length-prefixed. *)
+
+type writer
+
+val writer : unit -> writer
+val put_u8 : writer -> int -> unit
+val put_u32 : writer -> int -> unit
+val put_i64 : writer -> int -> unit
+val put_str : writer -> string -> unit
+
+(** [put_raw] appends raw bytes with no length prefix (magic headers). *)
+val put_raw : writer -> string -> unit
+val put_bytes : writer -> bytes -> unit
+val contents : writer -> string
+
+type reader
+
+val reader : string -> reader
+val get_u8 : reader -> int
+val get_u32 : reader -> int
+val get_i64 : reader -> int
+val get_str : reader -> string
+val get_bytes : reader -> bytes
+val at_end : reader -> bool
+
+exception Corrupt of string
+(** Raised on truncated or malformed input. *)
+
+val expect_magic : reader -> string -> unit
+val put_list : writer -> ('a -> unit) -> 'a list -> unit
+val get_list : reader -> (reader -> 'a) -> 'a list

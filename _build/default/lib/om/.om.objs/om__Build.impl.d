@@ -1,0 +1,1 @@
+lib/om/build.ml: Alpha Array Code Insn Ir List Objfile Printf

@@ -1,0 +1,1 @@
+lib/om/build.mli: Ir Objfile

@@ -1,0 +1,1 @@
+lib/om/codegen.ml: Alpha Array Bytes Code Hashtbl Insn Ir List Objfile Printf

@@ -1,0 +1,1 @@
+lib/om/codegen.mli: Ir Objfile

@@ -1,0 +1,1 @@
+lib/om/dataflow.ml: Alpha Array Hashtbl Insn Ir List Regset

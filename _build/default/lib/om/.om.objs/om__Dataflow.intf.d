@@ -1,0 +1,1 @@
+lib/om/dataflow.mli: Alpha Ir

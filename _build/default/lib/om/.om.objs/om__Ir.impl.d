@@ -1,0 +1,1 @@
+lib/om/ir.ml: Alpha Array List Objfile

@@ -1,0 +1,1 @@
+lib/om/ir.mli: Alpha Objfile

@@ -1,0 +1,1 @@
+lib/om/liveness.ml: Alpha Array Fun Hashtbl Insn Ir List Objfile Regset

@@ -1,0 +1,1 @@
+lib/om/liveness.mli: Alpha Hashtbl Ir

@@ -1,0 +1,142 @@
+open Alpha
+
+type result = {
+  r_text : bytes;
+  r_map : int -> int;
+  r_data_patches : (Objfile.Exe.code_ref * int) list;
+}
+
+let stub_bytes stubs = List.fold_left (fun acc s -> acc + s.Ir.s_size) 0 stubs
+
+let inst_bytes i =
+  let tramp =
+    (* taken-edge trampoline: the stubs plus a branch to the original
+       target (the branch itself reuses the instruction's own slot) *)
+    if i.Ir.i_taken = [] then 0 else stub_bytes i.Ir.i_taken + 4
+  in
+  stub_bytes i.Ir.i_before + 4 + tramp + stub_bytes i.Ir.i_after
+
+let sizeof prog =
+  let total = ref 0 in
+  Ir.iter_insts prog (fun _ _ i -> total := !total + inst_bytes i);
+  !total
+
+let sext16 v = if v land 0x8000 <> 0 then (v land 0xFFFF) - 0x10000 else v land 0xFFFF
+
+let generate prog =
+  let exe = prog.Ir.exe in
+  let base = exe.Objfile.Exe.x_text_start in
+  let old_size = exe.Objfile.Exe.x_text_size in
+  (* pass 1: layout *)
+  let nwords = old_size / 4 in
+  let map_arr = Array.make (nwords + 1) 0 in
+  let cursor = ref base in
+  Ir.iter_insts prog (fun _ _ i ->
+      map_arr.((i.Ir.i_pc - base) / 4) <- !cursor;
+      cursor := !cursor + inst_bytes i);
+  map_arr.(nwords) <- !cursor;
+  let new_size = !cursor - base in
+  let map old =
+    if old < base || old > base + old_size then
+      failwith (Printf.sprintf "Codegen: PC map query outside text: %#x" old)
+    else map_arr.((old - base) / 4)
+  in
+  (* code-ref lookup for hi/lo fields inside text *)
+  let hilo = Hashtbl.create 16 in
+  let data_patches = ref [] in
+  List.iter
+    (fun cr ->
+      let open Objfile.Exe in
+      match cr.cr_kind with
+      | Cr_hi | Cr_lo ->
+          if cr.cr_addr >= base && cr.cr_addr < base + old_size then
+            Hashtbl.replace hilo cr.cr_addr cr
+          else failwith "Codegen: hi/lo code ref outside text"
+      | Cr_quad | Cr_long -> data_patches := (cr, map cr.cr_target) :: !data_patches)
+    exe.Objfile.Exe.x_code_refs;
+  (* pass 2: emission *)
+  let out = Bytes.make new_size '\000' in
+  let pos = ref 0 in
+  let emit_insn insn =
+    Code.encode_at out !pos insn;
+    pos := !pos + 4
+  in
+  let emit_stub s =
+    let pc = base + !pos in
+    let insns = s.Ir.s_emit ~pc in
+    if 4 * List.length insns <> s.Ir.s_size then
+      failwith "Codegen: stub emitted a different size than declared";
+    List.iter emit_insn insns
+  in
+  Ir.iter_insts prog (fun _ _ i ->
+      List.iter emit_stub i.Ir.i_before;
+      let here = base + !pos in
+      let insn = i.Ir.i_insn in
+      let insn =
+        (* retarget PC-relative branches through the map; preserve the
+           absolute target of a branch that leaves the text segment *)
+        match Insn.branch_target ~pc:i.Ir.i_pc insn with
+        | Some old_target ->
+            let new_target =
+              if old_target >= base && old_target <= base + old_size then map old_target
+              else old_target
+            in
+            let disp = (new_target - (here + 4)) / 4 in
+            if not (Code.fits_disp21 disp) then
+              failwith
+                (Printf.sprintf "Codegen: branch at %#x out of range after expansion"
+                   i.Ir.i_pc);
+            Insn.with_branch_disp insn disp
+        | None -> (
+            (* rewrite hi/lo address materialisations that point into text *)
+            match Hashtbl.find_opt hilo i.Ir.i_pc with
+            | None -> insn
+            | Some cr -> (
+                let nt = map cr.Objfile.Exe.cr_target in
+                match (cr.Objfile.Exe.cr_kind, insn) with
+                | Objfile.Exe.Cr_hi, Insn.Mem m ->
+                    Insn.Mem { m with disp = sext16 (((nt + 0x8000) asr 16) land 0xFFFF) }
+                | Objfile.Exe.Cr_lo, Insn.Mem m ->
+                    Insn.Mem { m with disp = sext16 (nt land 0xFFFF) }
+                | (Objfile.Exe.Cr_hi | Objfile.Exe.Cr_lo), _ ->
+                    failwith "Codegen: hi/lo code ref on a non-memory instruction"
+                | (Objfile.Exe.Cr_quad | Objfile.Exe.Cr_long), _ -> assert false))
+      in
+      (if i.Ir.i_taken = [] then emit_insn insn
+       else begin
+         (* taken-edge lowering: invert the branch over the trampoline *)
+         let skip_words = (stub_bytes i.Ir.i_taken + 4) / 4 in
+         let inverted =
+           match Insn.invert_branch insn with
+           | Some b -> Insn.with_branch_disp b skip_words
+           | None ->
+               failwith
+                 (Printf.sprintf
+                    "Codegen: taken-edge stubs on a non-conditional branch at %#x"
+                    i.Ir.i_pc)
+         in
+         emit_insn inverted;
+         List.iter emit_stub i.Ir.i_taken;
+         (* jump to the (moved) original target *)
+         let old_target =
+           match Insn.branch_target ~pc:i.Ir.i_pc i.Ir.i_insn with
+           | Some t -> t
+           | None -> assert false
+         in
+         let new_target =
+           if old_target >= base && old_target <= base + old_size then map old_target
+           else old_target
+         in
+         let br_pc = base + !pos in
+         let disp = (new_target - (br_pc + 4)) / 4 in
+         if not (Code.fits_disp21 disp) then
+           failwith "Codegen: taken-edge trampoline branch out of range";
+         emit_insn (Insn.Br { link = false; ra = Alpha.Reg.zero; disp })
+       end);
+      if i.Ir.i_after <> [] && not (Insn.falls_through i.Ir.i_insn) then
+        failwith
+          (Printf.sprintf "Codegen: after-stub on a non-falling-through instruction at %#x"
+             i.Ir.i_pc);
+      List.iter emit_stub i.Ir.i_after);
+  if !pos <> new_size then failwith "Codegen: layout/emission size mismatch";
+  { r_text = out; r_map = map; r_data_patches = List.rev !data_patches }

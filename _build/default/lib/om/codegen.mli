@@ -1,0 +1,31 @@
+(** Code generation: lay the annotated IR back out as machine code.
+
+    The new text is placed at the original text base; stubs expand it, so
+    every original instruction may move.  The generator
+
+    - computes the old-to-new PC map,
+    - re-resolves every PC-relative branch through that map (branch targets
+      land on the target instruction's {e before}-stubs, so entering a
+      block by branch runs its instrumentation),
+    - rewrites [ldah]/[lda] pairs that materialise a {e text} address
+      (using the executable's {!Objfile.Exe.code_ref} records), so taken
+      procedure addresses remain valid,
+    - executes each instruction's {e after}-stubs only on fall-through.
+
+    Data-resident code references ([Cr_quad]/[Cr_long]) are reported back
+    for the caller (ATOM) to patch in the data image. *)
+
+type result = {
+  r_text : bytes;  (** instrumented text, based at the original text start *)
+  r_map : int -> int;
+      (** old PC -> new PC, defined on [text_start .. text_start+size] *)
+  r_data_patches : (Objfile.Exe.code_ref * int) list;
+      (** data-segment code refs paired with the {e new} target address *)
+}
+
+val sizeof : Ir.program -> int
+(** Size in bytes of the instrumented text (layout is deterministic). *)
+
+val generate : Ir.program -> result
+(** @raise Failure if a rewritten branch no longer fits its displacement
+    field. *)

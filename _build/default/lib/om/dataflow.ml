@@ -1,0 +1,68 @@
+open Alpha
+
+type t = (string, Regset.t) Hashtbl.t
+
+let all_caller_saves = Regset.caller_saves
+
+let compute prog =
+  let n = Array.length prog.Ir.procs in
+  let by_addr = Hashtbl.create n in
+  Array.iteri (fun i p -> Hashtbl.replace by_addr p.Ir.p_addr i) prog.Ir.procs;
+  let summary = Array.make n Regset.empty in
+  (* direct call targets of each procedure, plus whether it makes an
+     indirect call *)
+  let calls = Array.make n [] in
+  let indirect = Array.make n false in
+  Array.iteri
+    (fun i p ->
+      let local = ref Regset.empty in
+      Array.iter
+        (fun b ->
+          Array.iter
+            (fun inst ->
+              let insn = inst.Ir.i_insn in
+              local := Regset.union !local (Insn.defs insn);
+              match insn with
+              | Insn.Br { link = true; _ } -> (
+                  match Insn.branch_target ~pc:inst.Ir.i_pc insn with
+                  | Some target -> (
+                      match Hashtbl.find_opt by_addr target with
+                      | Some j -> calls.(i) <- j :: calls.(i)
+                      | None -> indirect.(i) <- true)
+                  | None -> ())
+              | Insn.Jump { kind = Insn.Jsr | Insn.Jsr_coroutine; _ } ->
+                  indirect.(i) <- true
+              | Insn.Mem _ | Insn.Opr _ | Insn.Fop _ | Insn.Br _ | Insn.Cbr _
+              | Insn.Fbr _ | Insn.Jump _ | Insn.Call_pal _ | Insn.Raw _ ->
+                  ())
+            b.Ir.b_insts)
+        p.Ir.p_blocks;
+      summary.(i) <- Regset.inter !local all_caller_saves;
+      if indirect.(i) then summary.(i) <- all_caller_saves)
+    prog.Ir.procs;
+  (* fixpoint over the call graph *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun i _ ->
+        List.iter
+          (fun j ->
+            let s = Regset.union summary.(i) summary.(j) in
+            if not (Regset.equal s summary.(i)) then begin
+              summary.(i) <- s;
+              changed := true
+            end)
+          calls.(i))
+      prog.Ir.procs
+  done;
+  let tbl = Hashtbl.create n in
+  Array.iteri
+    (fun i p -> Hashtbl.replace tbl p.Ir.p_name summary.(i))
+    prog.Ir.procs;
+  tbl
+
+let modified_by t name =
+  match Hashtbl.find_opt t name with
+  | Some s -> s
+  | None -> all_caller_saves

@@ -1,0 +1,21 @@
+(** Interprocedural register-modification summaries.
+
+    For every procedure, the set of {e caller-save} registers that may be
+    modified by the time control returns from it — the registers an
+    inserted call must save (paper §4, "Reducing Procedure Call Overhead").
+    Callee-save registers are excluded: routines that follow the calling
+    standard (all analysis routines, by construction) preserve them.
+
+    The summary is transitively closed over the call graph by fixpoint;
+    an indirect call ([jsr] through a register) is treated as clobbering
+    every caller-save register. *)
+
+type t
+
+val compute : Ir.program -> t
+
+val modified_by : t -> string -> Alpha.Regset.t
+(** Summary for a procedure name; all caller-save registers when the
+    procedure is unknown. *)
+
+val all_caller_saves : Alpha.Regset.t

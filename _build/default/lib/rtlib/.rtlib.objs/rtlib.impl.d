@@ -1,0 +1,1 @@
+lib/rtlib/rtlib.ml: Asmlib Linker List Minic Objfile Sources

@@ -1,0 +1,1 @@
+lib/rtlib/sources.ml:

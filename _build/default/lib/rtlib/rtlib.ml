@@ -1,0 +1,30 @@
+let header = Sources.header_c
+
+let memo fn =
+  let cell = ref None in
+  fun () ->
+    match !cell with
+    | Some v -> v
+    | None ->
+        let v = fn () in
+        cell := Some v;
+        v
+
+let crt0 = memo (fun () -> Asmlib.Assemble.assemble ~name:"crt0.o" Sources.crt0_s)
+
+let libc =
+  memo (fun () ->
+      let div = Asmlib.Assemble.assemble ~name:"div.o" Sources.div_s in
+      let sys = Asmlib.Assemble.assemble ~name:"sys.o" Sources.sys_s in
+      let libc = Minic.Driver.compile ~name:"libc.o" Sources.libc_c in
+      Objfile.Archive.create "libc.a" [ libc; div; sys ])
+
+let compile_user ~name source =
+  Minic.Driver.compile ~name (header ^ "\n" ^ source)
+
+let link_program units =
+  Linker.Link.link
+    (Linker.Link.Unit (crt0 ())
+     :: (List.map (fun u -> Linker.Link.Unit u) units @ [ Linker.Link.Lib (libc ()) ]))
+
+let compile_and_link ~name source = link_program [ compile_user ~name source ]

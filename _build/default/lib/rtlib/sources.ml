@@ -1,0 +1,602 @@
+(* Runtime-library source text, embedded so the toolchain is self-contained.
+   [crt0_s], [div_s] and [sys_s] are assembly; [libc_c] is Mini-C. *)
+
+let crt0_s =
+  {|
+# C runtime startup: initialise the library, run main, exit with its result.
+        .text
+        .globl __start
+        .ent __start
+__start:
+        bsr     $26, __libc_init
+        clr     $16
+        clr     $17
+        bsr     $26, main
+        mov     $0, $16
+        bsr     $26, exit
+        # exit does not return; trap if it somehow does
+        call_pal 0
+        .end __start
+|}
+
+let div_s =
+  {|
+# 64-bit division helpers (the Alpha has no integer divide instruction;
+# the compiler calls these for / and %).  Args in $16/$17, result in $0;
+# __divqu additionally leaves the remainder in $3.  Division by zero
+# yields 0 (and remainder 0).
+        .text
+        .globl __divqu
+        .ent __divqu
+__divqu:
+        clr     $0
+        clr     $3
+        beq     $17, .Ldivqu_done
+        ldiq    $2, 64
+.Ldivqu_loop:
+        sll     $3, 1, $3
+        srl     $16, 63, $1
+        bis     $3, $1, $3
+        sll     $16, 1, $16
+        sll     $0, 1, $0
+        cmpule  $17, $3, $1
+        beq     $1, .Ldivqu_skip
+        subq    $3, $17, $3
+        bis     $0, 1, $0
+.Ldivqu_skip:
+        subq    $2, 1, $2
+        bne     $2, .Ldivqu_loop
+.Ldivqu_done:
+        ret
+        .end __divqu
+
+        .globl __remqu
+        .ent __remqu
+__remqu:
+        lda     $30, -16($30)
+        stq     $26, 0($30)
+        bsr     $26, __divqu
+        mov     $3, $0
+        ldq     $26, 0($30)
+        lda     $30, 16($30)
+        ret
+        .end __remqu
+
+        .globl __divq
+        .ent __divq
+__divq:
+        lda     $30, -32($30)
+        stq     $26, 0($30)
+        xor     $16, $17, $1
+        srl     $1, 63, $1
+        stq     $1, 8($30)          # 1 if result must be negated
+        negq    $16, $1
+        cmovlt  $16, $1, $16
+        negq    $17, $1
+        cmovlt  $17, $1, $17
+        bsr     $26, __divqu
+        ldq     $1, 8($30)
+        negq    $0, $2
+        cmovne  $1, $2, $0
+        ldq     $26, 0($30)
+        lda     $30, 32($30)
+        ret
+        .end __divq
+
+        .globl __remq
+        .ent __remq
+__remq:
+        lda     $30, -32($30)
+        stq     $26, 0($30)
+        srl     $16, 63, $1
+        stq     $1, 8($30)          # remainder takes the dividend's sign
+        negq    $16, $1
+        cmovlt  $16, $1, $16
+        negq    $17, $1
+        cmovlt  $17, $1, $17
+        bsr     $26, __divqu
+        mov     $3, $0
+        ldq     $1, 8($30)
+        negq    $0, $2
+        cmovne  $1, $2, $0
+        ldq     $26, 0($30)
+        lda     $30, 32($30)
+        ret
+        .end __remq
+|}
+
+let sys_s =
+  {|
+# Raw system-call stubs.  Arguments are already in $16..$18 per the
+# calling standard; the callsys PAL call takes the number in $0.
+        .text
+        .globl __sys_exit
+        .ent __sys_exit
+__sys_exit:
+        ldiq    $0, 1
+        call_pal 0x83
+        ret
+        .end __sys_exit
+
+        .globl __sys_read
+        .ent __sys_read
+__sys_read:
+        ldiq    $0, 3
+        call_pal 0x83
+        ret
+        .end __sys_read
+
+        .globl __sys_write
+        .ent __sys_write
+__sys_write:
+        ldiq    $0, 4
+        call_pal 0x83
+        ret
+        .end __sys_write
+
+        .globl __sys_close
+        .ent __sys_close
+__sys_close:
+        ldiq    $0, 6
+        call_pal 0x83
+        ret
+        .end __sys_close
+
+        .globl __sys_brk
+        .ent __sys_brk
+__sys_brk:
+        ldiq    $0, 17
+        call_pal 0x83
+        ret
+        .end __sys_brk
+
+        .globl __sys_open
+        .ent __sys_open
+__sys_open:
+        ldiq    $0, 45
+        call_pal 0x83
+        ret
+        .end __sys_open
+|}
+
+(* Prototypes for everything the library exports; prepended to user
+   programs by {!Rtlib.compile_user} (Mini-C has no preprocessor). *)
+let header_c =
+  {|
+extern void exit(long code);
+extern void *sbrk(long incr);
+extern void *malloc(long n);
+extern void free(void *p);
+extern void *calloc(long n, long size);
+extern void *memset(void *p, long c, long n);
+extern void *memcpy(void *dst, void *src, long n);
+extern long memcmp(void *a, void *b, long n);
+extern long strlen(char *s);
+extern char *strcpy(char *d, char *s);
+extern long strcmp(char *a, char *b);
+extern long strncmp(char *a, char *b, long n);
+extern char *strcat(char *d, char *s);
+extern char *strchr(char *s, long c);
+extern long atoi(char *s);
+extern void putchar(long c);
+extern void puts(char *s);
+extern long printf(char *fmt, ...);
+extern void *fopen(char *path, char *mode);
+extern long fprintf(void *f, char *fmt, ...);
+extern void fflush(void *f);
+extern void fclose(void *f);
+extern long open(char *path, long flags);
+extern void close(long fd);
+extern long read(long fd, void *buf, long n);
+extern long write(long fd, void *buf, long n);
+extern long rand(void);
+extern void srand(long seed);
+extern double sqrt(double x);
+extern double fabs(double x);
+extern long labs(long x);
+extern long __divqu(long a, long b);
+extern long __remqu(long a, long b);
+|}
+
+let libc_c =
+  {|
+extern long __sys_exit(long code);
+extern long __sys_read(long fd, void *buf, long n);
+extern long __sys_write(long fd, void *buf, long n);
+extern long __sys_close(long fd);
+extern long __sys_brk(long want);
+extern long __sys_open(char *path, long flags);
+extern long __divqu(long a, long b);
+extern long __remqu(long a, long b);
+
+/* defined by the linker: first address past .bss */
+extern long _end;
+
+/* ---- program break: the heap ------------------------------------- */
+
+/* ATOM links or separates the two copies of this variable (application
+   and analysis) depending on the heap mode; see the paper, section 4. */
+long __curbrk;
+
+void *sbrk(long incr) {
+    long old, want, got;
+    if (__curbrk == 0)
+        __curbrk = (long) &_end;
+    old = __curbrk;
+    want = old + incr;
+    got = __sys_brk(want);
+    if (got != want)
+        return (void *) -1;
+    __curbrk = want;
+    return (void *) old;
+}
+
+/* ---- malloc: first-fit free list ---------------------------------- */
+
+/* block header: [0] = size of the user area, [1] = next free block */
+long *__mfree;
+
+void *malloc(long n) {
+    long *p, *prev, *hdr;
+    long total;
+    n = (n + 15) & -16;
+    if (n < 16) n = 16;
+    prev = 0;
+    p = __mfree;
+    while (p) {
+        if (p[0] >= n) {
+            if (p[0] >= n + 32) {
+                /* split: tail becomes a new free block */
+                hdr = (long *) ((char *) p + 16 + n);
+                hdr[0] = p[0] - n - 16;
+                hdr[1] = p[1];
+                p[0] = n;
+                if (prev) prev[1] = (long) hdr; else __mfree = (long *) hdr;
+            } else {
+                if (prev) prev[1] = p[1]; else __mfree = (long *) p[1];
+            }
+            return (void *) (p + 2);
+        }
+        prev = p;
+        p = (long *) p[1];
+    }
+    total = n + 16;
+    if (total < 4096) {
+        /* carve small blocks out of a page-sized arena */
+        hdr = (long *) sbrk(4096);
+        if ((long) hdr == -1) return 0;
+        hdr[0] = n;
+        p = (long *) ((char *) hdr + 16 + n);
+        p[0] = 4096 - n - 32;
+        p[1] = (long) __mfree;
+        __mfree = p;
+        return (void *) (hdr + 2);
+    }
+    hdr = (long *) sbrk(total);
+    if ((long) hdr == -1) return 0;
+    hdr[0] = n;
+    return (void *) (hdr + 2);
+}
+
+void free(void *q) {
+    long *p;
+    if (!q) return;
+    p = (long *) q - 2;
+    p[1] = (long) __mfree;
+    __mfree = p;
+}
+
+void *calloc(long n, long size) {
+    long total = n * size;
+    void *p = malloc(total);
+    if (p) memset(p, 0, total);
+    return p;
+}
+
+/* ---- memory and strings ------------------------------------------- */
+
+void *memset(void *p, long c, long n) {
+    char *q = (char *) p;
+    long i;
+    for (i = 0; i < n; i++) q[i] = c;
+    return p;
+}
+
+void *memcpy(void *dst, void *src, long n) {
+    char *d = (char *) dst;
+    char *s = (char *) src;
+    long i;
+    for (i = 0; i < n; i++) d[i] = s[i];
+    return dst;
+}
+
+long memcmp(void *a, void *b, long n) {
+    char *x = (char *) a;
+    char *y = (char *) b;
+    long i;
+    for (i = 0; i < n; i++) {
+        if (x[i] != y[i]) return x[i] - y[i];
+    }
+    return 0;
+}
+
+long strlen(char *s) {
+    long n = 0;
+    while (s[n]) n++;
+    return n;
+}
+
+char *strcpy(char *d, char *s) {
+    long i = 0;
+    while (s[i]) { d[i] = s[i]; i++; }
+    d[i] = 0;
+    return d;
+}
+
+long strcmp(char *a, char *b) {
+    long i = 0;
+    while (a[i] && a[i] == b[i]) i++;
+    return a[i] - b[i];
+}
+
+long strncmp(char *a, char *b, long n) {
+    long i = 0;
+    if (n == 0) return 0;
+    while (i < n - 1 && a[i] && a[i] == b[i]) i++;
+    return a[i] - b[i];
+}
+
+char *strcat(char *d, char *s) {
+    strcpy(d + strlen(d), s);
+    return d;
+}
+
+char *strchr(char *s, long c) {
+    while (*s) {
+        if (*s == c) return s;
+        s++;
+    }
+    if (c == 0) return s;
+    return 0;
+}
+
+long atoi(char *s) {
+    long v = 0, neg = 0;
+    while (*s == ' ' || *s == 9) s++;
+    if (*s == '-') { neg = 1; s++; }
+    while (*s >= '0' && *s <= '9') {
+        v = v * 10 + (*s - '0');
+        s++;
+    }
+    if (neg) return -v;
+    return v;
+}
+
+long labs(long x) { if (x < 0) return -x; return x; }
+
+/* ---- buffered stdio ------------------------------------------------ */
+
+struct _File {
+    long fd;
+    long len;
+    char buf[512];
+};
+
+struct _File __stdout_file;
+struct _File __stderr_file;
+
+void __libc_init(void) {
+    __stdout_file.fd = 1;
+    __stderr_file.fd = 2;
+}
+
+void fflush(void *fp) {
+    struct _File *f = (struct _File *) fp;
+    if (f->len > 0) {
+        __sys_write(f->fd, f->buf, f->len);
+        f->len = 0;
+    }
+}
+
+void __fput(struct _File *f, long c) {
+    if (f->len >= 512) fflush(f);
+    f->buf[f->len] = c;
+    f->len = f->len + 1;
+}
+
+void exit(long code) {
+    fflush(&__stdout_file);
+    fflush(&__stderr_file);
+    __sys_exit(code);
+}
+
+long open(char *path, long flags) { return __sys_open(path, flags); }
+void close(long fd) { __sys_close(fd); }
+long read(long fd, void *buf, long n) { return __sys_read(fd, buf, n); }
+long write(long fd, void *buf, long n) { return __sys_write(fd, buf, n); }
+
+void *fopen(char *path, char *mode) {
+    struct _File *f;
+    long flags = 0;
+    if (*mode == 'w') flags = 1;
+    if (*mode == 'a') flags = 2;
+    f = (struct _File *) malloc(sizeof(struct _File));
+    if (!f) return 0;
+    f->fd = __sys_open(path, flags);
+    f->len = 0;
+    if (f->fd < 0) {
+        free(f);
+        return 0;
+    }
+    return (void *) f;
+}
+
+void fclose(void *fp) {
+    struct _File *f = (struct _File *) fp;
+    fflush(f);
+    __sys_close(f->fd);
+    free(f);
+}
+
+void putchar(long c) { __fput(&__stdout_file, c); }
+
+void puts(char *s) {
+    while (*s) { putchar(*s); s++; }
+    putchar(10);
+}
+
+/* ---- formatted output ---------------------------------------------- */
+
+void __fput_str(struct _File *f, char *s) {
+    while (*s) { __fput(f, *s); s++; }
+}
+
+/* print v in the given base (2..16), unsigned, padded to `width` with
+   `pad` (' ' or '0') */
+void __fput_num(struct _File *f, long v, long base, long width, long pad, long is_signed) {
+    char tmp[70];
+    long n = 0, neg = 0, digit;
+    if (is_signed && v < 0) {
+        neg = 1;
+        v = -v;           /* note: LONG_MIN stays negative; acceptable here */
+    }
+    if (v == 0) {
+        tmp[n] = '0';
+        n = 1;
+    }
+    while (v != 0) {
+        digit = __remqu(v, base);
+        if (digit < 10) tmp[n] = '0' + digit;
+        else tmp[n] = 'a' + digit - 10;
+        n++;
+        v = __divqu(v, base);
+    }
+    if (neg) { tmp[n] = '-'; n++; }
+    while (n < width) {
+        if (pad == '0' && neg) {
+            /* keep the sign in front of zero padding */
+            tmp[n - 1] = '0';
+            tmp[n] = '-';
+        } else {
+            tmp[n] = pad;
+        }
+        n++;
+    }
+    while (n > 0) {
+        n--;
+        __fput(f, tmp[n]);
+    }
+}
+
+void __fput_double(struct _File *f, double x) {
+    long ip, frac;
+    double fx;
+    if (x < 0.0) {
+        __fput(f, '-');
+        x = -x;
+    }
+    ip = (long) x;
+    fx = (x - (double) ip) * 1000000.0 + 0.5;
+    frac = (long) fx;
+    if (frac >= 1000000) {
+        ip = ip + 1;
+        frac = frac - 1000000;
+    }
+    __fput_num(f, ip, 10, 0, ' ', 0);
+    __fput(f, '.');
+    __fput_num(f, frac, 10, 6, '0', 0);
+}
+
+long __vformat(struct _File *f, char *fmt, long *ap) {
+    long width, pad, bits;
+    double *px;
+    char *s;
+    long count = 0;
+    while (*fmt) {
+        if (*fmt != '%') {
+            __fput(f, *fmt);
+            fmt++;
+            count++;
+            continue;
+        }
+        fmt++;
+        if (*fmt == '%') {
+            __fput(f, '%');
+            fmt++;
+            continue;
+        }
+        pad = ' ';
+        width = 0;
+        if (*fmt == '0') { pad = '0'; fmt++; }
+        while (*fmt >= '0' && *fmt <= '9') {
+            width = width * 10 + (*fmt - '0');
+            fmt++;
+        }
+        if (*fmt == 'l') fmt++;   /* %ld == %d */
+        if (*fmt == 'd') {
+            __fput_num(f, *ap, 10, width, pad, 1);
+            ap++;
+        } else if (*fmt == 'u') {
+            __fput_num(f, *ap, 10, width, pad, 0);
+            ap++;
+        } else if (*fmt == 'x') {
+            __fput_num(f, *ap, 16, width, pad, 0);
+            ap++;
+        } else if (*fmt == 'c') {
+            __fput(f, *ap);
+            ap++;
+        } else if (*fmt == 's') {
+            s = (char *) *ap;
+            __fput_str(f, s);
+            ap++;
+        } else if (*fmt == 'f' || *fmt == 'g') {
+            bits = *ap;
+            px = (double *) &bits;
+            __fput_double(f, *px);
+            ap++;
+        } else {
+            __fput(f, '%');
+            __fput(f, *fmt);
+        }
+        fmt++;
+    }
+    return count;
+}
+
+long printf(char *fmt, ...) {
+    long *ap = (long *) &fmt + 1;
+    return __vformat(&__stdout_file, fmt, ap);
+}
+
+long fprintf(void *f, char *fmt, ...) {
+    long *ap = (long *) &fmt + 1;
+    return __vformat((struct _File *) f, fmt, ap);
+}
+
+/* ---- misc ----------------------------------------------------------- */
+
+long __rand_state;
+
+void srand(long seed) { __rand_state = seed; }
+
+long rand(void) {
+    __rand_state = __rand_state * 6364136223846793005 + 1442695040888963407;
+    return (__rand_state >> 33) & 1073741823;
+}
+
+double fabs(double x) {
+    if (x < 0.0) return -x;
+    return x;
+}
+
+double sqrt(double x) {
+    double g;
+    long i;
+    if (x <= 0.0) return 0.0;
+    g = x;
+    if (g > 1.0) g = x * 0.5 + 0.5;
+    for (i = 0; i < 32; i++)
+        g = 0.5 * (g + x / g);
+    return g;
+}
+|}

@@ -1,0 +1,1 @@
+lib/tools/branch_tool.ml: Atom List Tool

@@ -1,0 +1,1 @@
+lib/tools/cache_tool.ml: Atom List Tool

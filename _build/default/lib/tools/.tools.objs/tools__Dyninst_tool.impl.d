@@ -1,0 +1,1 @@
+lib/tools/dyninst_tool.ml: Atom List Tool

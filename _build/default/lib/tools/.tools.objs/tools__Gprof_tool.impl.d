@@ -1,0 +1,1 @@
+lib/tools/gprof_tool.ml: Atom List Tool

@@ -1,0 +1,1 @@
+lib/tools/inline_tool.ml: Atom List Tool

@@ -1,0 +1,1 @@
+lib/tools/io_tool.ml: Atom List Tool

@@ -1,0 +1,1 @@
+lib/tools/malloc_tool.ml: Atom List Tool

@@ -1,0 +1,1 @@
+lib/tools/pipe_tool.ml: Alpha Array Atom List Tool

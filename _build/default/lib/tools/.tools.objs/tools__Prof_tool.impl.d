@@ -1,0 +1,1 @@
+lib/tools/prof_tool.ml: Atom List Tool

@@ -1,0 +1,1 @@
+lib/tools/registry.ml: Branch_tool Cache_tool Dyninst_tool Gprof_tool Inline_tool Io_tool List Malloc_tool Pipe_tool Prof_tool Syscall_tool Tool Unalign_tool

@@ -1,0 +1,1 @@
+lib/tools/registry.mli: Tool

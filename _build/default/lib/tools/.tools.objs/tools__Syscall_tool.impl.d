@@ -1,0 +1,1 @@
+lib/tools/syscall_tool.ml: Atom List Tool

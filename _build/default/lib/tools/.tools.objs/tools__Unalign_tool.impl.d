@@ -1,0 +1,1 @@
+lib/tools/unalign_tool.ml: Atom List Tool

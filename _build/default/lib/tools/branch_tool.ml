@@ -1,0 +1,72 @@
+(* branch: evaluate a 2-bit-counter branch predictor (paper Figure 5:
+   "prediction using 2-bit history table"). *)
+
+let instrument api =
+  let open Atom.Api in
+  add_call_proto api "BrInit(int)";
+  add_call_proto api "BrPredict(int, long, VALUE)";
+  add_call_proto api "BrReport()";
+  let n = ref 0 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun b ->
+          let inst = get_last_inst b in
+          if is_inst_type inst Inst_cond_branch then begin
+            add_call_inst api inst Before "BrPredict"
+              [ Int !n; Inst_pc inst; Br_cond_value ];
+            incr n
+          end)
+        (blocks p))
+    (procs api);
+  add_call_program api Program_before "BrInit" [ Int !n ];
+  add_call_program api Program_after "BrReport" []
+
+let analysis =
+  {|
+char *__br_state;
+long __br_total;
+long __br_hits;
+long __br_taken;
+
+void BrInit(long n) {
+  __br_state = (char *) malloc(n + 1);
+  memset(__br_state, 1, n + 1);   /* weakly not-taken */
+}
+
+void BrPredict(long id, long pc, long taken) {
+  long s = __br_state[id];
+  __br_total++;
+  if (taken) {
+    __br_taken++;
+    if (s >= 2) __br_hits++;
+    if (s < 3) __br_state[id] = s + 1;
+  } else {
+    if (s < 2) __br_hits++;
+    if (s > 0) __br_state[id] = s - 1;
+  }
+}
+
+void BrReport(void) {
+  void *f = fopen("branch.out", "w");
+  fprintf(f, "conditional branches executed: %d\n", __br_total);
+  fprintf(f, "taken:                         %d\n", __br_taken);
+  fprintf(f, "2-bit predictor correct:       %d\n", __br_hits);
+  if (__br_total > 0)
+    fprintf(f, "accuracy (x1000):              %d\n",
+            __br_hits * 1000 / __br_total);
+  fclose(f);
+}
+|}
+
+let tool =
+  {
+    Tool.name = "branch";
+    description = "prediction using 2-bit history table";
+    points = "each conditional branch";
+    nargs = 3;
+    paper_ratio = 3.03;
+    paper_avg_instr_secs = 5.52;
+    instrument;
+    analysis;
+  }

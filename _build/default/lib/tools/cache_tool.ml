@@ -1,0 +1,64 @@
+(* cache: model a direct-mapped 8 KB data cache with 32-byte lines. *)
+
+let instrument api =
+  let open Atom.Api in
+  add_call_proto api "CacheInit()";
+  add_call_proto api "Reference(VALUE)";
+  add_call_proto api "CacheReport()";
+  List.iter
+    (fun p ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun inst ->
+              if is_inst_type inst Inst_memory then
+                add_call_inst api inst Before "Reference" [ Eff_addr_value ])
+            (insts b))
+        (blocks p))
+    (procs api);
+  add_call_program api Program_before "CacheInit" [];
+  add_call_program api Program_after "CacheReport" []
+
+let analysis =
+  {|
+/* 8 KB direct-mapped, 32-byte lines: 256 sets */
+long __c_tags[256];
+long __c_refs;
+long __c_misses;
+
+void CacheInit(void) {
+  long i;
+  for (i = 0; i < 256; i++) __c_tags[i] = -1;
+}
+
+void Reference(long addr) {
+  long line = (addr >> 5) & 255;
+  long tag = addr >> 13;
+  __c_refs++;
+  if (__c_tags[line] != tag) {
+    __c_misses++;
+    __c_tags[line] = tag;
+  }
+}
+
+void CacheReport(void) {
+  void *f = fopen("cache.out", "w");
+  fprintf(f, "references:        %d\n", __c_refs);
+  fprintf(f, "misses:            %d\n", __c_misses);
+  if (__c_refs > 0)
+    fprintf(f, "miss rate (x1000): %d\n", __c_misses * 1000 / __c_refs);
+  fclose(f);
+}
+|}
+
+let tool =
+  {
+    Tool.name = "cache";
+    description = "model direct mapped 8k byte cache";
+    points = "each memory reference";
+    nargs = 1;
+    paper_ratio = 11.84;
+    paper_avg_instr_secs = 6.03;
+    instrument;
+    analysis;
+  }

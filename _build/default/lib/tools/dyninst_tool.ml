@@ -1,0 +1,62 @@
+(* dyninst: dynamic instruction counts, block by block. *)
+
+let instrument api =
+  let open Atom.Api in
+  add_call_proto api "DynInit(int)";
+  add_call_proto api "DynBlock(int, int, long)";
+  add_call_proto api "DynReport()";
+  let n = ref 0 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun b ->
+          add_call_block api b Before "DynBlock"
+            [ Int !n; Int (block_ninsts b); Block_pc b ];
+          incr n)
+        (blocks p))
+    (procs api);
+  add_call_program api Program_before "DynInit" [ Int !n ];
+  add_call_program api Program_after "DynReport" []
+
+let analysis =
+  {|
+long *__dyn_counts;
+long __dyn_nblocks;
+long __dyn_insns;
+long __dyn_execs;
+
+void DynInit(long n) {
+  __dyn_nblocks = n;
+  __dyn_counts = (long *) calloc(n + 1, sizeof(long));
+}
+
+void DynBlock(long id, long ninsts, long pc) {
+  __dyn_counts[id]++;
+  __dyn_insns += ninsts;
+  __dyn_execs++;
+}
+
+void DynReport(void) {
+  void *f = fopen("dyninst.out", "w");
+  long i, used = 0;
+  for (i = 0; i < __dyn_nblocks; i++)
+    if (__dyn_counts[i]) used++;
+  fprintf(f, "dynamic instructions: %d\n", __dyn_insns);
+  fprintf(f, "block executions:     %d\n", __dyn_execs);
+  fprintf(f, "static blocks:        %d\n", __dyn_nblocks);
+  fprintf(f, "blocks ever executed: %d\n", used);
+  fclose(f);
+}
+|}
+
+let tool =
+  {
+    Tool.name = "dyninst";
+    description = "computes dynamic instruction counts";
+    points = "each basic block";
+    nargs = 3;
+    paper_ratio = 2.91;
+    paper_avg_instr_secs = 6.32;
+    instrument;
+    analysis;
+  }

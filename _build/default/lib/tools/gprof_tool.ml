@@ -1,0 +1,66 @@
+(* gprof: call-graph-flavoured profile — per-procedure call counts and
+   dynamic instruction counts. *)
+
+let instrument api =
+  let open Atom.Api in
+  add_call_proto api "GpInit(int)";
+  add_call_proto api "GpEnter(int)";
+  add_call_proto api "GpBlock(int, int)";
+  add_call_proto api "GpName(int, char *)";
+  add_call_proto api "GpReport()";
+  let pid = ref 0 in
+  List.iter
+    (fun p ->
+      add_call_proc api p Before "GpEnter" [ Int !pid ];
+      List.iter
+        (fun b ->
+          add_call_block api b Before "GpBlock" [ Int !pid; Int (block_ninsts b) ])
+        (blocks p);
+      add_call_program api Program_after "GpName" [ Int !pid; Str (proc_name p) ];
+      incr pid)
+    (procs api);
+  add_call_program api Program_before "GpInit" [ Int !pid ];
+  add_call_program api Program_after "GpReport" []
+
+let analysis =
+  {|
+long *__gp_calls;
+long *__gp_insns;
+long __gp_n;
+void *__gp_file;
+
+void GpInit(long n) {
+  __gp_n = n;
+  __gp_calls = (long *) calloc(n + 1, sizeof(long));
+  __gp_insns = (long *) calloc(n + 1, sizeof(long));
+}
+
+void GpEnter(long pid) { __gp_calls[pid]++; }
+
+void GpBlock(long pid, long ninsts) { __gp_insns[pid] += ninsts; }
+
+void GpName(long pid, char *name) {
+  if (!__gp_file) {
+    __gp_file = fopen("gprof.out", "w");
+    fprintf(__gp_file, "procedure\tcalls\tinstructions\n");
+  }
+  if (__gp_calls[pid] > 0)
+    fprintf(__gp_file, "%s\t%d\t%d\n", name, __gp_calls[pid], __gp_insns[pid]);
+}
+
+void GpReport(void) {
+  if (__gp_file) fclose(__gp_file);
+}
+|}
+
+let tool =
+  {
+    Tool.name = "gprof";
+    description = "call graph based profiling tool";
+    points = "each procedure/each basic block";
+    nargs = 2;
+    paper_ratio = 2.70;
+    paper_avg_instr_secs = 5.66;
+    instrument;
+    analysis;
+  }

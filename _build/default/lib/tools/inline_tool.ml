@@ -1,0 +1,69 @@
+(* inline: find heavily executed direct call sites — inlining candidates. *)
+
+let instrument api =
+  let open Atom.Api in
+  add_call_proto api "InInit(int)";
+  add_call_proto api "InSite(int)";
+  add_call_proto api "InName(int, char *)";
+  add_call_proto api "InReport()";
+  let site = ref 0 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun inst ->
+              if is_inst_type inst Inst_call then begin
+                match call_target api inst with
+                | Some callee ->
+                    add_call_inst api inst Before "InSite" [ Int !site ];
+                    add_call_program api Program_after "InName"
+                      [ Int !site; Str (proc_name p ^ " -> " ^ callee) ];
+                    incr site
+                | None -> ()
+              end)
+            (insts b))
+        (blocks p))
+    (procs api);
+  add_call_program api Program_before "InInit" [ Int !site ];
+  add_call_program api Program_after "InReport" []
+
+let analysis =
+  {|
+long *__in_counts;
+long __in_n;
+void *__in_file;
+
+void InInit(long n) {
+  __in_n = n;
+  __in_counts = (long *) calloc(n + 1, sizeof(long));
+}
+
+void InSite(long id) { __in_counts[id]++; }
+
+void InName(long id, char *pair) {
+  if (!__in_file) {
+    __in_file = fopen("inline.out", "w");
+    fprintf(__in_file, "call site\texecutions\n");
+  }
+  if (__in_counts[id] >= 16)
+    fprintf(__in_file, "%s\t%d\n", pair, __in_counts[id]);
+}
+
+void InReport(void) {
+  if (!__in_file) __in_file = fopen("inline.out", "w");
+  fclose(__in_file);
+}
+|}
+
+let tool =
+  {
+    Tool.name = "inline";
+    description = "finds potential inlining call sites";
+    points = "each call site";
+    nargs = 1;
+    paper_ratio = 1.03;
+    paper_avg_instr_secs = 7.33;
+    instrument;
+    analysis;
+  }

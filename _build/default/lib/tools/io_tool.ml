@@ -1,0 +1,57 @@
+(* io: input/output summary — wrap the read and write funnels. *)
+
+let instrument api =
+  let open Atom.Api in
+  add_call_proto api "IoBefore(int, REGV, REGV, REGV)";
+  add_call_proto api "IoAfter(int, REGV)";
+  add_call_proto api "IoReport()";
+  let hook name kind =
+    match List.find_opt (fun p -> proc_name p = name) (procs api) with
+    | None -> ()
+    | Some p ->
+        add_call_proc api p Before "IoBefore"
+          [ Int kind; Regv 16; Regv 17; Regv 18 ];
+        (* at every return: the result is in $v0 *)
+        (try add_call_proc api p After "IoAfter" [ Int kind; Regv 0 ]
+         with Atom.Api.Error _ -> ())
+  in
+  hook "__sys_write" 1;
+  hook "__sys_read" 0;
+  add_call_program api Program_after "IoReport" []
+
+let analysis =
+  {|
+long __io_calls[2];
+long __io_req[2];
+long __io_done[2];
+
+void IoBefore(long kind, long fd, long buf, long len) {
+  __io_calls[kind]++;
+  __io_req[kind] += len;
+}
+
+void IoAfter(long kind, long ret) {
+  if (ret > 0) __io_done[kind] += ret;
+}
+
+void IoReport(void) {
+  void *f = fopen("io.out", "w");
+  fprintf(f, "reads:  %d calls, %d bytes requested, %d transferred\n",
+          __io_calls[0], __io_req[0], __io_done[0]);
+  fprintf(f, "writes: %d calls, %d bytes requested, %d transferred\n",
+          __io_calls[1], __io_req[1], __io_done[1]);
+  fclose(f);
+}
+|}
+
+let tool =
+  {
+    Tool.name = "io";
+    description = "input/output summary tool";
+    points = "before/after write procedure";
+    nargs = 4;
+    paper_ratio = 1.01;
+    paper_avg_instr_secs = 6.08;
+    instrument;
+    analysis;
+  }

@@ -1,0 +1,49 @@
+(* malloc: histogram of dynamic memory allocation sizes. *)
+
+let instrument api =
+  let open Atom.Api in
+  add_call_proto api "MalSize(REGV)";
+  add_call_proto api "MalReport()";
+  (match List.find_opt (fun p -> proc_name p = "malloc") (procs api) with
+  | Some p -> add_call_proc api p Before "MalSize" [ Regv 16 ]
+  | None -> ());
+  add_call_program api Program_after "MalReport" []
+
+let analysis =
+  {|
+long __mal_hist[48];
+long __mal_calls;
+long __mal_bytes;
+
+void MalSize(long size) {
+  long b = 0, s = size;
+  __mal_calls++;
+  __mal_bytes += size;
+  while (s > 1 && b < 47) { s = s >> 1; b++; }
+  __mal_hist[b]++;
+}
+
+void MalReport(void) {
+  void *f = fopen("malloc.out", "w");
+  long i;
+  fprintf(f, "malloc calls: %d\n", __mal_calls);
+  fprintf(f, "bytes requested: %d\n", __mal_bytes);
+  fprintf(f, "size histogram (log2 buckets):\n");
+  for (i = 0; i < 48; i++)
+    if (__mal_hist[i])
+      fprintf(f, "  2^%d\t%d\n", i, __mal_hist[i]);
+  fclose(f);
+}
+|}
+
+let tool =
+  {
+    Tool.name = "malloc";
+    description = "histogram of dynamic memory";
+    points = "before/after malloc procedure";
+    nargs = 1;
+    paper_ratio = 1.02;
+    paper_avg_instr_secs = 4.90;
+    instrument;
+    analysis;
+  }

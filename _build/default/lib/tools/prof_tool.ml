@@ -1,0 +1,65 @@
+(* prof: flat instruction profile per procedure. *)
+
+let instrument api =
+  let open Atom.Api in
+  add_call_proto api "ProfInit(int)";
+  add_call_proto api "ProfBlock(int, int)";
+  add_call_proto api "ProfName(int, char *)";
+  add_call_proto api "ProfReport()";
+  let pid = ref 0 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun b ->
+          add_call_block api b Before "ProfBlock" [ Int !pid; Int (block_ninsts b) ])
+        (blocks p);
+      add_call_program api Program_after "ProfName" [ Int !pid; Str (proc_name p) ];
+      incr pid)
+    (procs api);
+  add_call_program api Program_before "ProfInit" [ Int !pid ];
+  add_call_program api Program_after "ProfReport" []
+
+let analysis =
+  {|
+long *__prof_insns;
+long __prof_n;
+long __prof_total;
+void *__prof_file;
+
+void ProfInit(long n) {
+  __prof_n = n;
+  __prof_insns = (long *) calloc(n + 1, sizeof(long));
+}
+
+void ProfBlock(long pid, long ninsts) {
+  __prof_insns[pid] += ninsts;
+  __prof_total += ninsts;
+}
+
+void ProfName(long pid, char *name) {
+  if (!__prof_file) {
+    __prof_file = fopen("prof.out", "w");
+    fprintf(__prof_file, "total instructions: %d\n", __prof_total);
+    fprintf(__prof_file, "procedure\tinstructions\tpermille\n");
+  }
+  if (__prof_insns[pid] > 0 && __prof_total > 0)
+    fprintf(__prof_file, "%s\t%d\t%d\n", name, __prof_insns[pid],
+            __prof_insns[pid] * 1000 / __prof_total);
+}
+
+void ProfReport(void) {
+  if (__prof_file) fclose(__prof_file);
+}
+|}
+
+let tool =
+  {
+    Tool.name = "prof";
+    description = "instruction profiling tool";
+    points = "each procedure/each basic block";
+    nargs = 2;
+    paper_ratio = 2.33;
+    paper_avg_instr_secs = 6.13;
+    instrument;
+    analysis;
+  }

@@ -1,0 +1,17 @@
+let all =
+  [
+    Branch_tool.tool;
+    Cache_tool.tool;
+    Dyninst_tool.tool;
+    Gprof_tool.tool;
+    Inline_tool.tool;
+    Io_tool.tool;
+    Malloc_tool.tool;
+    Pipe_tool.tool;
+    Prof_tool.tool;
+    Syscall_tool.tool;
+    Unalign_tool.tool;
+  ]
+
+let find name = List.find_opt (fun t -> t.Tool.name = name) all
+let names = List.map (fun t -> t.Tool.name) all

@@ -1,0 +1,8 @@
+(** The eleven tools of the paper's evaluation (Figures 5 and 6). *)
+
+val all : Tool.t list
+(** In the paper's order: branch, cache, dyninst, gprof, inline, io,
+    malloc, pipe, prof, syscall, unalign. *)
+
+val find : string -> Tool.t option
+val names : string list

@@ -1,0 +1,60 @@
+(* syscall: system call summary — hook every callsys instruction. *)
+
+let instrument api =
+  let open Atom.Api in
+  add_call_proto api "SysBefore(REGV, long)";
+  add_call_proto api "SysAfter(REGV, long)";
+  add_call_proto api "SysReport()";
+  List.iter
+    (fun p ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun inst ->
+              if is_inst_type inst Inst_syscall then begin
+                add_call_inst api inst Before "SysBefore"
+                  [ Regv 0; Inst_pc inst ];
+                add_call_inst api inst After "SysAfter" [ Regv 0; Inst_pc inst ]
+              end)
+            (insts b))
+        (blocks p))
+    (procs api);
+  add_call_program api Program_after "SysReport" []
+
+let analysis =
+  {|
+long __sys_counts[64];
+long __sys_fails;
+long __sys_total;
+
+void SysBefore(long num, long pc) {
+  __sys_total++;
+  if (num >= 0 && num < 64) __sys_counts[num]++;
+}
+
+void SysAfter(long ret, long pc) {
+  if (ret < 0) __sys_fails++;
+}
+
+void SysReport(void) {
+  void *f = fopen("syscall.out", "w");
+  long i;
+  fprintf(f, "system calls: %d (failed: %d)\n", __sys_total, __sys_fails);
+  for (i = 0; i < 64; i++)
+    if (__sys_counts[i])
+      fprintf(f, "  call %d\t%d\n", i, __sys_counts[i]);
+  fclose(f);
+}
+|}
+
+let tool =
+  {
+    Tool.name = "syscall";
+    description = "system call summary tool";
+    points = "before/after each system call";
+    nargs = 2;
+    paper_ratio = 1.01;
+    paper_avg_instr_secs = 6.03;
+    instrument;
+    analysis;
+  }

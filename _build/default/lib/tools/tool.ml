@@ -1,0 +1,14 @@
+type t = {
+  name : string;
+  description : string;
+  points : string;
+  nargs : int;
+  paper_ratio : float;
+  paper_avg_instr_secs : float;
+  instrument : Atom.Api.t -> unit;
+  analysis : string;
+}
+
+let apply ?options tool exe =
+  Atom.Instrument.instrument_source ?options ~exe ~tool:tool.instrument
+    ~analysis_src:tool.analysis ()

@@ -1,0 +1,602 @@
+type t = {
+  w_name : string;
+  w_models : string;
+  w_source : string;
+}
+
+(* -- 1. LZW compression (stands in for 026.compress) ------------------- *)
+
+let compress_src =
+  {|
+/* LZW compression of a synthetic text buffer. */
+long dict_prefix[4096];
+long dict_char[4096];
+long hash_head[4096];
+long hash_next[4096];
+char text[16384];
+
+long make_text(void) {
+  long i, n = 16384;
+  char *words = "the quick brown fox jumps over the lazy dog ";
+  long wl = strlen(words);
+  srand(42);
+  for (i = 0; i < n; i++) {
+    if ((rand() & 15) == 0) text[i] = 'a' + (rand() & 15);
+    else text[i] = words[i % wl];
+  }
+  return n;
+}
+
+long hash(long prefix, long c) { return ((prefix << 5) ^ c) & 4095; }
+
+long lookup(long prefix, long c) {
+  long i = hash_head[hash(prefix, c)];
+  while (i) {
+    if (dict_prefix[i] == prefix && dict_char[i] == c) return i;
+    i = hash_next[i];
+  }
+  return 0;
+}
+
+long main(void) {
+  long n = make_text();
+  long next_code = 256, out = 0, checksum = 0;
+  long w, i, c, found, h;
+  for (i = 0; i < 4096; i++) hash_head[i] = 0;
+  w = text[0] + 1;  /* codes 1..256 are single bytes */
+  for (i = 1; i < n; i++) {
+    c = text[i];
+    found = lookup(w, c);
+    if (found) {
+      w = found;
+    } else {
+      out++;
+      checksum = (checksum * 31 + w) & 0xFFFFFF;
+      if (next_code < 4095) {
+        next_code++;
+        dict_prefix[next_code] = w;
+        dict_char[next_code] = c;
+        h = hash(w, c);
+        hash_next[next_code] = hash_head[h];
+        hash_head[h] = next_code;
+      }
+      w = c + 1;
+    }
+  }
+  out++;
+  checksum = (checksum * 31 + w) & 0xFFFFFF;
+  printf("compress: in=%d out=%d checksum=%x\n", n, out, checksum);
+  return 0;
+}
+|}
+
+(* -- 2. bit-vector logic + sorting (stands in for 023.eqntott) --------- *)
+
+let bitvec_src =
+  {|
+long vecs[1200];
+
+long popcount(long v) {
+  long n = 0;
+  while (v) { n += v & 1; v = (v >> 1) & 0x7FFFFFFFFFFFFFF; }
+  return n;
+}
+
+void sort(long *a, long n) {
+  long i, j, key;
+  for (i = 1; i < n; i++) {
+    key = a[i];
+    j = i - 1;
+    while (j >= 0 && a[j] > key) { a[j + 1] = a[j]; j--; }
+    a[j + 1] = key;
+  }
+}
+
+long main(void) {
+  long n = 1200, i, acc = 0;
+  srand(7);
+  for (i = 0; i < n; i++) vecs[i] = (rand() << 34) ^ (rand() << 13) ^ rand();
+  for (i = 0; i < n; i++) acc += popcount(vecs[i]);
+  sort(vecs, n);
+  for (i = 1; i < n; i++)
+    if (vecs[i - 1] > vecs[i]) { printf("bitvec: SORT BUG\n"); return 1; }
+  printf("bitvec: popcount=%d median=%x\n", acc, vecs[n / 2] & 0xFFFF);
+  return 0;
+}
+|}
+
+(* -- 3. greedy set cover over bit rows (stands in for 008.espresso) ---- *)
+
+let cover_src =
+  {|
+long rows[256];
+long chosen[64];
+
+long main(void) {
+  long nrows = 256, i, j, best, bestcount, covered = 0, nchosen = 0;
+  long universe = -1;
+  srand(13);
+  for (i = 0; i < nrows; i++)
+    rows[i] = (rand() << 34) ^ (rand() << 11) ^ rand();
+  while (covered != universe && nchosen < 64) {
+    best = -1;
+    bestcount = 0;
+    for (i = 0; i < nrows; i++) {
+      long gain = rows[i] & ~covered;
+      long cnt = 0;
+      for (j = 0; j < 64; j++) cnt += (gain >> j) & 1;
+      if (cnt > bestcount) { bestcount = cnt; best = i; }
+    }
+    if (best < 0) break;
+    chosen[nchosen] = best;
+    nchosen++;
+    covered = covered | rows[best];
+  }
+  printf("cover: sets=%d covered=%x\n", nchosen, covered & 0xFFFF);
+  return 0;
+}
+|}
+
+(* -- 4. recursive expression interpreter (stands in for 022.li) -------- *)
+
+let lisp_src =
+  {|
+/* a tiny expression-tree interpreter, heavy on recursion and pointers */
+struct node { long op; long value; struct node *l; struct node *r; };
+
+struct node *mknode(long op, long v, struct node *l, struct node *r) {
+  struct node *n = (struct node *) malloc(sizeof(struct node));
+  n->op = op;
+  n->value = v;
+  n->l = l;
+  n->r = r;
+  return n;
+}
+
+struct node *build(long depth, long seed) {
+  if (depth == 0) return mknode(0, (seed * 37 + 11) % 100, 0, 0);
+  return mknode(1 + (seed % 3), 0,
+                build(depth - 1, seed * 5 + 1),
+                build(depth - 1, seed * 3 + 2));
+}
+
+long eval(struct node *n) {
+  long a, b;
+  if (n->op == 0) return n->value;
+  a = eval(n->l);
+  b = eval(n->r);
+  if (n->op == 1) return a + b;
+  if (n->op == 2) return a - b;
+  return (a & 0xFFFF) * (b & 15) + 1;
+}
+
+long main(void) {
+  long i, acc = 0;
+  struct node *t = build(11, 3);
+  for (i = 0; i < 40; i++) acc = (acc + eval(t)) & 0xFFFFFFF;
+  printf("lisp: acc=%x\n", acc);
+  return 0;
+}
+|}
+
+(* -- 5. spreadsheet-style relaxation (stands in for 085.cc1-ish sc) ---- *)
+
+let cells_src =
+  {|
+long grid[64 * 64];
+long next[64 * 64];
+
+long main(void) {
+  long w = 64, i, j, it, changed = 1, sum = 0;
+  srand(99);
+  for (i = 0; i < w * w; i++) grid[i] = rand() & 1023;
+  for (it = 0; it < 12 && changed; it++) {
+    changed = 0;
+    for (i = 1; i < w - 1; i++) {
+      for (j = 1; j < w - 1; j++) {
+        long idx = i * w + j;
+        long v = (grid[idx - 1] + grid[idx + 1] + grid[idx - w] + grid[idx + w]) / 4;
+        next[idx] = v;
+        if (v != grid[idx]) changed = 1;
+      }
+    }
+    for (i = 1; i < w - 1; i++)
+      for (j = 1; j < w - 1; j++) grid[i * w + j] = next[i * w + j];
+  }
+  for (i = 0; i < w * w; i++) sum += grid[i];
+  printf("cells: sum=%d\n", sum & 0xFFFFFF);
+  return 0;
+}
+|}
+
+(* -- 6. quicksort + binary search (integer workload) -------------------- *)
+
+let qsort_src =
+  {|
+long data[8000];
+
+void quicksort(long *a, long lo, long hi) {
+  long i, j, pivot, tmp;
+  if (lo >= hi) return;
+  pivot = a[(lo + hi) >> 1];
+  i = lo;
+  j = hi;
+  while (i <= j) {
+    while (a[i] < pivot) i++;
+    while (a[j] > pivot) j--;
+    if (i <= j) {
+      tmp = a[i]; a[i] = a[j]; a[j] = tmp;
+      i++;
+      j--;
+    }
+  }
+  quicksort(a, lo, j);
+  quicksort(a, i, hi);
+}
+
+long bsearch_(long *a, long n, long key) {
+  long lo = 0, hi = n - 1;
+  while (lo <= hi) {
+    long mid = (lo + hi) >> 1;
+    if (a[mid] == key) return mid;
+    if (a[mid] < key) lo = mid + 1;
+    else hi = mid - 1;
+  }
+  return -1;
+}
+
+long main(void) {
+  long n = 8000, i, hits = 0;
+  srand(5);
+  for (i = 0; i < n; i++) data[i] = rand() & 0xFFFFF;
+  quicksort(data, 0, n - 1);
+  for (i = 1; i < n; i++)
+    if (data[i - 1] > data[i]) { printf("qsort: BUG\n"); return 1; }
+  srand(5);
+  for (i = 0; i < n; i++)
+    if (bsearch_(data, n, rand() & 0xFFFFF) >= 0) hits++;
+  printf("qsort: sorted %d, hits=%d\n", n, hits);
+  return 0;
+}
+|}
+
+(* -- 7. double-precision matrix multiply (stands in for 052.matrix300) - *)
+
+let matmul_src =
+  {|
+double A[40 * 40];
+double B[40 * 40];
+double C[40 * 40];
+
+long main(void) {
+  long n = 40, i, j, k, rep;
+  double sum = 0.0;
+  for (i = 0; i < n * n; i++) {
+    A[i] = (double) ((i * 7) % 23) * 0.5;
+    B[i] = (double) ((i * 13) % 19) * 0.25;
+  }
+  for (rep = 0; rep < 3; rep++) {
+    for (i = 0; i < n; i++) {
+      for (j = 0; j < n; j++) {
+        double acc = 0.0;
+        for (k = 0; k < n; k++) acc += A[i * n + k] * B[k * n + j];
+        C[i * n + j] = acc;
+      }
+    }
+    for (i = 0; i < n * n; i++) A[i] = C[i] * 0.001;
+  }
+  for (i = 0; i < n * n; i++) sum += C[i];
+  printf("matmul: sum=%f\n", sum * 0.0001);
+  return 0;
+}
+|}
+
+(* -- 8. Jacobi stencil (stands in for 047.tomcatv) ---------------------- *)
+
+let stencil_src =
+  {|
+double grid[48 * 48];
+double tmp[48 * 48];
+
+long main(void) {
+  long w = 48, i, j, it;
+  double residual = 0.0;
+  for (i = 0; i < w * w; i++) grid[i] = (double) ((i % 17) - 8);
+  for (i = 0; i < w; i++) {
+    grid[i] = 100.0;
+    grid[(w - 1) * w + i] = -40.0;
+  }
+  for (it = 0; it < 20; it++) {
+    for (i = 1; i < w - 1; i++)
+      for (j = 1; j < w - 1; j++)
+        tmp[i * w + j] =
+          0.25 * (grid[i * w + j - 1] + grid[i * w + j + 1]
+                  + grid[(i - 1) * w + j] + grid[(i + 1) * w + j]);
+    for (i = 1; i < w - 1; i++)
+      for (j = 1; j < w - 1; j++) grid[i * w + j] = tmp[i * w + j];
+  }
+  for (i = 0; i < w * w; i++) residual += fabs(grid[i]);
+  printf("stencil: residual=%f\n", residual * 0.001);
+  return 0;
+}
+|}
+
+(* -- 9. n-body step loop (stands in for 015.doduc-style FP code) ------- *)
+
+let nbody_src =
+  {|
+double px[32];
+double py[32];
+double vx[32];
+double vy[32];
+
+long main(void) {
+  long n = 32, steps = 25, i, j, s;
+  double energy = 0.0;
+  for (i = 0; i < n; i++) {
+    px[i] = (double) (i % 7) - 3.0;
+    py[i] = (double) (i % 5) - 2.0;
+    vx[i] = 0.0;
+    vy[i] = 0.0;
+  }
+  for (s = 0; s < steps; s++) {
+    for (i = 0; i < n; i++) {
+      double ax = 0.0, ay = 0.0;
+      for (j = 0; j < n; j++) {
+        if (i != j) {
+          double dx = px[j] - px[i];
+          double dy = py[j] - py[i];
+          double d2 = dx * dx + dy * dy + 0.1;
+          double inv = 1.0 / (d2 * sqrt(d2));
+          ax += dx * inv;
+          ay += dy * inv;
+        }
+      }
+      vx[i] += 0.001 * ax;
+      vy[i] += 0.001 * ay;
+    }
+    for (i = 0; i < n; i++) {
+      px[i] += 0.001 * vx[i];
+      py[i] += 0.001 * vy[i];
+    }
+  }
+  for (i = 0; i < n; i++) energy += vx[i] * vx[i] + vy[i] * vy[i];
+  printf("nbody: energy=%f\n", energy * 1000000.0);
+  return 0;
+}
+|}
+
+(* -- 10. sieve of Eratosthenes (memory-streaming integer code) ---------- *)
+
+let sieve_src =
+  {|
+char flags[100000];
+
+long main(void) {
+  long n = 100000, i, j, count = 0, last = 0;
+  for (i = 0; i < n; i++) flags[i] = 1;
+  for (i = 2; i < n; i++) {
+    if (flags[i]) {
+      count++;
+      last = i;
+      for (j = i + i; j < n; j += i) flags[j] = 0;
+    }
+  }
+  printf("sieve: primes=%d last=%d\n", count, last);
+  return 0;
+}
+|}
+
+(* -- 11. string searching (text-processing integer code) --------------- *)
+
+let strsearch_src =
+  {|
+/* Boyer-Moore-Horspool over synthetic text */
+char text[32768];
+long shift[256];
+
+long search(char *pat, long m, long n) {
+  long i, k, count = 0;
+  for (i = 0; i < 256; i++) shift[i] = m;
+  for (i = 0; i < m - 1; i++) shift[pat[i]] = m - 1 - i;
+  i = m - 1;
+  while (i < n) {
+    k = 0;
+    while (k < m && pat[m - 1 - k] == text[i - k]) k++;
+    if (k == m) count++;
+    i += shift[text[i]];
+  }
+  return count;
+}
+
+long main(void) {
+  long n = 32768, i, hits = 0;
+  char *words = "needle in a haystack made of straw and hay ";
+  long wl = strlen(words);
+  srand(17);
+  for (i = 0; i < n; i++) text[i] = words[(i + (rand() & 7)) % wl];
+  hits += search("hay", 3, n);
+  hits += search("straw", 5, n);
+  hits += search("needle in", 9, n);
+  printf("strsearch: hits=%d
+", hits);
+  return 0;
+}
+|}
+
+(* -- 12. dynamic programming knapsack ----------------------------------- *)
+
+let knapsack_src =
+  {|
+long value[64];
+long weight[64];
+long best[64 * 400];
+
+long max2(long a, long b) { if (a > b) return a; return b; }
+
+long main(void) {
+  long n = 64, cap = 399, i, w;
+  srand(23);
+  for (i = 0; i < n; i++) {
+    value[i] = 1 + (rand() & 63);
+    weight[i] = 1 + (rand() & 31);
+  }
+  for (w = 0; w <= cap; w++)
+    best[w] = (weight[0] <= w) ? value[0] : 0;
+  for (i = 1; i < n; i++) {
+    for (w = 0; w <= cap; w++) {
+      long skip = best[(i - 1) * 400 + w];
+      long take = 0;
+      if (weight[i] <= w) take = value[i] + best[(i - 1) * 400 + w - weight[i]];
+      best[i * 400 + w] = max2(skip, take);
+    }
+  }
+  printf("knapsack: best=%d
+", best[(n - 1) * 400 + cap]);
+  return 0;
+}
+|}
+
+(* -- 13. hash table churn (pointer chasing, like gcc's symbol tables) --- *)
+
+let hashtab_src =
+  {|
+struct entry { long key; long val; struct entry *next; };
+struct entry *buckets[1024];
+
+long lookup_or_add(long key) {
+  long h = ((key * 2654435761) >> 8) & 1023;
+  struct entry *e = buckets[h];
+  while (e) {
+    if (e->key == key) { e->val++; return e->val; }
+    e = e->next;
+  }
+  e = (struct entry *) malloc(sizeof(struct entry));
+  e->key = key;
+  e->val = 1;
+  e->next = buckets[h];
+  buckets[h] = e;
+  return 1;
+}
+
+long main(void) {
+  long i, acc = 0;
+  srand(31);
+  for (i = 0; i < 20000; i++)
+    acc += lookup_or_add(rand() & 2047);
+  printf("hashtab: acc=%d
+", acc & 0xFFFFFF);
+  return 0;
+}
+|}
+
+(* -- 14. polynomial roots by Newton (double-heavy, like 015.doduc) ------ *)
+
+let newton_src =
+  {|
+double poly(double *c, long n, double x) {
+  double r = 0.0;
+  long i;
+  for (i = n; i >= 0; i--) r = r * x + c[i];
+  return r;
+}
+
+double dpoly(double *c, long n, double x) {
+  double r = 0.0;
+  long i;
+  for (i = n; i >= 1; i--) r = r * x + c[i] * (double) i;
+  return r;
+}
+
+double coeffs[8];
+
+long main(void) {
+  long trial, i;
+  double sum = 0.0;
+  for (trial = 0; trial < 200; trial++) {
+    double x = 0.5 + 0.01 * (double) trial;
+    for (i = 0; i <= 6; i++)
+      coeffs[i] = (double) ((trial + i * 7) % 13) - 6.0;
+    coeffs[0] = coeffs[0] - 1.0;
+    for (i = 0; i < 25; i++) {
+      double d = dpoly(coeffs, 6, x);
+      if (fabs(d) < 0.0001) break;
+      x = x - poly(coeffs, 6, x) / d;
+      if (x > 100.0) x = 1.0;
+      if (x < -100.0) x = -1.0;
+    }
+    sum += fabs(poly(coeffs, 6, x));
+  }
+  printf("newton: residual=%f
+", sum * 0.001);
+  return 0;
+}
+|}
+
+(* -- 15. permutation generation (recursion + array shuffles) ------------ *)
+
+let perm_src =
+  {|
+long arr[9];
+long count;
+long checksum;
+
+void permute(long k) {
+  long i, t;
+  if (k == 0) {
+    count++;
+    checksum = (checksum * 31 + arr[0] * 8 + arr[7]) & 0xFFFFF;
+    return;
+  }
+  for (i = 0; i <= k; i++) {
+    t = arr[i]; arr[i] = arr[k]; arr[k] = t;
+    permute(k - 1);
+    t = arr[i]; arr[i] = arr[k]; arr[k] = t;
+  }
+}
+
+long main(void) {
+  long i;
+  for (i = 0; i < 8; i++) arr[i] = i;
+  permute(7);
+  printf("perm: count=%d checksum=%x
+", count, checksum);
+  return 0;
+}
+|}
+
+let all =
+  [
+    { w_name = "compress"; w_models = "026.compress"; w_source = compress_src };
+    { w_name = "bitvec"; w_models = "023.eqntott"; w_source = bitvec_src };
+    { w_name = "cover"; w_models = "008.espresso"; w_source = cover_src };
+    { w_name = "lisp"; w_models = "022.li"; w_source = lisp_src };
+    { w_name = "cells"; w_models = "085.gcc (integer mix)"; w_source = cells_src };
+    { w_name = "qsort"; w_models = "integer sort/search mix"; w_source = qsort_src };
+    { w_name = "matmul"; w_models = "052.matrix300"; w_source = matmul_src };
+    { w_name = "stencil"; w_models = "047.tomcatv"; w_source = stencil_src };
+    { w_name = "nbody"; w_models = "015.doduc (FP)"; w_source = nbody_src };
+    { w_name = "sieve"; w_models = "memory-streaming integer"; w_source = sieve_src };
+    { w_name = "strsearch"; w_models = "text search (grep-like)"; w_source = strsearch_src };
+    { w_name = "knapsack"; w_models = "dynamic programming (integer)"; w_source = knapsack_src };
+    { w_name = "hashtab"; w_models = "085.gcc symbol tables"; w_source = hashtab_src };
+    { w_name = "newton"; w_models = "015.doduc (FP iteration)"; w_source = newton_src };
+    { w_name = "perm"; w_models = "recursion-heavy integer"; w_source = perm_src };
+  ]
+
+let find name = List.find_opt (fun w -> w.w_name = name) all
+
+let cache : (string, Objfile.Exe.t) Hashtbl.t = Hashtbl.create 16
+
+let compile w =
+  match Hashtbl.find_opt cache w.w_name with
+  | Some exe -> exe
+  | None ->
+      let exe = Rtlib.compile_and_link ~name:(w.w_name ^ ".o") w.w_source in
+      Hashtbl.replace cache w.w_name exe;
+      exe
+
+let run_exe ?(max_insns = 500_000_000) exe =
+  let m = Machine.Sim.load exe in
+  let outcome = Machine.Sim.run ~max_insns m in
+  (outcome, m)

@@ -1,0 +1,20 @@
+(** The benchmark suite: SPEC92-flavoured Mini-C programs used where the
+    paper used the 20 SPEC92 benchmarks.  Each is deterministic (seeded
+    PRNG, synthetic inputs generated in-process) and prints a small
+    result/checksum so runs can be validated byte-for-byte. *)
+
+type t = {
+  w_name : string;
+  w_models : string;  (** the SPEC92 program it stands in for *)
+  w_source : string;  (** Mini-C *)
+}
+
+val all : t list
+
+val find : string -> t option
+
+val compile : t -> Objfile.Exe.t
+(** Compile and link against the runtime library (memoised per workload). *)
+
+val run_exe : ?max_insns:int -> Objfile.Exe.t -> Machine.Sim.outcome * Machine.Sim.t
+(** Load and run an executable with no stdin and no input files. *)

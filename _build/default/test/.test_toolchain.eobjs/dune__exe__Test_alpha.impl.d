@@ -1,0 +1,1 @@
+test/test_alpha.ml: Alcotest Alpha Array Bytes Code Cost Gen Insn List QCheck QCheck_alcotest Reg Regset

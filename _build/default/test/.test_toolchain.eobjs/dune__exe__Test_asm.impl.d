@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Alpha Asmlib Buffer Bytes Int64 Linker List Machine Objfile Printf QCheck QCheck_alcotest String Types Unit_file

@@ -1,0 +1,1 @@
+test/test_atom.ml: Alcotest Atom List Machine Rtlib String

@@ -1,0 +1,1 @@
+test/test_atom2.ml: Alcotest Alpha Atom Int64 List Machine Objfile Option Printf Rtlib String Tools Workloads

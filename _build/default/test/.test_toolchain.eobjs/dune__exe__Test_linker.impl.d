@@ -1,0 +1,1 @@
+test/test_linker.ml: Alcotest Asmlib Int64 Linker List Machine Objfile Printf

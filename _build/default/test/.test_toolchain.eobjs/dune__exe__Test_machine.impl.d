@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Asmlib Bytes Int64 Linker List Machine Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_minic2.ml: Alcotest Int64 Linker List Machine Minic Printf QCheck QCheck_alcotest Rtlib

@@ -1,0 +1,1 @@
+test/test_objfile.ml: Alcotest Archive Bytes Exe List Objfile Option Printf QCheck QCheck_alcotest String Types Unit_file Wire

@@ -1,0 +1,1 @@
+test/test_om.ml: Alcotest Alpha Array Bytes Lazy List Machine Objfile Om Printf Rtlib

@@ -1,0 +1,1 @@
+test/test_tool_outputs.ml: Alcotest Lazy List Machine Option Printf Rtlib String Tools Workloads

@@ -1,0 +1,1 @@
+test/test_toolchain.ml: Alcotest Asmlib Linker Machine

@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Atom List Machine Option Printf String Tools Workloads

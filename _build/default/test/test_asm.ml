@@ -1,0 +1,181 @@
+(* Assembler tests: directives, macro expansions, relocations, error
+   handling — plus an executable property: `ldiq` materialises any 64-bit
+   constant correctly (checked by running the result). *)
+
+let assemble src = Asmlib.Assemble.assemble ~name:"t.s" src
+
+let link u = Linker.Link.link [ Linker.Link.Unit u ]
+
+let test_sections_and_symbols () =
+  let u =
+    assemble
+      {|
+        .text
+        .globl f
+        .ent f
+f:      ret
+        .end f
+helper: nop
+        .data
+        .globl tab
+tab:    .quad 1, 2, 3
+        .asciiz "xyz"
+        .comm zone, 64
+|}
+  in
+  let open Objfile in
+  Alcotest.(check int) "text bytes" 8 (Bytes.length u.Unit_file.u_text);
+  Alcotest.(check int) "data bytes" (24 + 4) (Bytes.length u.Unit_file.u_data);
+  Alcotest.(check int) "bss" 64 u.Unit_file.u_bss_size;
+  (match Unit_file.find_symbol u "f" with
+  | Some s ->
+      Alcotest.(check bool) "f global" true (s.Types.s_binding = Types.Global);
+      Alcotest.(check bool) "f func" true (s.Types.s_type = Types.Func);
+      Alcotest.(check int) "f size" 4 s.Types.s_size
+  | None -> Alcotest.fail "no symbol f");
+  (match Unit_file.find_symbol u "helper" with
+  | Some s -> Alcotest.(check bool) "helper local" true (s.Types.s_binding = Types.Local)
+  | None -> Alcotest.fail "no symbol helper");
+  match Unit_file.find_symbol u "zone" with
+  | Some { Types.s_def = Types.Defined (Types.Bss, 0); _ } -> ()
+  | _ -> Alcotest.fail "zone not in bss"
+
+let test_local_branch_resolution () =
+  (* local branches are patched by the assembler, not relocated *)
+  let u =
+    assemble {|
+        .text
+top:    nop
+        br top
+        beq $1, top
+|}
+  in
+  Alcotest.(check int) "no branch relocs" 0
+    (List.length
+       (List.filter
+          (fun (_, r) -> r.Objfile.Types.r_kind = Objfile.Types.R_br21)
+          u.Objfile.Unit_file.u_relocs));
+  let w = Alpha.Code.read_word u.Objfile.Unit_file.u_text 4 in
+  match Alpha.Code.decode w with
+  | Alpha.Insn.Br { disp = -2; _ } -> ()
+  | i -> Alcotest.failf "unexpected %s" (Alpha.Insn.to_string i)
+
+let test_extern_branch_reloc () =
+  let u = assemble {|
+        .text
+        bsr $26, elsewhere
+|} in
+  match u.Objfile.Unit_file.u_relocs with
+  | [ (Objfile.Types.Text, r) ] ->
+      Alcotest.(check string) "symbol" "elsewhere" r.Objfile.Types.r_symbol;
+      Alcotest.(check bool) "kind" true (r.Objfile.Types.r_kind = Objfile.Types.R_br21)
+  | _ -> Alcotest.fail "expected exactly one branch relocation"
+
+let test_errors () =
+  let expect_error src =
+    match assemble src with
+    | _ -> Alcotest.failf "assembled bogus input: %s" src
+    | exception Asmlib.Assemble.Error _ -> ()
+  in
+  expect_error "l: nop\nl: nop\n";  (* duplicate label *)
+  expect_error "\taddq $1, 300, $2\n";  (* literal out of range *)
+  expect_error "\t.data\nx:\t.text\n\tbeq $1, x\n";  (* branch to data *)
+  expect_error "\tfrobnicate $1\n"  (* unknown mnemonic *)
+
+let run_and_reg1 u =
+  let exe = link u in
+  let m = Machine.Sim.load exe in
+  match Machine.Sim.run ~max_insns:1000 m with
+  | Machine.Sim.Exit 0 -> Machine.Sim.reg m 1
+  | Machine.Sim.Exit n -> Alcotest.failf "exit %d" n
+  | Machine.Sim.Fault f -> Alcotest.failf "fault %s" f
+  | Machine.Sim.Out_of_fuel -> Alcotest.fail "fuel"
+
+let prop_ldiq =
+  QCheck.Test.make ~count:300 ~name:"ldiq materialises any constant"
+    (QCheck.make
+       ~print:Int64.to_string
+       QCheck.Gen.(
+         oneof
+           [
+             map Int64.of_int (int_range (-40000) 40000);
+             map Int64.of_int (int_range (-0x8000_0000) 0x7FFF_0000);
+             ui64;
+           ]))
+    (fun v64 ->
+      let v = Int64.to_int v64 in
+      let src =
+        Printf.sprintf
+          {|
+        .text
+        .globl __start
+__start:
+        ldiq $1, %d
+        clr $16
+        ldiq $0, 1
+        call_pal 0x83
+|}
+          v
+      in
+      run_and_reg1 (assemble src) = Int64.of_int v)
+
+let prop_print_parse =
+  (* the assembly printer emits text the parser accepts and that
+     assembles to the same bytes *)
+  QCheck.Test.make ~count:100 ~name:"printed assembly reassembles identically"
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_range 1 10)
+           (oneofl
+              [
+                "\taddq $1, $2, $3";
+                "\tldq $4, 16($30)";
+                "\tstq $4, -8($30)";
+                "\tbeq $5, done";
+                "\tcpys $f1, $f2, $f3";
+                "\tldt $f4, 0($30)";
+                "\tnop";
+                "\tret";
+              ])))
+    (fun lines ->
+      let src = ".text\ndone:\n" ^ String.concat "\n" lines ^ "\n" in
+      let u1 = assemble src in
+      let stmts = Asmlib.Parse.program src in
+      let buf = Buffer.create 256 in
+      Asmlib.Src.print_program buf stmts;
+      let u2 = Asmlib.Assemble.assemble ~name:"t.s" (Buffer.contents buf) in
+      u1.Objfile.Unit_file.u_text = u2.Objfile.Unit_file.u_text)
+
+let test_string_escapes () =
+  let u = assemble "\t.data\ns:\t.asciiz \"a\\tb\\n\\x41\\\\\"\n" in
+  Alcotest.(check string) "escaped bytes" "a\tb\nA\\\000"
+    (Bytes.to_string u.Objfile.Unit_file.u_data)
+
+let test_literal_pool_dedup () =
+  (* the same 64-bit constant used twice occupies one pool slot *)
+  let u =
+    assemble
+      {|
+        .text
+        ldiq $1, 0x123456789abcdef0
+        ldiq $2, 0x123456789abcdef0
+|}
+  in
+  Alcotest.(check int) "one pool entry" 8 (Bytes.length u.Objfile.Unit_file.u_rdata)
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_ldiq; prop_print_parse ]
+
+let () =
+  Alcotest.run "asm"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "sections and symbols" `Quick test_sections_and_symbols;
+          Alcotest.test_case "local branch resolution" `Quick test_local_branch_resolution;
+          Alcotest.test_case "extern branch reloc" `Quick test_extern_branch_reloc;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "string escapes" `Quick test_string_escapes;
+          Alcotest.test_case "literal pool dedup" `Quick test_literal_pool_dedup;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,240 @@
+(* Integration tests for the ATOM instrumentation engine: the paper's
+   branch-counting example (Figures 2 and 3), output-preservation checks,
+   and the heap modes. *)
+
+let compile src = Rtlib.compile_and_link ~name:"app.o" src
+
+let run ?stdin exe =
+  let m = Machine.Sim.load ?stdin exe in
+  let outcome = Machine.Sim.run ~max_insns:400_000_000 m in
+  (outcome, m)
+
+let expect_exit0 tag (outcome, m) =
+  match outcome with
+  | Machine.Sim.Exit 0 -> m
+  | Machine.Sim.Exit n ->
+      Alcotest.failf "%s: exit %d (stderr %S)" tag n (Machine.Sim.stderr m)
+  | Machine.Sim.Fault f -> Alcotest.failf "%s: fault: %s" tag f
+  | Machine.Sim.Out_of_fuel -> Alcotest.failf "%s: out of fuel" tag
+
+(* The paper's example tool: count taken/not-taken per conditional branch. *)
+let branch_counting_instrumentation api =
+  let open Atom.Api in
+  add_call_proto api "OpenFile(int)";
+  add_call_proto api "CondBranch(int, VALUE)";
+  add_call_proto api "PrintBranch(int, long)";
+  add_call_proto api "CloseFile()";
+  let nbranch = ref 0 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun b ->
+          let inst = get_last_inst b in
+          if is_inst_type inst Inst_cond_branch then begin
+            add_call_inst api inst Before "CondBranch"
+              [ Int !nbranch; Br_cond_value ];
+            add_call_program api Program_after "PrintBranch"
+              [ Int !nbranch; Inst_pc inst ];
+            incr nbranch
+          end)
+        (blocks p))
+    (procs api);
+  add_call_program api Program_before "OpenFile" [ Int !nbranch ];
+  add_call_program api Program_after "CloseFile" []
+
+let branch_counting_analysis =
+  {|
+struct BranchInfo { long taken; long notTaken; };
+struct BranchInfo *bstats;
+void *file;
+
+void OpenFile(long n) {
+  bstats = (struct BranchInfo *) malloc(n * sizeof(struct BranchInfo));
+  memset(bstats, 0, n * sizeof(struct BranchInfo));
+  file = fopen("btaken.out", "w");
+  fprintf(file, "PC\tTaken\tNot Taken\n");
+}
+
+void CondBranch(long n, long taken) {
+  if (taken) bstats[n].taken++;
+  else bstats[n].notTaken++;
+}
+
+void PrintBranch(long n, long pc) {
+  fprintf(file, "0x%x\t%d\t%d\n", pc, bstats[n].taken, bstats[n].notTaken);
+}
+
+void CloseFile(void) { fclose(file); }
+|}
+
+let app_src =
+  {|
+long work(long n) {
+  long i, s = 0;
+  for (i = 0; i < n; i++) {
+    if (i % 3 == 0) s += i;
+    else s -= 1;
+  }
+  return s;
+}
+long main(void) {
+  printf("result=%d\n", work(300));
+  return 0;
+}
+|}
+
+let instrument ?options exe =
+  Atom.Instrument.instrument_source ?options ~exe
+    ~tool:branch_counting_instrumentation ~analysis_src:branch_counting_analysis ()
+
+
+let test_branch_tool () =
+  let exe = compile app_src in
+  let base = expect_exit0 "uninstrumented" (run exe) in
+  let exe', info = instrument exe in
+  let m = expect_exit0 "instrumented" (run exe') in
+  (* the application's own behaviour is untouched *)
+  Alcotest.(check string)
+    "stdout identical" (Machine.Sim.stdout base) (Machine.Sim.stdout m);
+  Alcotest.(check bool) "some sites instrumented" true (info.Atom.Instrument.i_sites > 10);
+  (* the analysis output exists and accounts for every loop iteration *)
+  match List.assoc_opt "btaken.out" (Machine.Sim.output_files m) with
+  | None -> Alcotest.fail "no btaken.out produced"
+  | Some contents ->
+      let lines = String.split_on_char '\n' contents in
+      Alcotest.(check bool) "has header" true (List.hd lines = "PC\tTaken\tNot Taken");
+      (* total conditional-branch executions equal the simulator's count *)
+      let total =
+        List.fold_left
+          (fun acc line ->
+            match String.split_on_char '\t' line with
+            | [ _pc; t; nt ] -> (
+                match (int_of_string_opt t, int_of_string_opt nt) with
+                | Some t, Some nt -> acc + t + nt
+                | _ -> acc)
+            | _ -> acc)
+          0 lines
+      in
+      let st = Machine.Sim.stats (Machine.Sim.load exe) in
+      ignore st;
+      (* run the uninstrumented program again to count its branches *)
+      let m0 = Machine.Sim.load exe in
+      (match Machine.Sim.run m0 with Machine.Sim.Exit 0 -> () | _ -> assert false);
+      let expected = (Machine.Sim.stats m0).Machine.Sim.st_cond_branches in
+      (* branches executing inside exit() after the Program_after hooks
+         have printed are recorded in the counters but not in the file *)
+      if total > expected || expected - total > 200 then
+        Alcotest.failf "branch executions: file %d vs simulator %d" total expected
+
+let test_slowdown_sane () =
+  let exe = compile app_src in
+  let m0 = expect_exit0 "base" (run exe) in
+  let exe', _ = instrument exe in
+  let m1 = expect_exit0 "instr" (run exe') in
+  let i0 = (Machine.Sim.stats m0).Machine.Sim.st_insns in
+  let i1 = (Machine.Sim.stats m1).Machine.Sim.st_insns in
+  if i1 <= i0 then Alcotest.failf "instrumented ran fewer instructions (%d <= %d)" i1 i0;
+  if i1 > i0 * 20 then Alcotest.failf "slowdown implausibly high (%d vs %d)" i1 i0
+
+(* Data addresses must be unchanged: a program that prints addresses of a
+   global, the initial break and a stack local must print the same values
+   instrumented and not. *)
+let address_app =
+  {|
+long g = 5;
+long main(void) {
+  long local = 1;
+  char *p = (char *) malloc(24);
+  printf("g=%x heap=%x stack=%x\n", (long) &g, (long) p, (long) &local);
+  return 0;
+}
+|}
+
+let test_pristine_addresses () =
+  let exe = compile address_app in
+  let base = expect_exit0 "uninstrumented" (run exe) in
+  (* the partitioned heap is the paper's mode for tools that need heap
+     addresses identical to the uninstrumented run *)
+  let options =
+    { Atom.Instrument.default_options with
+      Atom.Instrument.heap_mode = Atom.Instrument.Partitioned (1 lsl 22) }
+  in
+  let exe', _ = instrument ~options exe in
+  let m = expect_exit0 "instrumented" (run exe') in
+  Alcotest.(check string)
+    "addresses unchanged" (Machine.Sim.stdout base) (Machine.Sim.stdout m)
+
+(* Heap modes: with the linked sbrk the two allocators interleave; with the
+   partitioned heap the application's allocations land exactly where the
+   uninstrumented run put them even though the analysis allocates too. *)
+let malloc_app =
+  {|
+long main(void) {
+  char *a = (char *) malloc(100);
+  char *b = (char *) malloc(100);
+  printf("%x %x\n", (long) a, (long) b);
+  return 0;
+}
+|}
+
+let alloc_tool api =
+  let open Atom.Api in
+  add_call_proto api "Setup()";
+  add_call_program api Program_before "Setup" []
+
+let alloc_analysis =
+  {|
+void Setup(void) {
+  /* disturb the heap before the application allocates */
+  malloc(4096);
+  malloc(4096);
+}
+|}
+
+let test_heap_partitioned () =
+  let exe = compile malloc_app in
+  let base = expect_exit0 "base" (run exe) in
+  let options =
+    { Atom.Instrument.default_options with
+      Atom.Instrument.heap_mode = Atom.Instrument.Partitioned (1 lsl 24) }
+  in
+  let exe', _ =
+    Atom.Instrument.instrument_source ~options ~exe ~tool:alloc_tool
+      ~analysis_src:alloc_analysis ()
+  in
+  let m = expect_exit0 "partitioned" (run exe') in
+  Alcotest.(check string)
+    "application heap addresses preserved" (Machine.Sim.stdout base)
+    (Machine.Sim.stdout m)
+
+let test_heap_linked_no_overlap () =
+  let exe = compile malloc_app in
+  let exe', _ =
+    Atom.Instrument.instrument_source ~exe ~tool:alloc_tool
+      ~analysis_src:alloc_analysis ()
+  in
+  let m = expect_exit0 "linked" (run exe') in
+  (* with the linked heap, addresses shift but the program still works and
+     the analysis' blocks don't collide with the application's *)
+  match String.split_on_char ' ' (String.trim (Machine.Sim.stdout m)) with
+  | [ a; b ] ->
+      let a = int_of_string ("0x" ^ a) and b = int_of_string ("0x" ^ b) in
+      if a = b then Alcotest.fail "allocations overlap";
+      if b - a < 100 then Alcotest.fail "allocations too close"
+  | _ -> Alcotest.fail "unexpected output"
+
+let () =
+  Alcotest.run "atom"
+    [
+      ( "branch tool",
+        [
+          Alcotest.test_case "paper example end-to-end" `Quick test_branch_tool;
+          Alcotest.test_case "slowdown sane" `Quick test_slowdown_sane;
+        ] );
+      ( "pristine behaviour",
+        [
+          Alcotest.test_case "data/heap/stack addresses" `Quick test_pristine_addresses;
+          Alcotest.test_case "partitioned heap" `Quick test_heap_partitioned;
+          Alcotest.test_case "linked heap" `Quick test_heap_linked_no_overlap;
+        ] );
+    ]

@@ -1,0 +1,209 @@
+(* Linker semantics: cross-module resolution, archive member selection,
+   layout, error cases, and the linker-provided `_end' symbol. *)
+
+let asm name src = Asmlib.Assemble.assemble ~name src
+
+let test_cross_module_call () =
+  let a =
+    asm "a.s"
+      {|
+        .text
+        .globl __start
+__start:
+        bsr $26, answer
+        mov $0, $16
+        ldiq $0, 1
+        call_pal 0x83
+|}
+  in
+  let b = asm "b.s" {|
+        .text
+        .globl answer
+        .ent answer
+answer: ldiq $0, 77
+        ret
+        .end answer
+|} in
+  let exe = Linker.Link.link [ Linker.Link.Unit a; Linker.Link.Unit b ] in
+  let m = Machine.Sim.load exe in
+  match Machine.Sim.run ~max_insns:100 m with
+  | Machine.Sim.Exit 77 -> ()
+  | o ->
+      Alcotest.failf "unexpected outcome %s"
+        (match o with
+        | Machine.Sim.Exit n -> string_of_int n
+        | Machine.Sim.Fault f -> f
+        | Machine.Sim.Out_of_fuel -> "fuel")
+
+let member name value =
+  asm (name ^ ".s")
+    (Printf.sprintf
+       {|
+        .text
+        .globl %s
+        .ent %s
+%s:     ldiq $0, %d
+        ret
+        .end %s
+|}
+       name name name value name)
+
+let test_archive_selection () =
+  (* only the archive members that satisfy undefined symbols are pulled *)
+  let main =
+    asm "main.s"
+      {|
+        .text
+        .globl __start
+__start:
+        bsr $26, used
+        mov $0, $16
+        ldiq $0, 1
+        call_pal 0x83
+|}
+  in
+  let lib =
+    Objfile.Archive.create "lib.a" [ member "unused" 1; member "used" 42 ]
+  in
+  let units =
+    Linker.Link.select_units [ Linker.Link.Unit main; Linker.Link.Lib lib ]
+  in
+  Alcotest.(check int) "two units selected" 2 (List.length units);
+  Alcotest.(check bool) "unused member not selected" false
+    (List.exists (fun u -> u.Objfile.Unit_file.u_name = "unused.s") units);
+  let exe = Linker.Link.link [ Linker.Link.Unit main; Linker.Link.Lib lib ] in
+  let m = Machine.Sim.load exe in
+  match Machine.Sim.run ~max_insns:100 m with
+  | Machine.Sim.Exit 42 -> ()
+  | _ -> Alcotest.fail "archive-linked program misbehaved"
+
+let test_transitive_archive () =
+  (* a member pulled from the archive may itself require another member *)
+  let main =
+    asm "main.s"
+      {|
+        .text
+        .globl __start
+__start:
+        bsr $26, outer
+        mov $0, $16
+        ldiq $0, 1
+        call_pal 0x83
+|}
+  in
+  let outer =
+    asm "outer.s"
+      {|
+        .text
+        .globl outer
+        .ent outer
+outer:  lda $30, -16($30)
+        stq $26, 0($30)
+        bsr $26, inner
+        addq $0, 1, $0
+        ldq $26, 0($30)
+        lda $30, 16($30)
+        ret
+        .end outer
+|}
+  in
+  let lib = Objfile.Archive.create "lib.a" [ outer; member "inner" 10 ] in
+  let exe = Linker.Link.link [ Linker.Link.Unit main; Linker.Link.Lib lib ] in
+  let m = Machine.Sim.load exe in
+  match Machine.Sim.run ~max_insns:100 m with
+  | Machine.Sim.Exit 11 -> ()
+  | _ -> Alcotest.fail "transitive archive selection failed"
+
+let test_errors () =
+  let undef =
+    asm "u.s" {|
+        .text
+        .globl __start
+__start:
+        bsr $26, missing
+|}
+  in
+  (match Linker.Link.link [ Linker.Link.Unit undef ] with
+  | _ -> Alcotest.fail "linked with undefined symbol"
+  | exception Linker.Link.Error _ -> ());
+  let def1 = member "dup" 1 and def2 = member "dup" 2 in
+  let entry = asm "e.s" {|
+        .text
+        .globl __start
+__start:
+        nop
+|} in
+  (match
+     Linker.Link.link
+       [ Linker.Link.Unit entry; Linker.Link.Unit def1; Linker.Link.Unit def2 ]
+   with
+  | _ -> Alcotest.fail "linked duplicate definitions"
+  | exception Linker.Link.Error _ -> ());
+  match Linker.Link.link [ Linker.Link.Unit def1 ] with
+  | _ -> Alcotest.fail "linked without entry symbol"
+  | exception Linker.Link.Error _ -> ()
+
+let test_layout_and_end_symbol () =
+  let u =
+    asm "l.s"
+      {|
+        .text
+        .globl __start
+__start:
+        lda $1, _end
+        mov $1, $16
+        ldiq $0, 1
+        call_pal 0x83
+        .data
+d:      .quad 1, 2
+        .comm zone, 48
+|}
+  in
+  let exe = Linker.Link.link [ Linker.Link.Unit u ] in
+  Alcotest.(check int) "data starts at base" Objfile.Exe.data_base
+    exe.Objfile.Exe.x_data_start;
+  (* break: 16 bytes of data then 48 of bss, 8-aligned *)
+  Alcotest.(check int) "break" (Objfile.Exe.data_base + 16 + 48) exe.Objfile.Exe.x_break;
+  let m = Machine.Sim.load exe in
+  (match Machine.Sim.run ~max_insns:100 m with
+  | Machine.Sim.Exit _ -> ()
+  | _ -> Alcotest.fail "run failed");
+  (* the program exits with (_end & 0xff); check the full value in $1 *)
+  Alcotest.(check int64) "_end = break" (Int64.of_int exe.Objfile.Exe.x_break)
+    (Machine.Sim.reg m 1)
+
+let test_data_reloc () =
+  (* a .quad holding a function address is a code ref the exe records *)
+  let u =
+    asm "r.s"
+      {|
+        .text
+        .globl __start
+__start:
+        nop
+        .data
+tab:    .quad __start
+|}
+  in
+  let exe = Linker.Link.link [ Linker.Link.Unit u ] in
+  match exe.Objfile.Exe.x_code_refs with
+  | [ cr ] ->
+      Alcotest.(check bool) "kind quad" true (cr.Objfile.Exe.cr_kind = Objfile.Exe.Cr_quad);
+      Alcotest.(check int) "target is __start" exe.Objfile.Exe.x_entry
+        cr.Objfile.Exe.cr_target;
+      Alcotest.(check int) "field in data" Objfile.Exe.data_base cr.Objfile.Exe.cr_addr
+  | l -> Alcotest.failf "expected one code ref, got %d" (List.length l)
+
+let () =
+  Alcotest.run "linker"
+    [
+      ( "linking",
+        [
+          Alcotest.test_case "cross-module call" `Quick test_cross_module_call;
+          Alcotest.test_case "archive selection" `Quick test_archive_selection;
+          Alcotest.test_case "transitive archive" `Quick test_transitive_archive;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "layout and _end" `Quick test_layout_and_end_symbol;
+          Alcotest.test_case "data code refs" `Quick test_data_reloc;
+        ] );
+    ]

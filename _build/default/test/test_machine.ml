@@ -1,0 +1,306 @@
+(* Simulator semantics: every integer operate instruction is checked
+   against an independent OCaml reference on random operands by actually
+   assembling, linking and running a probe program.  Plus memory and VFS
+   unit tests, and FP operation checks. *)
+
+let probe_src insn_text a b =
+  Printf.sprintf
+    {|
+        .text
+        .globl __start
+__start:
+        ldiq $1, %d
+        ldiq $2, %d
+        %s
+        clr $16
+        ldiq $0, 1
+        call_pal 0x83
+|}
+    a b insn_text
+
+let run_probe src =
+  let u = Asmlib.Assemble.assemble ~name:"p.s" src in
+  let exe = Linker.Link.link [ Linker.Link.Unit u ] in
+  let m = Machine.Sim.load exe in
+  match Machine.Sim.run ~max_insns:1000 m with
+  | Machine.Sim.Exit 0 -> m
+  | Machine.Sim.Exit n -> Alcotest.failf "probe exit %d" n
+  | Machine.Sim.Fault f -> Alcotest.failf "probe fault %s" f
+  | Machine.Sim.Out_of_fuel -> Alcotest.fail "probe fuel"
+
+let reg3 src = Machine.Sim.reg (run_probe src) 3
+
+(* the independent reference semantics *)
+let sext32 v = Int64.of_int32 (Int64.to_int32 v)
+let bool64 b = if b then 1L else 0L
+
+let reference op (a : int64) (b : int64) : int64 =
+  let sh = Int64.to_int b land 63 in
+  let byte_off = 8 * (Int64.to_int b land 7) in
+  match op with
+  | "addq" -> Int64.add a b
+  | "subq" -> Int64.sub a b
+  | "mulq" -> Int64.mul a b
+  | "addl" -> sext32 (Int64.add a b)
+  | "subl" -> sext32 (Int64.sub a b)
+  | "mull" -> sext32 (Int64.mul a b)
+  | "s4addq" -> Int64.add (Int64.shift_left a 2) b
+  | "s8addq" -> Int64.add (Int64.shift_left a 3) b
+  | "cmpeq" -> bool64 (Int64.equal a b)
+  | "cmplt" -> bool64 (Int64.compare a b < 0)
+  | "cmple" -> bool64 (Int64.compare a b <= 0)
+  | "cmpult" -> bool64 (Int64.unsigned_compare a b < 0)
+  | "cmpule" -> bool64 (Int64.unsigned_compare a b <= 0)
+  | "and" -> Int64.logand a b
+  | "bis" -> Int64.logor a b
+  | "xor" -> Int64.logxor a b
+  | "bic" -> Int64.logand a (Int64.lognot b)
+  | "ornot" -> Int64.logor a (Int64.lognot b)
+  | "eqv" -> Int64.logxor a (Int64.lognot b)
+  | "sll" -> Int64.shift_left a sh
+  | "srl" -> Int64.shift_right_logical a sh
+  | "sra" -> Int64.shift_right a sh
+  | "extbl" -> Int64.logand (Int64.shift_right_logical a byte_off) 0xFFL
+  | "extwl" -> Int64.logand (Int64.shift_right_logical a byte_off) 0xFFFFL
+  | "extll" -> Int64.logand (Int64.shift_right_logical a byte_off) 0xFFFFFFFFL
+  | "extql" -> Int64.shift_right_logical a byte_off
+  | "insbl" -> Int64.shift_left (Int64.logand a 0xFFL) byte_off
+  | "mskbl" -> Int64.logand a (Int64.lognot (Int64.shift_left 0xFFL byte_off))
+  | "zapnot" ->
+      let m = Int64.to_int b land 0xFF in
+      let r = ref 0L in
+      for i = 0 to 7 do
+        if m land (1 lsl i) <> 0 then
+          r := Int64.logor !r (Int64.logand a (Int64.shift_left 0xFFL (8 * i)))
+      done;
+      !r
+  | "cmpbge" ->
+      let r = ref 0L in
+      for i = 0 to 7 do
+        let ab = Int64.to_int (Int64.logand (Int64.shift_right_logical a (8 * i)) 0xFFL) in
+        let bb = Int64.to_int (Int64.logand (Int64.shift_right_logical b (8 * i)) 0xFFL) in
+        if ab >= bb then r := Int64.logor !r (Int64.of_int (1 lsl i))
+      done;
+      !r
+  | "umulh" ->
+      (* reference via arbitrary-precision-free method: split multiply *)
+      let mask = 0xFFFFFFFFL in
+      let al = Int64.logand a mask and ah = Int64.shift_right_logical a 32 in
+      let bl = Int64.logand b mask and bh = Int64.shift_right_logical b 32 in
+      let ll = Int64.mul al bl and lh = Int64.mul al bh in
+      let hl = Int64.mul ah bl and hh = Int64.mul ah bh in
+      let mid =
+        Int64.add
+          (Int64.add (Int64.logand lh mask) (Int64.logand hl mask))
+          (Int64.shift_right_logical ll 32)
+      in
+      Int64.add
+        (Int64.add hh (Int64.shift_right_logical lh 32))
+        (Int64.add (Int64.shift_right_logical hl 32) (Int64.shift_right_logical mid 32))
+  | _ -> failwith ("no reference for " ^ op)
+
+let ops =
+  [ "addq"; "subq"; "mulq"; "addl"; "subl"; "mull"; "s4addq"; "s8addq";
+    "cmpeq"; "cmplt"; "cmple"; "cmpult"; "cmpule"; "and"; "bis"; "xor";
+    "bic"; "ornot"; "eqv"; "sll"; "srl"; "sra"; "extbl"; "extwl"; "extll";
+    "extql"; "insbl"; "mskbl"; "zapnot"; "cmpbge"; "umulh" ]
+
+let prop_operate =
+  QCheck.Test.make ~count:250
+    ~name:"operate instructions match the reference semantics"
+    (QCheck.make
+       ~print:(fun (op, a, b) -> Printf.sprintf "%s %d %d" op a b)
+       QCheck.Gen.(
+         triple (oneofl ops)
+           (oneof [ int_range (-1000) 1000; int ])
+           (oneof [ int_range (-1000) 1000; int ])))
+    (fun (op, a, b) ->
+      let got = reg3 (probe_src (Printf.sprintf "%s $1, $2, $3" op) a b) in
+      got = reference op (Int64.of_int a) (Int64.of_int b))
+
+let test_cmov () =
+  let t insn a b expected =
+    Alcotest.(check int64) insn expected (reg3 (probe_src ("clr $3\n\t" ^ insn) a b))
+  in
+  t "cmoveq $1, $2, $3" 0 55 55L;
+  t "cmoveq $1, $2, $3" 1 55 0L;
+  t "cmovne $1, $2, $3" 7 99 99L;
+  t "cmovlt $1, $2, $3" (-1) 42 42L;
+  t "cmovge $1, $2, $3" (-1) 42 0L;
+  t "cmovlbs $1, $2, $3" 3 8 8L
+
+let test_fp_ops () =
+  (* compute (2.5 + 1.5) * 4.0 / 8.0 - check the bit pattern of 2.0 *)
+  let src =
+    {|
+        .text
+        .globl __start
+__start:
+        ldit $f1, 2.5
+        ldit $f2, 1.5
+        addt $f1, $f2, $f3
+        ldit $f4, 4.0
+        mult $f3, $f4, $f3
+        ldit $f5, 8.0
+        divt $f3, $f5, $f3
+        clr $16
+        ldiq $0, 1
+        call_pal 0x83
+|}
+  in
+  let m = run_probe src in
+  Alcotest.(check int64) "fp arithmetic" (Int64.bits_of_float 2.0)
+    (Machine.Sim.freg_bits m 3)
+
+let test_fp_convert () =
+  let src =
+    {|
+        .text
+        .globl __start
+__start:
+        ldiq $1, -17
+        lda $30, -8($30)
+        stq $1, 0($30)
+        ldt $f1, 0($30)
+        cvtqt $f31, $f1, $f2      # integer bits -> -17.0
+        cvttq $f31, $f2, $f3      # back to integer bits
+        stt $f3, 0($30)
+        ldq $3, 0($30)
+        lda $30, 8($30)
+        clr $16
+        ldiq $0, 1
+        call_pal 0x83
+|}
+  in
+  let m = run_probe src in
+  Alcotest.(check int64) "cvtqt/cvttq roundtrip" (-17L) (Machine.Sim.reg m 3)
+
+let test_loads_stores () =
+  let src =
+    {|
+        .data
+buf:    .quad 0
+        .text
+        .globl __start
+__start:
+        ldiq $1, 0x1122334455667788
+        lda $4, buf
+        stq $1, 0($4)
+        ldbu $3, 2($4)            # byte 2 = 0x66
+        ldwu $5, 2($4)            # word at 2 = 0x5566
+        ldl $6, 4($4)             # long at 4 = 0x11223344
+        stb $31, 7($4)
+        ldq $7, 0($4)             # top byte cleared
+        clr $16
+        ldiq $0, 1
+        call_pal 0x83
+|}
+  in
+  let m = run_probe src in
+  Alcotest.(check int64) "ldbu" 0x66L (Machine.Sim.reg m 3);
+  Alcotest.(check int64) "ldwu" 0x5566L (Machine.Sim.reg m 5);
+  Alcotest.(check int64) "ldl" 0x11223344L (Machine.Sim.reg m 6);
+  Alcotest.(check int64) "stb clears top byte" 0x0022334455667788L (Machine.Sim.reg m 7)
+
+let test_ldq_u () =
+  let src =
+    {|
+        .data
+buf:    .quad 0x1111111111111111, 0x2222222222222222
+        .text
+        .globl __start
+__start:
+        lda $4, buf
+        ldq_u $3, 3($4)           # rounds down to buf
+        clr $16
+        ldiq $0, 1
+        call_pal 0x83
+|}
+  in
+  Alcotest.(check int64) "ldq_u aligns" 0x1111111111111111L
+    (Machine.Sim.reg (run_probe src) 3)
+
+(* -- memory -------------------------------------------------------------- *)
+
+let prop_mem_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"memory write/read roundtrip (incl. page splits)"
+    (QCheck.make QCheck.Gen.(pair (int_range 0 20000) ui64))
+    (fun (addr, v) ->
+      let mem = Machine.Mem.create () in
+      (* offset near a page boundary to exercise the split paths *)
+      let addr = addr + 4090 in
+      Machine.Mem.write_u64 mem addr v;
+      Machine.Mem.read_u64 mem addr = v
+      && Machine.Mem.read_u8 mem addr = Int64.to_int (Int64.logand v 0xFFL))
+
+let test_mem_block_and_strings () =
+  let mem = Machine.Mem.create () in
+  Machine.Mem.write_bytes mem 100 (Bytes.of_string "hello\000world");
+  Alcotest.(check string) "cstring" "hello" (Machine.Mem.read_cstring mem 100);
+  Alcotest.(check string) "block" "lo\000wo"
+    (Bytes.to_string (Machine.Mem.read_block mem 103 5))
+
+(* -- vfs ------------------------------------------------------------------ *)
+
+let test_vfs () =
+  let v = Machine.Vfs.create ~stdin:"input!" () in
+  Machine.Vfs.add_input v "data.txt" "contents";
+  let buf = Bytes.create 3 in
+  Alcotest.(check int) "stdin read" 3 (Machine.Vfs.sys_read v 0 buf);
+  Alcotest.(check string) "stdin data" "inp" (Bytes.to_string buf);
+  let fd = Machine.Vfs.sys_open v "data.txt" 0 in
+  Alcotest.(check bool) "fd >= 3" true (fd >= 3);
+  let big = Bytes.create 64 in
+  Alcotest.(check int) "file read" 8 (Machine.Vfs.sys_read v fd big);
+  Alcotest.(check int) "eof" 0 (Machine.Vfs.sys_read v fd big);
+  Alcotest.(check int) "close" 0 (Machine.Vfs.sys_close v fd);
+  let wfd = Machine.Vfs.sys_open v "out.txt" 1 in
+  ignore (Machine.Vfs.sys_write v wfd "abc");
+  ignore (Machine.Vfs.sys_write v wfd "def");
+  Alcotest.(check (list (pair string string))) "outputs"
+    [ ("out.txt", "abcdef") ]
+    (Machine.Vfs.output_files v);
+  Alcotest.(check int) "write to bad fd" (-1) (Machine.Vfs.sys_write v 40 "x");
+  (* a file written then reopened for reading sees its contents *)
+  let rfd = Machine.Vfs.sys_open v "out.txt" 0 in
+  let b6 = Bytes.create 6 in
+  ignore (Machine.Vfs.sys_read v rfd b6);
+  Alcotest.(check string) "readback" "abcdef" (Bytes.to_string b6)
+
+let test_fault_reporting () =
+  (* jumping outside code must fault, not loop *)
+  let src = {|
+        .text
+        .globl __start
+__start:
+        clr $27
+        jsr $26, ($27)
+|} in
+  let u = Asmlib.Assemble.assemble ~name:"f.s" src in
+  let exe = Linker.Link.link [ Linker.Link.Unit u ] in
+  let m = Machine.Sim.load exe in
+  match Machine.Sim.run ~max_insns:100 m with
+  | Machine.Sim.Fault _ -> ()
+  | _ -> Alcotest.fail "expected a fault"
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_operate; prop_mem_roundtrip ]
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "conditional moves" `Quick test_cmov;
+          Alcotest.test_case "fp arithmetic" `Quick test_fp_ops;
+          Alcotest.test_case "fp conversion" `Quick test_fp_convert;
+          Alcotest.test_case "loads and stores" `Quick test_loads_stores;
+          Alcotest.test_case "ldq_u alignment" `Quick test_ldq_u;
+          Alcotest.test_case "fault on bad jump" `Quick test_fault_reporting;
+        ] );
+      ( "memory and vfs",
+        [
+          Alcotest.test_case "block and cstring" `Quick test_mem_block_and_strings;
+          Alcotest.test_case "vfs" `Quick test_vfs;
+        ] );
+      ("properties", props);
+    ]

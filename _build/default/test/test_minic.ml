@@ -1,0 +1,272 @@
+(* End-to-end Mini-C tests: compile -> link with the runtime -> simulate. *)
+
+let run ?stdin ?(inputs = []) src =
+  let exe = Rtlib.compile_and_link ~name:"test.o" src in
+  let m = Machine.Sim.load ?stdin ~inputs exe in
+  let outcome = Machine.Sim.run ~max_insns:200_000_000 m in
+  (outcome, m)
+
+let check_program ?stdin ?inputs ~expect src () =
+  let outcome, m = run ?stdin ?inputs src in
+  (match outcome with
+  | Machine.Sim.Exit 0 -> ()
+  | Machine.Sim.Exit n -> Alcotest.failf "exit %d; stderr: %s" n (Machine.Sim.stderr m)
+  | Machine.Sim.Fault f -> Alcotest.failf "fault: %s" f
+  | Machine.Sim.Out_of_fuel -> Alcotest.fail "out of fuel");
+  Alcotest.(check string) "stdout" expect (Machine.Sim.stdout m)
+
+let t name ?stdin ?inputs ~expect src =
+  Alcotest.test_case name `Quick (check_program ?stdin ?inputs ~expect src)
+
+let basics =
+  [
+    t "hello world" ~expect:"hello, world\n"
+      {| long main(void) { printf("hello, world\n"); return 0; } |};
+    t "arithmetic and printf" ~expect:"42 -7 2a 052\n"
+      {| long main(void) { printf("%d %d %x %03d\n", 6*7, -7, 42, 52); return 0; } |};
+    t "division helpers" ~expect:"7 -7 1 -1 3\n"
+      {|
+long main(void) {
+  long a = 22, b = 3;
+  printf("%d %d %d %d %d\n", a / b, -a / b, a % b, -a % b, 7 % 4);
+  return 0;
+}
+|};
+    t "while loop sum" ~expect:"5050\n"
+      {|
+long main(void) {
+  long i = 0, s = 0;
+  while (i <= 100) { s += i; i++; }
+  printf("%d\n", s);
+  return 0;
+}
+|};
+    t "for loop and break/continue" ~expect:"2 4 6 8\n"
+      {|
+long main(void) {
+  long i;
+  for (i = 1; ; i++) {
+    if (i > 9) break;
+    if (i % 2) continue;
+    if (i > 2) putchar(' ');
+    printf("%d", i);
+  }
+  putchar('\n');
+  return 0;
+}
+|};
+    t "recursion (fib)" ~expect:"fib(15)=610\n"
+      {|
+long fib(long n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+long main(void) { printf("fib(15)=%d\n", fib(15)); return 0; }
+|};
+    t "strings and chars" ~expect:"len=5 cmp=0 cat=abcde\n"
+      {|
+long main(void) {
+  char buf[32];
+  strcpy(buf, "abc");
+  strcat(buf, "de");
+  printf("len=%d cmp=%d cat=%s\n", strlen(buf), strcmp(buf, "abcde"), buf);
+  return 0;
+}
+|};
+    t "pointers and arrays" ~expect:"30 30 7\n"
+      {|
+long g[20];
+long main(void) {
+  long *p = g;
+  long i;
+  for (i = 0; i < 20; i++) g[i] = i * 3;
+  printf("%d %d %d\n", g[10/2*2], *(p + 10), p[2] + g[0] + 1);
+  return 0;
+}
+|};
+    t "structs" ~expect:"x=3 y=4 norm2=25\n"
+      {|
+struct point { long x; long y; };
+long norm2(struct point *p) { return p->x * p->x + p->y * p->y; }
+long main(void) {
+  struct point pt;
+  pt.x = 3;
+  pt.y = 4;
+  printf("x=%d y=%d norm2=%d\n", pt.x, pt.y, norm2(&pt));
+  return 0;
+}
+|};
+    t "malloc/free" ~expect:"sum=4950 reuse=1\n"
+      {|
+long main(void) {
+  long *a = (long *) malloc(100 * sizeof(long));
+  long i, s = 0;
+  void *p, *q;
+  for (i = 0; i < 100; i++) a[i] = i;
+  for (i = 0; i < 100; i++) s += a[i];
+  p = malloc(64);
+  free(p);
+  q = malloc(64);
+  printf("sum=%d reuse=%d\n", s, p == q);
+  return 0;
+}
+|};
+    t "doubles" ~expect:"pi=3.141593 sqrt2=1.414214 big=123456.750000\n"
+      {|
+long main(void) {
+  double pi = 3.14159265358979;
+  printf("pi=%f sqrt2=%f big=%f\n", pi, sqrt(2.0), 123456.75);
+  return 0;
+}
+|};
+    t "double arith and compare" ~expect:"1 0 1 2.500000 -5\n"
+      {|
+long main(void) {
+  double a = 2.5, b = 7.5;
+  printf("%d %d %d %f %d\n", a < b, a == b, b / a == 3.0, b - 5.0, (long)(a - b));
+  return 0;
+}
+|};
+    t "logical operators" ~expect:"1 0 1 1 0\n"
+      {|
+long side_effects = 0;
+long bump(void) { side_effects++; return 1; }
+long main(void) {
+  long a = (1 && 2);
+  long b = (0 && bump());
+  long c = (0 || 3);
+  long d = !0;
+  printf("%d %d %d %d %d\n", a, b, c, d, side_effects);
+  return 0;
+}
+|};
+    t "ternary and compound assignment" ~expect:"8 20 2\n"
+      {|
+long main(void) {
+  long x = 4;
+  x <<= 1;
+  printf("%d ", x);
+  x = x > 5 ? x * 2 + 4 : 0;
+  printf("%d ", x);
+  x /= 10;
+  printf("%d\n", x);
+  return 0;
+}
+|};
+    t "function pointers" ~expect:"9 16\n"
+      {|
+long sq(long x) { return x * x; }
+long apply(long (*f)(long), long v) { return f(v); }
+long main(void) {
+  long (*g)(long) = sq;
+  printf("%d %d\n", apply(sq, 3), g(4));
+  return 0;
+}
+|};
+    t "varargs walk" ~expect:"a+b+c=60\n"
+      {|
+long sum3(long n, ...) {
+  long *ap = (long *) &n + 1;
+  long s = 0, i;
+  for (i = 0; i < n; i++) s += ap[i];
+  return s;
+}
+long main(void) { printf("a+b+c=%d\n", sum3(3, 10, 20, 30)); return 0; }
+|};
+    t "file io" ~expect:"read back: payload 77\n"
+      {|
+long main(void) {
+  void *f = fopen("out.txt", "w");
+  char buf[64];
+  long n, fd;
+  fprintf(f, "payload %d", 77);
+  fclose(f);
+  fd = open("out.txt", 0);
+  n = read(fd, buf, 63);
+  buf[n] = 0;
+  close(fd);
+  printf("read back: %s\n", buf);
+  return 0;
+}
+|};
+    t "stdin" ~stdin:"41" ~expect:"42\n"
+      {|
+long main(void) {
+  char buf[16];
+  long n = read(0, buf, 15);
+  buf[n] = 0;
+  printf("%d\n", atoi(buf) + 1);
+  return 0;
+}
+|};
+    t "globals with initialisers" ~expect:"7 99 3.500000 hi 11\n"
+      {|
+long g = 7;
+long table[5] = {99, 98, 97};
+double gd = 3.5;
+char *msg = "hi";
+long sum2(long a, long b) { return a + b; }
+long (*fptr)(long, long) = sum2;
+long main(void) {
+  printf("%d %d %f %s %d\n", g, table[0], gd, msg, fptr(5, 6));
+  return 0;
+}
+|};
+    t "char array globals" ~expect:"abc/3\n"
+      {|
+char word[8] = {'a', 'b', 'c'};
+long main(void) { printf("%s/%d\n", word, strlen(word)); return 0; }
+|};
+    t "shifts and bit ops" ~expect:"80 -2 5 7 -16\n"
+      {|
+long main(void) {
+  long x = 5;
+  printf("%d %d %d %d %d\n", x << 4, -8 >> 2, x & 7, x | 2, ~15);
+  return 0;
+}
+|};
+    t "do-while" ~expect:"3 2 1 0\n"
+      {|
+long main(void) {
+  long i = 3;
+  do {
+    printf("%d", i);
+    if (i) putchar(' ');
+    i--;
+  } while (i >= 0);
+  putchar('\n');
+  return 0;
+}
+|};
+    t "sizeof" ~expect:"8 1 8 40 16\n"
+      {|
+struct pair { long a; char c; };
+long main(void) {
+  long arr[5];
+  printf("%d %d %d %d %d\n", sizeof(long), sizeof(char), sizeof(long *),
+         sizeof(arr), sizeof(struct pair));
+  return 0;
+}
+|};
+    t "pre/post increment" ~expect:"5 7 7 6\n"
+      {|
+long main(void) {
+  long x = 5;
+  printf("%d ", x++);
+  printf("%d ", ++x);
+  printf("%d ", x--);
+  printf("%d\n", x);
+  return 0;
+}
+|};
+    t "many arguments (stack passing)" ~expect:"78\n"
+      {|
+long add12(long a, long b, long c, long d, long e, long f,
+           long g, long h, long i, long j, long k, long l) {
+  return a + b + c + d + e + f + g + h + i + j + k + l;
+}
+long main(void) {
+  printf("%d\n", add12(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12));
+  return 0;
+}
+|};
+  ]
+
+let () = Alcotest.run "minic" [ ("programs", basics) ]

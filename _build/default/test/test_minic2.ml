@@ -1,0 +1,411 @@
+(* Deeper compiler tests: randomly generated integer expressions are
+   compiled and executed, then compared against an independent evaluator;
+   plus libc behaviour checks and compile-error cases. *)
+
+(* -- random expressions --------------------------------------------------- *)
+
+type iexpr =
+  | L of int64
+  | Add of iexpr * iexpr
+  | Sub of iexpr * iexpr
+  | Mul of iexpr * iexpr
+  | Div of iexpr * iexpr
+  | Mod of iexpr * iexpr
+  | And of iexpr * iexpr
+  | Or of iexpr * iexpr
+  | Xor of iexpr * iexpr
+  | Shl of iexpr * iexpr
+  | Shr of iexpr * iexpr
+  | Neg of iexpr
+  | Not of iexpr
+  | Lt of iexpr * iexpr
+  | Eq of iexpr * iexpr
+  | Ternary of iexpr * iexpr * iexpr
+
+let rec eval = function
+  | L v -> v
+  | Add (a, b) -> Int64.add (eval a) (eval b)
+  | Sub (a, b) -> Int64.sub (eval a) (eval b)
+  | Mul (a, b) -> Int64.mul (eval a) (eval b)
+  | Div (a, b) ->
+      let b = eval b in
+      if b = 0L then 0L else Int64.div (eval a) b
+  | Mod (a, b) ->
+      let b = eval b in
+      if b = 0L then 0L else Int64.rem (eval a) b
+  | And (a, b) -> Int64.logand (eval a) (eval b)
+  | Or (a, b) -> Int64.logor (eval a) (eval b)
+  | Xor (a, b) -> Int64.logxor (eval a) (eval b)
+  | Shl (a, b) -> Int64.shift_left (eval a) (Int64.to_int (eval b))
+  | Shr (a, b) -> Int64.shift_right (eval a) (Int64.to_int (eval b))
+  | Neg a -> Int64.neg (eval a)
+  | Not a -> Int64.lognot (eval a)
+  | Lt (a, b) -> if Int64.compare (eval a) (eval b) < 0 then 1L else 0L
+  | Eq (a, b) -> if Int64.equal (eval a) (eval b) then 1L else 0L
+  | Ternary (c, a, b) -> if eval c <> 0L then eval a else eval b
+
+(* Render with full parenthesisation; mini-C needs no special cases then.
+   Division/modulus guards: the generator only produces non-zero literal
+   divisors. *)
+let rec render = function
+  | L v ->
+      if v < 0L then Printf.sprintf "(0 - %Ld)" (Int64.neg v)
+      else Int64.to_string v
+  | Add (a, b) -> bin "+" a b
+  | Sub (a, b) -> bin "-" a b
+  | Mul (a, b) -> bin "*" a b
+  | Div (a, b) -> bin "/" a b
+  | Mod (a, b) -> bin "%" a b
+  | And (a, b) -> bin "&" a b
+  | Or (a, b) -> bin "|" a b
+  | Xor (a, b) -> bin "^" a b
+  | Shl (a, b) -> bin "<<" a b
+  | Shr (a, b) -> bin ">>" a b
+  | Neg a -> Printf.sprintf "(-%s)" (render a)
+  | Not a -> Printf.sprintf "(~%s)" (render a)
+  | Lt (a, b) -> bin "<" a b
+  | Eq (a, b) -> bin "==" a b
+  | Ternary (c, a, b) ->
+      Printf.sprintf "(%s ? %s : %s)" (render c) (render a) (render b)
+
+and bin op a b = Printf.sprintf "(%s %s %s)" (render a) op (render b)
+
+let gen_iexpr : iexpr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let leaf = map (fun n -> L (Int64.of_int n)) (int_range (-1000) 1000) in
+  let nonzero_leaf =
+    map (fun n -> L (Int64.of_int (if n >= 0 then n + 1 else n))) (int_range (-50) 50)
+  in
+  let shift_leaf = map (fun n -> L (Int64.of_int n)) (int_range 0 12) in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            ( 8,
+              oneofl
+                [ (fun a b -> Add (a, b)); (fun a b -> Sub (a, b));
+                  (fun a b -> Mul (a, b)); (fun a b -> And (a, b));
+                  (fun a b -> Or (a, b)); (fun a b -> Xor (a, b));
+                  (fun a b -> Lt (a, b)); (fun a b -> Eq (a, b)) ]
+              >>= fun mk ->
+              self (depth - 1) >>= fun a ->
+              self (depth - 1) >|= fun b -> mk a b );
+            ( 2,
+              oneofl [ (fun a b -> Div (a, b)); (fun a b -> Mod (a, b)) ]
+              >>= fun mk ->
+              self (depth - 1) >>= fun a ->
+              nonzero_leaf >|= fun b -> mk a b );
+            ( 2,
+              oneofl [ (fun a b -> Shl (a, b)); (fun a b -> Shr (a, b)) ]
+              >>= fun mk ->
+              self (depth - 1) >>= fun a ->
+              shift_leaf >|= fun b -> mk a b );
+            (1, self (depth - 1) >|= fun a -> Neg a);
+            (1, self (depth - 1) >|= fun a -> Not a);
+            ( 1,
+              self (depth - 1) >>= fun c ->
+              self (depth - 1) >>= fun a ->
+              self (depth - 1) >|= fun b -> Ternary (c, a, b) );
+          ])
+    3
+
+let compile_and_run src =
+  let exe = Rtlib.compile_and_link ~name:"expr.o" src in
+  let m = Machine.Sim.load exe in
+  match Machine.Sim.run ~max_insns:10_000_000 m with
+  | Machine.Sim.Exit 0 -> Machine.Sim.stdout m
+  | Machine.Sim.Exit n -> Alcotest.failf "exit %d" n
+  | Machine.Sim.Fault f -> Alcotest.failf "fault %s" f
+  | Machine.Sim.Out_of_fuel -> Alcotest.fail "fuel"
+
+let prop_expressions =
+  QCheck.Test.make ~count:60 ~name:"compiled expressions match the evaluator"
+    (QCheck.make ~print:render gen_iexpr)
+    (fun e ->
+      let expected = eval e in
+      let src =
+        Printf.sprintf "long main(void) { printf(\"%%d\", %s); return 0; }" (render e)
+      in
+      compile_and_run src = Int64.to_string expected)
+
+(* Mini-C's `/` and `%` truncate toward zero with remainder following the
+   dividend, like C. *)
+let prop_divmod_c_semantics =
+  QCheck.Test.make ~count:100 ~name:"division truncates toward zero"
+    (QCheck.make
+       QCheck.Gen.(pair (int_range (-10000) 10000) (int_range 1 200)))
+    (fun (a, b) ->
+      let src =
+        Printf.sprintf
+          "long main(void) { printf(\"%%d %%d\", %d / %d, %d %% %d); return 0; }"
+          a b a b
+      in
+      let q = Int64.to_string (Int64.div (Int64.of_int a) (Int64.of_int b)) in
+      let r = Int64.to_string (Int64.rem (Int64.of_int a) (Int64.of_int b)) in
+      compile_and_run src = q ^ " " ^ r)
+
+(* -- libc behaviours ------------------------------------------------------ *)
+
+let t name ~expect src =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check string) name expect (compile_and_run src))
+
+let libc_cases =
+  [
+    t "printf widths and zero pad" ~expect:"[  42][00042][2a][ -7][-07]"
+      {|long main(void){ printf("[%4d][%05d][%x][%3d][%03d]", 42, 42, 42, -7, -7); return 0; }|};
+    t "printf char star and percent" ~expect:"a=1%, b=[zz]"
+      {|long main(void){ printf("a=%d%%, b=[%s]", 1, "zz"); return 0; }|};
+    t "printf unsigned and hex of negative" ~expect:"18446744073709551615 ffffffffffffffff"
+      {|long main(void){ printf("%u %x", -1, -1); return 0; }|};
+    t "strncmp and strchr" ~expect:"0 1 -1 d 0"
+      {|long main(void){
+         char *s = "abcdef";
+         printf("%d %d %d %c %d", strncmp("abc", "abd", 2),
+                strncmp("abd", "abc", 3) > 0,
+                strncmp("abc", "abd", 3) < 0 ? -1 : 1,
+                *strchr(s, 'd'),
+                strchr(s, 'q') == 0 ? 0 : 1);
+         return 0; }|};
+    t "memcmp memcpy memset" ~expect:"0 1 255"
+      {|long main(void){
+         char a[8]; char b[8];
+         memset(a, 255, 8);
+         memcpy(b, a, 8);
+         printf("%d %d %d", memcmp(a, b, 8), memcmp("az", "aa", 2) > 0, a[3]);
+         return 0; }|};
+    t "atoi" ~expect:"123 -45 0"
+      {|long main(void){ printf("%d %d %d", atoi("123"), atoi(" -45x"), atoi("zz")); return 0; }|};
+    t "calloc zeroes" ~expect:"0 0"
+      {|long main(void){
+         long *p = (long *) calloc(16, sizeof(long));
+         printf("%d %d", p[0], p[15]);
+         return 0; }|};
+    t "malloc split and reuse" ~expect:"1 1"
+      {|long main(void){
+         char *a = (char *) malloc(200);
+         char *b;
+         free(a);
+         b = (char *) malloc(64);   /* reuses (a prefix of) the freed block */
+         printf("%d ", a == b);
+         free(b);
+         printf("%d", (char *) malloc(64) == b);
+         return 0; }|};
+    t "sqrt and fabs" ~expect:"3.000000 2.500000 1.414214"
+      {|long main(void){ printf("%f %f %f", sqrt(9.0), fabs(-2.5), sqrt(2.0)); return 0; }|};
+    t "rand deterministic" ~expect:"1"
+      {|long main(void){
+         long a, b;
+         srand(7); a = rand();
+         srand(7); b = rand();
+         printf("%d", a == b && a >= 0);
+         return 0; }|};
+    t "labs" ~expect:"5 5 0"
+      {|long main(void){ printf("%d %d %d", labs(5), labs(-5), labs(0)); return 0; }|};
+    t "fprintf to file then read" ~expect:"n=-42 hex=ffd6"
+      {|long main(void){
+         void *f = fopen("t.txt", "w");
+         char buf[64];
+         long fd, n;
+         fprintf(f, "n=%d hex=%x", -42, 65494);
+         fclose(f);
+         fd = open("t.txt", 0);
+         n = read(fd, buf, 63);
+         buf[n] = 0;
+         printf("%s", buf);
+         return 0; }|};
+  ]
+
+(* -- statements, scoping and misc language behaviour ---------------------- *)
+
+let statement_cases =
+  [
+    t "scoping and shadowing" ~expect:"inner=5 outer=1 global=9"
+      {|
+long x = 9;
+long main(void) {
+  long a = 1;
+  {
+    long a = 5;
+    printf("inner=%d ", a);
+  }
+  printf("outer=%d global=%d", a, x);
+  return 0;
+}|};
+    t "for-scope declaration" ~expect:"10 7"
+      {|
+long main(void) {
+  long s = 0;
+  for (long i = 0; i < 5; i++) s += i;
+  {
+    long i = 7;
+    printf("%d %d", s, i);
+  }
+  return 0;
+}|};
+    t "nested loops with break/continue" ~expect:"14"
+      {|
+long main(void) {
+  long i, j, s = 0;
+  for (i = 0; i < 5; i++) {
+    for (j = 0; j < 5; j++) {
+      if (j > i) break;
+      if (j == 2) continue;
+      s += 1;
+    }
+    if (s > 18) break;
+  }
+  printf("%d", s + 2);
+  return 0;
+}|};
+    t "comma declarations with dependent inits" ~expect:"3 6 18"
+      {|
+long main(void) {
+  long a = 3, b = a * 2, c = b * a;
+  printf("%d %d %d", a, b, c);
+  return 0;
+}|};
+    t "char comparisons and arithmetic" ~expect:"1 0 97 b 26"
+      {|
+long main(void) {
+  char c = 'a';
+  printf("%d %d %d %c %d", c == 'a', c > 'z', c, c + 1, 'z' - 'a' + 1);
+  return 0;
+}|};
+    t "pointer to pointer" ~expect:"42 42 7"
+      {|
+long main(void) {
+  long x = 42;
+  long *p = &x;
+  long **pp = &p;
+  printf("%d %d ", *p, **pp);
+  **pp = 7;
+  printf("%d", x);
+  return 0;
+}|};
+    t "struct with array member" ~expect:"6 30"
+      {|
+struct rec { long id; long data[4]; };
+struct rec table[3];
+long main(void) {
+  long i, j, s = 0;
+  for (i = 0; i < 3; i++) {
+    table[i].id = i;
+    for (j = 0; j < 4; j++) table[i].data[j] = i * 10 + j;
+  }
+  printf("%d %d", table[1].data[2] / 2, s + table[2].data[0] + table[1].id * 10);
+  return 0;
+}|};
+    t "struct pointer chains" ~expect:"3"
+      {|
+struct link { long v; struct link *next; };
+long main(void) {
+  struct link a, b, c;
+  a.v = 1; b.v = 2; c.v = 3;
+  a.next = &b; b.next = &c; c.next = 0;
+  printf("%d", a.next->next->v);
+  return 0;
+}|};
+    t "multidimensional-style indexing" ~expect:"23"
+      {|
+long m[5 * 5];
+long main(void) {
+  long i;
+  for (i = 0; i < 25; i++) m[i] = i;
+  printf("%d", m[4 * 5 + 3]);
+  return 0;
+}|};
+    t "adjacent string literal concatenation" ~expect:"hello world"
+      {|
+long main(void) { printf("hello " "wor" "ld"); return 0; }|};
+    t "negative modulo chain" ~expect:"-2 -2 2"
+      {|
+long main(void) { printf("%d %d %d", -17 % 5, (-17) % 5, 17 % (5)); return 0; }|};
+    t "assignment as expression value" ~expect:"5 5 10"
+      {|
+long main(void) {
+  long a, b;
+  b = (a = 5);
+  printf("%d %d %d", a, b, a += 5);
+  return 0;
+}|};
+    t "do-while with complex condition" ~expect:"16"
+      {|
+long main(void) {
+  long x = 1;
+  do { x *= 2; } while (x < 10 && x != 0);
+  printf("%d", x);
+  return 0;
+}|};
+    t "void function side effects" ~expect:"3"
+      {|
+long counter;
+void bump(void) { counter++; }
+long main(void) {
+  bump(); bump(); bump();
+  printf("%d", counter);
+  return 0;
+}|};
+    t "early return in void function" ~expect:"1 0"
+      {|
+long flag;
+void maybe(long x) {
+  if (x < 10) return;
+  flag = 1;
+}
+long main(void) {
+  maybe(50);
+  printf("%d ", flag);
+  flag = 0;
+  maybe(5);
+  printf("%d", flag);
+  return 0;
+}|};
+    t "recursive mutual functions" ~expect:"1 0 1 0"
+      {|
+long is_odd(long n);
+long is_even(long n) { if (n == 0) return 1; return is_odd(n - 1); }
+long is_odd(long n) { if (n == 0) return 0; return is_even(n - 1); }
+long main(void) {
+  printf("%d %d %d %d", is_even(10), is_even(7), is_odd(3), is_odd(8));
+  return 0;
+}|};
+  ]
+
+(* -- error cases ----------------------------------------------------------- *)
+
+let expect_compile_error name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Rtlib.compile_and_link ~name:"bad.o" src with
+      | _ -> Alcotest.failf "compiled: %s" name
+      | exception Minic.Driver.Error _ -> ()
+      | exception Linker.Link.Error _ -> ())
+
+let error_cases =
+  [
+    expect_compile_error "undeclared variable" "long main(void){ return zz; }";
+    expect_compile_error "undeclared function" "long main(void){ return zap(1); }";
+    expect_compile_error "too many args" "long f(long a){return a;} long main(void){ return f(1,2); }";
+    expect_compile_error "struct as value" "struct s{long x;}; long main(void){ struct s a; struct s b; a = b; return 0; }";
+    expect_compile_error "break outside loop" "long main(void){ break; return 0; }";
+    expect_compile_error "void value" "void f(void){} long main(void){ return f(); }";
+    expect_compile_error "bad assignment target" "long main(void){ 3 = 4; return 0; }";
+    expect_compile_error "duplicate definition"
+      "long f(void){return 1;} long f(void){return 2;} long main(void){return 0;}";
+    expect_compile_error "unterminated comment" "long main(void){ /* oops return 0; }";
+  ]
+
+let props =
+  List.map QCheck_alcotest.to_alcotest [ prop_expressions; prop_divmod_c_semantics ]
+
+let () =
+  Alcotest.run "minic2"
+    [
+      ("libc", libc_cases);
+      ("statements", statement_cases);
+      ("errors", error_cases);
+      ("properties", props);
+    ]

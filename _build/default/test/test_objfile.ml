@@ -1,0 +1,203 @@
+(* Serialization roundtrips and corruption handling for the object,
+   archive and executable formats. *)
+
+open Objfile
+
+(* -- generators --------------------------------------------------------- *)
+
+let gen_name =
+  QCheck.Gen.(
+    map
+      (fun (c, s) -> Printf.sprintf "%c%s" c s)
+      (pair (char_range 'a' 'z') (string_size ~gen:(char_range 'a' 'z') (int_range 0 12))))
+
+let gen_bytes =
+  QCheck.Gen.(string_size (int_range 0 64) >|= Bytes.of_string)
+
+let gen_reloc =
+  QCheck.Gen.(
+    let kind =
+      oneofl Types.[ R_br21; R_hi16; R_lo16; R_quad64; R_long32 ]
+    in
+    map
+      (fun (off, k, s, a) ->
+        { Types.r_offset = off; r_kind = k; r_symbol = s; r_addend = a })
+      (quad (int_range 0 1000) kind gen_name (int_range (-100) 100)))
+
+let gen_symbol =
+  QCheck.Gen.(
+    let def =
+      oneof
+        [
+          return Types.Undefined;
+          map
+            (fun (sec, off) -> Types.Defined (sec, off))
+            (pair (oneofl Types.all_sections) (int_range 0 256));
+        ]
+    in
+    map
+      (fun (name, binding, def, ty) ->
+        {
+          Types.s_name = name;
+          s_binding = binding;
+          s_def = def;
+          s_type = ty;
+          s_size = 0;
+        })
+      (quad gen_name (oneofl Types.[ Local; Global ]) def
+         (oneofl Types.[ Func; Object; Notype ])))
+
+let gen_unit =
+  QCheck.Gen.(
+    map
+      (fun (name, (text, data), bss, (relocs, symbols)) ->
+        {
+          Unit_file.u_name = name;
+          u_text = text;
+          u_rdata = Bytes.empty;
+          u_data = data;
+          u_bss_size = bss;
+          u_relocs =
+            List.map (fun r -> (Types.Text, r)) relocs;
+          u_symbols = symbols;
+        })
+      (quad gen_name (pair gen_bytes gen_bytes) (int_range 0 512)
+         (pair (list_size (int_range 0 5) gen_reloc)
+            (list_size (int_range 0 5) gen_symbol))))
+
+let prop_unit_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"object module to_string/of_string"
+    (QCheck.make gen_unit) (fun u ->
+      Unit_file.of_string (Unit_file.to_string u) = u)
+
+let prop_archive_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"archive to_string/of_string"
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 4) gen_unit))
+    (fun members ->
+      let a = Archive.create "lib.a" members in
+      Archive.of_string (Archive.to_string a) = a)
+
+let gen_exe =
+  QCheck.Gen.(
+    map
+      (fun (entry, segs, syms) ->
+        {
+          Exe.x_entry = entry;
+          x_segs =
+            List.map
+              (fun (v, b, bss) -> { Exe.seg_vaddr = v; seg_bytes = b; seg_bss = bss })
+              segs;
+          x_symbols =
+            List.map
+              (fun (n, a) ->
+                { Exe.x_name = n; x_addr = a; x_type = Types.Func; x_size = 0 })
+              syms;
+          x_text_start = Exe.text_base;
+          x_text_size = 64;
+          x_data_start = Exe.data_base;
+          x_break = Exe.data_base + 128;
+          x_code_refs =
+            [ { Exe.cr_kind = Exe.Cr_quad; cr_addr = 1; cr_target = 2 } ];
+        })
+      (triple (int_range 0 10000)
+         (list_size (int_range 1 3)
+            (triple (int_range 0 100000) gen_bytes (int_range 0 64)))
+         (list_size (int_range 0 4) (pair gen_name (int_range 0 100000)))))
+
+let prop_exe_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"executable to_string/of_string"
+    (QCheck.make gen_exe) (fun x -> Exe.of_string (Exe.to_string x) = x)
+
+let prop_corrupt =
+  QCheck.Test.make ~count:200 ~name:"truncated input raises Corrupt"
+    (QCheck.make
+       QCheck.Gen.(pair gen_unit (int_range 1 20)))
+    (fun (u, cut) ->
+      let s = Unit_file.to_string u in
+      let cut = min cut (String.length s - 1) in
+      let s = String.sub s 0 (String.length s - cut) in
+      match Unit_file.of_string s with
+      | _ -> false  (* a truncated file must never parse *)
+      | exception Wire.Corrupt _ -> true)
+
+(* -- unit tests ---------------------------------------------------------- *)
+
+let test_bad_magic () =
+  (match Unit_file.of_string "NOTMAGIC" with
+  | _ -> Alcotest.fail "parsed garbage"
+  | exception Wire.Corrupt _ -> ());
+  match Archive.of_string (Unit_file.to_string (Unit_file.empty "x")) with
+  | _ -> Alcotest.fail "archive parsed an object file"
+  | exception Wire.Corrupt _ -> ()
+
+let test_section_queries () =
+  let u =
+    { (Unit_file.empty "t") with Unit_file.u_text = Bytes.make 12 'x'; u_bss_size = 40 }
+  in
+  Alcotest.(check int) "text size" 12 (Unit_file.section_size u Types.Text);
+  Alcotest.(check int) "bss size" 40 (Unit_file.section_size u Types.Bss);
+  Alcotest.(check (option string)) "section names roundtrip" (Some ".data")
+    (Option.map Types.sec_name (Types.sec_of_name ".data"))
+
+let test_archive_lookup () =
+  let def name =
+    {
+      (Unit_file.empty name) with
+      Unit_file.u_symbols =
+        [
+          {
+            Types.s_name = name ^ "_sym";
+            s_binding = Types.Global;
+            s_def = Types.Defined (Types.Text, 0);
+            s_type = Types.Func;
+            s_size = 0;
+          };
+        ];
+    }
+  in
+  let a = Archive.create "lib.a" [ def "a"; def "b" ] in
+  Alcotest.(check int) "finds b_sym" 1 (List.length (Archive.members_defining a "b_sym"));
+  Alcotest.(check int) "no such symbol" 0 (List.length (Archive.members_defining a "zzz"))
+
+let test_exe_helpers () =
+  let exe =
+    {
+      Exe.x_entry = Exe.text_base;
+      x_segs =
+        [ { Exe.seg_vaddr = Exe.text_base; seg_bytes = Bytes.make 16 '\000'; seg_bss = 0 } ];
+      x_symbols =
+        [
+          { Exe.x_name = "b"; x_addr = Exe.text_base + 8; x_type = Types.Func; x_size = 8 };
+          { Exe.x_name = "a"; x_addr = Exe.text_base; x_type = Types.Func; x_size = 8 };
+          { Exe.x_name = "gdata"; x_addr = Exe.data_base; x_type = Types.Object; x_size = 8 };
+        ];
+      x_text_start = Exe.text_base;
+      x_text_size = 16;
+      x_data_start = Exe.data_base;
+      x_break = Exe.data_base;
+      x_code_refs = [];
+    }
+  in
+  (match Exe.funcs_sorted exe with
+  | [ f1; f2 ] ->
+      Alcotest.(check string) "sorted order" "a" f1.Exe.x_name;
+      Alcotest.(check string) "sorted order 2" "b" f2.Exe.x_name
+  | _ -> Alcotest.fail "expected two text functions");
+  Alcotest.(check int) "stack top is text base" Exe.text_base (Exe.stack_top exe)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_unit_roundtrip; prop_archive_roundtrip; prop_exe_roundtrip; prop_corrupt ]
+
+let () =
+  Alcotest.run "objfile"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "bad magic" `Quick test_bad_magic;
+          Alcotest.test_case "section queries" `Quick test_section_queries;
+          Alcotest.test_case "archive lookup" `Quick test_archive_lookup;
+          Alcotest.test_case "exe helpers" `Quick test_exe_helpers;
+        ] );
+      ("properties", props);
+    ]

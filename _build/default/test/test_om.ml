@@ -1,0 +1,244 @@
+(* OM: IR construction invariants, dataflow summaries, and codegen —
+   including the crucial identity: regenerating a program with no
+   instrumentation must reproduce its text byte for byte. *)
+
+let sample_exe =
+  lazy
+    (Rtlib.compile_and_link ~name:"om_sample.o"
+       {|
+long helper(long x) { return x * 3 + 1; }
+long main(void) {
+  long i, acc = 0;
+  for (i = 0; i < 50; i++) {
+    if (i & 1) acc += helper(i);
+    else acc -= i;
+  }
+  printf("acc=%d\n", acc);
+  return 0;
+}
+|})
+
+let program () = Om.Build.program (Lazy.force sample_exe)
+
+let test_procs_cover_text () =
+  let exe = Lazy.force sample_exe in
+  let prog = program () in
+  let cursor = ref exe.Objfile.Exe.x_text_start in
+  Array.iter
+    (fun p ->
+      Alcotest.(check int) (p.Om.Ir.p_name ^ " starts at cursor") !cursor p.Om.Ir.p_addr;
+      cursor := !cursor + p.Om.Ir.p_size)
+    prog.Om.Ir.procs;
+  Alcotest.(check int) "procs cover all text"
+    (exe.Objfile.Exe.x_text_start + exe.Objfile.Exe.x_text_size)
+    !cursor
+
+let test_blocks_partition_procs () =
+  let prog = program () in
+  Array.iter
+    (fun p ->
+      let cursor = ref p.Om.Ir.p_addr in
+      Array.iter
+        (fun b ->
+          Alcotest.(check int) "block starts at cursor" !cursor b.Om.Ir.b_addr;
+          Alcotest.(check bool) "block non-empty" true (Array.length b.Om.Ir.b_insts > 0);
+          (* only the last instruction may be a terminator *)
+          Array.iteri
+            (fun i inst ->
+              if i < Array.length b.Om.Ir.b_insts - 1 then
+                Alcotest.(check bool) "no terminator mid-block" false
+                  (Alpha.Insn.is_terminator inst.Om.Ir.i_insn))
+            b.Om.Ir.b_insts;
+          cursor := !cursor + (4 * Array.length b.Om.Ir.b_insts))
+        p.Om.Ir.p_blocks;
+      Alcotest.(check int) (p.Om.Ir.p_name ^ " blocks cover proc")
+        (p.Om.Ir.p_addr + p.Om.Ir.p_size)
+        !cursor)
+    prog.Om.Ir.procs
+
+let test_succs_are_leaders () =
+  let prog = program () in
+  Array.iter
+    (fun p ->
+      let leaders =
+        Array.to_list p.Om.Ir.p_blocks |> List.map (fun b -> b.Om.Ir.b_addr)
+      in
+      Array.iter
+        (fun b ->
+          List.iter
+            (fun s ->
+              Alcotest.(check bool)
+                (Printf.sprintf "succ %#x of block %#x is a leader" s b.Om.Ir.b_addr)
+                true (List.mem s leaders))
+            b.Om.Ir.b_succs)
+        p.Om.Ir.p_blocks)
+    prog.Om.Ir.procs
+
+let test_find_procs () =
+  let prog = program () in
+  Alcotest.(check bool) "main found" true (Om.Ir.find_proc prog "main" <> None);
+  Alcotest.(check bool) "helper found" true (Om.Ir.find_proc prog "helper" <> None);
+  match Om.Ir.find_proc prog "main" with
+  | Some p ->
+      Alcotest.(check bool) "proc_at inside main" true
+        (Om.Ir.proc_at prog (p.Om.Ir.p_addr + 8) == Some p
+        ||
+        match Om.Ir.proc_at prog (p.Om.Ir.p_addr + 8) with
+        | Some q -> q.Om.Ir.p_name = "main"
+        | None -> false)
+  | None -> assert false
+
+let test_dataflow () =
+  let prog = program () in
+  let df = Om.Dataflow.compute prog in
+  (* a leaf procedure's summary is its own defs; it must include the
+     temporaries the compiler uses but never callee-saves *)
+  let helper = Om.Dataflow.modified_by df "helper" in
+  Alcotest.(check bool) "helper clobbers t0" true (Alpha.Regset.mem 1 helper);
+  Alcotest.(check bool) "helper preserves s0" false (Alpha.Regset.mem 9 helper);
+  Alcotest.(check bool) "no sp in any summary" false (Alpha.Regset.mem Alpha.Reg.sp helper);
+  (* main calls printf (which makes system calls) -> bigger summary *)
+  let main = Om.Dataflow.modified_by df "main" in
+  Alcotest.(check bool) "helper summary within main's" true
+    (Alpha.Regset.subset helper main);
+  (* unknown procedures are treated as clobber-everything *)
+  Alcotest.(check bool) "unknown = all caller saves" true
+    (Alpha.Regset.equal (Om.Dataflow.modified_by df "nosuch") Om.Dataflow.all_caller_saves)
+
+let test_codegen_identity () =
+  let exe = Lazy.force sample_exe in
+  let prog = program () in
+  let r = Om.Codegen.generate prog in
+  Alcotest.(check bool) "text reproduced byte for byte" true
+    (Bytes.equal r.Om.Codegen.r_text (Objfile.Exe.text_bytes exe));
+  Alcotest.(check int) "identity map start" exe.Objfile.Exe.x_text_start
+    (r.Om.Codegen.r_map exe.Objfile.Exe.x_text_start)
+
+let run exe =
+  let m = Machine.Sim.load exe in
+  match Machine.Sim.run ~max_insns:50_000_000 m with
+  | Machine.Sim.Exit 0 -> m
+  | Machine.Sim.Exit n -> Alcotest.failf "exit %d" n
+  | Machine.Sim.Fault f -> Alcotest.failf "fault %s" f
+  | Machine.Sim.Out_of_fuel -> Alcotest.fail "fuel"
+
+let test_nop_padding () =
+  (* inserting a nop before and after every instruction must leave the
+     program's behaviour intact while tripling instruction counts *)
+  let exe = Lazy.force sample_exe in
+  let base = run exe in
+  let prog = program () in
+  let nop_stub = Om.Ir.stub_of_insns [ Alpha.Insn.nop ] in
+  Om.Ir.iter_insts prog (fun _ _ i ->
+      Om.Ir.add_before i nop_stub;
+      if Alpha.Insn.falls_through i.Om.Ir.i_insn then Om.Ir.add_after i nop_stub);
+  let r = Om.Codegen.generate prog in
+  let exe' =
+    {
+      exe with
+      Objfile.Exe.x_entry = r.Om.Codegen.r_map exe.Objfile.Exe.x_entry;
+      x_segs =
+        List.map
+          (fun seg ->
+            if seg.Objfile.Exe.seg_vaddr = exe.Objfile.Exe.x_text_start then
+              { seg with Objfile.Exe.seg_bytes = r.Om.Codegen.r_text }
+            else seg)
+          exe.Objfile.Exe.x_segs;
+      x_text_size = Bytes.length r.Om.Codegen.r_text;
+    }
+  in
+  let m = run exe' in
+  Alcotest.(check string) "output identical" (Machine.Sim.stdout base)
+    (Machine.Sim.stdout m);
+  let i0 = (Machine.Sim.stats base).Machine.Sim.st_insns in
+  let i1 = (Machine.Sim.stats m).Machine.Sim.st_insns in
+  Alcotest.(check bool)
+    (Printf.sprintf "instruction count grows (%d -> %d)" i0 i1)
+    true
+    (i1 > 2 * i0 && i1 <= 3 * i0 + 10)
+
+let test_sizeof_matches_generate () =
+  let prog = program () in
+  let stub = Om.Ir.stub_of_insns [ Alpha.Insn.nop; Alpha.Insn.nop ] in
+  Om.Ir.iter_insts prog (fun _ _ i ->
+      if i.Om.Ir.i_pc land 8 = 0 then Om.Ir.add_before i stub);
+  let size = Om.Codegen.sizeof prog in
+  let r = Om.Codegen.generate prog in
+  Alcotest.(check int) "sizeof = generated bytes" size (Bytes.length r.Om.Codegen.r_text)
+
+(* -- liveness -------------------------------------------------------------- *)
+
+let test_liveness_basic () =
+  ignore (Lazy.force sample_exe);
+  let prog = program () in
+  let tbl = Om.Liveness.compute prog in
+  (* at the entry of `helper', its argument register must be live and a
+     random callee-save the compiler never touches must be live only if
+     used below; $a1 is not a parameter of helper -> dead *)
+  (match Om.Ir.find_proc prog "helper" with
+  | Some p ->
+      let live = Om.Liveness.live_before tbl p.Om.Ir.p_addr in
+      Alcotest.(check bool) "a0 live at helper entry" true (Alpha.Regset.mem 16 live);
+      Alcotest.(check bool) "ra live at helper entry (leaf returns through it)" true
+        (Alpha.Regset.mem Alpha.Reg.ra live);
+      (* some scratch register must be provably dead; $at and the high
+         temporaries are only ever defined-before-use *)
+      Alcotest.(check bool) "a scratch register is dead at helper entry" true
+        (List.exists (fun r -> not (Alpha.Regset.mem r live)) [ 22; 23; 24; 25; 28 ])
+  | None -> Alcotest.fail "no helper");
+  (* unknown addresses are fully conservative *)
+  Alcotest.(check bool) "unknown pc -> all live" true
+    (Alpha.Regset.equal (Om.Liveness.live_before tbl 4) Om.Liveness.all_regs)
+
+(* the hand-written divide helper returns its remainder in $3 outside the
+   calling standard; interprocedural return-liveness must see it *)
+let test_liveness_divqu_remainder () =
+  let exe =
+    Rtlib.compile_and_link ~name:"divlive.o"
+      {| long main(void) { printf("%d %d
+", 97 / 7, 97 % 7); return 0; } |}
+  in
+  let prog = Om.Build.program exe in
+  let tbl = Om.Liveness.compute prog in
+  match Om.Ir.find_proc prog "__divqu" with
+  | None -> Alcotest.fail "no __divqu"
+  | Some p ->
+      (* find its ret and check $3 is live right before it *)
+      let found = ref false in
+      Array.iter
+        (fun b ->
+          Array.iter
+            (fun i ->
+              if Alpha.Insn.is_return i.Om.Ir.i_insn then begin
+                found := true;
+                let live = Om.Liveness.live_before tbl i.Om.Ir.i_pc in
+                Alcotest.(check bool) "$3 live at __divqu ret" true
+                  (Alpha.Regset.mem 3 live)
+              end)
+            b.Om.Ir.b_insts)
+        p.Om.Ir.p_blocks;
+      Alcotest.(check bool) "__divqu has a ret" true !found
+
+let () =
+  Alcotest.run "om"
+    [
+      ( "ir",
+        [
+          Alcotest.test_case "procs cover text" `Quick test_procs_cover_text;
+          Alcotest.test_case "blocks partition procs" `Quick test_blocks_partition_procs;
+          Alcotest.test_case "successors are leaders" `Quick test_succs_are_leaders;
+          Alcotest.test_case "find procs" `Quick test_find_procs;
+        ] );
+      ("dataflow", [ Alcotest.test_case "summaries" `Quick test_dataflow ]);
+      ( "liveness",
+        [
+          Alcotest.test_case "basic facts" `Quick test_liveness_basic;
+          Alcotest.test_case "divqu remainder register" `Quick test_liveness_divqu_remainder;
+        ] );
+      ( "codegen",
+        [
+          Alcotest.test_case "identity without stubs" `Quick test_codegen_identity;
+          Alcotest.test_case "nop padding preserves behaviour" `Quick test_nop_padding;
+          Alcotest.test_case "sizeof matches generate" `Quick test_sizeof_matches_generate;
+        ] );
+    ]

@@ -1,0 +1,244 @@
+(* Cross-validation: each tool's analysis output is checked against
+   ground truth from the simulator's own counters (or against facts known
+   statically about the workload).  Small tolerances cover the code that
+   runs inside exit() after the Program_after hooks have reported. *)
+
+let run exe =
+  let m = Machine.Sim.load exe in
+  match Machine.Sim.run ~max_insns:600_000_000 m with
+  | Machine.Sim.Exit 0 -> m
+  | Machine.Sim.Exit n -> Alcotest.failf "exit %d" n
+  | Machine.Sim.Fault f -> Alcotest.failf "fault %s" f
+  | Machine.Sim.Out_of_fuel -> Alcotest.fail "fuel"
+
+let apply_and_run tool_name exe =
+  let tool = Option.get (Tools.Registry.find tool_name) in
+  let exe', _ = Tools.Tool.apply tool exe in
+  let m = run exe' in
+  match List.assoc_opt (tool_name ^ ".out") (Machine.Sim.output_files m) with
+  | Some contents -> (m, contents)
+  | None -> Alcotest.failf "no %s.out" tool_name
+
+(* "label: value" or "label:\twhatever value" field extraction *)
+let field contents prefix =
+  String.split_on_char '\n' contents
+  |> List.find_map (fun l ->
+         let pl = String.length prefix in
+         if String.length l > pl && String.sub l 0 pl = prefix then
+           String.sub l pl (String.length l - pl)
+           |> String.trim |> int_of_string_opt
+         else None)
+
+let req contents prefix =
+  match field contents prefix with
+  | Some v -> v
+  | None -> Alcotest.failf "missing field %S in %S" prefix contents
+
+let close ~tol a b = a <= b && b - a <= tol
+
+let lisp_exe = lazy (Workloads.compile (Option.get (Workloads.find "lisp")))
+let sieve_exe = lazy (Workloads.compile (Option.get (Workloads.find "sieve")))
+
+let test_dyninst_total () =
+  let exe = Lazy.force sieve_exe in
+  let base = run exe in
+  let expected = (Machine.Sim.stats base).Machine.Sim.st_insns in
+  let _, out = apply_and_run "dyninst" exe in
+  let counted = req out "dynamic instructions:" in
+  if not (close ~tol:400 counted expected) then
+    Alcotest.failf "dyninst counted %d, simulator retired %d" counted expected
+
+let test_pipe_cpi () =
+  let exe = Lazy.force sieve_exe in
+  let _, out = apply_and_run "pipe" exe in
+  let insns = req out "instructions:" in
+  let cycles = req out "scheduled cycles:" in
+  let ideal = req out "dual-issue ideal:" in
+  Alcotest.(check bool) "ideal = ceil n/2-ish" true (close ~tol:insns ideal ((insns + 1) / 2));
+  Alcotest.(check bool) "cycles >= ideal" true (cycles >= ideal);
+  Alcotest.(check bool) "cycles <= insns * max latency" true (cycles <= insns * 34);
+  let cpi_x100 = req out "cpi (x100):" in
+  Alcotest.(check bool)
+    (Printf.sprintf "plausible CPI %d" cpi_x100)
+    true
+    (cpi_x100 >= 50 && cpi_x100 <= 400)
+
+let test_gprof_consistency () =
+  let exe = Lazy.force sieve_exe in
+  let base = run exe in
+  let expected = (Machine.Sim.stats base).Machine.Sim.st_insns in
+  let _, out = apply_and_run "gprof" exe in
+  (* per-procedure instruction counts must sum to the dynamic total *)
+  let lines = String.split_on_char '\n' out in
+  let total, main_calls =
+    List.fold_left
+      (fun (sum, mc) line ->
+        match String.split_on_char '\t' line with
+        | [ name; calls; insns ] -> (
+            match (int_of_string_opt calls, int_of_string_opt insns) with
+            | Some c, Some i -> (sum + i, if name = "main" then mc + c else mc)
+            | _ -> (sum, mc))
+        | _ -> (sum, mc))
+      (0, 0) lines
+  in
+  Alcotest.(check int) "main called once" 1 main_calls;
+  if not (close ~tol:400 total expected) then
+    Alcotest.failf "gprof counted %d, simulator retired %d" total expected
+
+let test_syscall_totals () =
+  (* an application that makes many syscalls *before* program end (file
+     writes flush per 512-byte buffer); the hooks report at exit entry, so
+     only the final flush and the exit syscall are uncounted *)
+  let exe =
+    Rtlib.compile_and_link ~name:"sc.o"
+      {|
+long main(void) {
+  void *f = fopen("big.txt", "w");
+  long i;
+  for (i = 0; i < 300; i++) fprintf(f, "line %d of the output file\n", i);
+  fclose(f);
+  return 0;
+}
+|}
+  in
+  let base = run exe in
+  let expected = (Machine.Sim.stats base).Machine.Sim.st_syscalls in
+  let _, out = apply_and_run "syscall" exe in
+  let counted =
+    String.split_on_char '\n' out
+    |> List.find_map (fun l ->
+           if String.length l > 13 && String.sub l 0 13 = "system calls:" then
+             String.sub l 13 (String.length l - 13)
+             |> String.trim |> String.split_on_char ' '
+             |> function
+             | n :: _ -> int_of_string_opt n
+             | [] -> None
+           else None)
+    |> Option.get
+  in
+  Alcotest.(check bool) "many syscalls counted" true (counted > 10);
+  if not (close ~tol:4 counted expected) then
+    Alcotest.failf "syscall counted %d, simulator made %d" counted expected
+
+let test_io_bytes () =
+  (* chatty program: all but the last (post-report) buffer flush is seen
+     by the io tool *)
+  let exe =
+    Rtlib.compile_and_link ~name:"io.o"
+      {|
+long main(void) {
+  long i;
+  for (i = 0; i < 400; i++) printf("chatty line number %d\n", i);
+  return 0;
+}
+|}
+  in
+  let base = run exe in
+  let expected_bytes = String.length (Machine.Sim.stdout base) in
+  let _, out = apply_and_run "io" exe in
+  (* all application output goes through the write funnel *)
+  let line =
+    String.split_on_char '\n' out
+    |> List.find (fun l -> String.length l > 6 && String.sub l 0 6 = "writes")
+  in
+  (* "writes: N calls, B bytes requested, T transferred" *)
+  let words = String.split_on_char ' ' line in
+  let numbers = List.filter_map int_of_string_opt (List.map (fun w ->
+      String.concat "" (String.split_on_char ',' w)) words) in
+  match numbers with
+  | [ _calls; req_b; done_b ] ->
+      Alcotest.(check int) "requested = transferred" req_b done_b;
+      (* within one stdio buffer of the whole output (the final flush
+         happens after the report) *)
+      if done_b > expected_bytes || expected_bytes - done_b > 512 then
+        Alcotest.failf "io saw %d bytes, program wrote %d" done_b expected_bytes
+  | _ -> Alcotest.failf "unparsable io line %S" line
+
+let test_malloc_exact () =
+  let exe = Lazy.force lisp_exe in
+  let _, out = apply_and_run "malloc" exe in
+  (* build(11, _) allocates exactly 2^12 - 1 tree nodes and nothing else
+     mallocs in the application *)
+  Alcotest.(check int) "allocation count" 4095 (req out "malloc calls:");
+  Alcotest.(check int) "bytes requested" (4095 * 32) (req out "bytes requested:")
+
+let test_branch_taken_rate () =
+  let exe = Lazy.force sieve_exe in
+  let base = run exe in
+  let st = Machine.Sim.stats base in
+  let _, out = apply_and_run "branch" exe in
+  let total = req out "conditional branches executed:" in
+  let taken = req out "taken:" in
+  let correct = req out "2-bit predictor correct:" in
+  Alcotest.(check bool) "total close to simulator" true
+    (close ~tol:200 total st.Machine.Sim.st_cond_branches);
+  Alcotest.(check bool) "taken close to simulator" true
+    (close ~tol:200 taken st.Machine.Sim.st_taken);
+  Alcotest.(check bool) "predictor between 50% and 100%" true
+    (correct * 2 >= total && correct <= total)
+
+let test_unalign_counts () =
+  (* a program performing known unaligned accesses *)
+  let exe =
+    Rtlib.compile_and_link ~name:"ua.o"
+      {|
+char buf[64];
+long main(void) {
+  long i, s = 0;
+  long *p1 = (long *) (buf + 1);    /* unaligned */
+  long *p8 = (long *) (buf + 8);    /* aligned */
+  for (i = 0; i < 50; i++) {
+    *p1 = i;
+    s += *p8;
+  }
+  printf("%d\n", s);
+  return 0;
+}
+|}
+  in
+  let _, out = apply_and_run "unalign" exe in
+  let bad = req out "unaligned:" in
+  (* 50 unaligned stores; everything else the program and its library do
+     is aligned *)
+  Alcotest.(check int) "exactly the 50 unaligned stores" 50 bad
+
+let test_cache_extremes () =
+  (* a strided walk touching one new 32-byte line per reference misses
+     every time once the working set exceeds 8 KB *)
+  let exe =
+    Rtlib.compile_and_link ~name:"cs.o"
+      {|
+char big[65536];
+long main(void) {
+  long i, rep, s = 0;
+  for (rep = 0; rep < 4; rep++)
+    for (i = 0; i < 65536; i += 32) s += big[i];
+  printf("%d\n", s);
+  return 0;
+}
+|}
+  in
+  let _, out = apply_and_run "cache" exe in
+  let refs = req out "references:" in
+  let misses = req out "misses:" in
+  (* 4 * 2048 strided loads plus a few thousand library references; the
+     strided loads all miss *)
+  Alcotest.(check bool) "at least the strided misses" true (misses >= 4 * 2048);
+  Alcotest.(check bool) "misses below references" true (misses < refs)
+
+let () =
+  Alcotest.run "tool_outputs"
+    [
+      ( "ground truth",
+        [
+          Alcotest.test_case "dyninst total instructions" `Quick test_dyninst_total;
+          Alcotest.test_case "pipe CPI sanity" `Quick test_pipe_cpi;
+          Alcotest.test_case "gprof sums and calls" `Quick test_gprof_consistency;
+          Alcotest.test_case "syscall totals" `Quick test_syscall_totals;
+          Alcotest.test_case "io byte accounting" `Quick test_io_bytes;
+          Alcotest.test_case "malloc exact counts" `Quick test_malloc_exact;
+          Alcotest.test_case "branch taken rate" `Quick test_branch_taken_rate;
+          Alcotest.test_case "unalign exact counts" `Quick test_unalign_counts;
+          Alcotest.test_case "cache extremes" `Quick test_cache_extremes;
+        ] );
+    ]

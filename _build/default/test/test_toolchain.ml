@@ -1,0 +1,94 @@
+(* Early end-to-end checks of the assemble -> link -> simulate chain. *)
+
+let hello_src =
+  {|
+        .text
+        .globl __start
+__start:
+        ldiq $16, 1          # fd = stdout
+        lda  $17, msg
+        ldiq $18, 6
+        ldiq $0, 4           # SYS_write
+        call_pal 0x83
+        clr  $16
+        ldiq $0, 1           # SYS_exit
+        call_pal 0x83
+        .data
+msg:    .asciiz "hello\n"
+|}
+
+let run_asm ?stdin src =
+  let u = Asmlib.Assemble.assemble ~name:"t" src in
+  let exe = Linker.Link.link [ Linker.Link.Unit u ] in
+  let m = Machine.Sim.load ?stdin exe in
+  let outcome = Machine.Sim.run ~max_insns:10_000_000 m in
+  (outcome, m)
+
+let test_hello () =
+  let outcome, m = run_asm hello_src in
+  (match outcome with
+  | Machine.Sim.Exit 0 -> ()
+  | Machine.Sim.Exit n -> Alcotest.failf "exit %d" n
+  | Machine.Sim.Fault f -> Alcotest.failf "fault: %s" f
+  | Machine.Sim.Out_of_fuel -> Alcotest.fail "out of fuel");
+  Alcotest.(check string) "stdout" "hello\n" (Machine.Sim.stdout m)
+
+let loop_src =
+  {|
+        .text
+        .globl __start
+__start:
+        clr   $1
+        ldiq  $2, 10
+loop:   addq  $1, $2, $1
+        subq  $2, 1, $2
+        bne   $2, loop
+        # sum 10+9+...+1 = 55 ; exit with it
+        mov   $1, $16
+        ldiq  $0, 1
+        call_pal 0x83
+|}
+
+let test_loop () =
+  let outcome, _ = run_asm loop_src in
+  match outcome with
+  | Machine.Sim.Exit 55 -> ()
+  | Machine.Sim.Exit n -> Alcotest.failf "exit %d, expected 55" n
+  | Machine.Sim.Fault f -> Alcotest.failf "fault: %s" f
+  | Machine.Sim.Out_of_fuel -> Alcotest.fail "out of fuel"
+
+let call_src =
+  {|
+        .text
+        .globl __start
+        .ent double_it
+double_it:
+        addq $16, $16, $0
+        ret
+        .end double_it
+__start:
+        ldiq $16, 21
+        bsr  $26, double_it
+        mov  $0, $16
+        ldiq $0, 1
+        call_pal 0x83
+|}
+
+let test_call () =
+  let outcome, _ = run_asm call_src in
+  match outcome with
+  | Machine.Sim.Exit 42 -> ()
+  | Machine.Sim.Exit n -> Alcotest.failf "exit %d, expected 42" n
+  | Machine.Sim.Fault f -> Alcotest.failf "fault: %s" f
+  | Machine.Sim.Out_of_fuel -> Alcotest.fail "out of fuel"
+
+let () =
+  Alcotest.run "toolchain"
+    [
+      ( "end-to-end",
+        [
+          Alcotest.test_case "hello world" `Quick test_hello;
+          Alcotest.test_case "loop sums" `Quick test_loop;
+          Alcotest.test_case "procedure call" `Quick test_call;
+        ] );
+    ]

@@ -1,0 +1,101 @@
+(* Every workload must run clean uninstrumented, and every (tool x sample
+   workload) pair must run with unchanged application output and produce
+   its analysis file. *)
+
+let expect_exit0 tag (outcome, m) =
+  match outcome with
+  | Machine.Sim.Exit 0 -> m
+  | Machine.Sim.Exit n ->
+      Alcotest.failf "%s: exit %d (stdout %S, stderr %S)" tag n
+        (Machine.Sim.stdout m) (Machine.Sim.stderr m)
+  | Machine.Sim.Fault f -> Alcotest.failf "%s: fault: %s" tag f
+  | Machine.Sim.Out_of_fuel -> Alcotest.failf "%s: out of fuel" tag
+
+let workload_cases =
+  List.map
+    (fun w ->
+      Alcotest.test_case w.Workloads.w_name `Quick (fun () ->
+          let exe = Workloads.compile w in
+          let m = expect_exit0 w.Workloads.w_name (Workloads.run_exe exe) in
+          let out = Machine.Sim.stdout m in
+          Alcotest.(check bool)
+            (w.Workloads.w_name ^ " prints its name") true
+            (String.length out > 0
+            && String.sub out 0 (String.index out ':') = w.Workloads.w_name)))
+    Workloads.all
+
+(* Tool correctness on two representative workloads: an integer one and a
+   floating-point one. *)
+let tool_cases =
+  let samples = [ "compress"; "nbody" ] in
+  List.concat_map
+    (fun tool ->
+      List.map
+        (fun wname ->
+          let name = Printf.sprintf "%s on %s" tool.Tools.Tool.name wname in
+          Alcotest.test_case name `Quick (fun () ->
+              let w = Option.get (Workloads.find wname) in
+              let exe = Workloads.compile w in
+              let base = expect_exit0 "base" (Workloads.run_exe exe) in
+              let exe', info = Tools.Tool.apply tool exe in
+              let m = expect_exit0 "instrumented" (Workloads.run_exe exe') in
+              Alcotest.(check string)
+                "application output unchanged" (Machine.Sim.stdout base)
+                (Machine.Sim.stdout m);
+              Alcotest.(check bool)
+                "instrumented something" true
+                (info.Atom.Instrument.i_sites > 0);
+              let outfile = tool.Tools.Tool.name ^ ".out" in
+              match List.assoc_opt outfile (Machine.Sim.output_files m) with
+              | Some contents ->
+                  Alcotest.(check bool)
+                    (outfile ^ " non-empty") true
+                    (String.length contents > 0)
+              | None -> Alcotest.failf "missing %s" outfile))
+        samples)
+    Tools.Registry.all
+
+(* determinism: the whole stack (compiler, linker, simulator, seeded PRNG)
+   must make every run bit-identical *)
+let determinism_cases =
+  List.map
+    (fun wname ->
+      Alcotest.test_case (wname ^ " deterministic") `Quick (fun () ->
+          let w = Option.get (Workloads.find wname) in
+          let exe = Workloads.compile w in
+          let run () =
+            let outcome, m = Workloads.run_exe exe in
+            match outcome with
+            | Machine.Sim.Exit 0 ->
+                (Machine.Sim.stdout m, (Machine.Sim.stats m).Machine.Sim.st_insns)
+            | _ -> Alcotest.fail "run failed"
+          in
+          let o1, i1 = run () in
+          let o2, i2 = run () in
+          Alcotest.(check string) "same output" o1 o2;
+          Alcotest.(check int) "same instruction count" i1 i2))
+    [ "cover"; "knapsack"; "newton" ]
+
+let stats_consistency =
+  Alcotest.test_case "simulator counters are consistent" `Quick (fun () ->
+      let w = Option.get (Workloads.find "qsort") in
+      let exe = Workloads.compile w in
+      let _, m = Workloads.run_exe exe in
+      let st = Machine.Sim.stats m in
+      let open Machine.Sim in
+      Alcotest.(check bool) "insns dominate memory ops" true
+        (st.st_insns >= st.st_loads + st.st_stores);
+      Alcotest.(check bool) "taken <= cond branches" true
+        (st.st_taken <= st.st_cond_branches);
+      Alcotest.(check bool) "pair cycles within [n/2, n]" true
+        (st.st_pair_cycles * 2 >= st.st_insns && st.st_pair_cycles <= st.st_insns);
+      Alcotest.(check bool) "some of everything happened" true
+        (st.st_loads > 0 && st.st_stores > 0 && st.st_calls > 0 && st.st_syscalls > 0))
+
+let () =
+  Alcotest.run "tools"
+    [
+      ("workloads", workload_cases);
+      ("determinism", stats_consistency :: determinism_cases);
+      ("tools", tool_cases);
+    ]
