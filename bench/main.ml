@@ -12,7 +12,7 @@
    routines vs inlined saves, dataflow-summary register saving vs
    save-all, and the linked vs partitioned heap.
 
-   Usage: main.exe [fig5|fig6|ablations|bechamel|quick|all]  *)
+   Usage: main.exe [fig5|fig6|ablations|verify|bechamel|quick|all]  *)
 
 let time_it fn =
   let t0 = Unix.gettimeofday () in
@@ -248,6 +248,190 @@ let ablate_heap () =
     [ (Atom.Instrument.Linked, "linked");
       (Atom.Instrument.Partitioned (1 lsl 24), "partitioned") ]
 
+(* -- verification sweep --------------------------------------------------- *)
+
+let option_label (o : Atom.Instrument.options) =
+  let s =
+    match o.Atom.Instrument.save_strategy with
+    | Atom.Instrument.Summary -> "summary"
+    | Atom.Instrument.Save_all -> "save-all"
+    | Atom.Instrument.Summary_and_live -> "summary+live"
+  in
+  let c =
+    match o.Atom.Instrument.call_style with
+    | Atom.Instrument.Wrapper -> "wrapper"
+    | Atom.Instrument.Inline_saves -> "inline"
+    | Atom.Instrument.Inline_body -> "spliced"
+  in
+  let h =
+    match o.Atom.Instrument.heap_mode with
+    | Atom.Instrument.Linked -> "linked"
+    | Atom.Instrument.Partitioned _ -> "partitioned"
+  in
+  Printf.sprintf "%s/%s/%s" s c h
+
+let verify_sweep ?(quick = false) () =
+  print_endline "";
+  print_endline "Verify: checking instrumented images against the engine's audit";
+  print_endline
+    "(static: decoding, branch ranges, PC map, Figure-4 layout, stub frames";
+  print_endline
+    "and register saves; differential: original vs instrumented on the";
+  print_endline "simulator — outcome, stdout, stderr, files, heap break)";
+  let total = ref 0 in
+  let failed = ref 0 in
+  let issue_counts : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let record label rep =
+    incr total;
+    if not (Verify.ok rep) then begin
+      incr failed;
+      Printf.printf "FAIL %s\n%s\n%!" label (Verify.report_to_string rep);
+      List.iter
+        (fun i ->
+          Hashtbl.replace issue_counts i.Verify.v_check
+            (1 + Option.value ~default:0
+                   (Hashtbl.find_opt issue_counts i.Verify.v_check)))
+        rep.Verify.r_issues
+    end
+  in
+  let check ?(diff = false) options tool w =
+    let exe, _ = base_of w in
+    let label =
+      Printf.sprintf "%s/%s [%s]" tool.Tools.Tool.name w.Workloads.w_name
+        (option_label options)
+    in
+    match Tools.Tool.apply ~options tool exe with
+    | exception e -> record label
+        { Verify.r_checks = [];
+          r_issues =
+            [ { Verify.v_check = "instrument"; v_addr = None;
+                v_detail = Printexc.to_string e } ] }
+    | exe', info ->
+        let rep = Verify.check_image ~original:exe ~instrumented:exe' ~info in
+        let rep =
+          if diff then
+            Verify.merge rep
+              (Verify.differential ~original:exe ~instrumented:exe'
+                 ~heap_mode:options.Atom.Instrument.heap_mode ())
+          else rep
+        in
+        record label rep
+  in
+  (* Pass 1: full tool x workload matrix at the default options, with the
+     differential run.  In quick mode (CI smoke) only a small corner of the
+     matrix runs, and passes 2 and 3 are skipped. *)
+  let pass1_tools =
+    if quick then
+      List.filter
+        (fun t -> List.mem t.Tools.Tool.name [ "branch"; "malloc" ])
+        Tools.Registry.all
+    else Tools.Registry.all
+  in
+  let pass1_workloads =
+    if quick then
+      List.filter
+        (fun w -> List.mem w.Workloads.w_name [ "sieve"; "qsort" ])
+        Workloads.all
+    else Workloads.all
+  in
+  print_endline "";
+  print_endline "pass 1: every tool x workload, default options, static + differential";
+  List.iter
+    (fun tool ->
+      let before = !failed in
+      List.iter (check ~diff:true Atom.Instrument.default_options tool)
+        pass1_workloads;
+      Printf.printf "  %-9s %s\n%!" tool.Tools.Tool.name
+        (if !failed = before then "ok"
+         else Printf.sprintf "%d FAILURE(S)" (!failed - before)))
+    pass1_tools;
+  if quick then begin
+    print_endline "";
+    Printf.printf "verified %d images, %d failure(s)\n" !total !failed;
+    if !failed > 0 then exit 1
+  end
+  else begin
+  (* Pass 2: the full option cross product (save strategies x heap modes),
+     statically, for every tool and workload. *)
+  print_endline "";
+  print_endline
+    "pass 2: every tool x workload x save strategy x heap mode, static";
+  let strategies =
+    [ Atom.Instrument.Summary; Atom.Instrument.Save_all;
+      Atom.Instrument.Summary_and_live ]
+  in
+  let heaps =
+    [ Atom.Instrument.Linked; Atom.Instrument.Partitioned (1 lsl 24) ]
+  in
+  List.iter
+    (fun strategy ->
+      List.iter
+        (fun heap ->
+          let options =
+            { Atom.Instrument.default_options with
+              Atom.Instrument.save_strategy = strategy;
+              heap_mode = heap }
+          in
+          let before = !failed in
+          List.iter
+            (fun tool -> List.iter (check options tool) Workloads.all)
+            Tools.Registry.all;
+          Printf.printf "  %-28s %s\n%!" (option_label options)
+            (if !failed = before then "ok"
+             else Printf.sprintf "%d FAILURE(S)" (!failed - before)))
+        heaps)
+    strategies;
+  (* Pass 3: every option combination including call styles, static +
+     differential, on a representative subset. *)
+  print_endline "";
+  print_endline
+    "pass 3: all option combinations, representative subset, static + differential";
+  let styles =
+    [ Atom.Instrument.Wrapper; Atom.Instrument.Inline_saves;
+      Atom.Instrument.Inline_body ]
+  in
+  let sub_tools =
+    List.filter
+      (fun t -> List.mem t.Tools.Tool.name [ "branch"; "cache"; "malloc" ])
+      Tools.Registry.all
+  in
+  let sub_workloads =
+    List.filter
+      (fun w -> List.mem w.Workloads.w_name [ "compress"; "lisp"; "sieve" ])
+      Workloads.all
+  in
+  List.iter
+    (fun strategy ->
+      List.iter
+        (fun style ->
+          List.iter
+            (fun heap ->
+              let options =
+                { Atom.Instrument.save_strategy = strategy;
+                  call_style = style;
+                  heap_mode = heap }
+              in
+              let before = !failed in
+              List.iter
+                (fun tool ->
+                  List.iter (check ~diff:true options tool) sub_workloads)
+                sub_tools;
+              Printf.printf "  %-28s %s\n%!" (option_label options)
+                (if !failed = before then "ok"
+                 else Printf.sprintf "%d FAILURE(S)" (!failed - before)))
+            heaps)
+        styles)
+    strategies;
+  print_endline "";
+  Printf.printf "verified %d images, %d failure(s)\n" !total !failed;
+  if !failed > 0 then begin
+    Hashtbl.iter
+      (fun check n -> Printf.printf "  %-18s %d issue(s)\n" check n)
+      issue_counts;
+    exit 1
+  end
+  end
+
 (* -- bechamel micro-benchmarks ------------------------------------------- *)
 
 let bechamel () =
@@ -302,6 +486,7 @@ let () =
   | "ablate-heap" -> ablate_heap ()
   | "ablate-liveness" -> ablate_liveness ()
   | "bechamel" -> bechamel ()
+  | "verify" -> verify_sweep ()
   | "quick" ->
       let tools =
         List.filter
@@ -313,7 +498,8 @@ let () =
           (fun w -> List.mem w.Workloads.w_name [ "cover"; "sieve"; "qsort" ])
           Workloads.all
       in
-      fig6 ~tools ~workloads ()
+      fig6 ~tools ~workloads ();
+      verify_sweep ~quick:true ()
   | "all" ->
       fig5 ();
       fig6 ();
@@ -323,6 +509,7 @@ let () =
       ablate_heap ();
       bechamel ()
   | other ->
-      Printf.eprintf "unknown mode %S (fig5|fig6|ablations|bechamel|quick|all)\n"
+      Printf.eprintf
+        "unknown mode %S (fig5|fig6|ablations|verify|bechamel|quick|all)\n"
         other;
       exit 2

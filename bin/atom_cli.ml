@@ -12,11 +12,15 @@
 
    Options mirror the engine's: --save-all (no dataflow-summary register
    reduction), --inline-saves (no wrapper routines), --heap-offset N
-   (partitioned heap). *)
+   (partitioned heap).
+
+   Every instrumented image is statically verified against the engine's
+   audit before it is written (--no-verify skips this); --verify
+   additionally runs both executables and diffs their behaviour. *)
 
 let usage =
   "atom [--list] [-o OUT] [--run] [--dump-files] [--save-all] \
-   [--inline-saves] [--heap-offset N] prog.exe tool"
+   [--inline-saves] [--heap-offset N] [--verify] [--no-verify] prog.exe tool"
 
 let () =
   let list_tools = ref false in
@@ -26,6 +30,8 @@ let () =
   let save_all = ref false in
   let inline_saves = ref false in
   let heap_offset = ref 0 in
+  let differential = ref false in
+  let no_verify = ref false in
   let rest = ref [] in
   Arg.parse
     [
@@ -36,6 +42,9 @@ let () =
       ("--save-all", Arg.Set save_all, "save all caller-save registers");
       ("--inline-saves", Arg.Set inline_saves, "inline saves at sites (no wrappers)");
       ("--heap-offset", Arg.Set_int heap_offset, "partitioned analysis heap at break+N");
+      ("--verify", Arg.Set differential,
+       "also run original and instrumented programs and diff the behaviour");
+      ("--no-verify", Arg.Set no_verify, "skip the static image verification");
     ]
     (fun a -> rest := a :: !rest)
     usage;
@@ -70,6 +79,17 @@ let () =
               }
             in
             let exe', info = Tools.Tool.apply ~options tool exe in
+            if not !no_verify then begin
+              let report =
+                if !differential then
+                  Verify.verify ~original:exe ~instrumented:exe' ~info ()
+                else Verify.check_image ~original:exe ~instrumented:exe' ~info
+              in
+              if not (Verify.ok report) then begin
+                prerr_endline (Verify.report_to_string report);
+                exit 3
+              end
+            end;
             let out =
               if !output <> "" then !output
               else Filename.remove_extension prog ^ ".atom"

@@ -180,6 +180,8 @@ let decode w =
               | Some cond -> Fbr { cond; fa = ra; disp = sext 21 (w land 0x1FFFFF) }
               | None -> Raw w)))
 
+let roundtrips w = encode (decode w) = w land mask32
+
 let read_word b off =
   Char.code (Bytes.get b off)
   lor (Char.code (Bytes.get b (off + 1)) lsl 8)

@@ -23,6 +23,12 @@ val write_word : bytes -> int -> int -> unit
 val decode_at : bytes -> int -> Insn.t
 val encode_at : bytes -> int -> Insn.t -> unit
 
+val roundtrips : int -> bool
+(** Whether [encode (decode w) = w]: the word is either outside the
+    implemented subset (kept verbatim as [Raw]) or a canonical encoding.
+    Words the instrumentation engine emits always round-trip; a corrupted
+    field that strays into unused encoding space does not. *)
+
 val fits_disp16 : int -> bool
 (** Whether a byte displacement fits the signed 16-bit memory format. *)
 

@@ -13,12 +13,32 @@ type options = {
 let default_options =
   { save_strategy = Summary; call_style = Wrapper; heap_mode = Linked }
 
+type audit_site = {
+  as_pc : int;
+  as_place : Api.place;
+  as_proc : string;
+  as_summary : Alpha.Regset.t;
+  as_nargs : int;
+}
+
+type audit = {
+  au_options : options;
+  au_sites : audit_site list;
+  au_layout : Om.Codegen.site list;
+  au_prog_text : int * int;
+  au_anal_text : int * int;
+  au_anal_region : int * int;
+  au_wrappers : (string * int) list;
+  au_procs : (string * int) list;
+}
+
 type info = {
   i_sites : int;
   i_calls : int;
   i_text_growth : int;
   i_analysis_bytes : int;
   i_map : int -> int;
+  i_audit : audit;
 }
 
 exception Error of string
@@ -89,6 +109,7 @@ let instrument ?(options = default_options) ~exe ~tool ~analysis () =
   let wrap_errors f =
     try f () with
     | Api.Error m | Failure m -> fail "%s" m
+    | Om.Codegen.Error e -> fail "codegen: %s" (Om.Codegen.error_message e)
     | Linker.Link.Error m -> fail "link: %s" m
   in
   wrap_errors @@ fun () ->
@@ -216,9 +237,19 @@ let instrument ?(options = default_options) ~exe ~tool ~analysis () =
         Stubgen.R_addr (intern s)
   in
   let n_sites = ref 0 in
+  let audit_sites = ref [] in
   List.iter
     (fun (a : Api.action) ->
       let ir_inst = Api.ir_inst a.Api.a_inst in
+      audit_sites :=
+        {
+          as_pc = ir_inst.Om.Ir.i_pc;
+          as_place = a.Api.a_place;
+          as_proc = a.Api.a_proc;
+          as_summary = summary_of a.Api.a_proc;
+          as_nargs = List.length a.Api.a_args;
+        }
+        :: !audit_sites;
       let extra_saves =
         match options.call_style with
         | Wrapper -> Alpha.Regset.empty
@@ -435,6 +466,18 @@ let instrument ?(options = default_options) ~exe ~tool ~analysis () =
       x_code_refs = [];
     }
   in
+  let audit =
+    {
+      au_options = options;
+      au_sites = List.rev !audit_sites;
+      au_layout = result.Om.Codegen.r_sites;
+      au_prog_text = (text_base, new_text_size);
+      au_anal_text = (a_text, Bytes.length img.Linker.Link.i_text);
+      au_anal_region = (a_text, gap_end - a_text);
+      au_wrappers = Hashtbl.fold (fun k v acc -> (k, v) :: acc) wrapper_addrs [];
+      au_procs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) proc_addrs [];
+    }
+  in
   let info =
     {
       i_sites = !n_sites;
@@ -442,6 +485,7 @@ let instrument ?(options = default_options) ~exe ~tool ~analysis () =
       i_text_growth = new_text_size - exe.Exe.x_text_size;
       i_analysis_bytes = gap_end - a_text;
       i_map = map;
+      i_audit = audit;
     }
   in
   (exe', info)

@@ -57,12 +57,42 @@ type options = {
 val default_options : options
 (** [{ save_strategy = Summary; call_style = Wrapper; heap_mode = Linked }] *)
 
+(** One lowered analysis call, in the order actions were lowered (includes
+    the implicit [__libc_init]/[__libc_fini] calls).  Together with
+    {!Om.Codegen.site} layout records this is the evidence the verifier
+    checks the image against. *)
+type audit_site = {
+  as_pc : int;  (** original PC of the site instruction *)
+  as_place : Api.place;
+  as_proc : string;  (** analysis procedure called *)
+  as_summary : Alpha.Regset.t;
+      (** registers the call may clobber under the active save strategy *)
+  as_nargs : int;
+}
+
+(** What the engine claims it did: where every stub landed, where the
+    analysis module and wrappers were placed, and which registers each
+    call site must protect.  Consumed by the [Verify] library. *)
+type audit = {
+  au_options : options;
+  au_sites : audit_site list;
+  au_layout : Om.Codegen.site list;
+  au_prog_text : int * int;  (** instrumented program text: base, size *)
+  au_anal_text : int * int;  (** analysis module text: base, size *)
+  au_anal_region : int * int;
+      (** everything inserted in the text–data gap (analysis module,
+          wrappers, interned strings): base, size *)
+  au_wrappers : (string * int) list;  (** wrapper routine addresses *)
+  au_procs : (string * int) list;  (** analysis global addresses *)
+}
+
 type info = {
   i_sites : int;  (** instrumentation points (stubs inserted) *)
   i_calls : int;  (** analysis procedures referenced *)
   i_text_growth : int;  (** bytes added to the application text *)
   i_analysis_bytes : int;  (** bytes of analysis module + wrappers *)
   i_map : int -> int;  (** old text address -> new *)
+  i_audit : audit;  (** verification evidence *)
 }
 
 exception Error of string

@@ -9,27 +9,56 @@ type resolved_arg =
   | R_cond
   | R_effaddr
 
-let fits32 v = v >= -0x8000_0000 && v <= 0x7FFF_7FFF
-
-(* ldah/lda pair building sext32(hi)<<16 + sext16(lo) on top of [base]. *)
+(* ldah/lda pair building sext16(hi)<<16 + sext16(lo) on top of [base]. *)
 let hi_lo_pair ~base r v =
   let hi = (v + 0x8000) asr 16 in
   let lo = v - (hi lsl 16) in
   [ Insn.Mem { op = Insn.Ldah; ra = r; rb = base; disp = hi };
     Insn.Mem { op = Insn.Lda; ra = r; rb = r; disp = lo } ]
 
+(* the pair only reaches values whose rounded-up high half fits the signed
+   16-bit [ldah] displacement: that excludes (0x7FFF_7FFF, 0x7FFF_FFFF],
+   where the carry from the negative [lda] half would need hi = 0x8000 *)
+let hi_lo_ok v =
+  let hi = (v + 0x8000) asr 16 in
+  hi >= -32768 && hi <= 32767
+
+let fits32 v = v >= -0x8000_0000 && v <= 0x7FFF_FFFF && hi_lo_ok v
+
+let sext32 v = Int64.to_int (Int64.of_int32 (Int64.to_int32 (Int64.of_int v)))
+
+(* add sext32(v) on top of [base] (into [r]); covers the hi = 0x8000 corner
+   that [hi_lo_pair] cannot encode by splitting the high half in two *)
+let add_low32 ~base r v =
+  if v = 0 && base = r then []
+  else if v >= -32768 && v <= 32767 then
+    [ Insn.Mem { op = Insn.Lda; ra = r; rb = base; disp = v } ]
+  else if hi_lo_ok v then hi_lo_pair ~base r v
+  else
+    (* v in (0x7FFF_7FFF, 0x7FFF_FFFF]: 0x8000_0000 via two ldah *)
+    [ Insn.Mem { op = Insn.Ldah; ra = r; rb = base; disp = 0x4000 };
+      Insn.Mem { op = Insn.Ldah; ra = r; rb = r; disp = 0x4000 };
+      Insn.Mem { op = Insn.Lda; ra = r; rb = r; disp = v - 0x8000_0000 } ]
+
 let load_const r v =
   if v >= -32768 && v <= 32767 then
     [ Insn.Mem { op = Insn.Lda; ra = r; rb = Reg.zero; disp = v } ]
-  else if fits32 v then hi_lo_pair ~base:Reg.zero r v
+  else if v >= -0x8000_0000 && v <= 0x7FFF_FFFF then add_low32 ~base:Reg.zero r v
   else begin
-    (* build the high 32 bits, shift, add the low 32 via another pair *)
-    let low32 = Int64.to_int (Int64.of_int32 (Int64.to_int32 (Int64.of_int v))) in
-    let high = (v - low32) asr 32 in
-    if not (fits32 high) then failwith "Stubgen.load_const: constant out of range";
-    hi_lo_pair ~base:Reg.zero r high
+    (* build the high 32 bits, shift, add the low 32; the subtraction is
+       done in 64 bits — [v - low32] can overflow the host int when [v]
+       is near [max_int] and [low32] is negative *)
+    let low32 = sext32 v in
+    let high =
+      Int64.to_int
+        (Int64.shift_right (Int64.sub (Int64.of_int v) (Int64.of_int low32)) 32)
+    in
+    (* [high] fits the pair: OCaml ints keep |high| well under 2^31 *)
+    (if high >= -32768 && high <= 32767 then
+       [ Insn.Mem { op = Insn.Lda; ra = r; rb = Reg.zero; disp = high } ]
+     else hi_lo_pair ~base:Reg.zero r high)
     @ [ Insn.Opr { op = Insn.Sll; ra = r; rb = Insn.Imm 32; rc = r } ]
-    @ hi_lo_pair ~base:r r low32
+    @ add_low32 ~base:r r low32
   end
 
 (* -- site stubs --------------------------------------------------------- *)

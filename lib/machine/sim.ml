@@ -471,5 +471,6 @@ let reg t r = getr t r
 let freg_bits t r = getf t r
 let pc t = t.pc
 let mem t = t.mem
+let brk t = t.brk
 let read_u64 t a = Mem.read_u64 t.mem a
 let set_trace t f = t.trace <- Some f

@@ -57,6 +57,9 @@ val stdout : t -> string
 val stderr : t -> string
 val output_files : t -> (string * string) list
 
+val brk : t -> int
+(** Current program break (final heap break once the run is over). *)
+
 val reg : t -> Alpha.Reg.t -> int64
 val freg_bits : t -> Alpha.Reg.f -> int64
 val pc : t -> int

@@ -1,9 +1,31 @@
 open Alpha
 
+type error_info = { e_proc : string; e_pc : int; e_what : string }
+
+exception Error of error_info
+
+let error ~proc ~pc fmt =
+  Printf.ksprintf (fun e_what -> raise (Error { e_proc = proc; e_pc = pc; e_what })) fmt
+
+let error_message { e_proc; e_pc; e_what } =
+  Printf.sprintf "procedure %s, pc %#x: %s" e_proc e_pc e_what
+
+type extent = { e_addr : int; e_size : int }
+
+type site = {
+  st_pc : int;
+  st_proc : string;
+  st_before : extent list;
+  st_insn_addr : int;
+  st_taken : extent list;
+  st_after : extent list;
+}
+
 type result = {
   r_text : bytes;
   r_map : int -> int;
   r_data_patches : (Objfile.Exe.code_ref * int) list;
+  r_sites : site list;
 }
 
 let stub_bytes stubs = List.fold_left (fun acc s -> acc + s.Ir.s_size) 0 stubs
@@ -61,15 +83,19 @@ let generate prog =
     Code.encode_at out !pos insn;
     pos := !pos + 4
   in
-  let emit_stub s =
-    let pc = base + !pos in
-    let insns = s.Ir.s_emit ~pc in
-    if 4 * List.length insns <> s.Ir.s_size then
-      failwith "Codegen: stub emitted a different size than declared";
-    List.iter emit_insn insns
-  in
-  Ir.iter_insts prog (fun _ _ i ->
-      List.iter emit_stub i.Ir.i_before;
+  let sites = ref [] in
+  Ir.iter_insts prog (fun p _ i ->
+      let err fmt = error ~proc:p.Ir.p_name ~pc:i.Ir.i_pc fmt in
+      let emit_stub s =
+        let pc = base + !pos in
+        let insns = s.Ir.s_emit ~pc in
+        if 4 * List.length insns <> s.Ir.s_size then
+          err "stub at %#x emitted %d bytes, declared %d" pc
+            (4 * List.length insns) s.Ir.s_size;
+        List.iter emit_insn insns;
+        { e_addr = pc; e_size = s.Ir.s_size }
+      in
+      let before_extents = List.map emit_stub i.Ir.i_before in
       let here = base + !pos in
       let insn = i.Ir.i_insn in
       let insn =
@@ -83,9 +109,8 @@ let generate prog =
             in
             let disp = (new_target - (here + 4)) / 4 in
             if not (Code.fits_disp21 disp) then
-              failwith
-                (Printf.sprintf "Codegen: branch at %#x out of range after expansion"
-                   i.Ir.i_pc);
+              err "branch to %#x needs displacement %d after expansion, \
+                   outside the signed 21-bit range" new_target disp;
             Insn.with_branch_disp insn disp
         | None -> (
             (* rewrite hi/lo address materialisations that point into text *)
@@ -99,44 +124,63 @@ let generate prog =
                 | Objfile.Exe.Cr_lo, Insn.Mem m ->
                     Insn.Mem { m with disp = sext16 (nt land 0xFFFF) }
                 | (Objfile.Exe.Cr_hi | Objfile.Exe.Cr_lo), _ ->
-                    failwith "Codegen: hi/lo code ref on a non-memory instruction"
-                | (Objfile.Exe.Cr_quad | Objfile.Exe.Cr_long), _ -> assert false))
+                    err "hi/lo code ref for %#x on a non-memory instruction"
+                      cr.Objfile.Exe.cr_target
+                | (Objfile.Exe.Cr_quad | Objfile.Exe.Cr_long), _ ->
+                    err "internal: quad/long code ref in the hi/lo table"))
       in
-      (if i.Ir.i_taken = [] then emit_insn insn
-       else begin
-         (* taken-edge lowering: invert the branch over the trampoline *)
-         let skip_words = (stub_bytes i.Ir.i_taken + 4) / 4 in
-         let inverted =
-           match Insn.invert_branch insn with
-           | Some b -> Insn.with_branch_disp b skip_words
-           | None ->
-               failwith
-                 (Printf.sprintf
-                    "Codegen: taken-edge stubs on a non-conditional branch at %#x"
-                    i.Ir.i_pc)
-         in
-         emit_insn inverted;
-         List.iter emit_stub i.Ir.i_taken;
-         (* jump to the (moved) original target *)
-         let old_target =
-           match Insn.branch_target ~pc:i.Ir.i_pc i.Ir.i_insn with
-           | Some t -> t
-           | None -> assert false
-         in
-         let new_target =
-           if old_target >= base && old_target <= base + old_size then map old_target
-           else old_target
-         in
-         let br_pc = base + !pos in
-         let disp = (new_target - (br_pc + 4)) / 4 in
-         if not (Code.fits_disp21 disp) then
-           failwith "Codegen: taken-edge trampoline branch out of range";
-         emit_insn (Insn.Br { link = false; ra = Alpha.Reg.zero; disp })
-       end);
+      let taken_extents =
+        if i.Ir.i_taken = [] then begin
+          emit_insn insn;
+          []
+        end
+        else begin
+          (* taken-edge lowering: invert the branch over the trampoline *)
+          let skip_words = (stub_bytes i.Ir.i_taken + 4) / 4 in
+          let inverted =
+            match Insn.invert_branch insn with
+            | Some b -> Insn.with_branch_disp b skip_words
+            | None -> err "taken-edge stubs on a non-conditional branch"
+          in
+          emit_insn inverted;
+          let extents = List.map emit_stub i.Ir.i_taken in
+          (* jump to the (moved) original target *)
+          let old_target =
+            match Insn.branch_target ~pc:i.Ir.i_pc i.Ir.i_insn with
+            | Some t -> t
+            | None -> err "internal: taken-edge instruction has no branch target"
+          in
+          let new_target =
+            if old_target >= base && old_target <= base + old_size then map old_target
+            else old_target
+          in
+          let br_pc = base + !pos in
+          let disp = (new_target - (br_pc + 4)) / 4 in
+          if not (Code.fits_disp21 disp) then
+            err "taken-edge trampoline to %#x needs displacement %d, \
+                 outside the signed 21-bit range" new_target disp;
+          emit_insn (Insn.Br { link = false; ra = Alpha.Reg.zero; disp });
+          extents
+        end
+      in
       if i.Ir.i_after <> [] && not (Insn.falls_through i.Ir.i_insn) then
-        failwith
-          (Printf.sprintf "Codegen: after-stub on a non-falling-through instruction at %#x"
-             i.Ir.i_pc);
-      List.iter emit_stub i.Ir.i_after);
+        err "after-stub on an instruction that does not fall through";
+      let after_extents = List.map emit_stub i.Ir.i_after in
+      if before_extents <> [] || taken_extents <> [] || after_extents <> [] then
+        sites :=
+          {
+            st_pc = i.Ir.i_pc;
+            st_proc = p.Ir.p_name;
+            st_before = before_extents;
+            st_insn_addr = here;
+            st_taken = taken_extents;
+            st_after = after_extents;
+          }
+          :: !sites);
   if !pos <> new_size then failwith "Codegen: layout/emission size mismatch";
-  { r_text = out; r_map = map; r_data_patches = List.rev !data_patches }
+  {
+    r_text = out;
+    r_map = map;
+    r_data_patches = List.rev !data_patches;
+    r_sites = List.rev !sites;
+  }

@@ -15,17 +15,44 @@
     Data-resident code references ([Cr_quad]/[Cr_long]) are reported back
     for the caller (ATOM) to patch in the data image. *)
 
+type error_info = { e_proc : string; e_pc : int; e_what : string }
+(** A structural failure at a specific site: the enclosing procedure, the
+    {e original} PC of the offending instruction, and what went wrong
+    (including the displacement when a branch no longer fits its field).
+    The verifier names the same sites the same way. *)
+
+exception Error of error_info
+
+val error_message : error_info -> string
+(** Render an {!Error} payload as ["procedure %s, pc %#x: %s"]. *)
+
+type extent = { e_addr : int; e_size : int }
+(** A contiguous run of emitted stub code in the new text (bytes). *)
+
+type site = {
+  st_pc : int;  (** original PC of the instrumented instruction *)
+  st_proc : string;  (** enclosing procedure *)
+  st_before : extent list;  (** one extent per before-stub, in run order *)
+  st_insn_addr : int;  (** new address of the relocated instruction *)
+  st_taken : extent list;  (** taken-edge trampoline stubs (final branch excluded) *)
+  st_after : extent list;
+}
+
 type result = {
   r_text : bytes;  (** instrumented text, based at the original text start *)
   r_map : int -> int;
       (** old PC -> new PC, defined on [text_start .. text_start+size] *)
   r_data_patches : (Objfile.Exe.code_ref * int) list;
       (** data-segment code refs paired with the {e new} target address *)
+  r_sites : site list;
+      (** where every stub landed, in address order — the verifier's map of
+          which code is inserted and which is relocated application text *)
 }
 
 val sizeof : Ir.program -> int
 (** Size in bytes of the instrumented text (layout is deterministic). *)
 
 val generate : Ir.program -> result
-(** @raise Failure if a rewritten branch no longer fits its displacement
-    field. *)
+(** @raise Error if a rewritten branch no longer fits its displacement
+    field, a stub misdeclares its size, or stubs are attached to an
+    instruction that cannot host them. *)
