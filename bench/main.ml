@@ -12,7 +12,14 @@
    routines vs inlined saves, dataflow-summary register saving vs
    save-all, and the linked vs partitioned heap.
 
-   Usage: main.exe [fig5|fig6|ablations|verify|bechamel|quick|all]  *)
+   Perf - simulator-engine comparison: every workload, uninstrumented
+   and instrumented with each tool, run under both the reference
+   interpreter and the closure-compiled fast engine; checks that the two
+   agree bit-for-bit and reports simulated instructions per second and
+   the speedup ratio, writing the results to BENCH_sim.json.
+
+   Usage: main.exe
+     [fig5|fig6|ablations|verify|bechamel|quick|perf [--smoke]|all]  *)
 
 let time_it fn =
   let t0 = Unix.gettimeofday () in
@@ -23,28 +30,32 @@ let hrule width = print_endline (String.make width '-')
 
 (* -- shared runs -------------------------------------------------------- *)
 
+(* keyed per engine: the cached instruction counts are engine-independent
+   (the engines are differentially tested to agree), but the timing work
+   in [perf] must not hand one engine a cache warmed by the other *)
 let base_cache : (string, Objfile.Exe.t * (int * int)) Hashtbl.t = Hashtbl.create 16
 
-let base_of2 w =
-  match Hashtbl.find_opt base_cache w.Workloads.w_name with
+let base_of2 ?(engine = Machine.Sim.Fast) w =
+  let key = w.Workloads.w_name ^ "/" ^ Machine.Sim.engine_name engine in
+  match Hashtbl.find_opt base_cache key with
   | Some x -> x
   | None ->
       let exe = Workloads.compile w in
-      let outcome, m = Workloads.run_exe exe in
+      let outcome, m = Workloads.run_exe ~engine exe in
       (match outcome with
       | Machine.Sim.Exit 0 -> ()
       | _ -> failwith (w.Workloads.w_name ^ ": base run failed"));
       let st = Machine.Sim.stats m in
       let v = (exe, (st.Machine.Sim.st_insns, st.Machine.Sim.st_pair_cycles)) in
-      Hashtbl.replace base_cache w.Workloads.w_name v;
+      Hashtbl.replace base_cache key v;
       v
 
-let base_of w =
-  let exe, (insns, _) = base_of2 w in
+let base_of ?engine w =
+  let exe, (insns, _) = base_of2 ?engine w in
   (exe, insns)
 
-let run_instrumented2 exe' name =
-  let outcome, m = Workloads.run_exe exe' in
+let run_instrumented2 ?engine exe' name =
+  let outcome, m = Workloads.run_exe ?engine exe' in
   (match outcome with
   | Machine.Sim.Exit 0 -> ()
   | Machine.Sim.Exit n -> failwith (Printf.sprintf "%s: exit %d" name n)
@@ -53,7 +64,7 @@ let run_instrumented2 exe' name =
   let st = Machine.Sim.stats m in
   (st.Machine.Sim.st_insns, st.Machine.Sim.st_pair_cycles)
 
-let run_instrumented exe' name = fst (run_instrumented2 exe' name)
+let run_instrumented ?engine exe' name = fst (run_instrumented2 ?engine exe' name)
 
 (* -- Figure 5 ------------------------------------------------------------ *)
 
@@ -464,12 +475,183 @@ let bechamel () =
   in
   print_endline "";
   print_endline "Bechamel micro-benchmarks (ns per call, OLS on monotonic clock):";
-  Hashtbl.iter
-    (fun name result ->
-      match Analyze.OLS.estimates result with
-      | Some [ est ] -> Printf.printf "  %-28s %12.0f ns\n" name est
-      | _ -> Printf.printf "  %-28s (no estimate)\n" name)
-    results
+  (* sorted: hash-table order is not deterministic run to run *)
+  Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (name, result) ->
+         match Analyze.OLS.estimates result with
+         | Some [ est ] -> Printf.printf "  %-28s %12.0f ns\n" name est
+         | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+
+(* -- engine performance sweep --------------------------------------------- *)
+
+(* Every workload, uninstrumented and instrumented with each tool, run
+   under both engines.  Each cell checks full behavioural agreement
+   (outcome, the entire statistics record, stdout, stderr, output files,
+   final heap break) before its timing is trusted; any disagreement
+   fails the sweep.  The headline number is the aggregate: total
+   simulated instructions over total seconds per engine, which averages
+   out the per-cell timer noise. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+type perf_row = {
+  p_workload : string;
+  p_tool : string option;
+  p_insns : int;
+  p_ref_secs : float;
+  p_fast_secs : float;
+  p_agree : bool;
+}
+
+let perf ?(smoke = false) () =
+  let workloads =
+    if smoke then
+      List.filter
+        (fun w -> List.mem w.Workloads.w_name [ "sieve"; "qsort"; "cells" ])
+        Workloads.all
+    else Workloads.all
+  in
+  let tools =
+    if smoke then
+      List.filter
+        (fun t -> List.mem t.Tools.Tool.name [ "branch"; "inline" ])
+        Tools.Registry.all
+    else Tools.Registry.all
+  in
+  let configs = None :: List.map Option.some tools in
+  print_endline "";
+  Printf.printf
+    "Engine sweep%s: %d workloads x %d configurations (uninstrumented + tools)\n"
+    (if smoke then " (smoke)" else "")
+    (List.length workloads) (List.length configs);
+  print_endline
+    "each cell runs under both engines and must agree on outcome, statistics,";
+  print_endline "stdout/stderr, output files and heap break before it is timed";
+  print_endline "";
+  Printf.printf "%-10s %-9s %11s %9s %9s %8s\n" "Workload" "Tool" "insns"
+    "ref Mips" "fast Mips" "speedup";
+  hrule 62;
+  let mismatches = ref 0 in
+  let rows = ref [] in
+  List.iter
+    (fun w ->
+      let exe = Workloads.compile w in
+      List.iter
+        (fun tool_opt ->
+          let tool_name =
+            match tool_opt with None -> "-" | Some t -> t.Tools.Tool.name
+          in
+          let cell = w.Workloads.w_name ^ "/" ^ tool_name in
+          let exe' =
+            match tool_opt with
+            | None -> exe
+            | Some t -> fst (Tools.Tool.apply t exe)
+          in
+          let run engine =
+            let (outcome, m), secs =
+              time_it (fun () -> Workloads.run_exe ~engine exe')
+            in
+            (outcome, m, secs)
+          in
+          let o_ref, m_ref, s_ref = run Machine.Sim.Ref in
+          let o_fast, m_fast, s_fast = run Machine.Sim.Fast in
+          let agree =
+            o_ref = o_fast
+            && Machine.Sim.stats m_ref = Machine.Sim.stats m_fast
+            && Machine.Sim.stdout m_ref = Machine.Sim.stdout m_fast
+            && Machine.Sim.stderr m_ref = Machine.Sim.stderr m_fast
+            && Machine.Sim.output_files m_ref = Machine.Sim.output_files m_fast
+            && Machine.Sim.brk m_ref = Machine.Sim.brk m_fast
+          in
+          if not agree then begin
+            incr mismatches;
+            Printf.printf "FAIL %s: fast engine disagrees with reference\n%!"
+              cell
+          end;
+          let insns = (Machine.Sim.stats m_ref).Machine.Sim.st_insns in
+          rows :=
+            {
+              p_workload = w.Workloads.w_name;
+              p_tool = Option.map (fun t -> t.Tools.Tool.name) tool_opt;
+              p_insns = insns;
+              p_ref_secs = s_ref;
+              p_fast_secs = s_fast;
+              p_agree = agree;
+            }
+            :: !rows;
+          Printf.printf "%-10s %-9s %11d %9.1f %9.1f %7.2fx\n%!"
+            w.Workloads.w_name tool_name insns
+            (float_of_int insns /. s_ref /. 1e6)
+            (float_of_int insns /. s_fast /. 1e6)
+            (s_ref /. s_fast))
+        configs)
+    workloads;
+  hrule 62;
+  let rows = List.rev !rows in
+  let tot_insns =
+    List.fold_left (fun a r -> a + r.p_insns) 0 rows |> float_of_int
+  in
+  let tot_ref = List.fold_left (fun a r -> a +. r.p_ref_secs) 0.0 rows in
+  let tot_fast = List.fold_left (fun a r -> a +. r.p_fast_secs) 0.0 rows in
+  let ref_ips = tot_insns /. tot_ref and fast_ips = tot_insns /. tot_fast in
+  Printf.printf
+    "aggregate: %.0fM insns  ref %.1fM ips  fast %.1fM ips  speedup %.2fx\n"
+    (tot_insns /. 1e6) (ref_ips /. 1e6) (fast_ips /. 1e6)
+    (fast_ips /. ref_ips);
+  (* hand-rolled JSON: the harness has no JSON dependency *)
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"schema\": \"atom-bench-sim/1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"smoke\": %b,\n  \"engines\": [\"ref\", \"fast\"],\n"
+       smoke);
+  Buffer.add_string buf "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"workload\": \"%s\", \"tool\": %s, \"insns\": %d, \
+            \"ref_secs\": %.6f, \"fast_secs\": %.6f, \"ref_ips\": %.0f, \
+            \"fast_ips\": %.0f, \"speedup\": %.3f, \"agree\": %b}%s\n"
+           (json_escape r.p_workload)
+           (match r.p_tool with
+           | None -> "null"
+           | Some t -> "\"" ^ json_escape t ^ "\"")
+           r.p_insns r.p_ref_secs r.p_fast_secs
+           (float_of_int r.p_insns /. r.p_ref_secs)
+           (float_of_int r.p_insns /. r.p_fast_secs)
+           (r.p_ref_secs /. r.p_fast_secs)
+           r.p_agree
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"aggregate\": {\"insns\": %.0f, \"ref_secs\": %.6f, \"fast_secs\": \
+        %.6f, \"ref_ips\": %.0f, \"fast_ips\": %.0f, \"speedup\": %.3f},\n"
+       tot_insns tot_ref tot_fast ref_ips fast_ips (fast_ips /. ref_ips));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"mismatches\": %d\n}\n" !mismatches);
+  let oc = open_out "BENCH_sim.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_sim.json (%d rows)\n" (List.length rows);
+  if !mismatches > 0 then begin
+    Printf.printf "%d cell(s) disagreed between engines\n" !mismatches;
+    exit 1
+  end
 
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -486,6 +668,11 @@ let () =
   | "ablate-heap" -> ablate_heap ()
   | "ablate-liveness" -> ablate_liveness ()
   | "bechamel" -> bechamel ()
+  | "perf" ->
+      let smoke =
+        Array.length Sys.argv > 2 && Sys.argv.(2) = "--smoke"
+      in
+      perf ~smoke ()
   | "verify" -> verify_sweep ()
   | "quick" ->
       let tools =
@@ -510,6 +697,7 @@ let () =
       bechamel ()
   | other ->
       Printf.eprintf
-        "unknown mode %S (fig5|fig6|ablations|verify|bechamel|quick|all)\n"
+        "unknown mode %S \
+         (fig5|fig6|ablations|verify|bechamel|quick|perf [--smoke]|all)\n"
         other;
       exit 2

@@ -20,7 +20,8 @@
 
 let usage =
   "atom [--list] [-o OUT] [--run] [--dump-files] [--save-all] \
-   [--inline-saves] [--heap-offset N] [--verify] [--no-verify] prog.exe tool"
+   [--inline-saves] [--heap-offset N] [--verify] [--no-verify] \
+   [--engine ref|fast] prog.exe tool"
 
 let () =
   let list_tools = ref false in
@@ -32,6 +33,7 @@ let () =
   let heap_offset = ref 0 in
   let differential = ref false in
   let no_verify = ref false in
+  let engine = ref Machine.Sim.Fast in
   let rest = ref [] in
   Arg.parse
     [
@@ -45,6 +47,13 @@ let () =
       ("--verify", Arg.Set differential,
        "also run original and instrumented programs and diff the behaviour");
       ("--no-verify", Arg.Set no_verify, "skip the static image verification");
+      ( "--engine",
+        Arg.String
+          (fun s ->
+            match Machine.Sim.engine_of_string s with
+            | Some e -> engine := e
+            | None -> raise (Arg.Bad ("unknown engine " ^ s))),
+        "simulator engine for --run/--verify: fast (default) or ref" );
     ]
     (fun a -> rest := a :: !rest)
     usage;
@@ -82,7 +91,8 @@ let () =
             if not !no_verify then begin
               let report =
                 if !differential then
-                  Verify.verify ~original:exe ~instrumented:exe' ~info ()
+                  Verify.verify ~engine:!engine ~original:exe
+                    ~instrumented:exe' ~info ()
                 else Verify.check_image ~original:exe ~instrumented:exe' ~info
               in
               if not (Verify.ok report) then begin
@@ -101,7 +111,7 @@ let () =
               out info.Atom.Instrument.i_sites info.Atom.Instrument.i_text_growth
               info.Atom.Instrument.i_analysis_bytes;
             if !run then begin
-              let m = Machine.Sim.load exe' in
+              let m = Machine.Sim.load ~engine:!engine exe' in
               let outcome = Machine.Sim.run m in
               print_string (Machine.Sim.stdout m);
               if !dump then

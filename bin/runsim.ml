@@ -1,10 +1,11 @@
 (* runsim: run an executable on the machine simulator.
 
      runsim prog.exe [--stdin FILE] [--input NAME=FILE] [--stats]
-                     [--dump-files] [--fuel N]  *)
+                     [--dump-files] [--fuel N] [--engine ref|fast]  *)
 
 let usage =
-  "runsim [--stdin FILE] [--input NAME=FILE] [--stats] [--dump-files] prog.exe"
+  "runsim [--stdin FILE] [--input NAME=FILE] [--stats] [--dump-files] \
+   [--engine ref|fast] prog.exe"
 
 let () =
   let stdin_file = ref "" in
@@ -12,6 +13,7 @@ let () =
   let stats = ref false in
   let dump = ref false in
   let fuel = ref 2_000_000_000 in
+  let engine = ref Machine.Sim.Fast in
   let prog = ref "" in
   Arg.parse
     [
@@ -30,6 +32,13 @@ let () =
       ("--stats", Arg.Set stats, "print execution statistics");
       ("--dump-files", Arg.Set dump, "print files the program wrote");
       ("--fuel", Arg.Set_int fuel, "instruction budget");
+      ( "--engine",
+        Arg.String
+          (fun s ->
+            match Machine.Sim.engine_of_string s with
+            | Some e -> engine := e
+            | None -> raise (Arg.Bad ("unknown engine " ^ s))),
+        "execution engine: fast (default) or ref" );
     ]
     (fun f -> prog := f)
     usage;
@@ -49,7 +58,9 @@ let () =
           (name, In_channel.with_open_bin file In_channel.input_all))
         !inputs
     in
-    let m = Machine.Sim.load ~stdin:stdin_data ~inputs:vfs_inputs exe in
+    let m =
+      Machine.Sim.load ~engine:!engine ~stdin:stdin_data ~inputs:vfs_inputs exe
+    in
     let outcome = Machine.Sim.run ~max_insns:!fuel m in
     print_string (Machine.Sim.stdout m);
     let err = Machine.Sim.stderr m in

@@ -1,0 +1,1326 @@
+(* The closure-compiled fast execution engine.
+
+   Instead of fetching and dispatching on a decoded [Insn.t] every step
+   (the {!Sim} reference interpreter), each code segment is translated
+   once, at first run, into closures.  Translation happens at two
+   granularities:
+
+   {b Per instruction} ([compile]): one closure per instruction word,
+   performing exactly one reference step — budget check, dual-issue pair
+   accounting, trace hook, instruction count, cycle weights, then the
+   architectural effect.  Operand registers become captured array
+   indices, sign-extended displacements become captured constants, and
+   static branch targets become captured dispatch indices.
+
+   {b Per basic block} ([translate]'s block builder): straight-line runs
+   ending at a control transfer (or at a branched-to leader) become one
+   "turbo" closure.  Everything a block does to the statistics record is
+   computed at translation time — instruction count, weighted cycles,
+   load/store/branch/call counts, and both variants of the dual-issue
+   pair accounting (entered with or without a pairable predecessor) —
+   and applied in one batch, after a single up-front fuel check.  The
+   architectural effects run as a straight line of specialized closures
+   that skip the per-step bookkeeping entirely, with loads and stores
+   going through a one-entry page cache straight into the backing
+   [bytes].  Taken branches and fall-through chains dispatch
+   closure-to-closure in tail position without re-entering the fetch
+   loop; only indirect jumps to other segments, cross-segment branches
+   and segment exits return to the driver loop, which re-locates the PC
+   exactly like the reference fetch (including its fault on a PC outside
+   code).
+
+   The per-instruction closures remain the engine's slow path: a turbo
+   block falls back to them whenever a trace hook is installed (the hook
+   must see every instruction) or the remaining budget is smaller than
+   the block (the per-step fuel check then stops at exactly the right
+   instruction, inside the block, so the slow path can never run past a
+   block boundary).
+
+   Equivalence discipline: per-block batching reorders the bookkeeping
+   against the architectural effects, but nothing can observe the
+   difference — the trace hook forces the per-instruction path, faults
+   and syscalls only occur as block terminators (after the batch, like
+   the reference's fetch-then-step), and within a straight line the pair
+   accounting depends only on the entry state, which the turbo closure
+   tests dynamically exactly as the reference fetch does.  [t.pc] is
+   written on every exit from a closure chain (fault, halt, fuel, jump,
+   segment exit), so an observer never sees a stale PC. *)
+
+open Alpha
+open State
+
+(* One reference-step preamble: fuel, pair accounting (as in [Sim.fetch]),
+   trace, retired-instruction count.  Kept as a top-level function so every
+   compiled closure shares one direct call. *)
+let pre t pc pair insn =
+  if t.fuel <= 0 then begin
+    t.pc <- pc;
+    raise Fuel
+  end;
+  t.fuel <- t.fuel - 1;
+  if t.pending_pair && pc = t.prev_pc + 4 then t.pending_pair <- false
+  else begin
+    t.pair_cycles <- t.pair_cycles + 1;
+    t.pending_pair <- pair
+  end;
+  t.prev_pc <- pc;
+  (match t.trace with Some f -> f pc insn | None -> ());
+  t.insns <- t.insns + 1
+
+let opr_fn : Insn.opr_op -> int64 -> int64 -> int64 =
+  let open Insn in
+  function
+  | Addq -> Int64.add
+  | Subq -> Int64.sub
+  | Addl -> fun a b -> sext32 (Int64.add a b)
+  | Subl -> fun a b -> sext32 (Int64.sub a b)
+  | S4addq -> fun a b -> Int64.add (Int64.shift_left a 2) b
+  | S8addq -> fun a b -> Int64.add (Int64.shift_left a 3) b
+  | Mull -> fun a b -> sext32 (Int64.mul a b)
+  | Mulq -> Int64.mul
+  | Umulh -> umulh
+  | Cmpeq -> fun a b -> bool64 (Int64.equal a b)
+  | Cmplt -> fun a b -> bool64 (Int64.compare a b < 0)
+  | Cmple -> fun a b -> bool64 (Int64.compare a b <= 0)
+  | Cmpult -> fun a b -> bool64 (u_lt a b)
+  | Cmpule -> fun a b -> bool64 (not (u_lt b a))
+  | Cmpbge -> cmpbge
+  | And_ -> Int64.logand
+  | Bic -> fun a b -> Int64.logand a (Int64.lognot b)
+  | Bis -> Int64.logor
+  | Ornot -> fun a b -> Int64.logor a (Int64.lognot b)
+  | Xor -> Int64.logxor
+  | Eqv -> fun a b -> Int64.logxor a (Int64.lognot b)
+  | Sll -> fun a b -> Int64.shift_left a (Int64.to_int b land 63)
+  | Srl -> fun a b -> Int64.shift_right_logical a (Int64.to_int b land 63)
+  | Sra -> fun a b -> Int64.shift_right a (Int64.to_int b land 63)
+  | (Zap | Zapnot | Extbl | Extwl | Extll | Extql | Insbl | Inswl | Insll
+    | Insql | Mskbl | Mskwl | Mskll | Mskql) as op ->
+      eval_opr op
+  | (Cmoveq | Cmovne | Cmovlt | Cmovge | Cmovle | Cmovgt | Cmovlbs | Cmovlbc)
+    as op ->
+      eval_opr op (* unreachable: the translator compiles cmovs separately *)
+
+(* The architectural effect of an FP operate, shared between the
+   per-instruction closures and the turbo blocks. *)
+let fop_body fregs op fa fb fc : unit -> unit =
+  let open Insn in
+  let set_fc = fc <> 31 in
+  let getv r = Int64.float_of_bits (Array.unsafe_get fregs r) in
+  match op with
+  | Addt | Subt | Mult | Divt ->
+      let f : float -> float -> float =
+        match op with
+        | Addt -> ( +. )
+        | Subt -> ( -. )
+        | Mult -> ( *. )
+        | _ -> ( /. )
+      in
+      fun () ->
+        if set_fc then
+          Array.unsafe_set fregs fc (Int64.bits_of_float (f (getv fa) (getv fb)))
+  | Cmpteq | Cmptlt | Cmptle ->
+      let f : float -> float -> bool =
+        match op with
+        | Cmpteq -> ( = )
+        | Cmptlt -> ( < )
+        | _ -> ( <= )
+      in
+      fun () ->
+        if set_fc then
+          Array.unsafe_set fregs fc
+            (Int64.bits_of_float (if f (getv fa) (getv fb) then 2.0 else 0.0))
+  | Cvtqt ->
+      fun () ->
+        if set_fc then
+          Array.unsafe_set fregs fc
+            (Int64.bits_of_float (Int64.to_float (Array.unsafe_get fregs fb)))
+  | Cvttq ->
+      fun () ->
+        if set_fc then Array.unsafe_set fregs fc (Int64.of_float (getv fb))
+  | Cpys ->
+      fun () ->
+        if set_fc then begin
+          let sign = Int64.logand (Array.unsafe_get fregs fa) Int64.min_int in
+          Array.unsafe_set fregs fc
+            (Int64.logor sign
+               (Int64.logand (Array.unsafe_get fregs fb) Int64.max_int))
+        end
+  | Cpysn ->
+      fun () ->
+        if set_fc then begin
+          let sign =
+            Int64.logand (Int64.lognot (Array.unsafe_get fregs fa)) Int64.min_int
+          in
+          Array.unsafe_set fregs fc
+            (Int64.logor sign
+               (Int64.logand (Array.unsafe_get fregs fb) Int64.max_int))
+        end
+
+(* Compile instruction [k] of segment [cs] into its per-step closure.
+   [fns] is the segment's (still partially filled) per-instruction array:
+   fall-through chains to the next per-step closure.  Static branch
+   targets dispatch through [disp] — the block-dispatch array — so that a
+   run that entered the slow path for a fuel check re-enters turbo blocks
+   at the next control transfer, while a traced run is bounced straight
+   back (the turbo entry re-checks the trace hook). *)
+let compile (t : t) (cs : code_seg) (disp : (unit -> unit) array)
+    (fns : (unit -> unit) array) k =
+  let regs = t.regs and fregs = t.fregs and mem = t.mem in
+  let n = Array.length cs.cs_insns in
+  let insn = cs.cs_insns.(k) in
+  let pair = Array.unsafe_get cs.cs_pair k in
+  let pc = cs.cs_base + (4 * k) in
+  let next = pc + 4 in
+  (* fall-through continuation: chain to the next closure, or exit the
+     segment with the PC set for the driver *)
+  let cont : unit -> unit =
+    if k + 1 < n then fun () -> (Array.unsafe_get fns (k + 1)) ()
+    else fun () -> t.pc <- next
+  in
+  (* static branch target: chain within the segment, else exit to driver *)
+  let goto target : unit -> unit =
+    let off = target - cs.cs_base in
+    if off >= 0 && off < 4 * n && off land 3 = 0 then begin
+      let ti = off lsr 2 in
+      fun () -> (Array.unsafe_get disp ti) ()
+    end
+    else fun () -> t.pc <- target
+  in
+  let open Insn in
+  match insn with
+  | Mem { op = Lda; ra; rb; disp } ->
+      let d = Int64.of_int disp in
+      if ra = 31 then fun () ->
+        pre t pc pair insn;
+        t.cycles <- t.cycles + 1;
+        cont ()
+      else
+        fun () ->
+          pre t pc pair insn;
+          t.cycles <- t.cycles + 1;
+          Array.unsafe_set regs ra (Int64.add (Array.unsafe_get regs rb) d);
+          cont ()
+  | Mem { op = Ldah; ra; rb; disp } ->
+      let d = Int64.of_int (disp * 65536) in
+      if ra = 31 then fun () ->
+        pre t pc pair insn;
+        t.cycles <- t.cycles + 1;
+        cont ()
+      else
+        fun () ->
+          pre t pc pair insn;
+          t.cycles <- t.cycles + 1;
+          Array.unsafe_set regs ra (Int64.add (Array.unsafe_get regs rb) d);
+          cont ()
+  | Mem { op; ra; rb; disp } ->
+      let d = Int64.of_int disp in
+      let set_ra = ra <> 31 in
+      (* the translated body for each load/store: address arithmetic is the
+         shared prefix, the access and stat are specialized per opcode *)
+      let body : int -> unit =
+        match op with
+        | Ldbu ->
+            fun addr ->
+              t.loads <- t.loads + 1;
+              if set_ra then
+                Array.unsafe_set regs ra (Int64.of_int (Mem.read_u8 mem addr))
+        | Ldwu ->
+            fun addr ->
+              t.loads <- t.loads + 1;
+              if set_ra then
+                Array.unsafe_set regs ra (Int64.of_int (Mem.read_u16 mem addr))
+        | Ldl ->
+            fun addr ->
+              t.loads <- t.loads + 1;
+              if set_ra then
+                Array.unsafe_set regs ra
+                  (sext32 (Int64.of_int (Mem.read_u32 mem addr)))
+        | Ldq ->
+            fun addr ->
+              t.loads <- t.loads + 1;
+              if set_ra then Array.unsafe_set regs ra (Mem.read_u64 mem addr)
+        | Ldq_u ->
+            fun addr ->
+              t.loads <- t.loads + 1;
+              if set_ra then
+                Array.unsafe_set regs ra (Mem.read_u64 mem (addr land lnot 7))
+        | Ldt ->
+            fun addr ->
+              t.loads <- t.loads + 1;
+              if set_ra then Array.unsafe_set fregs ra (Mem.read_u64 mem addr)
+        | Stb ->
+            fun addr ->
+              t.stores <- t.stores + 1;
+              Mem.write_u8 mem addr (Int64.to_int (Array.unsafe_get regs ra))
+        | Stw ->
+            fun addr ->
+              t.stores <- t.stores + 1;
+              Mem.write_u16 mem addr
+                (Int64.to_int (Int64.logand (Array.unsafe_get regs ra) 0xFFFFL))
+        | Stl ->
+            fun addr ->
+              t.stores <- t.stores + 1;
+              Mem.write_u32 mem addr
+                (Int64.to_int
+                   (Int64.logand (Array.unsafe_get regs ra) 0xFFFFFFFFL))
+        | Stq ->
+            fun addr ->
+              t.stores <- t.stores + 1;
+              Mem.write_u64 mem addr (Array.unsafe_get regs ra)
+        | Stq_u ->
+            fun addr ->
+              t.stores <- t.stores + 1;
+              Mem.write_u64 mem (addr land lnot 7) (Array.unsafe_get regs ra)
+        | Stt ->
+            fun addr ->
+              t.stores <- t.stores + 1;
+              Mem.write_u64 mem addr (Array.unsafe_get fregs ra)
+        | Lda | Ldah -> assert false
+      in
+      fun () ->
+        pre t pc pair insn;
+        t.cycles <- t.cycles + 2;
+        body (Int64.to_int (Int64.add (Array.unsafe_get regs rb) d));
+        cont ()
+  | Opr { op; ra; rb; rc } when is_cmov op ->
+      let cond = cmov_cond op in
+      let getb : unit -> int64 =
+        match rb with
+        | Reg r -> fun () -> Array.unsafe_get regs r
+        | Imm v ->
+            let c = Int64.of_int v in
+            fun () -> c
+      in
+      let set_rc = rc <> 31 in
+      fun () ->
+        pre t pc pair insn;
+        t.cycles <- t.cycles + 1;
+        if cond (Array.unsafe_get regs ra) && set_rc then
+          Array.unsafe_set regs rc (getb ());
+        cont ()
+  | Opr { op; ra; rb; rc } ->
+      let cyc = match op with Mull | Mulq | Umulh -> 8 | _ -> 1 in
+      let f = opr_fn op in
+      if rc = 31 then fun () ->
+        pre t pc pair insn;
+        t.cycles <- t.cycles + cyc;
+        cont ()
+      else (
+        match rb with
+        | Reg r ->
+            fun () ->
+              pre t pc pair insn;
+              t.cycles <- t.cycles + cyc;
+              Array.unsafe_set regs rc
+                (f (Array.unsafe_get regs ra) (Array.unsafe_get regs r));
+              cont ()
+        | Imm v ->
+            let b = Int64.of_int v in
+            fun () ->
+              pre t pc pair insn;
+              t.cycles <- t.cycles + cyc;
+              Array.unsafe_set regs rc (f (Array.unsafe_get regs ra) b);
+              cont ())
+  | Fop { op; fa; fb; fc } ->
+      let cyc = match op with Divt -> 30 | Cpys | Cpysn -> 1 | _ -> 4 in
+      let body = fop_body fregs op fa fb fc in
+      fun () ->
+        pre t pc pair insn;
+        t.cycles <- t.cycles + cyc;
+        body ();
+        cont ()
+  | Br { link; ra; disp } ->
+      let jump = goto (next + (4 * disp)) in
+      let nxt64 = Int64.of_int next in
+      let set_ra = ra <> 31 in
+      if link then
+        fun () ->
+          pre t pc pair insn;
+          t.cycles <- t.cycles + 1;
+          t.calls <- t.calls + 1;
+          if set_ra then Array.unsafe_set regs ra nxt64;
+          jump ()
+      else
+        fun () ->
+          pre t pc pair insn;
+          t.cycles <- t.cycles + 1;
+          if set_ra then Array.unsafe_set regs ra nxt64;
+          jump ()
+  | Cbr { cond; ra; disp } ->
+      let taken = goto (next + (4 * disp)) in
+      let test = br_taken cond in
+      fun () ->
+        pre t pc pair insn;
+        t.cycles <- t.cycles + 1;
+        t.cond_branches <- t.cond_branches + 1;
+        if test (Array.unsafe_get regs ra) then begin
+          t.taken <- t.taken + 1;
+          taken ()
+        end
+        else cont ()
+  | Fbr { cond; fa; disp } ->
+      let taken = goto (next + (4 * disp)) in
+      let test = fbr_taken cond in
+      fun () ->
+        pre t pc pair insn;
+        t.cycles <- t.cycles + 1;
+        t.cond_branches <- t.cond_branches + 1;
+        if test (Int64.float_of_bits (Array.unsafe_get fregs fa)) then begin
+          t.taken <- t.taken + 1;
+          taken ()
+        end
+        else cont ()
+  | Jump { kind; ra; rb; hint = _ } ->
+      let is_call = kind = Jsr in
+      let set_ra = ra <> 31 in
+      let nxt64 = Int64.of_int next in
+      fun () ->
+        pre t pc pair insn;
+        t.cycles <- t.cycles + 1;
+        if is_call then t.calls <- t.calls + 1;
+        let target = Int64.to_int (Array.unsafe_get regs rb) land lnot 3 in
+        if set_ra then Array.unsafe_set regs ra nxt64;
+        t.pc <- target
+  | Call_pal 0x83 ->
+      fun () ->
+        pre t pc pair insn;
+        t.cycles <- t.cycles + 10;
+        (* the reference leaves [pc] at the call_pal while the syscall runs:
+           [exit] halts here and an unknown call number quotes this PC *)
+        t.pc <- pc;
+        syscall t;
+        cont ()
+  | Call_pal p ->
+      let msg = Printf.sprintf "unhandled PAL call %#x at %#x" p pc in
+      fun () ->
+        pre t pc pair insn;
+        t.pc <- pc;
+        raise (Faulted msg)
+  | Raw w ->
+      let msg = Printf.sprintf "illegal instruction %#x at %#x" w pc in
+      fun () ->
+        pre t pc pair insn;
+        t.pc <- pc;
+        raise (Faulted msg)
+
+(* ------------------------------------------------------------------ *)
+(* Block translation.                                                  *)
+
+let is_terminator (i : Insn.t) =
+  match i with
+  | Br _ | Cbr _ | Fbr _ | Jump _ | Call_pal _ | Raw _ -> true
+  | Mem _ | Opr _ | Fop _ -> false
+
+(* Weighted cycles of one instruction, as charged by the reference step
+   (faulting instructions charge nothing: the reference raises before
+   touching the cycle counter). *)
+let insn_cycles (i : Insn.t) =
+  let open Insn in
+  match i with
+  | Mem { op = Lda | Ldah; _ } -> 1
+  | Mem _ -> 2
+  | Opr { op = Mull | Mulq | Umulh; _ } -> 8
+  | Opr _ -> 1
+  | Fop { op = Divt; _ } -> 30
+  | Fop { op = Cpys | Cpysn; _ } -> 1
+  | Fop _ -> 4
+  | Br _ | Cbr _ | Fbr _ | Jump _ -> 1
+  | Call_pal 0x83 -> 10
+  | Call_pal _ | Raw _ -> 0
+
+let is_load (i : Insn.t) =
+  match i with
+  | Insn.Mem { op = Ldbu | Ldwu | Ldl | Ldq | Ldq_u | Ldt; _ } -> true
+  | _ -> false
+
+let is_store (i : Insn.t) =
+  match i with
+  | Insn.Mem { op = Stb | Stw | Stl | Stq | Stq_u | Stt; _ } -> true
+  | _ -> false
+
+let translate t =
+  let regs = t.regs and fregs = t.fregs and mem = t.mem in
+  (* One-entry page cache shared by every translated memory access.  A
+     page's backing [bytes] is created on first touch and never replaced,
+     so a cache entry cannot go stale — not even across syscalls, which
+     write through the same pages. *)
+  let cache_idx = ref (-1) in
+  let cache_page = ref Bytes.empty in
+  let page a =
+    let idx = a lsr Mem.page_bits in
+    if idx = !cache_idx then !cache_page
+    else begin
+      let p = Mem.page mem a in
+      cache_idx := idx;
+      cache_page := p;
+      p
+    end
+  in
+  let ps = Mem.page_size and pmask = Mem.page_mask in
+  (* The architectural effect of a non-control instruction, stripped of
+     all bookkeeping.  Effective addresses are computed in native [int]
+     ([Int64.to_int] is truncation mod 2^63, so [to_int (add a d)] equals
+     [to_int a + d] under OCaml's wrap-around — without the boxed sum). *)
+  let effect (insn : Insn.t) : (unit -> unit) option =
+    let open Insn in
+    match insn with
+    | Mem { op = Lda; ra; rb; disp } ->
+        if ra = 31 then None
+        else if rb = 31 then
+          let d = Int64.of_int disp in
+          Some (fun () -> Array.unsafe_set regs ra d)
+        else
+          let d = Int64.of_int disp in
+          Some
+            (fun () ->
+              Array.unsafe_set regs ra (Int64.add (Array.unsafe_get regs rb) d))
+    | Mem { op = Ldah; ra; rb; disp } ->
+        if ra = 31 then None
+        else if rb = 31 then
+          let d = Int64.of_int (disp * 65536) in
+          Some (fun () -> Array.unsafe_set regs ra d)
+        else
+          let d = Int64.of_int (disp * 65536) in
+          Some
+            (fun () ->
+              Array.unsafe_set regs ra (Int64.add (Array.unsafe_get regs rb) d))
+    | Mem { op; ra; rb; disp } ->
+        let d = disp in
+        Some
+          (match op with
+          | Ldbu ->
+              if ra = 31 then fun () ->
+                ignore
+                  (Mem.read_u8 mem (Int64.to_int (Array.unsafe_get regs rb) + d))
+              else fun () ->
+                let a = Int64.to_int (Array.unsafe_get regs rb) + d in
+                Array.unsafe_set regs ra
+                  (Int64.of_int
+                     (Char.code (Bytes.unsafe_get (page a) (a land pmask))))
+          | Ldwu ->
+              if ra = 31 then fun () ->
+                ignore
+                  (Mem.read_u16 mem (Int64.to_int (Array.unsafe_get regs rb) + d))
+              else fun () ->
+                let a = Int64.to_int (Array.unsafe_get regs rb) + d in
+                let off = a land pmask in
+                Array.unsafe_set regs ra
+                  (Int64.of_int
+                     (if off <= ps - 2 then Bytes.get_uint16_le (page a) off
+                      else Mem.read_u16 mem a))
+          | Ldl ->
+              if ra = 31 then fun () ->
+                ignore
+                  (Mem.read_u32 mem (Int64.to_int (Array.unsafe_get regs rb) + d))
+              else fun () ->
+                let a = Int64.to_int (Array.unsafe_get regs rb) + d in
+                let off = a land pmask in
+                Array.unsafe_set regs ra
+                  (if off <= ps - 4 then
+                     Int64.of_int32 (Bytes.get_int32_le (page a) off)
+                   else sext32 (Int64.of_int (Mem.read_u32 mem a)))
+          | Ldq ->
+              if ra = 31 then fun () ->
+                ignore
+                  (Mem.read_u64 mem (Int64.to_int (Array.unsafe_get regs rb) + d))
+              else fun () ->
+                let a = Int64.to_int (Array.unsafe_get regs rb) + d in
+                let off = a land pmask in
+                Array.unsafe_set regs ra
+                  (if off <= ps - 8 then Bytes.get_int64_le (page a) off
+                   else Mem.read_u64 mem a)
+          | Ldq_u ->
+              (* the aligned address never straddles a page *)
+              if ra = 31 then fun () ->
+                ignore
+                  (Mem.read_u64 mem
+                     ((Int64.to_int (Array.unsafe_get regs rb) + d) land lnot 7))
+              else fun () ->
+                let a =
+                  (Int64.to_int (Array.unsafe_get regs rb) + d) land lnot 7
+                in
+                Array.unsafe_set regs ra
+                  (Bytes.get_int64_le (page a) (a land pmask))
+          | Ldt ->
+              if ra = 31 then fun () ->
+                ignore
+                  (Mem.read_u64 mem (Int64.to_int (Array.unsafe_get regs rb) + d))
+              else fun () ->
+                let a = Int64.to_int (Array.unsafe_get regs rb) + d in
+                let off = a land pmask in
+                Array.unsafe_set fregs ra
+                  (if off <= ps - 8 then Bytes.get_int64_le (page a) off
+                   else Mem.read_u64 mem a)
+          | Stb ->
+              fun () ->
+                let a = Int64.to_int (Array.unsafe_get regs rb) + d in
+                Bytes.unsafe_set (page a) (a land pmask)
+                  (Char.unsafe_chr
+                     (Int64.to_int (Array.unsafe_get regs ra) land 0xFF))
+          | Stw ->
+              fun () ->
+                let a = Int64.to_int (Array.unsafe_get regs rb) + d in
+                let off = a land pmask in
+                let v = Int64.to_int (Array.unsafe_get regs ra) land 0xFFFF in
+                if off <= ps - 2 then Bytes.set_uint16_le (page a) off v
+                else Mem.write_u16 mem a v
+          | Stl ->
+              fun () ->
+                let a = Int64.to_int (Array.unsafe_get regs rb) + d in
+                let off = a land pmask in
+                if off <= ps - 4 then
+                  Bytes.set_int32_le (page a) off
+                    (Int64.to_int32 (Array.unsafe_get regs ra))
+                else
+                  Mem.write_u32 mem a
+                    (Int64.to_int
+                       (Int64.logand (Array.unsafe_get regs ra) 0xFFFFFFFFL))
+          | Stq ->
+              fun () ->
+                let a = Int64.to_int (Array.unsafe_get regs rb) + d in
+                let off = a land pmask in
+                if off <= ps - 8 then
+                  Bytes.set_int64_le (page a) off (Array.unsafe_get regs ra)
+                else Mem.write_u64 mem a (Array.unsafe_get regs ra)
+          | Stq_u ->
+              fun () ->
+                let a =
+                  (Int64.to_int (Array.unsafe_get regs rb) + d) land lnot 7
+                in
+                Bytes.set_int64_le (page a) (a land pmask)
+                  (Array.unsafe_get regs ra)
+          | Stt ->
+              fun () ->
+                let a = Int64.to_int (Array.unsafe_get regs rb) + d in
+                let off = a land pmask in
+                if off <= ps - 8 then
+                  Bytes.set_int64_le (page a) off (Array.unsafe_get fregs ra)
+                else Mem.write_u64 mem a (Array.unsafe_get fregs ra)
+          | Lda | Ldah -> assert false)
+    | Opr { op; ra; rb; rc } when is_cmov op ->
+        if rc = 31 then None
+        else
+          let cond = cmov_cond op in
+          Some
+            (match rb with
+            | Reg r ->
+                fun () ->
+                  if cond (Array.unsafe_get regs ra) then
+                    Array.unsafe_set regs rc (Array.unsafe_get regs r)
+            | Imm v ->
+                let c = Int64.of_int v in
+                fun () ->
+                  if cond (Array.unsafe_get regs ra) then
+                    Array.unsafe_set regs rc c)
+    | Opr { op; ra; rb; rc } ->
+        if rc = 31 then None
+        else
+          (* every case spells the array accesses out: the common ALU ops
+             must compile to straight-line loads and one store, with no
+             helper-closure calls in the hot path *)
+          Some
+            (match rb with
+            | Reg r -> (
+                match op with
+                | Addq ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (Int64.add (Array.unsafe_get regs ra)
+                           (Array.unsafe_get regs r))
+                | Subq ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (Int64.sub (Array.unsafe_get regs ra)
+                           (Array.unsafe_get regs r))
+                | Addl ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (sext32
+                           (Int64.add (Array.unsafe_get regs ra)
+                              (Array.unsafe_get regs r)))
+                | Subl ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (sext32
+                           (Int64.sub (Array.unsafe_get regs ra)
+                              (Array.unsafe_get regs r)))
+                | S4addq ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (Int64.add
+                           (Int64.shift_left (Array.unsafe_get regs ra) 2)
+                           (Array.unsafe_get regs r))
+                | S8addq ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (Int64.add
+                           (Int64.shift_left (Array.unsafe_get regs ra) 3)
+                           (Array.unsafe_get regs r))
+                | Cmpeq ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (bool64
+                           (Int64.equal (Array.unsafe_get regs ra)
+                              (Array.unsafe_get regs r)))
+                | Cmplt ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (bool64
+                           (Int64.compare (Array.unsafe_get regs ra)
+                              (Array.unsafe_get regs r)
+                           < 0))
+                | Cmple ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (bool64
+                           (Int64.compare (Array.unsafe_get regs ra)
+                              (Array.unsafe_get regs r)
+                           <= 0))
+                | Cmpult ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (bool64
+                           (u_lt (Array.unsafe_get regs ra)
+                              (Array.unsafe_get regs r)))
+                | Cmpule ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (bool64
+                           (not
+                              (u_lt (Array.unsafe_get regs r)
+                                 (Array.unsafe_get regs ra))))
+                | And_ ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (Int64.logand (Array.unsafe_get regs ra)
+                           (Array.unsafe_get regs r))
+                | Bic ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (Int64.logand (Array.unsafe_get regs ra)
+                           (Int64.lognot (Array.unsafe_get regs r)))
+                | Bis ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (Int64.logor (Array.unsafe_get regs ra)
+                           (Array.unsafe_get regs r))
+                | Ornot ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (Int64.logor (Array.unsafe_get regs ra)
+                           (Int64.lognot (Array.unsafe_get regs r)))
+                | Xor ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (Int64.logxor (Array.unsafe_get regs ra)
+                           (Array.unsafe_get regs r))
+                | Sll ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (Int64.shift_left (Array.unsafe_get regs ra)
+                           (Int64.to_int (Array.unsafe_get regs r) land 63))
+                | Srl ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (Int64.shift_right_logical (Array.unsafe_get regs ra)
+                           (Int64.to_int (Array.unsafe_get regs r) land 63))
+                | Sra ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (Int64.shift_right (Array.unsafe_get regs ra)
+                           (Int64.to_int (Array.unsafe_get regs r) land 63))
+                | _ ->
+                    let f = opr_fn op in
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (f (Array.unsafe_get regs ra) (Array.unsafe_get regs r)))
+            | Imm v -> (
+                let b = Int64.of_int v in
+                match op with
+                | Addq ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (Int64.add (Array.unsafe_get regs ra) b)
+                | Subq ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (Int64.sub (Array.unsafe_get regs ra) b)
+                | Addl ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (sext32 (Int64.add (Array.unsafe_get regs ra) b))
+                | Subl ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (sext32 (Int64.sub (Array.unsafe_get regs ra) b))
+                | S4addq ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (Int64.add
+                           (Int64.shift_left (Array.unsafe_get regs ra) 2)
+                           b)
+                | S8addq ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (Int64.add
+                           (Int64.shift_left (Array.unsafe_get regs ra) 3)
+                           b)
+                | Cmpeq ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (bool64 (Int64.equal (Array.unsafe_get regs ra) b))
+                | Cmplt ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (bool64 (Int64.compare (Array.unsafe_get regs ra) b < 0))
+                | Cmple ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (bool64
+                           (Int64.compare (Array.unsafe_get regs ra) b <= 0))
+                | Cmpult ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (bool64 (u_lt (Array.unsafe_get regs ra) b))
+                | Cmpule ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (bool64 (not (u_lt b (Array.unsafe_get regs ra))))
+                | And_ ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (Int64.logand (Array.unsafe_get regs ra) b)
+                | Bic ->
+                    let nb = Int64.lognot b in
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (Int64.logand (Array.unsafe_get regs ra) nb)
+                | Bis ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (Int64.logor (Array.unsafe_get regs ra) b)
+                | Ornot ->
+                    let nb = Int64.lognot b in
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (Int64.logor (Array.unsafe_get regs ra) nb)
+                | Xor ->
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (Int64.logxor (Array.unsafe_get regs ra) b)
+                | Sll ->
+                    let s = v land 63 in
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (Int64.shift_left (Array.unsafe_get regs ra) s)
+                | Srl ->
+                    let s = v land 63 in
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (Int64.shift_right_logical (Array.unsafe_get regs ra) s)
+                | Sra ->
+                    let s = v land 63 in
+                    fun () ->
+                      Array.unsafe_set regs rc
+                        (Int64.shift_right (Array.unsafe_get regs ra) s)
+                | _ ->
+                    let f = opr_fn op in
+                    fun () ->
+                      Array.unsafe_set regs rc (f (Array.unsafe_get regs ra) b)))
+    | Fop { op; fa; fb; fc } -> Some (fop_body fregs op fa fb fc)
+    | Br _ | Cbr _ | Fbr _ | Jump _ | Call_pal _ | Raw _ ->
+        assert false (* control transfers terminate blocks *)
+  in
+  let nop () = () in
+  (* Translation is trace-aware: with a hook installed the dispatch array
+     is simply the per-instruction closures (the hook must see every
+     step), and [Sim.set_trace] invalidates any cached translation. *)
+  let traced = match t.trace with Some _ -> true | None -> false in
+  List.map
+    (fun cs ->
+      let insns = cs.cs_insns in
+      let n = Array.length insns in
+      let base = cs.cs_base in
+      let len4 = 4 * n in
+      let fns = Array.make n nop in
+      let disp = Array.make n nop in
+      for k = 0 to n - 1 do
+        fns.(k) <- compile t cs disp fns k
+      done;
+      if traced then begin
+        Array.blit fns 0 disp 0 n;
+        { fs_base = base; fs_len = len4; fs_fns = disp }
+      end
+      else begin
+      (* Block leaders: the segment entry, every static branch target, and
+         the instruction after each control transfer. *)
+      let leader = Array.make (max n 1) false in
+      if n > 0 then leader.(0) <- true;
+      for k = 0 to n - 1 do
+        (match insns.(k) with
+        | Insn.Br { disp = d; _ }
+        | Insn.Cbr { disp = d; _ }
+        | Insn.Fbr { disp = d; _ } ->
+            let off = (4 * (k + 1)) + (4 * d) in
+            if off >= 0 && off < len4 then leader.(off lsr 2) <- true
+        | _ -> ());
+        if is_terminator insns.(k) && k + 1 < n then leader.(k + 1) <- true
+      done;
+      (* dispatch to the block starting at index [j], or exit the segment *)
+      let dispatch_to j : unit -> unit =
+        if j < n then fun () -> (Array.unsafe_get disp j) ()
+        else
+          let end_pc = base + len4 in
+          fun () -> t.pc <- end_pc
+      in
+      let goto_block target : unit -> unit =
+        let off = target - base in
+        if off >= 0 && off < len4 && off land 3 = 0 then dispatch_to (off lsr 2)
+        else fun () -> t.pc <- target
+      in
+      for l = 0 to n - 1 do
+        if leader.(l) then begin
+          (* Superblock chaining: the block runs to its control transfer,
+             and keeps going through unconditional in-segment branches —
+             [br] redirects and [bsr] call entries alike — so a whole
+             call-plus-callee-prologue executes as one statically
+             accounted chain.  [pieces] collects the straight-line index
+             ranges in execution order; a piece that is not the last ends
+             in a merged [Br] whose only run-time effect is its optional
+             return-address write. *)
+          let pieces = ref [] in
+          let total = ref 0 in
+          let cur = ref l in
+          let stop = ref (-1) in
+          (* -1 while scanning; terminator index, or [n] for a segment
+             fall-off *)
+          let continue_ = ref true in
+          while !continue_ do
+            let lo = !cur in
+            let e = ref lo in
+            while (not (is_terminator insns.(!e))) && !e + 1 < n do
+              incr e
+            done;
+            let e = !e in
+            pieces := (lo, e) :: !pieces;
+            total := !total + (e - lo + 1);
+            if not (is_terminator insns.(e)) then begin
+              stop := n;
+              continue_ := false
+            end
+            else begin
+              match insns.(e) with
+              | Insn.Br { disp = d; _ } when !total < 64 ->
+                  let off = (4 * (e + 1)) + (4 * d) in
+                  if off >= 0 && off < len4 then cur := off lsr 2
+                  else begin
+                    stop := e;
+                    continue_ := false
+                  end
+              | _ ->
+                  stop := e;
+                  continue_ := false
+            end
+          done;
+          let pieces = List.rev !pieces in
+          let stop = !stop in
+          let has_term = stop < n in
+          let _, e_last = List.nth pieces (List.length pieces - 1) in
+          let n_ins = !total in
+          let cyc = ref 0
+          and nloads = ref 0
+          and nstores = ref 0
+          and ncalls_mid = ref 0 in
+          List.iteri
+            (fun pi (lo, hi) ->
+              for i = lo to hi do
+                cyc := !cyc + insn_cycles insns.(i);
+                if is_load insns.(i) then incr nloads;
+                if is_store insns.(i) then incr nstores
+              done;
+              (* merged call entries: every piece but the last ends in a
+                 branch folded into the chain *)
+              if pi < List.length pieces - 1 then
+                match insns.(hi) with
+                | Insn.Br { link = true; _ } -> incr ncalls_mid
+                | _ -> ())
+            pieces;
+          let cyc = !cyc
+          and nloads = !nloads
+          and nstores = !nstores
+          and ncalls_mid = !ncalls_mid in
+          (* Dual-issue pair accounting over the chain, simulated at
+             translation time from both possible entry states (a pairable
+             predecessor pending, or not).  Across a merged branch the
+             reference's PC-adjacency test is statically decided: the next
+             piece is adjacent only if the branch targets the next word. *)
+          let sim_pair p0 =
+            let c = ref 0 and p = ref p0 in
+            let prev = ref (-2) in
+            List.iter
+              (fun (lo, hi) ->
+                for i = lo to hi do
+                  let adjacent = !prev = -2 || i = !prev + 1 in
+                  if !p && adjacent then p := false
+                  else begin
+                    incr c;
+                    p := Array.unsafe_get cs.cs_pair i
+                  end;
+                  prev := i
+                done)
+              pieces;
+            (!c, !p)
+          in
+          let pc_cont, ep_cont = sim_pair true in
+          let pc_brk, ep_brk = sim_pair false in
+          let base_pc = base + (4 * l) in
+          let last_pc = base + (4 * e_last) in
+          (* the chain's architectural effects, in program order *)
+          let effs = ref [] in
+          let npieces = List.length pieces in
+          let add = function Some f -> effs := f :: !effs | None -> () in
+          List.iteri
+            (fun pi (lo, hi) ->
+              let last_piece = pi = npieces - 1 in
+              let hi_eff =
+                if last_piece && has_term then hi - 1 else hi
+              in
+              for i = lo to hi_eff do
+                if (not last_piece) && i = hi then
+                  (* the merged branch: only its link write survives (its
+                     call count is batched into the prologue) *)
+                  match insns.(i) with
+                  | Insn.Br { ra; _ } when ra <> 31 ->
+                      let nxt64 = Int64.of_int (base + (4 * (i + 1))) in
+                      add (Some (fun () -> Array.unsafe_set regs ra nxt64))
+                  | _ -> ()
+                else add (effect insns.(i))
+              done)
+            pieces;
+          let effs = ref (List.rev !effs) in
+          let term : unit -> unit =
+            if not has_term then dispatch_to (e_last + 1)
+            else begin
+              let e = stop in
+              let pc = base + (4 * e) in
+              let next = pc + 4 in
+              match insns.(e) with
+              | Insn.Br { link; ra; disp = d } ->
+                  let jump = goto_block (next + (4 * d)) in
+                  let nxt64 = Int64.of_int next in
+                  if link then
+                    if ra = 31 then fun () ->
+                      t.calls <- t.calls + 1;
+                      jump ()
+                    else fun () ->
+                      t.calls <- t.calls + 1;
+                      Array.unsafe_set regs ra nxt64;
+                      jump ()
+                  else if ra = 31 then jump
+                  else fun () ->
+                    Array.unsafe_set regs ra nxt64;
+                    jump ()
+              | Insn.Cbr { cond; ra; disp = d } -> (
+                  let taken = goto_block (next + (4 * d)) in
+                  let fall = dispatch_to (e + 1) in
+                  (* the condition is inlined per constructor: the branch at
+                     the end of every hot block must not pay an indirect
+                     call just to test a register against zero *)
+                  match cond with
+                  | Insn.Beq ->
+                      fun () ->
+                        t.cond_branches <- t.cond_branches + 1;
+                        if Int64.equal (Array.unsafe_get regs ra) 0L then begin
+                          t.taken <- t.taken + 1;
+                          taken ()
+                        end
+                        else fall ()
+                  | Insn.Bne ->
+                      fun () ->
+                        t.cond_branches <- t.cond_branches + 1;
+                        if not (Int64.equal (Array.unsafe_get regs ra) 0L)
+                        then begin
+                          t.taken <- t.taken + 1;
+                          taken ()
+                        end
+                        else fall ()
+                  | Insn.Blt ->
+                      fun () ->
+                        t.cond_branches <- t.cond_branches + 1;
+                        if Int64.compare (Array.unsafe_get regs ra) 0L < 0
+                        then begin
+                          t.taken <- t.taken + 1;
+                          taken ()
+                        end
+                        else fall ()
+                  | Insn.Ble ->
+                      fun () ->
+                        t.cond_branches <- t.cond_branches + 1;
+                        if Int64.compare (Array.unsafe_get regs ra) 0L <= 0
+                        then begin
+                          t.taken <- t.taken + 1;
+                          taken ()
+                        end
+                        else fall ()
+                  | Insn.Bgt ->
+                      fun () ->
+                        t.cond_branches <- t.cond_branches + 1;
+                        if Int64.compare (Array.unsafe_get regs ra) 0L > 0
+                        then begin
+                          t.taken <- t.taken + 1;
+                          taken ()
+                        end
+                        else fall ()
+                  | Insn.Bge ->
+                      fun () ->
+                        t.cond_branches <- t.cond_branches + 1;
+                        if Int64.compare (Array.unsafe_get regs ra) 0L >= 0
+                        then begin
+                          t.taken <- t.taken + 1;
+                          taken ()
+                        end
+                        else fall ()
+                  | Insn.Blbc ->
+                      fun () ->
+                        t.cond_branches <- t.cond_branches + 1;
+                        if Int64.logand (Array.unsafe_get regs ra) 1L = 0L
+                        then begin
+                          t.taken <- t.taken + 1;
+                          taken ()
+                        end
+                        else fall ()
+                  | Insn.Blbs ->
+                      fun () ->
+                        t.cond_branches <- t.cond_branches + 1;
+                        if Int64.logand (Array.unsafe_get regs ra) 1L = 1L
+                        then begin
+                          t.taken <- t.taken + 1;
+                          taken ()
+                        end
+                        else fall ())
+              | Insn.Fbr { cond; fa; disp = d } ->
+                  let taken = goto_block (next + (4 * d)) in
+                  let fall = dispatch_to (e + 1) in
+                  let test = fbr_taken cond in
+                  fun () ->
+                    t.cond_branches <- t.cond_branches + 1;
+                    if test (Int64.float_of_bits (Array.unsafe_get fregs fa))
+                    then begin
+                      t.taken <- t.taken + 1;
+                      taken ()
+                    end
+                    else fall ()
+              | Insn.Jump { kind; ra; rb; _ } -> (
+                  let nxt64 = Int64.of_int next in
+                  (* specialized per (call?, links?) so the hot return path
+                     — plain [ret] with ra = 31 — is branch-free *)
+                  match (kind = Insn.Jsr, ra <> 31) with
+                  | false, false ->
+                      fun () ->
+                        let target =
+                          Int64.to_int (Array.unsafe_get regs rb) land lnot 3
+                        in
+                        let off = target - base in
+                        if off >= 0 && off < len4 && off land 3 = 0 then
+                          (Array.unsafe_get disp (off lsr 2)) ()
+                        else t.pc <- target
+                  | false, true ->
+                      fun () ->
+                        (* read [rb] before writing [ra]: they may coincide *)
+                        let target =
+                          Int64.to_int (Array.unsafe_get regs rb) land lnot 3
+                        in
+                        Array.unsafe_set regs ra nxt64;
+                        let off = target - base in
+                        if off >= 0 && off < len4 && off land 3 = 0 then
+                          (Array.unsafe_get disp (off lsr 2)) ()
+                        else t.pc <- target
+                  | true, false ->
+                      fun () ->
+                        t.calls <- t.calls + 1;
+                        let target =
+                          Int64.to_int (Array.unsafe_get regs rb) land lnot 3
+                        in
+                        let off = target - base in
+                        if off >= 0 && off < len4 && off land 3 = 0 then
+                          (Array.unsafe_get disp (off lsr 2)) ()
+                        else t.pc <- target
+                  | true, true ->
+                      fun () ->
+                        t.calls <- t.calls + 1;
+                        let target =
+                          Int64.to_int (Array.unsafe_get regs rb) land lnot 3
+                        in
+                        Array.unsafe_set regs ra nxt64;
+                        let off = target - base in
+                        if off >= 0 && off < len4 && off land 3 = 0 then
+                          (Array.unsafe_get disp (off lsr 2)) ()
+                        else t.pc <- target)
+              | Insn.Call_pal 0x83 ->
+                  let fall = dispatch_to (e + 1) in
+                  fun () ->
+                    t.pc <- pc;
+                    syscall t;
+                    fall ()
+              | Insn.Call_pal p ->
+                  let msg =
+                    Printf.sprintf "unhandled PAL call %#x at %#x" p pc
+                  in
+                  fun () ->
+                    t.pc <- pc;
+                    raise (Faulted msg)
+              | Insn.Raw w ->
+                  let msg =
+                    Printf.sprintf "illegal instruction %#x at %#x" w pc
+                  in
+                  fun () ->
+                    t.pc <- pc;
+                    raise (Faulted msg)
+              | _ -> assert false
+            end
+          in
+          (* straight-line body: small blocks are unrolled, longer ones loop
+             over the effect array *)
+          let body : unit -> unit =
+            match !effs with
+            | [] -> term
+            | [ e1 ] ->
+                fun () ->
+                  e1 ();
+                  term ()
+            | [ e1; e2 ] ->
+                fun () ->
+                  e1 ();
+                  e2 ();
+                  term ()
+            | [ e1; e2; e3 ] ->
+                fun () ->
+                  e1 ();
+                  e2 ();
+                  e3 ();
+                  term ()
+            | [ e1; e2; e3; e4 ] ->
+                fun () ->
+                  e1 ();
+                  e2 ();
+                  e3 ();
+                  e4 ();
+                  term ()
+            | [ e1; e2; e3; e4; e5 ] ->
+                fun () ->
+                  e1 ();
+                  e2 ();
+                  e3 ();
+                  e4 ();
+                  e5 ();
+                  term ()
+            | [ e1; e2; e3; e4; e5; e6 ] ->
+                fun () ->
+                  e1 ();
+                  e2 ();
+                  e3 ();
+                  e4 ();
+                  e5 ();
+                  e6 ();
+                  term ()
+            | l ->
+                let arr = Array.of_list l in
+                let m = Array.length arr in
+                fun () ->
+                  for i = 0 to m - 1 do
+                    (Array.unsafe_get arr i) ()
+                  done;
+                  term ()
+          in
+          let slow = Array.unsafe_get fns l in
+          disp.(l) <-
+            (if nloads = 0 && nstores = 0 && ncalls_mid = 0 then fun () ->
+               if t.fuel < n_ins then slow ()
+                 (* per-step fuel checks stop inside the block *)
+               else begin
+                 t.fuel <- t.fuel - n_ins;
+                 if t.pending_pair && base_pc = t.prev_pc + 4 then begin
+                   t.pair_cycles <- t.pair_cycles + pc_cont;
+                   t.pending_pair <- ep_cont
+                 end
+                 else begin
+                   t.pair_cycles <- t.pair_cycles + pc_brk;
+                   t.pending_pair <- ep_brk
+                 end;
+                 t.prev_pc <- last_pc;
+                 t.insns <- t.insns + n_ins;
+                 t.cycles <- t.cycles + cyc;
+                 body ()
+               end
+             else if ncalls_mid = 0 then fun () ->
+               if t.fuel < n_ins then slow ()
+               else begin
+                 t.fuel <- t.fuel - n_ins;
+                 if t.pending_pair && base_pc = t.prev_pc + 4 then begin
+                   t.pair_cycles <- t.pair_cycles + pc_cont;
+                   t.pending_pair <- ep_cont
+                 end
+                 else begin
+                   t.pair_cycles <- t.pair_cycles + pc_brk;
+                   t.pending_pair <- ep_brk
+                 end;
+                 t.prev_pc <- last_pc;
+                 t.insns <- t.insns + n_ins;
+                 t.cycles <- t.cycles + cyc;
+                 t.loads <- t.loads + nloads;
+                 t.stores <- t.stores + nstores;
+                 body ()
+               end
+             else fun () ->
+               if t.fuel < n_ins then slow ()
+               else begin
+                 t.fuel <- t.fuel - n_ins;
+                 if t.pending_pair && base_pc = t.prev_pc + 4 then begin
+                   t.pair_cycles <- t.pair_cycles + pc_cont;
+                   t.pending_pair <- ep_cont
+                 end
+                 else begin
+                   t.pair_cycles <- t.pair_cycles + pc_brk;
+                   t.pending_pair <- ep_brk
+                 end;
+                 t.prev_pc <- last_pc;
+                 t.insns <- t.insns + n_ins;
+                 t.cycles <- t.cycles + cyc;
+                 t.loads <- t.loads + nloads;
+                 t.stores <- t.stores + nstores;
+                 t.calls <- t.calls + ncalls_mid;
+                 body ()
+               end)
+        end
+      done;
+      (* a computed jump can land mid-block; per-step closures cover those
+         entries and rejoin the turbo blocks at the next control transfer *)
+      for k = 0 to n - 1 do
+        if not leader.(k) then disp.(k) <- fns.(k)
+      done;
+      { fs_base = base; fs_len = len4; fs_fns = disp }
+      end)
+    t.code
+
+let run ?(max_insns = 2_000_000_000) t =
+  (match t.fast with [] -> t.fast <- translate t | _ :: _ -> ());
+  let segs = t.fast in
+  let rec find pc = function
+    | [] -> raise (Faulted (Printf.sprintf "PC %#x outside code" pc))
+    | fs :: rest ->
+        let off = pc - fs.fs_base in
+        if off >= 0 && off < fs.fs_len && off land 3 = 0 then
+          Array.unsafe_get fs.fs_fns (off lsr 2)
+        else find pc rest
+  in
+  t.fuel <- max_insns;
+  let rec loop () =
+    if t.fuel <= 0 then raise Fuel;
+    (find t.pc segs) ();
+    loop ()
+  in
+  try loop () with
+  | Halted code -> Exit code
+  | Faulted msg -> Fault msg
+  | Fuel -> Out_of_fuel

@@ -1,0 +1,22 @@
+(** The closure-compiled fast execution engine.
+
+    Per code segment, every decoded instruction is pre-translated into a
+    specialized OCaml closure: operand registers, sign-extended
+    displacements, literals, the operate function and PC-relative branch
+    targets are all resolved at translation time, and fall-through chains
+    dispatch closure-to-closure without re-entering the fetch loop.
+
+    The engine is observationally bit-identical to the {!Sim} reference
+    interpreter: same outcomes and fault messages, same final registers,
+    memory, PC and program break, the same full {!State.stats} record
+    (including the dual-issue pair-cycle model), and the same trace-hook
+    stream.  [test/test_engine_diff.ml] and [test/test_insn_gen.ml]
+    enforce this differentially. *)
+
+val translate : State.t -> State.fast_seg list
+(** Compile every code segment of the machine to closure arrays.  Exposed
+    for tests; {!run} translates (and caches on the state) on first use. *)
+
+val run : ?max_insns:int -> State.t -> State.outcome
+(** Execute until exit, fault or fuel exhaustion, exactly as
+    [Sim.run] would on the reference engine. *)

@@ -6,6 +6,16 @@ type t
 
 val create : unit -> t
 
+val page_bits : int
+val page_size : int
+val page_mask : int
+
+val page : t -> int -> bytes
+(** The (created-on-first-touch) page backing an address.  Exposed for
+    {!Exec}'s translated memory accessors, which keep a one-entry page
+    cache and read/write multi-byte values directly; pages are never
+    replaced once created, so a cached [bytes] never goes stale. *)
+
 val read_u8 : t -> int -> int
 val read_u16 : t -> int -> int
 val read_u32 : t -> int -> int

@@ -1,15 +1,15 @@
 open Alpha
+open State
 
-type code_seg = {
+type t = State.t
+
+type code_seg = State.code_seg = {
   cs_base : int;
   cs_insns : Insn.t array;
   cs_pair : bool array;
-      (* cs_pair.(i): instruction i sits on an even word boundary, may
-         dual-issue with instruction i+1 (21064 aligned-pair rule), and
-         i+1 does not consume a result of i *)
 }
 
-type stats = {
+type stats = State.stats = {
   st_insns : int;
   st_cycles : int;
   st_pair_cycles : int;
@@ -21,41 +21,25 @@ type stats = {
   st_syscalls : int;
 }
 
-type t = {
-  mem : Mem.t;
-  regs : int64 array;
-  fregs : int64 array;
-  mutable pc : int;
-  code : code_seg list;
-  vfs : Vfs.t;
-  mutable brk : int;
-  mutable insns : int;
-  mutable cycles : int;
-  mutable pair_cycles : int;
-  mutable prev_pc : int;
-  mutable pending_pair : bool;
-  mutable loads : int;
-  mutable stores : int;
-  mutable cond_branches : int;
-  mutable taken : int;
-  mutable calls : int;
-  mutable syscalls : int;
-  mutable trace : (int -> Insn.t -> unit) option;
-}
+type engine = State.engine = Ref | Fast
 
-type outcome = Exit of int | Fault of string | Out_of_fuel
+type outcome = State.outcome = Exit of int | Fault of string | Out_of_fuel
 
-let sys_exit = 1
-let sys_read = 3
-let sys_write = 4
-let sys_close = 6
-let sys_brk = 17
-let sys_open = 45
+let sys_exit = State.sys_exit
+let sys_read = State.sys_read
+let sys_write = State.sys_write
+let sys_close = State.sys_close
+let sys_brk = State.sys_brk
+let sys_open = State.sys_open
 
-exception Halted of int
-exception Faulted of string
+let engine_name = function Ref -> "ref" | Fast -> "fast"
 
-let load ?(stdin = "") ?(inputs = []) exe =
+let engine_of_string = function
+  | "ref" | "reference" -> Some Ref
+  | "fast" | "closure" -> Some Fast
+  | _ -> None
+
+let load ?(engine = Fast) ?(stdin = "") ?(inputs = []) exe =
   let mem = Mem.create () in
   List.iter
     (fun seg ->
@@ -91,9 +75,12 @@ let load ?(stdin = "") ?(inputs = []) exe =
       fregs = Array.make 32 0L;
       pc = exe.Objfile.Exe.x_entry;
       code;
+      engine;
+      fast = [];
       vfs;
       brk = exe.Objfile.Exe.x_break;
       insns = 0;
+      fuel = 0;
       cycles = 0;
       pair_cycles = 0;
       prev_pc = -8;
@@ -131,193 +118,6 @@ let fetch t pc =
         else go rest
   in
   go t.code
-
-let getr t r = if r = 31 then 0L else Array.unsafe_get t.regs r
-let setr t r v = if r <> 31 then Array.unsafe_set t.regs r v
-let getf t r = if r = 31 then 0L else Array.unsafe_get t.fregs r
-let setf t r v = if r <> 31 then Array.unsafe_set t.fregs r v
-let getfv t r = Int64.float_of_bits (getf t r)
-let setfv t r v = setf t r (Int64.bits_of_float v)
-
-let sext32 (v : int64) = Int64.of_int32 (Int64.to_int32 v)
-
-let umulh a b =
-  (* high 64 bits of the unsigned 128-bit product *)
-  let mask = 0xFFFFFFFFL in
-  let al = Int64.logand a mask and ah = Int64.shift_right_logical a 32 in
-  let bl = Int64.logand b mask and bh = Int64.shift_right_logical b 32 in
-  let ll = Int64.mul al bl in
-  let lh = Int64.mul al bh in
-  let hl = Int64.mul ah bl in
-  let hh = Int64.mul ah bh in
-  let carry =
-    let mid =
-      Int64.add
-        (Int64.add (Int64.logand lh mask) (Int64.logand hl mask))
-        (Int64.shift_right_logical ll 32)
-    in
-    Int64.shift_right_logical mid 32
-  in
-  Int64.add
-    (Int64.add hh (Int64.shift_right_logical lh 32))
-    (Int64.add (Int64.shift_right_logical hl 32) carry)
-
-let cmpbge a b =
-  let r = ref 0 in
-  for i = 0 to 7 do
-    let ab = Int64.to_int (Int64.logand (Int64.shift_right_logical a (8 * i)) 0xFFL) in
-    let bb = Int64.to_int (Int64.logand (Int64.shift_right_logical b (8 * i)) 0xFFL) in
-    if ab >= bb then r := !r lor (1 lsl i)
-  done;
-  Int64.of_int !r
-
-let zap_bytes v mask_byte ~keep =
-  let r = ref 0L in
-  for i = 0 to 7 do
-    let selected = mask_byte land (1 lsl i) <> 0 in
-    if selected = keep then
-      r :=
-        Int64.logor !r
-          (Int64.logand (Int64.shift_left 0xFFL (8 * i))
-             v)
-  done;
-  !r
-
-let byte_mask = function
-  | 1 -> 0xFFL
-  | 2 -> 0xFFFFL
-  | 4 -> 0xFFFFFFFFL
-  | _ -> -1L
-
-let bool64 b = if b then 1L else 0L
-
-let u_lt a b =
-  (* unsigned 64-bit comparison *)
-  Int64.unsigned_compare a b < 0
-
-let eval_opr op a b =
-  let open Insn in
-  match op with
-  | Addq -> Int64.add a b
-  | Subq -> Int64.sub a b
-  | Addl -> sext32 (Int64.add a b)
-  | Subl -> sext32 (Int64.sub a b)
-  | S4addq -> Int64.add (Int64.shift_left a 2) b
-  | S8addq -> Int64.add (Int64.shift_left a 3) b
-  | Mull -> sext32 (Int64.mul a b)
-  | Mulq -> Int64.mul a b
-  | Umulh -> umulh a b
-  | Cmpeq -> bool64 (Int64.equal a b)
-  | Cmplt -> bool64 (Int64.compare a b < 0)
-  | Cmple -> bool64 (Int64.compare a b <= 0)
-  | Cmpult -> bool64 (u_lt a b)
-  | Cmpule -> bool64 (not (u_lt b a))
-  | Cmpbge -> cmpbge a b
-  | And_ -> Int64.logand a b
-  | Bic -> Int64.logand a (Int64.lognot b)
-  | Bis -> Int64.logor a b
-  | Ornot -> Int64.logor a (Int64.lognot b)
-  | Xor -> Int64.logxor a b
-  | Eqv -> Int64.logxor a (Int64.lognot b)
-  | Sll -> Int64.shift_left a (Int64.to_int b land 63)
-  | Srl -> Int64.shift_right_logical a (Int64.to_int b land 63)
-  | Sra -> Int64.shift_right a (Int64.to_int b land 63)
-  | Zap -> zap_bytes a (Int64.to_int b land 0xFF) ~keep:false
-  | Zapnot -> zap_bytes a (Int64.to_int b land 0xFF) ~keep:true
-  | Extbl | Extwl | Extll | Extql ->
-      let bytes = match op with Extbl -> 1 | Extwl -> 2 | Extll -> 4 | _ -> 8 in
-      let sh = 8 * (Int64.to_int b land 7) in
-      Int64.logand (Int64.shift_right_logical a sh) (byte_mask bytes)
-  | Insbl | Inswl | Insll | Insql ->
-      let bytes = match op with Insbl -> 1 | Inswl -> 2 | Insll -> 4 | _ -> 8 in
-      let sh = 8 * (Int64.to_int b land 7) in
-      Int64.shift_left (Int64.logand a (byte_mask bytes)) sh
-  | Mskbl | Mskwl | Mskll | Mskql ->
-      let bytes = match op with Mskbl -> 1 | Mskwl -> 2 | Mskll -> 4 | _ -> 8 in
-      let sh = 8 * (Int64.to_int b land 7) in
-      Int64.logand a (Int64.lognot (Int64.shift_left (byte_mask bytes) sh))
-  | Cmoveq | Cmovne | Cmovlt | Cmovge | Cmovle | Cmovgt | Cmovlbs | Cmovlbc ->
-      (* handled by the caller, which needs the old rc *)
-      assert false
-
-let cmov_cond op (a : int64) =
-  let open Insn in
-  match op with
-  | Cmoveq -> Int64.equal a 0L
-  | Cmovne -> not (Int64.equal a 0L)
-  | Cmovlt -> Int64.compare a 0L < 0
-  | Cmovge -> Int64.compare a 0L >= 0
-  | Cmovle -> Int64.compare a 0L <= 0
-  | Cmovgt -> Int64.compare a 0L > 0
-  | Cmovlbs -> Int64.logand a 1L = 1L
-  | Cmovlbc -> Int64.logand a 1L = 0L
-  | _ -> assert false
-
-let is_cmov op =
-  let open Insn in
-  match op with
-  | Cmoveq | Cmovne | Cmovlt | Cmovge | Cmovle | Cmovgt | Cmovlbs | Cmovlbc -> true
-  | _ -> false
-
-let br_taken cond (a : int64) =
-  let open Insn in
-  match cond with
-  | Beq -> Int64.equal a 0L
-  | Bne -> not (Int64.equal a 0L)
-  | Blt -> Int64.compare a 0L < 0
-  | Ble -> Int64.compare a 0L <= 0
-  | Bgt -> Int64.compare a 0L > 0
-  | Bge -> Int64.compare a 0L >= 0
-  | Blbc -> Int64.logand a 1L = 0L
-  | Blbs -> Int64.logand a 1L = 1L
-
-let fbr_taken cond (x : float) =
-  let open Insn in
-  match cond with
-  | Fbeq -> x = 0.0
-  | Fbne -> x <> 0.0
-  | Fblt -> x < 0.0
-  | Fble -> x <= 0.0
-  | Fbgt -> x > 0.0
-  | Fbge -> x >= 0.0
-
-let syscall t =
-  t.syscalls <- t.syscalls + 1;
-  let num = Int64.to_int (getr t Reg.v0) in
-  let a0 = getr t 16 and a1 = getr t 17 and a2 = getr t 18 in
-  let ret v =
-    setr t Reg.v0 (Int64.of_int v);
-    setr t 19 (if v < 0 then 1L else 0L)
-  in
-  match num with
-  | n when n = sys_exit -> raise (Halted (Int64.to_int a0 land 0xFF))
-  | n when n = sys_write ->
-      let fd = Int64.to_int a0 and addr = Int64.to_int a1 and len = Int64.to_int a2 in
-      if len < 0 || len > 1 lsl 26 then ret (-1)
-      else
-        let s = Bytes.to_string (Mem.read_block t.mem addr len) in
-        ret (Vfs.sys_write t.vfs fd s)
-  | n when n = sys_read ->
-      let fd = Int64.to_int a0 and addr = Int64.to_int a1 and len = Int64.to_int a2 in
-      if len < 0 || len > 1 lsl 26 then ret (-1)
-      else begin
-        let buf = Bytes.create len in
-        let got = Vfs.sys_read t.vfs fd buf in
-        if got > 0 then Mem.write_bytes t.mem addr (Bytes.sub buf 0 got);
-        ret got
-      end
-  | n when n = sys_open ->
-      let path = Mem.read_cstring t.mem (Int64.to_int a0) in
-      ret (Vfs.sys_open t.vfs path (Int64.to_int a1))
-  | n when n = sys_close -> ret (Vfs.sys_close t.vfs (Int64.to_int a0))
-  | n when n = sys_brk ->
-      let want = Int64.to_int a0 in
-      if want = 0 then ret t.brk
-      else begin
-        t.brk <- want;
-        ret want
-      end
-  | n -> raise (Faulted (Printf.sprintf "unknown system call %d at PC %#x" n t.pc))
 
 let step t =
   let i = fetch t t.pc in
@@ -439,7 +239,7 @@ let step t =
   | Call_pal n -> raise (Faulted (Printf.sprintf "unhandled PAL call %#x at %#x" n t.pc))
   | Raw w -> raise (Faulted (Printf.sprintf "illegal instruction %#x at %#x" w t.pc)))
 
-let run ?(max_insns = 2_000_000_000) t =
+let run_ref ~max_insns t =
   let rec go budget =
     if budget <= 0 then Out_of_fuel
     else
@@ -449,6 +249,11 @@ let run ?(max_insns = 2_000_000_000) t =
       | exception Faulted msg -> Fault msg
   in
   go max_insns
+
+let run ?(max_insns = 2_000_000_000) t =
+  match t.engine with
+  | Ref -> run_ref ~max_insns t
+  | Fast -> Exec.run ~max_insns t
 
 let stats t =
   {
@@ -463,6 +268,7 @@ let stats t =
     st_syscalls = t.syscalls;
   }
 
+let engine t = t.engine
 let vfs t = t.vfs
 let stdout t = Vfs.stdout t.vfs
 let stderr t = Vfs.stderr t.vfs
@@ -473,4 +279,11 @@ let pc t = t.pc
 let mem t = t.mem
 let brk t = t.brk
 let read_u64 t a = Mem.read_u64 t.mem a
-let set_trace t f = t.trace <- Some f
+(* Installing a hook invalidates any cached translation: the fast engine
+   compiles trace-aware code (per-instruction when a hook is present). *)
+let set_trace t f =
+  t.trace <- Some f;
+  t.fast <- []
+let set_reg t r v = setr t r v
+let set_freg_bits t r v = setf t r v
+let set_pc t pc = t.pc <- pc

@@ -10,16 +10,29 @@
     in [$a3].  Numbers: exit 1, read 3, write 4, close 6, brk 17, open 45.
 
     Code is predecoded per executable segment (any segment based below the
-    data segment), so the inner loop never re-decodes instructions. *)
+    data segment), so the inner loop never re-decodes instructions.
+
+    Two engines execute the predecoded stream.  [Ref] is the reference
+    interpreter in this module: a decode-then-dispatch loop that serves as
+    the executable specification.  [Fast] (the default) is {!Exec}'s
+    closure-compiled engine: each instruction is pre-translated into a
+    specialized closure with operands, displacements and branch targets
+    resolved at translation time.  The two are observationally
+    bit-identical — outcome, registers, memory, statistics, trace stream —
+    which [test/test_engine_diff.ml] enforces differentially. *)
 
 type t
 
-type outcome =
+type outcome = State.outcome =
   | Exit of int
   | Fault of string  (** bad PC, undecodable instruction, bad PAL call... *)
   | Out_of_fuel  (** hit the [max_insns] budget *)
 
-type stats = {
+type engine = State.engine =
+  | Ref  (** the reference interpreter: slow, simple, the specification *)
+  | Fast  (** the closure-compiled engine, several times faster *)
+
+type stats = State.stats = {
   st_insns : int;  (** instructions retired *)
   st_cycles : int;  (** weighted cycles (see {!Alpha.Cost.latency}) *)
   st_pair_cycles : int;
@@ -43,15 +56,29 @@ val sys_close : int
 val sys_brk : int
 val sys_open : int
 
-val load : ?stdin:string -> ?inputs:(string * string) list -> Objfile.Exe.t -> t
+val engine_name : engine -> string
+(** ["ref"] or ["fast"]. *)
+
+val engine_of_string : string -> engine option
+(** Parse an engine name as accepted by the CLIs' [--engine] flag:
+    ["ref"]/["reference"] or ["fast"]/["closure"]. *)
+
+val load :
+  ?engine:engine ->
+  ?stdin:string ->
+  ?inputs:(string * string) list ->
+  Objfile.Exe.t ->
+  t
 (** Build a machine with the image mapped, [$sp] set, and registered input
-    files available to [open]. *)
+    files available to [open].  [engine] selects the execution engine used
+    by {!run} (default [Fast]). *)
 
 val run : ?max_insns:int -> t -> outcome
 (** Execute until exit, fault or fuel exhaustion ([max_insns] defaults to
     2 {e billion}). *)
 
 val stats : t -> stats
+val engine : t -> engine
 val vfs : t -> Vfs.t
 val stdout : t -> string
 val stderr : t -> string
@@ -69,4 +96,15 @@ val read_u64 : t -> int -> int64
 (** Read simulated memory (for tests and tools). *)
 
 val set_trace : t -> (int -> Alpha.Insn.t -> unit) -> unit
-(** Install a per-instruction hook (used by tests to observe execution). *)
+(** Install a per-instruction hook (used by tests to observe execution).
+    Both engines deliver the identical [(pc, insn)] stream. *)
+
+val set_reg : t -> Alpha.Reg.t -> int64 -> unit
+(** Overwrite an integer register before a run (for tests; writes to [$31]
+    are ignored, it stays hardwired to zero). *)
+
+val set_freg_bits : t -> Alpha.Reg.f -> int64 -> unit
+(** Overwrite a floating register's bit pattern (writes to [$f31] ignored). *)
+
+val set_pc : t -> int -> unit
+(** Redirect execution (for tests). *)

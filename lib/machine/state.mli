@@ -1,0 +1,98 @@
+(** Machine state and instruction semantics shared by the two execution
+    engines: {!Sim}'s reference interpreter (the executable specification)
+    and {!Exec}'s closure-compiled fast engine.  Everything observable —
+    registers, memory, the VFS, the statistics counters and the trace
+    hook — lives here so that both engines mutate the same state in the
+    same order, which is what makes them differentially testable. *)
+
+open Alpha
+
+type code_seg = {
+  cs_base : int;
+  cs_insns : Insn.t array;
+  cs_pair : bool array;
+}
+
+type fast_seg = { fs_base : int; fs_len : int; fs_fns : (unit -> unit) array }
+
+type stats = {
+  st_insns : int;
+  st_cycles : int;
+  st_pair_cycles : int;
+  st_loads : int;
+  st_stores : int;
+  st_cond_branches : int;
+  st_taken : int;
+  st_calls : int;
+  st_syscalls : int;
+}
+
+type engine = Ref | Fast
+
+type t = {
+  mem : Mem.t;
+  regs : int64 array;
+  fregs : int64 array;
+  mutable pc : int;
+  code : code_seg list;
+  engine : engine;
+  mutable fast : fast_seg list;
+  vfs : Vfs.t;
+  mutable brk : int;
+  mutable insns : int;
+  mutable fuel : int;
+  mutable cycles : int;
+  mutable pair_cycles : int;
+  mutable prev_pc : int;
+  mutable pending_pair : bool;
+  mutable loads : int;
+  mutable stores : int;
+  mutable cond_branches : int;
+  mutable taken : int;
+  mutable calls : int;
+  mutable syscalls : int;
+  mutable trace : (int -> Insn.t -> unit) option;
+}
+
+type outcome = Exit of int | Fault of string | Out_of_fuel
+
+val sys_exit : int
+val sys_read : int
+val sys_write : int
+val sys_close : int
+val sys_brk : int
+val sys_open : int
+
+exception Halted of int
+exception Faulted of string
+
+exception Fuel
+(** Raised by the fast engine when the instruction budget runs out. *)
+
+val getr : t -> int -> int64
+val setr : t -> int -> int64 -> unit
+val getf : t -> int -> int64
+val setf : t -> int -> int64 -> unit
+val getfv : t -> int -> float
+val setfv : t -> int -> float -> unit
+
+val sext32 : int64 -> int64
+val umulh : int64 -> int64 -> int64
+val cmpbge : int64 -> int64 -> int64
+val zap_bytes : int64 -> int -> keep:bool -> int64
+val byte_mask : int -> int64
+val bool64 : bool -> int64
+val u_lt : int64 -> int64 -> bool
+
+val eval_opr : Insn.opr_op -> int64 -> int64 -> int64
+(** Result of a non-conditional-move operate instruction. *)
+
+val cmov_cond : Insn.opr_op -> int64 -> bool
+val is_cmov : Insn.opr_op -> bool
+val br_taken : Insn.br_cond -> int64 -> bool
+val fbr_taken : Insn.fbr_cond -> float -> bool
+
+val syscall : t -> unit
+(** Execute the system call selected by [$v0]; raises [Halted] for [exit]
+    and [Faulted] for an unknown call number (the message quotes [t.pc],
+    which must point at the [call_pal] instruction). *)

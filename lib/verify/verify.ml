@@ -498,8 +498,8 @@ let first_diff a b =
   let rec go i = if i < n && a.[i] = b.[i] then go (i + 1) else i in
   go 0
 
-let differential ?(max_insns = 2_000_000_000) ?stdin ?inputs ~original
-    ~instrumented ~heap_mode () =
+let differential ?(engine = Machine.Sim.Fast) ?(max_insns = 2_000_000_000)
+    ?stdin ?inputs ~original ~instrumented ~heap_mode () =
   let issues = ref [] in
   let flag check fmt =
     Printf.ksprintf
@@ -508,7 +508,7 @@ let differential ?(max_insns = 2_000_000_000) ?stdin ?inputs ~original
       fmt
   in
   let run exe =
-    let m = Machine.Sim.load ?stdin ?inputs exe in
+    let m = Machine.Sim.load ~engine ?stdin ?inputs exe in
     let outcome = Machine.Sim.run ~max_insns m in
     (outcome, m)
   in
@@ -564,11 +564,11 @@ let differential ?(max_insns = 2_000_000_000) ?stdin ?inputs ~original
           "instrumented break %#x shrank below the original %#x" b2 b1);
   { r_checks = differential_checks; r_issues = List.rev !issues }
 
-let verify ?max_insns ?stdin ?inputs ~original ~instrumented ~(info : I.info)
-    () =
+let verify ?engine ?max_insns ?stdin ?inputs ~original ~instrumented
+    ~(info : I.info) () =
   let s = check_image ~original ~instrumented ~info in
   let d =
-    differential ?max_insns ?stdin ?inputs ~original ~instrumented
+    differential ?engine ?max_insns ?stdin ?inputs ~original ~instrumented
       ~heap_mode:info.I.i_audit.I.au_options.I.heap_mode ()
   in
   merge s d

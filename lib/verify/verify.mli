@@ -60,6 +60,7 @@ val check_image :
 (** The static pass.  Pure: no simulation. *)
 
 val differential :
+  ?engine:Machine.Sim.engine ->
   ?max_insns:int ->
   ?stdin:string ->
   ?inputs:(string * string) list ->
@@ -68,13 +69,15 @@ val differential :
   heap_mode:Atom.Instrument.heap_mode ->
   unit ->
   report
-(** Run both executables and diff the observable behaviour ([max_insns]
+(** Run both executables on the selected simulator engine (default [Fast])
+    and diff the observable behaviour ([max_insns]
     defaults to the simulator's 2-billion budget).  The final
     application break is read through the [__curbrk] symbol of each image
     (falling back to the simulator's break): under [Partitioned] heaps it
     must be identical, under [Linked] it may only grow. *)
 
 val verify :
+  ?engine:Machine.Sim.engine ->
   ?max_insns:int ->
   ?stdin:string ->
   ?inputs:(string * string) list ->

@@ -596,7 +596,7 @@ let compile w =
       Hashtbl.replace cache w.w_name exe;
       exe
 
-let run_exe ?(max_insns = 500_000_000) exe =
-  let m = Machine.Sim.load exe in
+let run_exe ?(engine = Machine.Sim.Fast) ?(max_insns = 500_000_000) exe =
+  let m = Machine.Sim.load ~engine exe in
   let outcome = Machine.Sim.run ~max_insns m in
   (outcome, m)

@@ -16,5 +16,10 @@ val find : string -> t option
 val compile : t -> Objfile.Exe.t
 (** Compile and link against the runtime library (memoised per workload). *)
 
-val run_exe : ?max_insns:int -> Objfile.Exe.t -> Machine.Sim.outcome * Machine.Sim.t
-(** Load and run an executable with no stdin and no input files. *)
+val run_exe :
+  ?engine:Machine.Sim.engine ->
+  ?max_insns:int ->
+  Objfile.Exe.t ->
+  Machine.Sim.outcome * Machine.Sim.t
+(** Load and run an executable with no stdin and no input files, on the
+    selected simulator engine (default [Fast]). *)

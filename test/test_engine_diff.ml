@@ -1,0 +1,77 @@
+(* Engine differential: every workload, uninstrumented and instrumented
+   with each packaged tool, is run under both the reference interpreter
+   and the closure-compiled fast engine.  The two must agree on the
+   outcome, the complete statistics record (instructions, cycles,
+   dual-issue pair cycles, loads, stores, conditional branches, taken
+   branches, calls, syscalls), stdout, stderr, analysis output files and
+   the final heap break. *)
+
+let stat_fields =
+  [
+    ("insns", fun s -> s.Machine.Sim.st_insns);
+    ("cycles", fun s -> s.Machine.Sim.st_cycles);
+    ("pair_cycles", fun s -> s.Machine.Sim.st_pair_cycles);
+    ("loads", fun s -> s.Machine.Sim.st_loads);
+    ("stores", fun s -> s.Machine.Sim.st_stores);
+    ("cond_branches", fun s -> s.Machine.Sim.st_cond_branches);
+    ("taken", fun s -> s.Machine.Sim.st_taken);
+    ("calls", fun s -> s.Machine.Sim.st_calls);
+    ("syscalls", fun s -> s.Machine.Sim.st_syscalls);
+  ]
+
+let outcome_str = function
+  | Machine.Sim.Exit n -> Printf.sprintf "exit %d" n
+  | Machine.Sim.Fault f -> "fault " ^ f
+  | Machine.Sim.Out_of_fuel -> "out of fuel"
+
+let check_cell label exe =
+  let run engine = Workloads.run_exe ~engine exe in
+  let o_ref, m_ref = run Machine.Sim.Ref in
+  let o_fast, m_fast = run Machine.Sim.Fast in
+  if o_ref <> o_fast then
+    Alcotest.failf "%s: outcome ref=%s fast=%s" label (outcome_str o_ref)
+      (outcome_str o_fast);
+  (match o_ref with
+  | Machine.Sim.Exit 0 -> ()
+  | o -> Alcotest.failf "%s: expected exit 0, got %s" label (outcome_str o));
+  let s_ref = Machine.Sim.stats m_ref and s_fast = Machine.Sim.stats m_fast in
+  List.iter
+    (fun (name, field) ->
+      if field s_ref <> field s_fast then
+        Alcotest.failf "%s: %s ref=%d fast=%d" label name (field s_ref)
+          (field s_fast))
+    stat_fields;
+  if Machine.Sim.stdout m_ref <> Machine.Sim.stdout m_fast then
+    Alcotest.failf "%s: stdout differs" label;
+  if Machine.Sim.stderr m_ref <> Machine.Sim.stderr m_fast then
+    Alcotest.failf "%s: stderr differs" label;
+  if Machine.Sim.output_files m_ref <> Machine.Sim.output_files m_fast then
+    Alcotest.failf "%s: output files differ" label;
+  if Machine.Sim.brk m_ref <> Machine.Sim.brk m_fast then
+    Alcotest.failf "%s: final break ref=%#x fast=%#x" label
+      (Machine.Sim.brk m_ref) (Machine.Sim.brk m_fast)
+
+let test_uninstrumented () =
+  List.iter
+    (fun w -> check_cell w.Workloads.w_name (Workloads.compile w))
+    Workloads.all
+
+let test_tool tool () =
+  List.iter
+    (fun w ->
+      let exe = Workloads.compile w in
+      let exe', _ = Tools.Tool.apply tool exe in
+      check_cell (tool.Tools.Tool.name ^ "/" ^ w.Workloads.w_name) exe')
+    Workloads.all
+
+let () =
+  Alcotest.run "engine-diff"
+    [
+      ( "uninstrumented",
+        [ Alcotest.test_case "all workloads" `Quick test_uninstrumented ] );
+      ( "instrumented",
+        List.map
+          (fun tool ->
+            Alcotest.test_case tool.Tools.Tool.name `Slow (test_tool tool))
+          Tools.Registry.all );
+    ]

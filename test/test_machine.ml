@@ -267,6 +267,154 @@ let test_vfs () =
   ignore (Machine.Vfs.sys_read v rfd b6);
   Alcotest.(check string) "readback" "abcdef" (Bytes.to_string b6)
 
+(* -- syscall edge cases, identical under both engines --------------------- *)
+
+(* run the same image (with the same stdin and input files) under the
+   reference interpreter and the fast engine and insist on identical
+   behaviour, then hand the fast-engine machine to the caller's checks *)
+let run_both_engines ?(stdin = "") ?(inputs = []) src =
+  let u = Asmlib.Assemble.assemble ~name:"e.s" src in
+  let exe = Linker.Link.link [ Linker.Link.Unit u ] in
+  let run engine =
+    let m = Machine.Sim.load ~engine ~stdin ~inputs exe in
+    (Machine.Sim.run ~max_insns:100000 m, m)
+  in
+  let o_ref, m_ref = run Machine.Sim.Ref in
+  let o_fast, m_fast = run Machine.Sim.Fast in
+  Alcotest.(check bool) "engines agree on outcome" true (o_ref = o_fast);
+  Alcotest.(check bool)
+    "engines agree on stats" true
+    (Machine.Sim.stats m_ref = Machine.Sim.stats m_fast);
+  Alcotest.(check string) "engines agree on stdout" (Machine.Sim.stdout m_ref)
+    (Machine.Sim.stdout m_fast);
+  Alcotest.(check int) "engines agree on break" (Machine.Sim.brk m_ref)
+    (Machine.Sim.brk m_fast);
+  (o_fast, m_fast)
+
+let test_read_at_eof () =
+  (* stdin is 3 bytes; a 16-byte read returns 3, the next returns 0 *)
+  let src =
+    {|
+        .data
+buf:    .space 16
+        .text
+        .globl __start
+__start:
+        clr $16                   # fd 0
+        lda $17, buf
+        ldiq $18, 16
+        ldiq $0, 3                # sys_read
+        call_pal 0x83
+        mov $0, $9                # first read: 3
+        clr $16
+        lda $17, buf
+        ldiq $18, 16
+        ldiq $0, 3
+        call_pal 0x83
+        mov $0, $10               # second read: 0 (EOF)
+        clr $16
+        ldiq $0, 1                # sys_exit
+        call_pal 0x83
+|}
+  in
+  let outcome, m = run_both_engines ~stdin:"abc" src in
+  Alcotest.(check bool) "exit" true (outcome = Machine.Sim.Exit 0);
+  Alcotest.(check int64) "first read" 3L (Machine.Sim.reg m 9);
+  Alcotest.(check int64) "read at EOF" 0L (Machine.Sim.reg m 10)
+
+let test_write_closed_fd () =
+  (* open an output file, close it, then write to the dead fd: -1 *)
+  let src =
+    {|
+        .data
+name:   .asciiz "out.txt"
+msg:    .asciiz "hi"
+        .text
+        .globl __start
+__start:
+        lda $16, name
+        ldiq $17, 1               # O_WRONLY-ish
+        ldiq $0, 45               # sys_open
+        call_pal 0x83
+        mov $0, $9                # fd
+        mov $9, $16
+        ldiq $0, 6                # sys_close
+        call_pal 0x83
+        mov $9, $16               # the now-closed fd
+        lda $17, msg
+        ldiq $18, 2
+        ldiq $0, 4                # sys_write
+        call_pal 0x83
+        mov $0, $10               # -1 expected
+        clr $16
+        ldiq $0, 1
+        call_pal 0x83
+|}
+  in
+  let outcome, m = run_both_engines src in
+  Alcotest.(check bool) "exit" true (outcome = Machine.Sim.Exit 0);
+  Alcotest.(check bool) "fd >= 3" true (Machine.Sim.reg m 9 >= 3L);
+  Alcotest.(check int64) "write to closed fd" (-1L) (Machine.Sim.reg m 10)
+
+let test_brk_shrink_grow () =
+  (* sbrk up, back down, and up again: the final break is what the last
+     call set, under both engines *)
+  let src =
+    {|
+        .text
+        .globl __start
+__start:
+        clr $16
+        ldiq $0, 17               # sys_brk: query
+        call_pal 0x83
+        mov $0, $9                # initial break
+        lda $16, 4096($9)
+        ldiq $0, 17               # grow
+        call_pal 0x83
+        mov $9, $16
+        ldiq $0, 17               # shrink back
+        call_pal 0x83
+        lda $16, 8192($9)
+        ldiq $0, 17               # grow again
+        call_pal 0x83
+        mov $0, $10
+        clr $16
+        ldiq $0, 1
+        call_pal 0x83
+|}
+  in
+  let outcome, m = run_both_engines src in
+  Alcotest.(check bool) "exit" true (outcome = Machine.Sim.Exit 0);
+  let initial = Machine.Sim.reg m 9 in
+  Alcotest.(check int64) "final break" (Int64.add initial 8192L)
+    (Machine.Sim.reg m 10);
+  Alcotest.(check int) "machine break agrees" (Int64.to_int initial + 8192)
+    (Machine.Sim.brk m)
+
+let test_open_missing_input () =
+  (* opening a file that was never provided fails with -1; the program
+     still exits cleanly *)
+  let src =
+    {|
+        .data
+name:   .asciiz "no-such-file"
+        .text
+        .globl __start
+__start:
+        lda $16, name
+        clr $17                   # read-only
+        ldiq $0, 45               # sys_open
+        call_pal 0x83
+        mov $0, $9                # -1 expected
+        clr $16
+        ldiq $0, 1
+        call_pal 0x83
+|}
+  in
+  let outcome, m = run_both_engines ~inputs:[ ("other.txt", "x") ] src in
+  Alcotest.(check bool) "exit" true (outcome = Machine.Sim.Exit 0);
+  Alcotest.(check int64) "open missing file" (-1L) (Machine.Sim.reg m 9)
+
 let test_fault_reporting () =
   (* jumping outside code must fault, not loop *)
   let src = {|
@@ -301,6 +449,13 @@ let () =
         [
           Alcotest.test_case "block and cstring" `Quick test_mem_block_and_strings;
           Alcotest.test_case "vfs" `Quick test_vfs;
+        ] );
+      ( "syscall edge cases (both engines)",
+        [
+          Alcotest.test_case "read at EOF" `Quick test_read_at_eof;
+          Alcotest.test_case "write to closed fd" `Quick test_write_closed_fd;
+          Alcotest.test_case "brk shrink then grow" `Quick test_brk_shrink_grow;
+          Alcotest.test_case "open missing input" `Quick test_open_missing_input;
         ] );
       ("properties", props);
     ]
