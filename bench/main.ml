@@ -2,7 +2,10 @@
 
    Figure 5 - time for ATOM to instrument the benchmark suite with each
    of the 11 tools (host wall-clock; the paper measured seconds on an
-   Alpha 3000/400 over 20 SPEC92 programs).
+   Alpha 3000/400 over 20 SPEC92 programs).  Measured under three
+   pipelines — pre-overhaul reference, fast with cold caches, fast with
+   warm caches — with every instrumented image byte-compared across all
+   three before timings are reported; results go to BENCH_atom.json.
 
    Figure 6 - execution-time ratio of instrumented vs uninstrumented
    programs per tool (we measure simulated instructions, the paper
@@ -19,7 +22,8 @@
    the speedup ratio, writing the results to BENCH_sim.json.
 
    Usage: main.exe
-     [fig5|fig6|ablations|verify|bechamel|quick|perf [--smoke]|all]  *)
+     [fig5 [--smoke] [--cold]|fig6|ablations|verify|bechamel [--cold]|
+      quick|perf [--smoke]|all]  *)
 
 let time_it fn =
   let t0 = Unix.gettimeofday () in
@@ -68,43 +72,198 @@ let run_instrumented ?engine exe' name = fst (run_instrumented2 ?engine exe' nam
 
 (* -- Figure 5 ------------------------------------------------------------ *)
 
-let fig5 () =
+(* Empty the content-addressed toolchain caches (prepared analysis
+   modules and compiled Mini-C user units), so the next instrumentation
+   pays the full cold-start cost. *)
+let clear_toolchain_caches () =
+  Atom.Toolcache.clear ();
+  Rtlib.clear_cache ()
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+type fig5_row = {
+  f_tool : string;
+  f_ref_secs : float;  (* pre-overhaul pipeline, no caches *)
+  f_cold_secs : float;  (* fast pipeline starting from empty caches *)
+  f_warm_secs : float;  (* fast pipeline with the caches already populated *)
+  f_diverged : string list;  (* workloads whose images were not byte-identical *)
+}
+
+(* Figure 5, measured three ways per tool over the workload suite:
+
+     ref   the pre-overhaul pipeline ([pipeline = Ref]: list-scan symbol
+           lookups, dense liveness fixpoint, no caches) — the baseline the
+           speedup is quoted against;
+     cold  the fast pipeline starting from empty toolchain caches;
+     warm  the fast pipeline again, caches populated by the cold sweep.
+
+   Every (tool, workload) cell byte-compares all three instrumented
+   images; any divergence fails the run (exit 1) after BENCH_atom.json
+   is written.  [--smoke] shrinks the matrix for CI; [--cold] empties
+   the caches before *every* instrumentation call in the fast sweeps, so
+   both fast columns report cold-start cost (pure algorithmic speedup,
+   no cache reuse). *)
+let fig5 ?(smoke = false) ?(cold = false) () =
+  let workloads =
+    if smoke then
+      List.filter
+        (fun w -> List.mem w.Workloads.w_name [ "sieve"; "qsort"; "cells" ])
+        Workloads.all
+    else Workloads.all
+  in
+  let tools =
+    if smoke then
+      List.filter
+        (fun t -> List.mem t.Tools.Tool.name [ "branch"; "malloc" ])
+        Tools.Registry.all
+    else Tools.Registry.all
+  in
   print_endline "";
   print_endline
     "Figure 5: time taken by ATOM to instrument the benchmark suite";
   print_endline
-    "(paper: 20 SPEC92 programs on an Alpha 3000/400; here: the 15 workload";
+    "(paper: 20 SPEC92 programs on an Alpha 3000/400; here: the workload";
   print_endline "stand-ins on the host machine; shape, not seconds, is comparable)";
+  Printf.printf
+    "ref = pre-overhaul pipeline, cold = fast pipeline from empty caches,\n";
+  Printf.printf "warm = fast pipeline with populated caches%s\n"
+    (if cold then " (--cold: caches emptied before every call)" else "");
   print_endline "";
-  Printf.printf "%-9s %-42s %9s %9s %12s\n" "Tool" "Description" "total(s)"
-    "avg(s)" "paper avg(s)";
-  hrule 86;
-  let exes = List.map (fun w -> base_of w |> fst) Workloads.all in
+  Printf.printf "%-9s %-34s %8s %8s %8s %8s %9s\n" "Tool" "Description"
+    "ref(s)" "cold(s)" "warm(s)" "speedup" "paper(s)";
+  hrule 92;
+  let exes =
+    List.map (fun w -> (w.Workloads.w_name, Workloads.compile w)) workloads
+  in
   let rows =
     List.map
       (fun tool ->
-        let _, dt =
-          time_it (fun () ->
-              List.iter (fun exe -> ignore (Tools.Tool.apply tool exe)) exes)
+        (* The timed region covers instrumentation only; serialisation
+           for the byte-identity check happens outside it. *)
+        let sweep ~pipeline ~pre () =
+          let imgs, dt =
+            time_it (fun () ->
+                List.map
+                  (fun (_, exe) ->
+                    pre ();
+                    fst (Tools.Tool.apply ~pipeline tool exe))
+                  exes)
+          in
+          (List.map Objfile.Exe.to_string imgs, dt)
         in
-        Printf.printf "%-9s %-42s %9.3f %9.4f %12.2f\n%!" tool.Tools.Tool.name
-          tool.Tools.Tool.description dt
-          (dt /. float_of_int (List.length exes))
-          tool.Tools.Tool.paper_avg_instr_secs;
-        (tool.Tools.Tool.name, dt))
-      Tools.Registry.all
+        let nop () = () in
+        let fast_pre = if cold then clear_toolchain_caches else nop in
+        let ref_imgs, ref_t = sweep ~pipeline:Atom.Instrument.Ref ~pre:nop () in
+        clear_toolchain_caches ();
+        let cold_imgs, cold_t =
+          sweep ~pipeline:Atom.Instrument.Fast ~pre:fast_pre ()
+        in
+        let warm_imgs, warm_t =
+          sweep ~pipeline:Atom.Instrument.Fast ~pre:fast_pre ()
+        in
+        let diverged =
+          List.concat
+            (List.map2
+               (fun (name, _) (r, (c, w)) ->
+                 if r = c && r = w then [] else [ name ])
+               exes
+               (List.combine ref_imgs (List.combine cold_imgs warm_imgs)))
+        in
+        List.iter
+          (fun name ->
+            Printf.printf
+              "FAIL %s/%s: instrumented images differ between pipelines\n%!"
+              tool.Tools.Tool.name name)
+          diverged;
+        Printf.printf "%-9s %-34s %8.3f %8.3f %8.3f %7.2fx %9.2f\n%!"
+          tool.Tools.Tool.name tool.Tools.Tool.description ref_t cold_t warm_t
+          (ref_t /. warm_t) tool.Tools.Tool.paper_avg_instr_secs;
+        { f_tool = tool.Tools.Tool.name; f_ref_secs = ref_t;
+          f_cold_secs = cold_t; f_warm_secs = warm_t; f_diverged = diverged })
+      tools
   in
-  hrule 86;
+  hrule 92;
+  let tot f = List.fold_left (fun a r -> a +. f r) 0.0 rows in
+  let tot_ref = tot (fun r -> r.f_ref_secs) in
+  let tot_cold = tot (fun r -> r.f_cold_secs) in
+  let tot_warm = tot (fun r -> r.f_warm_secs) in
+  let divergences =
+    List.fold_left (fun a r -> a + List.length r.f_diverged) 0 rows
+  in
   let slowest =
-    List.fold_left (fun (n, t) (n', t') -> if t' > t then (n', t') else (n, t))
+    List.fold_left
+      (fun (n, t) r ->
+        if r.f_warm_secs > t then (r.f_tool, r.f_warm_secs) else (n, t))
       ("", 0.) rows
   in
   let fastest =
-    List.fold_left (fun (n, t) (n', t') -> if t' < t then (n', t') else (n, t))
+    List.fold_left
+      (fun (n, t) r ->
+        if r.f_warm_secs < t then (r.f_tool, r.f_warm_secs) else (n, t))
       ("", infinity) rows
   in
   Printf.printf "slowest to instrument: %s (paper: pipe)\n" (fst slowest);
-  Printf.printf "fastest to instrument: %s (paper: malloc)\n" (fst fastest)
+  Printf.printf "fastest to instrument: %s (paper: malloc)\n" (fst fastest);
+  Printf.printf
+    "aggregate: ref %.3fs  cold %.3fs (%.2fx)  warm %.3fs (%.2fx)\n"
+    tot_ref tot_cold (tot_ref /. tot_cold) tot_warm (tot_ref /. tot_warm);
+  Printf.printf "toolchain cache: %d hits, %d misses, %d entries\n"
+    (Atom.Toolcache.hits ()) (Atom.Toolcache.misses ())
+    (Atom.Toolcache.size ());
+  (* hand-rolled JSON: the harness has no JSON dependency *)
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"schema\": \"atom-bench-instrument/1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"smoke\": %b,\n  \"cold\": %b,\n" smoke cold);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"workloads\": %d,\n" (List.length workloads));
+  Buffer.add_string buf "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"tool\": \"%s\", \"ref_secs\": %.6f, \"cold_secs\": %.6f, \
+            \"warm_secs\": %.6f, \"speedup_cold\": %.3f, \"speedup_warm\": \
+            %.3f, \"diverged\": %d}%s\n"
+           (json_escape r.f_tool) r.f_ref_secs r.f_cold_secs r.f_warm_secs
+           (r.f_ref_secs /. r.f_cold_secs)
+           (r.f_ref_secs /. r.f_warm_secs)
+           (List.length r.f_diverged)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"aggregate\": {\"ref_secs\": %.6f, \"cold_secs\": %.6f, \
+        \"warm_secs\": %.6f, \"speedup_cold\": %.3f, \"speedup_warm\": %.3f},\n"
+       tot_ref tot_cold tot_warm (tot_ref /. tot_cold) (tot_ref /. tot_warm));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"cache\": {\"hits\": %d, \"misses\": %d, \"entries\": %d},\n"
+       (Atom.Toolcache.hits ()) (Atom.Toolcache.misses ())
+       (Atom.Toolcache.size ()));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"divergences\": %d\n}\n" divergences);
+  let oc = open_out "BENCH_atom.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_atom.json (%d rows)\n" (List.length rows);
+  if divergences > 0 then begin
+    Printf.printf "%d image divergence(s) between pipelines\n" divergences;
+    exit 1
+  end
 
 (* -- Figure 6 ------------------------------------------------------------ *)
 
@@ -445,14 +604,18 @@ let verify_sweep ?(quick = false) () =
 
 (* -- bechamel micro-benchmarks ------------------------------------------- *)
 
-let bechamel () =
+let bechamel ?(cold = false) () =
   let open Bechamel in
   let compress = Option.get (Workloads.find "compress") in
   let exe, _ = base_of compress in
   let instrument_test tool_name =
     let tool = Option.get (Tools.Registry.find tool_name) in
+    (* With [--cold] the caches are emptied inside the measured thunk, so
+       every sample pays the cold-start instrumentation cost. *)
     Test.make ~name:(Printf.sprintf "fig5/instrument-%s" tool_name)
-      (Staged.stage (fun () -> ignore (Tools.Tool.apply tool exe)))
+      (Staged.stage (fun () ->
+           if cold then clear_toolchain_caches ();
+           ignore (Tools.Tool.apply tool exe)))
   in
   let run_test tool_name =
     let tool = Option.get (Tools.Registry.find tool_name) in
@@ -492,20 +655,6 @@ let bechamel () =
    fails the sweep.  The headline number is the aggregate: total
    simulated instructions over total seconds per engine, which averages
    out the per-cell timer noise. *)
-
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
 
 type perf_row = {
   p_workload : string;
@@ -655,8 +804,12 @@ let perf ?(smoke = false) () =
 
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let has_flag f =
+    Array.exists (fun a -> a = f)
+      (Array.sub Sys.argv 1 (Array.length Sys.argv - 1))
+  in
   match mode with
-  | "fig5" -> fig5 ()
+  | "fig5" -> fig5 ~smoke:(has_flag "--smoke") ~cold:(has_flag "--cold") ()
   | "fig6" -> fig6 ()
   | "ablations" | "ablate" ->
       ablate_wrapper ();
@@ -667,12 +820,8 @@ let () =
   | "ablate-saves" -> ablate_saves ()
   | "ablate-heap" -> ablate_heap ()
   | "ablate-liveness" -> ablate_liveness ()
-  | "bechamel" -> bechamel ()
-  | "perf" ->
-      let smoke =
-        Array.length Sys.argv > 2 && Sys.argv.(2) = "--smoke"
-      in
-      perf ~smoke ()
+  | "bechamel" -> bechamel ~cold:(has_flag "--cold") ()
+  | "perf" -> perf ~smoke:(has_flag "--smoke") ()
   | "verify" -> verify_sweep ()
   | "quick" ->
       let tools =
@@ -698,6 +847,7 @@ let () =
   | other ->
       Printf.eprintf
         "unknown mode %S \
-         (fig5|fig6|ablations|verify|bechamel|quick|perf [--smoke]|all)\n"
+         (fig5 [--smoke] [--cold]|fig6|ablations|verify|bechamel [--cold]|\
+         quick|perf [--smoke]|all)\n"
         other;
       exit 2

@@ -182,6 +182,26 @@ let decode w =
 
 let roundtrips w = encode (decode w) = w land mask32
 
+(* Shared decode memo: instruction words repeat heavily across an image
+   (and the same image is decoded by Om.Build, the instrument engine and
+   the verifier), so each distinct word is decoded — and re-encoded for
+   the roundtrip check — at most once per process.  Insn.t values are
+   immutable, so sharing them between consumers is safe. *)
+let memo : (int, Insn.t * bool) Hashtbl.t = Hashtbl.create 4096
+
+let decode_memo w =
+  let w = w land mask32 in
+  match Hashtbl.find_opt memo w with
+  | Some cell -> cell
+  | None ->
+      let i = decode w in
+      let cell = (i, encode i = w) in
+      Hashtbl.add memo w cell;
+      cell
+
+let decode_cached w = fst (decode_memo w)
+let roundtrips_cached w = snd (decode_memo w)
+
 let read_word b off =
   Char.code (Bytes.get b off)
   lor (Char.code (Bytes.get b (off + 1)) lsl 8)
@@ -195,4 +215,5 @@ let write_word b off w =
   Bytes.set b (off + 3) (Char.chr ((w lsr 24) land 0xFF))
 
 let decode_at b off = decode (read_word b off)
+let decode_at_cached b off = decode_cached (read_word b off)
 let encode_at b off i = write_word b off (encode i)

@@ -23,6 +23,20 @@ val write_word : bytes -> int -> int -> unit
 val decode_at : bytes -> int -> Insn.t
 val encode_at : bytes -> int -> Insn.t -> unit
 
+val decode_cached : int -> Insn.t
+(** [decode] through a process-wide word-keyed memo.  Instruction words
+    repeat heavily within an image and the same words are decoded by the
+    IR builder, the instrumentation engine and the verifier; the memo
+    decodes each distinct word once.  Semantically identical to
+    {!decode} ([Insn.t] is immutable, so sharing is safe). *)
+
+val decode_at_cached : bytes -> int -> Insn.t
+(** [decode_cached] of {!read_word}. *)
+
+val roundtrips_cached : int -> bool
+(** {!roundtrips} through the same memo (the re-encode needed for the
+    check is also done once per distinct word). *)
+
 val roundtrips : int -> bool
 (** Whether [encode (decode w) = w]: the word is either outside the
     implemented subset (kept verbatim as [Raw]) or a canonical encoding.

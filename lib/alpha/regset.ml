@@ -27,10 +27,30 @@ let members mask =
 let ints s = members s.i
 let fps s = members s.f
 
-let cardinal s = List.length (ints s) + List.length (fps s)
+(* Kernighan loop: one iteration per set bit, no list materialised *)
+let popcount mask =
+  let n = ref 0 and m = ref mask in
+  while !m <> 0 do
+    m := !m land (!m - 1);
+    incr n
+  done;
+  !n
 
-let fold_ints fn s acc = List.fold_left (fun acc r -> fn r acc) acc (ints s)
-let fold_fps fn s acc = List.fold_left (fun acc r -> fn r acc) acc (fps s)
+let cardinal s = popcount s.i + popcount s.f
+
+let fold_mask fn mask acc =
+  let acc = ref acc and m = ref mask in
+  while !m <> 0 do
+    let low = !m land - !m in
+    (* log2 of the isolated lowest bit; masks never exceed bit 30 *)
+    let r = popcount (low - 1) in
+    acc := fn r !acc;
+    m := !m land (!m - 1)
+  done;
+  !acc
+
+let fold_ints fn s acc = fold_mask fn s.i acc
+let fold_fps fn s acc = fold_mask fn s.f acc
 
 let caller_saves =
   union (of_list Reg.caller_save) (of_list_f Reg.caller_save_f)

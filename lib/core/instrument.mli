@@ -57,6 +57,18 @@ type options = {
 val default_options : options
 (** [{ save_strategy = Summary; call_style = Wrapper; heap_mode = Linked }] *)
 
+(** Which implementation of the instrument pipeline runs.  Both produce
+    byte-identical executables (checked by the benchmark harness and the
+    tests); only speed differs. *)
+type pipeline =
+  | Fast
+      (** content-addressed toolchain caches ({!Toolcache},
+          [Rtlib.compile_user]), binary-search symbol/leader lookups in
+          [Om.Build], worklist liveness, shared decode memo (default) *)
+  | Ref
+      (** the pre-overhaul pipeline: no caches, list-scan lookups, dense
+          liveness fixpoint — the benchmark baseline *)
+
 (** One lowered analysis call, in the order actions were lowered (includes
     the implicit [__libc_init]/[__libc_fini] calls).  Together with
     {!Om.Codegen.site} layout records this is the evidence the verifier
@@ -99,6 +111,7 @@ exception Error of string
 
 val instrument :
   ?options:options ->
+  ?pipeline:pipeline ->
   exe:Objfile.Exe.t ->
   tool:(Api.t -> unit) ->
   analysis:Objfile.Unit_file.t list ->
@@ -106,16 +119,20 @@ val instrument :
   Objfile.Exe.t * info
 (** Build the instrumented program.  [tool] is the user's instrumentation
     routine; [analysis] the compiled analysis modules (they are linked
-    with their own copy of the runtime library).
+    with their own copy of the runtime library).  [pipeline] defaults to
+    {!Fast}.
     @raise Error on any failure (undefined analysis procedure, overflow of
     the text gap, malformed prototypes...). *)
 
 val instrument_source :
   ?options:options ->
+  ?pipeline:pipeline ->
   exe:Objfile.Exe.t ->
   tool:(Api.t -> unit) ->
   analysis_src:string ->
   unit ->
   Objfile.Exe.t * info
 (** Convenience: compile the analysis routines from Mini-C source (with
-    the runtime-library prototypes in scope) and instrument. *)
+    the runtime-library prototypes in scope) and instrument.  On the
+    {!Fast} pipeline the compilation itself is served from the
+    content-addressed [Rtlib] cache. *)

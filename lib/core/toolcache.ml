@@ -1,0 +1,73 @@
+type prepared = {
+  pr_pl : Linker.Link.placement;
+  pr_summaries : Om.Dataflow.t;
+  pr_img : Linker.Link.image;
+  pr_text_base : int;
+}
+
+type linked = {
+  ln_img : Linker.Link.image;
+  ln_blob : bytes;
+}
+
+let table : (string, prepared) Hashtbl.t = Hashtbl.create 16
+let programs : (string, Om.Ir.program) Hashtbl.t = Hashtbl.create 16
+let links : (string, linked) Hashtbl.t = Hashtbl.create 16
+
+let hit_count = ref 0
+let miss_count = ref 0
+
+let hits () = !hit_count
+let misses () = !miss_count
+
+let size () =
+  Hashtbl.length table + Hashtbl.length programs + Hashtbl.length links
+
+(* Content keys are digests of serialised values; serialising the same
+   immutable executable or unit on every call would cost more than some
+   of the lookups it guards, so digests are memoized by physical
+   identity (bounded scan — a sweep keeps a handful of each alive). *)
+let exe_digests : (Objfile.Exe.t * string) list ref = ref []
+let unit_digests : (Objfile.Unit_file.t * string) list ref = ref []
+
+let identity_memo memo serialize v =
+  match List.find_opt (fun (v', _) -> v' == v) !memo with
+  | Some (_, d) -> d
+  | None ->
+      let d = Digest.string (serialize v) in
+      memo := (v, d) :: List.filteri (fun i _ -> i < 63) !memo;
+      d
+
+let exe_digest exe = identity_memo exe_digests Objfile.Exe.to_string exe
+let unit_digest u = identity_memo unit_digests Objfile.Unit_file.to_string u
+
+let clear () =
+  Hashtbl.reset table;
+  Hashtbl.reset programs;
+  Hashtbl.reset links;
+  exe_digests := [];
+  unit_digests := []
+
+let lookup tbl key build =
+  match Hashtbl.find_opt tbl key with
+  | Some v ->
+      incr hit_count;
+      v
+  | None ->
+      incr miss_count;
+      let v = build () in
+      Hashtbl.replace tbl key v;
+      v
+
+let find_or_add key build = lookup table key build
+let find_or_add_linked key build = lookup links key build
+
+let find_or_add_program key build =
+  let prog = lookup programs key build in
+  (* the stub lists are the only part of the IR a previous instrumentation
+     run mutates; wipe them so every caller sees a pristine program *)
+  Om.Ir.iter_insts prog (fun _ _ i ->
+      i.Om.Ir.i_before <- [];
+      i.Om.Ir.i_after <- [];
+      i.Om.Ir.i_taken <- []);
+  prog

@@ -57,6 +57,14 @@ let generate prog =
       map_arr.((i.Ir.i_pc - base) / 4) <- !cursor;
       cursor := !cursor + inst_bytes i);
   map_arr.(nwords) <- !cursor;
+  (* every instruction occupies at least its own word, so the array-backed
+     map must be strictly increasing (hence injective); check once here so
+     every downstream consumer of [r_map] can rely on monotonicity *)
+  for k = 1 to nwords do
+    if map_arr.(k) <= map_arr.(k - 1) then
+      failwith
+        (Printf.sprintf "Codegen: pc map not strictly increasing at word %d" k)
+  done;
   let new_size = !cursor - base in
   let map old =
     if old < base || old > base + old_size then

@@ -23,7 +23,18 @@
 
 val compute : Ir.program -> (int, Alpha.Regset.t) Hashtbl.t
 (** Per original instruction address, the registers live {e before} that
-    instruction executes. *)
+    instruction executes.
+
+    Worklist-driven: each procedure's CFG is preprocessed once (block
+    gen/kill sets, successor/predecessor index arrays, boundary
+    classification) and propagation revisits only blocks whose successors
+    changed, warm-starting every interprocedural round from the previous
+    round's solution. *)
+
+val compute_ref : Ir.program -> (int, Alpha.Regset.t) Hashtbl.t
+(** The pre-overhaul dense fixpoint (full-procedure passes re-stepping
+    every instruction), kept as the benchmark baseline and differential
+    reference.  Computes the same table as {!compute}. *)
 
 val live_before : (int, Alpha.Regset.t) Hashtbl.t -> int -> Alpha.Regset.t
 (** Lookup; unknown addresses report every register live. *)

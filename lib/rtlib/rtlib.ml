@@ -19,8 +19,28 @@ let libc =
       let libc = Minic.Driver.compile ~name:"libc.o" Sources.libc_c in
       Objfile.Archive.create "libc.a" [ libc; div; sys ])
 
-let compile_user ~name source =
-  Minic.Driver.compile ~name (header ^ "\n" ^ source)
+(* Content-addressed cache for user/analysis compilations: the same
+   Mini-C source (e.g. one tool's analysis routines applied across a whole
+   benchmark suite) is compiled once per content key.  Units are immutable
+   once built, so sharing the compiled object is safe. *)
+let user_cache : (string, Objfile.Unit_file.t) Hashtbl.t = Hashtbl.create 16
+
+let clear_cache () = Hashtbl.reset user_cache
+
+let compile_user ?(cache = true) ~name source =
+  let full = header ^ "\n" ^ source in
+  if not cache then Minic.Driver.compile ~name full
+  else begin
+    (* the unit name lands in diagnostics inside the object, so it is part
+       of the content key *)
+    let key = Digest.string (name ^ "\000" ^ full) in
+    match Hashtbl.find_opt user_cache key with
+    | Some u -> u
+    | None ->
+        let u = Minic.Driver.compile ~name full in
+        Hashtbl.replace user_cache key u;
+        u
+  end
 
 let link_program units =
   Linker.Link.link

@@ -15,8 +15,16 @@ val crt0 : unit -> Objfile.Unit_file.t
 val libc : unit -> Objfile.Archive.t
 (** [libc.a]: division helpers, syscall stubs and the Mini-C library. *)
 
-val compile_user : name:string -> string -> Objfile.Unit_file.t
-(** Compile a user program with the library prototypes in scope. *)
+val compile_user : ?cache:bool -> name:string -> string -> Objfile.Unit_file.t
+(** Compile a user program with the library prototypes in scope.
+
+    By default the result is memoised under a content key (digest of unit
+    name + full source), so compiling the same source again returns the
+    cached object; [~cache:false] forces a fresh compilation (used by the
+    benchmark harness's reference pipeline and cold modes). *)
+
+val clear_cache : unit -> unit
+(** Drop every entry of the content-addressed compilation cache. *)
 
 val link_program : Objfile.Unit_file.t list -> Objfile.Exe.t
 (** [crt0 + units + libc], standard layout, entry [__start]. *)

@@ -48,12 +48,14 @@ let read_word exe addr =
   | None -> None
 
 (* Decoded instructions of a stub extent; unmapped words are dropped (the
-   layout pass flags those separately). *)
+   layout pass flags those separately).  Decoding goes through the shared
+   word memo: the same words were already decoded by the instrumentation
+   engine, so the verifier pays no second decode. *)
 let extent_insns exe (ext : Om.Codegen.extent) =
   List.filter_map
     (fun k ->
       let addr = ext.Om.Codegen.e_addr + (4 * k) in
-      Option.map (fun w -> (addr, Code.decode w)) (read_word exe addr))
+      Option.map (fun w -> (addr, Code.decode_cached w)) (read_word exe addr))
     (List.init (ext.Om.Codegen.e_size / 4) Fun.id)
 
 (* -- stub parsing --------------------------------------------------------
@@ -199,7 +201,7 @@ let check_image ~original ~instrumented ~(info : I.info) =
       match read_word instrumented addr with
       | None -> flag "layout" ~addr "%s: address not mapped by any segment" name
       | Some w ->
-          if not (Code.roundtrips w) then
+          if not (Code.roundtrips_cached w) then
             flag "decode-roundtrip" ~addr
               "%s: word %#010x does not round-trip through encode/decode" name
               w;
@@ -220,7 +222,7 @@ let check_image ~original ~instrumented ~(info : I.info) =
                   "%s: branch target %#x leaves the region [%#x, %#x)" name t
                   lo (lo + size)
           in
-          (match Code.decode w with
+          (match Code.decode_cached w with
           | Insn.Br { link; disp; _ } ->
               check_target ~callable:link (target_of disp)
           | Insn.Cbr { disp; _ } | Insn.Fbr { disp; _ } ->
@@ -332,7 +334,7 @@ let check_image ~original ~instrumented ~(info : I.info) =
             match read_word instrumented (addr + (4 * k)) with
             | None -> None
             | Some w -> (
-                match Code.decode w with
+                match Code.decode_cached w with
                 | Insn.Jump { kind = Insn.Ret; _ } -> Some (List.rev acc)
                 | i -> collect (k + 1) ((addr + (4 * k), i) :: acc))
         in

@@ -219,6 +219,68 @@ let test_liveness_divqu_remainder () =
         p.Om.Ir.p_blocks;
       Alcotest.(check bool) "__divqu has a ret" true !found
 
+(* the binary-search builder must reproduce the reference builder's
+   output structurally, on real programs and on arbitrary ones *)
+let test_fast_builder_matches_ref () =
+  let exe = Lazy.force sample_exe in
+  let fast = Om.Build.program exe in
+  let reference = Om.Build.program_ref exe in
+  Alcotest.(check bool) "fast builder = reference builder" true
+    (fast.Om.Ir.procs = reference.Om.Ir.procs)
+
+let gen_synthetic_exe =
+  QCheck.Gen.(
+    int_range 4 64 >>= fun nwords ->
+    list_size (return nwords)
+      (int_bound 0xFFFFFFF >|= fun n -> n * 2654435761 land 0xFFFFFFFF)
+    >>= fun words ->
+    list_size (int_bound 4) (int_bound (nwords - 1)) >|= fun starts ->
+    let base = Objfile.Exe.text_base in
+    let bytes = Bytes.create (4 * nwords) in
+    List.iteri (fun i w -> Alpha.Code.write_word bytes (4 * i) w) words;
+    let starts = List.sort_uniq compare (0 :: starts) in
+    let syms =
+      List.map
+        (fun i ->
+          {
+            Objfile.Exe.x_name = Printf.sprintf "f%d" i;
+            x_addr = base + (4 * i);
+            x_type = Objfile.Types.Func;
+            x_size = 0;
+          })
+        starts
+    in
+    {
+      Objfile.Exe.x_entry = base;
+      x_segs = [ { Objfile.Exe.seg_vaddr = base; seg_bytes = bytes; seg_bss = 0 } ];
+      x_symbols = syms;
+      x_text_start = base;
+      x_text_size = 4 * nwords;
+      x_data_start = base + 0x100000;
+      x_break = base + 0x200000;
+      x_code_refs = [];
+    })
+
+let prop_partition =
+  QCheck.Test.make ~count:300
+    ~name:"blocks cover procedure text exactly; fast builder = reference"
+    (QCheck.make gen_synthetic_exe)
+    (fun exe ->
+      let prog = Om.Build.program exe in
+      let reference = Om.Build.program_ref exe in
+      prog.Om.Ir.procs = reference.Om.Ir.procs
+      && Array.for_all
+           (fun p ->
+             let cursor = ref p.Om.Ir.p_addr in
+             let contiguous = ref true in
+             Array.iter
+               (fun b ->
+                 if b.Om.Ir.b_addr <> !cursor then contiguous := false;
+                 cursor := !cursor + (4 * Array.length b.Om.Ir.b_insts))
+               p.Om.Ir.p_blocks;
+             !contiguous && !cursor = p.Om.Ir.p_addr + p.Om.Ir.p_size)
+           prog.Om.Ir.procs)
+
 let () =
   Alcotest.run "om"
     [
@@ -228,6 +290,9 @@ let () =
           Alcotest.test_case "blocks partition procs" `Quick test_blocks_partition_procs;
           Alcotest.test_case "successors are leaders" `Quick test_succs_are_leaders;
           Alcotest.test_case "find procs" `Quick test_find_procs;
+          Alcotest.test_case "fast builder matches reference" `Quick
+            test_fast_builder_matches_ref;
+          QCheck_alcotest.to_alcotest prop_partition;
         ] );
       ("dataflow", [ Alcotest.test_case "summaries" `Quick test_dataflow ]);
       ( "liveness",

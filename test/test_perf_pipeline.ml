@@ -1,0 +1,185 @@
+(* Instrumentation-throughput overhaul invariants.
+
+   The fast pipeline (content-addressed toolchain caches, binary-search
+   lookups, worklist liveness, shared decode memo) must be an
+   observationally perfect stand-in for the pre-overhaul reference
+   pipeline: byte-identical instrumented images, identical audits,
+   identical liveness tables.  The caches themselves must behave as
+   caches: a warm repeat is all hits and byte-identical to the cold run,
+   and changing an option that is part of the content key is a miss. *)
+
+module I = Atom.Instrument
+
+let apply ?options ?pipeline name w_name =
+  let tool = Option.get (Tools.Registry.find name) in
+  let w = Option.get (Workloads.find w_name) in
+  let exe = Workloads.compile w in
+  Tools.Tool.apply ?options ?pipeline tool exe
+
+let exe_bytes = Objfile.Exe.to_string
+
+let clear_caches () =
+  Atom.Toolcache.clear ();
+  Rtlib.clear_cache ()
+
+(* wrapper/proc address lists come out of hash-table folds; order is not
+   part of the audit's meaning *)
+let norm_audit (a : I.audit) =
+  {
+    a with
+    I.au_wrappers = List.sort compare a.I.au_wrappers;
+    au_procs = List.sort compare a.I.au_procs;
+  }
+
+(* -- cache identity ------------------------------------------------------ *)
+
+let test_cold_warm_identity () =
+  clear_caches ();
+  let exe1, info1 = apply "branch" "sieve" in
+  let exe2, info2 = apply "branch" "sieve" in
+  Alcotest.(check bool) "warm image byte-identical to cold" true
+    (exe_bytes exe1 = exe_bytes exe2);
+  Alcotest.(check bool) "warm audit identical to cold" true
+    (norm_audit info1.I.i_audit = norm_audit info2.I.i_audit)
+
+let test_cache_accounting () =
+  clear_caches ();
+  let m0 = Atom.Toolcache.misses () in
+  ignore (apply "branch" "sieve");
+  let h1 = Atom.Toolcache.hits () and m1 = Atom.Toolcache.misses () in
+  Alcotest.(check bool) "cold run misses" true (m1 > m0);
+  ignore (apply "branch" "sieve");
+  let h2 = Atom.Toolcache.hits () and m2 = Atom.Toolcache.misses () in
+  Alcotest.(check bool) "warm run hits" true (h2 > h1);
+  Alcotest.(check int) "warm run misses nothing" m1 m2;
+  (* the option fingerprint is part of the content key: same tool, same
+     application, different options must rebuild, not replay *)
+  ignore
+    (apply
+       ~options:{ I.default_options with I.save_strategy = I.Save_all }
+       "branch" "sieve");
+  let m3 = Atom.Toolcache.misses () in
+  Alcotest.(check bool) "changed option key misses" true (m3 > m2)
+
+(* -- old pipeline vs new pipeline ---------------------------------------- *)
+
+let option_matrix =
+  [
+    I.default_options;
+    { I.default_options with I.save_strategy = I.Summary_and_live };
+    { I.default_options with I.call_style = I.Inline_saves };
+    {
+      I.save_strategy = I.Summary_and_live;
+      call_style = I.Inline_body;
+      heap_mode = I.Partitioned (1 lsl 24);
+    };
+  ]
+
+let test_ref_fast_identity () =
+  clear_caches ();
+  List.iter
+    (fun (tname, wname) ->
+      List.iter
+        (fun options ->
+          let e_fast, i_fast = apply ~options ~pipeline:I.Fast tname wname in
+          let e_ref, i_ref = apply ~options ~pipeline:I.Ref tname wname in
+          let cell = tname ^ "/" ^ wname in
+          Alcotest.(check bool) (cell ^ ": image byte-identical") true
+            (exe_bytes e_fast = exe_bytes e_ref);
+          Alcotest.(check bool) (cell ^ ": audit identical") true
+            (norm_audit i_fast.I.i_audit = norm_audit i_ref.I.i_audit))
+        option_matrix)
+    [ ("branch", "sieve"); ("malloc", "qsort"); ("unalign", "sieve") ]
+
+(* -- worklist liveness vs dense fixpoint --------------------------------- *)
+
+let test_liveness_equivalence () =
+  List.iter
+    (fun wname ->
+      let exe = Workloads.compile (Option.get (Workloads.find wname)) in
+      let prog = Om.Build.program exe in
+      let fast = Om.Liveness.compute prog in
+      let dense = Om.Liveness.compute_ref prog in
+      Alcotest.(check int)
+        (wname ^ ": table sizes")
+        (Hashtbl.length dense) (Hashtbl.length fast);
+      Hashtbl.iter
+        (fun pc s ->
+          match Hashtbl.find_opt fast pc with
+          | None ->
+              Alcotest.fail (Printf.sprintf "%s: missing pc %#x" wname pc)
+          | Some s' ->
+              if not (Alpha.Regset.equal s s') then
+                Alcotest.fail
+                  (Printf.sprintf "%s: live sets differ at %#x" wname pc))
+        dense)
+    [ "sieve"; "qsort"; "compress" ]
+
+(* -- popcount regsets ---------------------------------------------------- *)
+
+let arbitrary_regset =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_bound 40) (int_range 0 31) >>= fun is ->
+      list_size (int_bound 40) (int_range 0 31) >|= fun fs ->
+      List.fold_left
+        (fun s r -> Alpha.Regset.add_f r s)
+        (Alpha.Regset.of_list is) fs)
+  in
+  QCheck.make
+    ~print:(fun s -> Format.asprintf "%a" Alpha.Regset.pp s)
+    gen
+
+let prop_cardinal =
+  QCheck.Test.make ~count:500 ~name:"cardinal = |ints| + |fps|"
+    arbitrary_regset (fun s ->
+      Alpha.Regset.cardinal s
+      = List.length (Alpha.Regset.ints s) + List.length (Alpha.Regset.fps s))
+
+let prop_folds =
+  QCheck.Test.make ~count:500
+    ~name:"fold_ints/fold_fps enumerate members ascending" arbitrary_regset
+    (fun s ->
+      List.rev (Alpha.Regset.fold_ints (fun r acc -> r :: acc) s [])
+      = Alpha.Regset.ints s
+      && List.rev (Alpha.Regset.fold_fps (fun r acc -> r :: acc) s [])
+         = Alpha.Regset.fps s)
+
+(* -- shared decode memo -------------------------------------------------- *)
+
+let arbitrary_word =
+  QCheck.(
+    make
+      Gen.(int_bound 0xFFFFFFF >|= fun n -> n * 2654435761 land 0xFFFFFFFF))
+
+let prop_decode_memo =
+  QCheck.Test.make ~count:2000 ~name:"decode memo agrees with plain decode"
+    arbitrary_word (fun w ->
+      Alpha.Code.decode_cached w = Alpha.Code.decode w
+      && Alpha.Code.roundtrips_cached w = Alpha.Code.roundtrips w)
+
+let () =
+  Alcotest.run "perf-pipeline"
+    [
+      ( "caches",
+        [
+          Alcotest.test_case "cold-then-warm byte identity" `Quick
+            test_cold_warm_identity;
+          Alcotest.test_case "hit/miss accounting and option keys" `Quick
+            test_cache_accounting;
+        ] );
+      ( "pipelines",
+        [
+          Alcotest.test_case "ref and fast produce identical output" `Quick
+            test_ref_fast_identity;
+        ] );
+      ( "liveness",
+        [
+          Alcotest.test_case "worklist matches dense fixpoint" `Quick
+            test_liveness_equivalence;
+        ] );
+      ( "regset",
+        List.map QCheck_alcotest.to_alcotest [ prop_cardinal; prop_folds ] );
+      ( "decode-memo",
+        List.map QCheck_alcotest.to_alcotest [ prop_decode_memo ] );
+    ]
