@@ -21,9 +21,14 @@
    agree bit-for-bit and reports simulated instructions per second and
    the speedup ratio, writing the results to BENCH_sim.json.
 
+   Faults - the fail-closed campaign: seeded syscall errors, corrupted
+   images and fuel cutoffs over plain and instrumented workloads; writes
+   BENCH_faults.json and demands zero escaped exceptions and zero
+   engine disagreements.
+
    Usage: main.exe
      [fig5 [--smoke] [--cold]|fig6|ablations|verify|bechamel [--cold]|
-      quick|perf [--smoke]|all]  *)
+      quick|perf [--smoke]|faults [--smoke]|all]  *)
 
 let time_it fn =
   let t0 = Unix.gettimeofday () in
@@ -63,7 +68,8 @@ let run_instrumented2 ?engine exe' name =
   (match outcome with
   | Machine.Sim.Exit 0 -> ()
   | Machine.Sim.Exit n -> failwith (Printf.sprintf "%s: exit %d" name n)
-  | Machine.Sim.Fault f -> failwith (Printf.sprintf "%s: fault %s" name f)
+  | Machine.Sim.Fault f ->
+      failwith (Printf.sprintf "%s: fault %s" name (Machine.Fault.to_string f))
   | Machine.Sim.Out_of_fuel -> failwith (name ^ ": out of fuel"));
   let st = Machine.Sim.stats m in
   (st.Machine.Sim.st_insns, st.Machine.Sim.st_pair_cycles)
@@ -802,6 +808,90 @@ let perf ?(smoke = false) () =
     exit 1
   end
 
+(* -- fault-injection campaign ------------------------------------------- *)
+
+(* Drive the seeded fault-injection corpus (syscall errors, corrupted
+   images, fuel cutoffs) over a spread of workloads, plain and
+   instrumented.  The machine must fail closed: zero OCaml exceptions
+   escaping, zero ref/fast disagreements.  Results go to
+   BENCH_faults.json; any escape also drops its reproducible case labels
+   into BENCH_faults_failing.txt for the CI artifact. *)
+let faults ?(smoke = false) () =
+  let workload_names =
+    if smoke then [ "cover"; "qsort" ]
+    else [ "cover"; "qsort"; "sieve"; "compress"; "matmul" ]
+  in
+  let tool_names = if smoke then [ "dyninst" ] else [ "dyninst"; "prof"; "trace" ] in
+  let workloads =
+    List.filter (fun w -> List.mem w.Workloads.w_name workload_names) Workloads.all
+  in
+  let tools =
+    List.filter (fun t -> List.mem t.Tools.Tool.name tool_names) Tools.Registry.all
+  in
+  let scale n = if smoke then max 1 (n / 4) else n in
+  let subjects =
+    List.concat_map
+      (fun w ->
+        let exe = Workloads.compile w in
+        (w.Workloads.w_name, exe)
+        :: List.map
+             (fun t ->
+               ( t.Tools.Tool.name ^ "/" ^ w.Workloads.w_name,
+                 fst (Tools.Tool.apply t exe) ))
+             tools)
+      workloads
+  in
+  Printf.printf "fault injection%s: %d subjects\n%!"
+    (if smoke then " (smoke)" else "")
+    (List.length subjects);
+  let reports =
+    List.mapi
+      (fun i (name, exe) ->
+        let r =
+          Faultinject.campaign ~seed:(i + 1) ~syscall_cases:(scale 24)
+            ~image_cases:(scale 48) ~fuel_cases:(scale 12) exe
+        in
+        Printf.printf "  %-18s %4d cases, %d escapes, %d mismatches\n%!" name
+          r.Faultinject.r_cases
+          (List.length r.Faultinject.r_escapes)
+          (List.length r.Faultinject.r_mismatches);
+        r)
+      subjects
+  in
+  let total = Faultinject.merge reports in
+  let oc = open_out "BENCH_faults.json" in
+  output_string oc "{\n";
+  output_string oc "  \"benchmark\": \"fault-injection\",\n";
+  output_string oc (Printf.sprintf "  \"smoke\": %b,\n" smoke);
+  output_string oc (Printf.sprintf "  \"subjects\": %d,\n" (List.length subjects));
+  let inner = Faultinject.report_to_json total in
+  (* splice the report's fields into this object: drop its braces *)
+  let inner = String.sub inner 2 (String.length inner - 5) in
+  output_string oc inner;
+  output_string oc "\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_faults.json (%d cases)\n" total.Faultinject.r_cases;
+  if not (Faultinject.ok total) then begin
+    let oc = open_out "BENCH_faults_failing.txt" in
+    List.iter
+      (fun e ->
+        Printf.fprintf oc "escape %s: %s\n" e.Faultinject.e_case
+          e.Faultinject.e_detail)
+      total.Faultinject.r_escapes;
+    List.iter
+      (fun e ->
+        Printf.fprintf oc "mismatch %s: %s\n" e.Faultinject.e_case
+          e.Faultinject.e_detail)
+      total.Faultinject.r_mismatches;
+    close_out oc;
+    Printf.printf
+      "FAULT-INJECTION FAILURES: %d escapes, %d mismatches (see \
+       BENCH_faults_failing.txt)\n"
+      (List.length total.Faultinject.r_escapes)
+      (List.length total.Faultinject.r_mismatches);
+    exit 1
+  end
+
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let has_flag f =
@@ -822,6 +912,7 @@ let () =
   | "ablate-liveness" -> ablate_liveness ()
   | "bechamel" -> bechamel ~cold:(has_flag "--cold") ()
   | "perf" -> perf ~smoke:(has_flag "--smoke") ()
+  | "faults" -> faults ~smoke:(has_flag "--smoke") ()
   | "verify" -> verify_sweep ()
   | "quick" ->
       let tools =

@@ -122,8 +122,8 @@ let () =
               match outcome with
               | Machine.Sim.Exit n -> exit n
               | Machine.Sim.Fault f ->
-                  Printf.eprintf "fault: %s\n" f;
-                  exit 125
+                  Printf.eprintf "fault: %s\n" (Machine.Fault.to_string f);
+                  exit (Machine.Fault.exit_code f)
               | Machine.Sim.Out_of_fuel ->
                   prerr_endline "out of fuel";
                   exit 124

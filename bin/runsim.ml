@@ -1,11 +1,19 @@
 (* runsim: run an executable on the machine simulator.
 
      runsim prog.exe [--stdin FILE] [--input NAME=FILE] [--stats]
-                     [--dump-files] [--fuel N] [--engine ref|fast]  *)
+                     [--dump-files] [--fuel N] [--engine ref|fast]
+                     [--no-protect] [--max-pages N] [--stack-bytes N]
+                     [--brk-max ADDR] [--strict-align]
+
+   Exit codes follow the 128+signal convention for machine faults:
+   139 segmentation violation, 135 unaligned access, 132 illegal
+   instruction or bad PAL call, 159 unknown system call, 137 resident
+   memory limit; 124 out of fuel, 1 load error, 2 usage. *)
 
 let usage =
   "runsim [--stdin FILE] [--input NAME=FILE] [--stats] [--dump-files] \
-   [--engine ref|fast] prog.exe"
+   [--engine ref|fast] [--no-protect] [--max-pages N] [--stack-bytes N] \
+   [--brk-max ADDR] [--strict-align] prog.exe"
 
 let () =
   let stdin_file = ref "" in
@@ -14,6 +22,11 @@ let () =
   let dump = ref false in
   let fuel = ref 2_000_000_000 in
   let engine = ref Machine.Sim.Fast in
+  let protect = ref true in
+  let max_pages = ref 65536 in
+  let stack_bytes = ref (8 * 1024 * 1024) in
+  let brk_max = ref 0 in
+  let strict_align = ref false in
   let prog = ref "" in
   Arg.parse
     [
@@ -39,6 +52,15 @@ let () =
             | Some e -> engine := e
             | None -> raise (Arg.Bad ("unknown engine " ^ s))),
         "execution engine: fast (default) or ref" );
+      ( "--no-protect",
+        Arg.Clear protect,
+        "disable memory protection (allocate-on-touch memory)" );
+      ("--max-pages", Arg.Set_int max_pages, "resident-page ceiling (4 KiB pages)");
+      ("--stack-bytes", Arg.Set_int stack_bytes, "writable stack size below text");
+      ("--brk-max", Arg.Set_int brk_max, "highest address brk may reach");
+      ( "--strict-align",
+        Arg.Set strict_align,
+        "fault on naturally misaligned memory accesses" );
     ]
     (fun f -> prog := f)
     usage;
@@ -59,7 +81,10 @@ let () =
         !inputs
     in
     let m =
-      Machine.Sim.load ~engine:!engine ~stdin:stdin_data ~inputs:vfs_inputs exe
+      Machine.Sim.load ~engine:!engine ~stdin:stdin_data ~inputs:vfs_inputs
+        ~protect:!protect ~max_pages:!max_pages ~stack_bytes:!stack_bytes
+        ?brk_max:(if !brk_max > 0 then Some !brk_max else None)
+        ~strict_align:!strict_align exe
     in
     let outcome = Machine.Sim.run ~max_insns:!fuel m in
     print_string (Machine.Sim.stdout m);
@@ -84,8 +109,8 @@ let () =
     match outcome with
     | Machine.Sim.Exit n -> exit n
     | Machine.Sim.Fault f ->
-        Printf.eprintf "fault: %s\n" f;
-        exit 125
+        Printf.eprintf "fault: %s\n" (Machine.Fault.to_string f);
+        exit (Machine.Fault.exit_code f)
     | Machine.Sim.Out_of_fuel ->
         prerr_endline "out of fuel";
         exit 124

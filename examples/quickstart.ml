@@ -104,7 +104,8 @@ let () =
   (match Machine.Sim.run m with
   | Machine.Sim.Exit 0 -> ()
   | Machine.Sim.Exit n -> Printf.eprintf "exit %d\n" n
-  | Machine.Sim.Fault f -> Printf.eprintf "fault: %s\n" f
+  | Machine.Sim.Fault f ->
+      Printf.eprintf "fault: %s\n" (Machine.Fault.to_string f)
   | Machine.Sim.Out_of_fuel -> Printf.eprintf "ran out of fuel\n");
   print_string (Machine.Sim.stdout m);
   print_endline "== btaken.out (first 12 branches) ==";

@@ -24,7 +24,16 @@ type action = {
   a_args : arg list;
   a_inst : inst;
   a_place : place;
+  a_rank : int;
 }
+
+(* Same-site ordering classes.  ProgramBefore hooks must run before any
+   instruction- or block-level call planted on the same instruction (the
+   entry point), and ProgramAfter hooks after them, no matter the order
+   the tool registered them in. *)
+let rank_program_before = 0
+let rank_normal = 1
+let rank_program_after = 2
 
 type t = {
   prog : Om.Ir.program;
@@ -186,13 +195,15 @@ let check_args t name (site : inst) place args =
             (Proto.kind_name kind))
     kinds args
 
-let add_action t site place name args =
+let add_action ?(rank = rank_normal) t site place name args =
   check_args t name site place args;
   if place = After && not (Alpha.Insn.falls_through (inst_insn site)) then
     fail "%s: cannot insert after an instruction that does not fall through" name;
   if place = Taken_edge && not (Alpha.Insn.is_cond_branch (inst_insn site)) then
     fail "%s: taken-edge calls only apply to conditional branches" name;
-  t.acts <- { a_proc = name; a_args = args; a_inst = site; a_place = place } :: t.acts
+  t.acts <-
+    { a_proc = name; a_args = args; a_inst = site; a_place = place; a_rank = rank }
+    :: t.acts
 
 let add_call_inst t i place name args = add_action t i place name args
 
@@ -256,10 +267,15 @@ let add_call_proc t p place name args =
 
 let add_call_program t place name args =
   match place with
-  | Program_before -> add_action t (first_inst_of_proc (entry_proc t)) Before name args
+  | Program_before ->
+      add_action ~rank:rank_program_before t
+        (first_inst_of_proc (entry_proc t))
+        Before name args
   | Program_after -> (
       match exit_proc t with
-      | Some p -> add_action t (first_inst_of_proc p) Before name args
+      | Some p ->
+          add_action ~rank:rank_program_after t (first_inst_of_proc p) Before
+            name args
       | None ->
           fail
             "%s: ProgramAfter needs an `exit' procedure in the application \

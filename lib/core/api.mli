@@ -129,7 +129,17 @@ type action = {
   a_args : arg list;
   a_inst : inst;  (** the site the action was lowered onto *)
   a_place : place;
+  a_rank : int;
+      (** same-site ordering class: [ProgramBefore] calls rank below
+          instruction- and block-level calls, [ProgramAfter] calls above
+          them, whatever the registration order.  A tool that registers
+          its per-block counters before its init hook still gets the init
+          called first. *)
 }
+
+val rank_program_before : int
+val rank_normal : int
+val rank_program_after : int
 
 val create : Om.Ir.program -> t
 val ir : t -> Om.Ir.program

@@ -111,7 +111,7 @@ let analysis_summaries ~build pl =
     {
       Exe.x_entry = bases.Linker.Link.b_text;
       x_segs =
-        [ { Exe.seg_vaddr = bases.Linker.Link.b_text; seg_bytes = img.Linker.Link.i_text; seg_bss = 0 } ];
+        [ { Exe.seg_vaddr = bases.Linker.Link.b_text; seg_bytes = img.Linker.Link.i_text; seg_bss = 0; seg_write = false } ];
       x_symbols = List.map snd img.Linker.Link.i_globals;
       x_text_start = bases.Linker.Link.b_text;
       x_text_size = Bytes.length img.Linker.Link.i_text;
@@ -205,15 +205,25 @@ let instrument ?(options = default_options) ?(pipeline = Fast) ~exe ~tool
     match Api.exit_proc api with
     | Some p when proc_defined "__libc_fini" ->
         [ { Api.a_proc = "__libc_fini"; a_args = [];
-            a_inst = Api.first_inst_of_proc p; a_place = Api.Before } ]
+            a_inst = Api.first_inst_of_proc p; a_place = Api.Before;
+            a_rank = Api.rank_program_after + 1 } ]
     | Some _ | None -> []
   in
   let actions =
     ({ Api.a_proc = "__libc_init"; a_args = []; a_inst = init_site;
-       a_place = Api.Before }
+       a_place = Api.Before; a_rank = Api.rank_program_before - 1 }
     :: user_actions)
     @ fini_actions
   in
+  (* Same-site ordering: ProgramBefore hooks (and the implicit runtime
+     init) run before any block- or instruction-level call planted on the
+     same instruction; ProgramAfter hooks (and the stdio flush) after
+     them.  A tool may register its per-block counter calls before its
+     init hook — under the fail-closed memory map the init really must
+     run first, or the counter call dereferences a pointer the init has
+     not set up yet.  The sort is stable, so registration order still
+     decides within a rank. *)
+  let actions = List.stable_sort (fun a b -> compare a.Api.a_rank b.Api.a_rank) actions in
   List.iter
     (fun a ->
       if not (proc_defined a.Api.a_proc) then
@@ -516,8 +526,13 @@ let instrument ?(options = default_options) ?(pipeline = Fast) ~exe ~tool
   let wrappers_bytes = Buffer.to_bytes wrapper_code in
   let strings_bytes = Buffer.to_bytes strings in
   let new_segs =
-    { Exe.seg_vaddr = text_base; seg_bytes = result.Om.Codegen.r_text; seg_bss = 0 }
-    :: { Exe.seg_vaddr = a_text; seg_bytes = blob; seg_bss = 0 }
+    { Exe.seg_vaddr = text_base; seg_bytes = result.Om.Codegen.r_text;
+      seg_bss = 0; seg_write = false }
+    :: (* the analysis-module blob carries its own data and bss (counters,
+          the partitioned [__curbrk]), so it must stay writable even
+          though it is based in the text–data gap *)
+       { Exe.seg_vaddr = a_text; seg_bytes = blob; seg_bss = 0;
+         seg_write = true }
     ::
     (if Bytes.length wrappers_bytes > 0 || Bytes.length strings_bytes > 0 then
        [
@@ -531,6 +546,7 @@ let instrument ?(options = default_options) ?(pipeline = Fast) ~exe ~tool
                 (Bytes.length strings_bytes);
               b);
            seg_bss = 0;
+           seg_write = false;
          };
        ]
      else [])

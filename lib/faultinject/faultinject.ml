@@ -1,0 +1,256 @@
+(* Seeded fault-injection campaigns: perturb the I/O world, the image
+   bytes and the fuel budget, and check the machine fails closed — every
+   case ends in a structured outcome and both engines tell the same
+   story.  See the interface for the taxonomy. *)
+
+module Sim = Machine.Sim
+module Vfs = Machine.Vfs
+module Fault = Machine.Fault
+module Exe = Objfile.Exe
+
+type escape = { e_case : string; e_detail : string }
+
+type report = {
+  r_cases : int;
+  r_hist : (string * int) list;
+  r_escapes : escape list;
+  r_mismatches : escape list;
+}
+
+let outcome_label = function
+  | Sim.Exit _ -> "exit"
+  | Sim.Fault f -> Fault.kind f
+  | Sim.Out_of_fuel -> "out-of-fuel"
+
+let outcome_str = function
+  | Sim.Exit n -> Printf.sprintf "exit %d" n
+  | Sim.Fault f -> "fault " ^ Fault.to_string f
+  | Sim.Out_of_fuel -> "out of fuel"
+
+(* Everything observable about one run.  Two engines given the same
+   perturbation must agree on all of it. *)
+type observation = {
+  ob_outcome : Sim.outcome;
+  ob_stats : Sim.stats;
+  ob_stdout : string;
+  ob_stderr : string;
+  ob_files : (string * string) list;
+  ob_brk : int;
+}
+
+let observe ?plan ~max_insns engine exe =
+  let m = Sim.load ~engine exe in
+  Option.iter (Vfs.set_fault_plan (Sim.vfs m)) plan;
+  let outcome = Sim.run ~max_insns m in
+  {
+    ob_outcome = outcome;
+    ob_stats = Sim.stats m;
+    ob_stdout = Sim.stdout m;
+    ob_stderr = Sim.stderr m;
+    ob_files = Sim.output_files m;
+    ob_brk = Sim.brk m;
+  }
+
+let describe_disagreement a b =
+  if a.ob_outcome <> b.ob_outcome then
+    Printf.sprintf "outcome ref=%s fast=%s" (outcome_str a.ob_outcome)
+      (outcome_str b.ob_outcome)
+  else if a.ob_stats <> b.ob_stats then "statistics differ"
+  else if a.ob_stdout <> b.ob_stdout then "stdout differs"
+  else if a.ob_stderr <> b.ob_stderr then "stderr differs"
+  else if a.ob_files <> b.ob_files then "output files differ"
+  else Printf.sprintf "final break ref=%#x fast=%#x" a.ob_brk b.ob_brk
+
+(* -- campaign state ---------------------------------------------------- *)
+
+type acc = {
+  mutable cases : int;
+  hist : (string, int) Hashtbl.t;
+  mutable escapes : escape list;
+  mutable mismatches : escape list;
+}
+
+let bump acc label =
+  Hashtbl.replace acc.hist label
+    (1 + Option.value ~default:0 (Hashtbl.find_opt acc.hist label))
+
+(* Run one perturbed case under both engines.  Any exception reaching us
+   here escaped the structured-outcome contract. *)
+let differential_case acc name ?plan ~max_insns exe =
+  acc.cases <- acc.cases + 1;
+  match
+    ( (try Ok (observe ?plan ~max_insns Sim.Ref exe) with e -> Error e),
+      try Ok (observe ?plan ~max_insns Sim.Fast exe) with e -> Error e )
+  with
+  | Ok a, Ok b ->
+      if a = b then bump acc (outcome_label a.ob_outcome)
+      else begin
+        bump acc (outcome_label a.ob_outcome);
+        acc.mismatches <-
+          { e_case = name; e_detail = describe_disagreement a b }
+          :: acc.mismatches
+      end
+  | Error e, _ | _, Error e ->
+      acc.escapes <-
+        { e_case = name; e_detail = Printexc.to_string e } :: acc.escapes
+
+(* -- syscall-error plans ----------------------------------------------- *)
+
+(* Draw a handful of call ordinals to sabotage.  Small ordinals are the
+   interesting ones (early opens, the first writes of a report file), so
+   the distribution leans low. *)
+let gen_ordinals rng =
+  List.init
+    (1 + Random.State.int rng 3)
+    (fun _ ->
+      let r = Random.State.int rng 64 in
+      if r < 48 then r mod 16 else r)
+  |> List.sort_uniq compare
+
+let gen_plan rng =
+  match Random.State.int rng 4 with
+  | 0 -> { Vfs.no_faults with Vfs.fp_fail_open = gen_ordinals rng }
+  | 1 -> { Vfs.no_faults with Vfs.fp_fail_write = gen_ordinals rng }
+  | 2 -> { Vfs.no_faults with Vfs.fp_short_read = gen_ordinals rng }
+  | _ ->
+      {
+        Vfs.fp_fail_open = gen_ordinals rng;
+        fp_fail_write = gen_ordinals rng;
+        fp_short_read = gen_ordinals rng;
+      }
+
+(* -- image corruption -------------------------------------------------- *)
+
+(* A corrupted image is allowed exactly two fates: the loader rejects it
+   with [Wire.Corrupt], or it loads and both engines agree on whatever
+   the damaged program does.  [Invalid_argument] out of [Bytes],
+   [Failure], a negative [List.init] — any of those is an escape. *)
+let corrupt rng blob =
+  let b = Bytes.of_string blob in
+  let n = Bytes.length b in
+  match Random.State.int rng 3 with
+  | 0 ->
+      let i = Random.State.int rng n in
+      let bit = Random.State.int rng 8 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+      (Printf.sprintf "bitflip@%d.%d" i bit, Bytes.to_string b)
+  | 1 ->
+      let keep = Random.State.int rng n in
+      (Printf.sprintf "truncate@%d" keep, String.sub blob 0 keep)
+  | _ ->
+      (* stomp a 4-byte window: simulates a torn write *)
+      let i = Random.State.int rng (max 1 (n - 4)) in
+      let w = Random.State.bits rng in
+      for k = 0 to 3 do
+        if i + k < n then
+          Bytes.set b (i + k) (Char.chr ((w lsr (8 * k)) land 0xff))
+      done;
+      (Printf.sprintf "stomp@%d" i, Bytes.to_string b)
+
+let image_case acc name ~max_insns blob =
+  match Exe.of_string blob with
+  | exception Objfile.Wire.Corrupt _ ->
+      acc.cases <- acc.cases + 1;
+      bump acc "rejected"
+  | exception e ->
+      acc.cases <- acc.cases + 1;
+      acc.escapes <-
+        { e_case = name; e_detail = Printexc.to_string e } :: acc.escapes
+  | exe -> differential_case acc name ~max_insns exe
+
+(* -- the campaign ------------------------------------------------------ *)
+
+let campaign ?(seed = 1) ?(syscall_cases = 24) ?(image_cases = 48)
+    ?(fuel_cases = 12) ?(max_insns = 50_000_000) exe =
+  let rng = Random.State.make [| 0x0fa17; seed |] in
+  let acc =
+    { cases = 0; hist = Hashtbl.create 8; escapes = []; mismatches = [] }
+  in
+  for i = 1 to syscall_cases do
+    let plan = gen_plan rng in
+    differential_case acc
+      (Printf.sprintf "syscall:%d:seed=%d" i seed)
+      ~plan ~max_insns exe
+  done;
+  let blob = Exe.to_string exe in
+  for i = 1 to image_cases do
+    let kind, damaged = corrupt rng blob in
+    image_case acc
+      (Printf.sprintf "image:%d:%s:seed=%d" i kind seed)
+      ~max_insns damaged
+  done;
+  for i = 1 to fuel_cases do
+    (* log-scaled cut points: the early fuel values catch start-up code,
+       the later ones land mid-computation *)
+    let mag = 1 lsl Random.State.int rng 25 in
+    let fuel = 1 + Random.State.int rng mag in
+    differential_case acc
+      (Printf.sprintf "fuel:%d:cut=%d:seed=%d" i fuel seed)
+      ~max_insns:fuel exe
+  done;
+  {
+    r_cases = acc.cases;
+    r_hist =
+      Hashtbl.fold (fun k v l -> (k, v) :: l) acc.hist [] |> List.sort compare;
+    r_escapes = List.rev acc.escapes;
+    r_mismatches = List.rev acc.mismatches;
+  }
+
+let merge reports =
+  let hist = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (k, v) ->
+          Hashtbl.replace hist k
+            (v + Option.value ~default:0 (Hashtbl.find_opt hist k)))
+        r.r_hist)
+    reports;
+  {
+    r_cases = List.fold_left (fun n r -> n + r.r_cases) 0 reports;
+    r_hist =
+      Hashtbl.fold (fun k v l -> (k, v) :: l) hist [] |> List.sort compare;
+    r_escapes = List.concat_map (fun r -> r.r_escapes) reports;
+    r_mismatches = List.concat_map (fun r -> r.r_mismatches) reports;
+  }
+
+let ok r = r.r_escapes = [] && r.r_mismatches = []
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let report_to_json r =
+  let b = Buffer.create 512 in
+  Printf.bprintf b "{\n  \"cases\": %d,\n  \"histogram\": {" r.r_cases;
+  List.iteri
+    (fun i (k, v) ->
+      Printf.bprintf b "%s\n    \"%s\": %d" (if i = 0 then "" else ",") k v)
+    r.r_hist;
+  Printf.bprintf b "\n  },\n  \"escapes\": %d,\n  \"mismatches\": %d"
+    (List.length r.r_escapes)
+    (List.length r.r_mismatches);
+  let dump name l =
+    Printf.bprintf b ",\n  \"%s\": [" name;
+    List.iteri
+      (fun i e ->
+        Printf.bprintf b "%s\n    {\"case\": \"%s\", \"detail\": \"%s\"}"
+          (if i = 0 then "" else ",")
+          (json_escape e.e_case) (json_escape e.e_detail))
+      l;
+    Buffer.add_string b "\n  ]"
+  in
+  if r.r_escapes <> [] then dump "escape_cases" r.r_escapes;
+  if r.r_mismatches <> [] then dump "mismatch_cases" r.r_mismatches;
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b

@@ -1,0 +1,53 @@
+(** Deterministic fault-injection campaigns over the fail-closed machine.
+
+    A campaign takes one executable and perturbs the world around it in
+    three seeded, reproducible ways:
+
+    - {b syscall errors}: the VFS fails [open]s, errors [write]s and
+      shortens [read]s according to a {!Machine.Vfs.fault_plan} drawn
+      from the seed;
+    - {b image corruption}: the serialized executable is bit-flipped or
+      truncated before loading — the loader must either reject it with
+      [Objfile.Wire.Corrupt] or load something both engines agree on;
+    - {b fuel cutoffs}: the instruction budget is cut at seeded points,
+      which must stop both engines at exactly the same instruction.
+
+    Every perturbation must produce a {e structured} outcome: a normal
+    exit, a {!Machine.Fault.t}, fuel exhaustion, or a loader rejection.
+    An OCaml exception escaping the machine is an {e escape} — the
+    fail-closed property is broken — and the reference and fast engines
+    disagreeing on any perturbed run is a {e mismatch}.  A healthy
+    campaign reports zero of both. *)
+
+type escape = {
+  e_case : string;  (** reproducible case label, e.g. [syscall:7:seed=42] *)
+  e_detail : string;
+}
+
+type report = {
+  r_cases : int;  (** perturbed runs attempted *)
+  r_hist : (string * int) list;
+      (** outcome histogram: ["exit"], ["out-of-fuel"], ["rejected"] and
+          the {!Machine.Fault.kind} tags, sorted by label *)
+  r_escapes : escape list;  (** uncaught exceptions — must be empty *)
+  r_mismatches : escape list;  (** ref/fast disagreements — must be empty *)
+}
+
+val campaign :
+  ?seed:int ->
+  ?syscall_cases:int ->
+  ?image_cases:int ->
+  ?fuel_cases:int ->
+  ?max_insns:int ->
+  Objfile.Exe.t ->
+  report
+(** Run the full campaign against one executable.  Defaults: seed 1,
+    24 syscall cases, 48 image cases, 12 fuel cases, 50M-instruction
+    budget per run.  Identical arguments give an identical report. *)
+
+val merge : report list -> report
+
+val ok : report -> bool
+(** No escapes and no mismatches. *)
+
+val report_to_json : report -> string

@@ -249,9 +249,12 @@ let link ?(text_base = Exe.text_base) ?(rdata_base = rdata_base)
   in
   let segs =
     [
-      { Exe.seg_vaddr = bases.b_text; seg_bytes = img.i_text; seg_bss = 0 };
-      { Exe.seg_vaddr = bases.b_rdata; seg_bytes = img.i_rdata; seg_bss = 0 };
-      { Exe.seg_vaddr = bases.b_data; seg_bytes = img.i_data; seg_bss = img.i_bss_size };
+      { Exe.seg_vaddr = bases.b_text; seg_bytes = img.i_text; seg_bss = 0;
+        seg_write = false };
+      { Exe.seg_vaddr = bases.b_rdata; seg_bytes = img.i_rdata; seg_bss = 0;
+        seg_write = false };
+      { Exe.seg_vaddr = bases.b_data; seg_bytes = img.i_data;
+        seg_bss = img.i_bss_size; seg_write = true };
     ]
   in
   let segs = List.filter (fun s -> Bytes.length s.Exe.seg_bytes + s.Exe.seg_bss > 0) segs in

@@ -219,36 +219,41 @@ let compile (t : t) (cs : code_seg) (disp : (unit -> unit) array)
       (* the translated body for each load/store: address arithmetic is the
          shared prefix, the access and stat are specialized per opcode *)
       let body : int -> unit =
+        (* loads always perform the access, even into [$31]: the reference
+           reads first and discards after, and under the protection map
+           the read itself is observable (it can fault) *)
         match op with
         | Ldbu ->
             fun addr ->
               t.loads <- t.loads + 1;
-              if set_ra then
-                Array.unsafe_set regs ra (Int64.of_int (Mem.read_u8 mem addr))
+              let v = Mem.read_u8 mem addr in
+              if set_ra then Array.unsafe_set regs ra (Int64.of_int v)
         | Ldwu ->
             fun addr ->
               t.loads <- t.loads + 1;
-              if set_ra then
-                Array.unsafe_set regs ra (Int64.of_int (Mem.read_u16 mem addr))
+              let v = Mem.read_u16 mem addr in
+              if set_ra then Array.unsafe_set regs ra (Int64.of_int v)
         | Ldl ->
             fun addr ->
               t.loads <- t.loads + 1;
+              let v = Mem.read_u32 mem addr in
               if set_ra then
-                Array.unsafe_set regs ra
-                  (sext32 (Int64.of_int (Mem.read_u32 mem addr)))
+                Array.unsafe_set regs ra (sext32 (Int64.of_int v))
         | Ldq ->
             fun addr ->
               t.loads <- t.loads + 1;
-              if set_ra then Array.unsafe_set regs ra (Mem.read_u64 mem addr)
+              let v = Mem.read_u64 mem addr in
+              if set_ra then Array.unsafe_set regs ra v
         | Ldq_u ->
             fun addr ->
               t.loads <- t.loads + 1;
-              if set_ra then
-                Array.unsafe_set regs ra (Mem.read_u64 mem (addr land lnot 7))
+              let v = Mem.read_u64 mem (addr land lnot 7) in
+              if set_ra then Array.unsafe_set regs ra v
         | Ldt ->
             fun addr ->
               t.loads <- t.loads + 1;
-              if set_ra then Array.unsafe_set fregs ra (Mem.read_u64 mem addr)
+              let v = Mem.read_u64 mem addr in
+              if set_ra then Array.unsafe_set fregs ra v
         | Stb ->
             fun addr ->
               t.stores <- t.stores + 1;
@@ -278,10 +283,23 @@ let compile (t : t) (cs : code_seg) (disp : (unit -> unit) array)
               Mem.write_u64 mem addr (Array.unsafe_get fregs ra)
         | Lda | Ldah -> assert false
       in
+      let access, align = mem_access_info op in
+      let amask = align - 1 in
       fun () ->
         pre t pc pair insn;
         t.cycles <- t.cycles + 2;
-        body (Int64.to_int (Int64.add (Array.unsafe_get regs rb) d));
+        let addr = Int64.to_int (Int64.add (Array.unsafe_get regs rb) d) in
+        if t.strict_align && amask <> 0 && addr land amask <> 0 then begin
+          t.pc <- pc;
+          raise (Faulted (Fault.Unaligned { addr; access; pc }))
+        end;
+        (try body addr with
+        | Mem.Prot { addr; access } ->
+            t.pc <- pc;
+            raise (Faulted (Fault.Segv { addr; access; pc }))
+        | Mem.Limit { limit; _ } ->
+            t.pc <- pc;
+            raise (Faulted (Fault.Mem_limit { limit; pc })));
         cont ()
   | Opr { op; ra; rb; rc } when is_cmov op ->
       let cond = cmov_cond op in
@@ -392,17 +410,15 @@ let compile (t : t) (cs : code_seg) (disp : (unit -> unit) array)
         syscall t;
         cont ()
   | Call_pal p ->
-      let msg = Printf.sprintf "unhandled PAL call %#x at %#x" p pc in
       fun () ->
         pre t pc pair insn;
         t.pc <- pc;
-        raise (Faulted msg)
+        raise (Faulted (Fault.Bad_pal { num = p; pc }))
   | Raw w ->
-      let msg = Printf.sprintf "illegal instruction %#x at %#x" w pc in
       fun () ->
         pre t pc pair insn;
         t.pc <- pc;
-        raise (Faulted msg)
+        raise (Faulted (Fault.Illegal_insn { word = w; pc }))
 
 (* ------------------------------------------------------------------ *)
 (* Block translation.                                                  *)
@@ -441,19 +457,33 @@ let is_store (i : Insn.t) =
 
 let translate t =
   let regs = t.regs and fregs = t.fregs and mem = t.mem in
-  (* One-entry page cache shared by every translated memory access.  A
+  (* One-entry page caches shared by every translated memory access — one
+     per access kind, since the protection map distinguishes them.  A
      page's backing [bytes] is created on first touch and never replaced,
+     and its permissions never change after [Sim.load] installs the map,
      so a cache entry cannot go stale — not even across syscalls, which
      write through the same pages. *)
-  let cache_idx = ref (-1) in
-  let cache_page = ref Bytes.empty in
-  let page a =
+  let rcache_idx = ref (-1) in
+  let rcache = ref Bytes.empty in
+  let rpage a =
     let idx = a lsr Mem.page_bits in
-    if idx = !cache_idx then !cache_page
+    if idx = !rcache_idx then !rcache
     else begin
-      let p = Mem.page mem a in
-      cache_idx := idx;
-      cache_page := p;
+      let p = Mem.rpage mem a in
+      rcache_idx := idx;
+      rcache := p;
+      p
+    end
+  in
+  let wcache_idx = ref (-1) in
+  let wcache = ref Bytes.empty in
+  let wpage a =
+    let idx = a lsr Mem.page_bits in
+    if idx = !wcache_idx then !wcache
+    else begin
+      let p = Mem.wpage mem a in
+      wcache_idx := idx;
+      wcache := p;
       p
     end
   in
@@ -497,7 +527,7 @@ let translate t =
                 let a = Int64.to_int (Array.unsafe_get regs rb) + d in
                 Array.unsafe_set regs ra
                   (Int64.of_int
-                     (Char.code (Bytes.unsafe_get (page a) (a land pmask))))
+                     (Char.code (Bytes.unsafe_get (rpage a) (a land pmask))))
           | Ldwu ->
               if ra = 31 then fun () ->
                 ignore
@@ -507,7 +537,7 @@ let translate t =
                 let off = a land pmask in
                 Array.unsafe_set regs ra
                   (Int64.of_int
-                     (if off <= ps - 2 then Bytes.get_uint16_le (page a) off
+                     (if off <= ps - 2 then Bytes.get_uint16_le (rpage a) off
                       else Mem.read_u16 mem a))
           | Ldl ->
               if ra = 31 then fun () ->
@@ -518,7 +548,7 @@ let translate t =
                 let off = a land pmask in
                 Array.unsafe_set regs ra
                   (if off <= ps - 4 then
-                     Int64.of_int32 (Bytes.get_int32_le (page a) off)
+                     Int64.of_int32 (Bytes.get_int32_le (rpage a) off)
                    else sext32 (Int64.of_int (Mem.read_u32 mem a)))
           | Ldq ->
               if ra = 31 then fun () ->
@@ -528,7 +558,7 @@ let translate t =
                 let a = Int64.to_int (Array.unsafe_get regs rb) + d in
                 let off = a land pmask in
                 Array.unsafe_set regs ra
-                  (if off <= ps - 8 then Bytes.get_int64_le (page a) off
+                  (if off <= ps - 8 then Bytes.get_int64_le (rpage a) off
                    else Mem.read_u64 mem a)
           | Ldq_u ->
               (* the aligned address never straddles a page *)
@@ -541,7 +571,7 @@ let translate t =
                   (Int64.to_int (Array.unsafe_get regs rb) + d) land lnot 7
                 in
                 Array.unsafe_set regs ra
-                  (Bytes.get_int64_le (page a) (a land pmask))
+                  (Bytes.get_int64_le (rpage a) (a land pmask))
           | Ldt ->
               if ra = 31 then fun () ->
                 ignore
@@ -550,12 +580,12 @@ let translate t =
                 let a = Int64.to_int (Array.unsafe_get regs rb) + d in
                 let off = a land pmask in
                 Array.unsafe_set fregs ra
-                  (if off <= ps - 8 then Bytes.get_int64_le (page a) off
+                  (if off <= ps - 8 then Bytes.get_int64_le (rpage a) off
                    else Mem.read_u64 mem a)
           | Stb ->
               fun () ->
                 let a = Int64.to_int (Array.unsafe_get regs rb) + d in
-                Bytes.unsafe_set (page a) (a land pmask)
+                Bytes.unsafe_set (wpage a) (a land pmask)
                   (Char.unsafe_chr
                      (Int64.to_int (Array.unsafe_get regs ra) land 0xFF))
           | Stw ->
@@ -563,14 +593,14 @@ let translate t =
                 let a = Int64.to_int (Array.unsafe_get regs rb) + d in
                 let off = a land pmask in
                 let v = Int64.to_int (Array.unsafe_get regs ra) land 0xFFFF in
-                if off <= ps - 2 then Bytes.set_uint16_le (page a) off v
+                if off <= ps - 2 then Bytes.set_uint16_le (wpage a) off v
                 else Mem.write_u16 mem a v
           | Stl ->
               fun () ->
                 let a = Int64.to_int (Array.unsafe_get regs rb) + d in
                 let off = a land pmask in
                 if off <= ps - 4 then
-                  Bytes.set_int32_le (page a) off
+                  Bytes.set_int32_le (wpage a) off
                     (Int64.to_int32 (Array.unsafe_get regs ra))
                 else
                   Mem.write_u32 mem a
@@ -581,21 +611,21 @@ let translate t =
                 let a = Int64.to_int (Array.unsafe_get regs rb) + d in
                 let off = a land pmask in
                 if off <= ps - 8 then
-                  Bytes.set_int64_le (page a) off (Array.unsafe_get regs ra)
+                  Bytes.set_int64_le (wpage a) off (Array.unsafe_get regs ra)
                 else Mem.write_u64 mem a (Array.unsafe_get regs ra)
           | Stq_u ->
               fun () ->
                 let a =
                   (Int64.to_int (Array.unsafe_get regs rb) + d) land lnot 7
                 in
-                Bytes.set_int64_le (page a) (a land pmask)
+                Bytes.set_int64_le (wpage a) (a land pmask)
                   (Array.unsafe_get regs ra)
           | Stt ->
               fun () ->
                 let a = Int64.to_int (Array.unsafe_get regs rb) + d in
                 let off = a land pmask in
                 if off <= ps - 8 then
-                  Bytes.set_int64_le (page a) off (Array.unsafe_get fregs ra)
+                  Bytes.set_int64_le (wpage a) off (Array.unsafe_get fregs ra)
                 else Mem.write_u64 mem a (Array.unsafe_get fregs ra)
           | Lda | Ldah -> assert false)
     | Opr { op; ra; rb; rc } when is_cmov op ->
@@ -835,8 +865,13 @@ let translate t =
   let nop () = () in
   (* Translation is trace-aware: with a hook installed the dispatch array
      is simply the per-instruction closures (the hook must see every
-     step), and [Sim.set_trace] invalidates any cached translation. *)
-  let traced = match t.trace with Some _ -> true | None -> false in
+     step), and [Sim.set_trace] invalidates any cached translation.
+     Strict alignment forces the same per-instruction path: each access
+     then checks its own address against the opcode's natural alignment,
+     which block batching could not undo cheaply. *)
+  let per_insn =
+    (match t.trace with Some _ -> true | None -> false) || t.strict_align
+  in
   List.map
     (fun cs ->
       let insns = cs.cs_insns in
@@ -848,7 +883,7 @@ let translate t =
       for k = 0 to n - 1 do
         fns.(k) <- compile t cs disp fns k
       done;
-      if traced then begin
+      if per_insn then begin
         Array.blit fns 0 disp 0 n;
         { fs_base = base; fs_len = len4; fs_fns = disp }
       end
@@ -976,18 +1011,152 @@ let translate t =
           let pc_brk, ep_brk = sim_pair false in
           let base_pc = base + (4 * l) in
           let last_pc = base + (4 * e_last) in
+          let npieces = List.length pieces in
+          (* Flattened chain positions, for the mid-chain fault fixup:
+             chain position [j] holds instruction index [chain.(j)]. *)
+          let chain = Array.make n_ins 0 in
+          (let pos = ref 0 in
+           List.iter
+             (fun (lo, hi) ->
+               for i = lo to hi do
+                 chain.(!pos) <- i;
+                 incr pos
+               done)
+             pieces);
+          (* A load or store can fault mid-chain, after the whole block's
+             statistics were batched.  The wrapper below rolls the batch
+             back to the reference's exact state — every counter charged
+             through the faulting instruction inclusive (the reference
+             charges before the access), nothing after it — so it needs
+             the inclusive prefix of each batched counter per chain
+             position, including the pair accounting under both entry
+             modes, selected at run time by [t.block_cont] (which the
+             dispatch prologue records). *)
+          let fix =
+            if nloads = 0 && nstores = 0 then None
+            else begin
+              let merged = Array.make n_ins false in
+              (let pos = ref 0 in
+               List.iteri
+                 (fun pi (lo, hi) ->
+                   for i = lo to hi do
+                     if pi < npieces - 1 && i = hi then merged.(!pos) <- true;
+                     incr pos
+                   done)
+                 pieces);
+              let p_cyc = Array.make n_ins 0
+              and p_loads = Array.make n_ins 0
+              and p_stores = Array.make n_ins 0
+              and p_calls = Array.make n_ins 0 in
+              let cc = ref 0 and cl = ref 0 and cst = ref 0 and ca = ref 0 in
+              for j = 0 to n_ins - 1 do
+                let i = chain.(j) in
+                cc := !cc + insn_cycles insns.(i);
+                if is_load insns.(i) then incr cl;
+                if is_store insns.(i) then incr cst;
+                if merged.(j) then begin
+                  match insns.(i) with
+                  | Insn.Br { link = true; _ } -> incr ca
+                  | _ -> ()
+                end;
+                p_cyc.(j) <- !cc;
+                p_loads.(j) <- !cl;
+                p_stores.(j) <- !cst;
+                p_calls.(j) <- !ca
+              done;
+              let pair_prefix p0 =
+                let counts = Array.make n_ins 0
+                and pends = Array.make n_ins false in
+                let c = ref 0 and p = ref p0 and prev = ref (-2) in
+                for j = 0 to n_ins - 1 do
+                  let i = chain.(j) in
+                  let adjacent = !prev = -2 || i = !prev + 1 in
+                  if !p && adjacent then p := false
+                  else begin
+                    incr c;
+                    p := Array.unsafe_get cs.cs_pair i
+                  end;
+                  prev := i;
+                  counts.(j) <- !c;
+                  pends.(j) <- !p
+                done;
+                (counts, pends)
+              in
+              let cont_counts, cont_pends = pair_prefix true in
+              let brk_counts, brk_pends = pair_prefix false in
+              Some
+                ( p_cyc,
+                  p_loads,
+                  p_stores,
+                  p_calls,
+                  cont_counts,
+                  cont_pends,
+                  brk_counts,
+                  brk_pends )
+            end
+          in
+          let wrap_mem j i (eff : unit -> unit) : unit -> unit =
+            match fix with
+            | None -> eff
+            | Some
+                ( p_cyc,
+                  p_loads,
+                  p_stores,
+                  p_calls,
+                  cont_counts,
+                  cont_pends,
+                  brk_counts,
+                  brk_pends ) ->
+                let fx_pc = base + (4 * i) in
+                let d_ins = n_ins - (j + 1) in
+                let d_cyc = cyc - p_cyc.(j) in
+                let d_loads = nloads - p_loads.(j) in
+                let d_stores = nstores - p_stores.(j) in
+                let d_calls = ncalls_mid - p_calls.(j) in
+                let d_pair_cont = pc_cont - cont_counts.(j) in
+                let d_pair_brk = pc_brk - brk_counts.(j) in
+                let pend_cont = cont_pends.(j) in
+                let pend_brk = brk_pends.(j) in
+                let unbatch () =
+                  t.insns <- t.insns - d_ins;
+                  t.cycles <- t.cycles - d_cyc;
+                  t.loads <- t.loads - d_loads;
+                  t.stores <- t.stores - d_stores;
+                  t.calls <- t.calls - d_calls;
+                  t.fuel <- t.fuel + d_ins;
+                  if t.block_cont then begin
+                    t.pair_cycles <- t.pair_cycles - d_pair_cont;
+                    t.pending_pair <- pend_cont
+                  end
+                  else begin
+                    t.pair_cycles <- t.pair_cycles - d_pair_brk;
+                    t.pending_pair <- pend_brk
+                  end;
+                  t.prev_pc <- fx_pc;
+                  t.pc <- fx_pc
+                in
+                fun () ->
+                  try eff () with
+                  | Mem.Prot { addr; access } ->
+                      unbatch ();
+                      raise (Faulted (Fault.Segv { addr; access; pc = fx_pc }))
+                  | Mem.Limit { limit; _ } ->
+                      unbatch ();
+                      raise (Faulted (Fault.Mem_limit { limit; pc = fx_pc }))
+          in
           (* the chain's architectural effects, in program order *)
           let effs = ref [] in
-          let npieces = List.length pieces in
           let add = function Some f -> effs := f :: !effs | None -> () in
+          let posr = ref 0 in
           List.iteri
             (fun pi (lo, hi) ->
               let last_piece = pi = npieces - 1 in
-              let hi_eff =
-                if last_piece && has_term then hi - 1 else hi
-              in
-              for i = lo to hi_eff do
-                if (not last_piece) && i = hi then
+              for i = lo to hi do
+                let j = !posr in
+                incr posr;
+                if last_piece && has_term && i = hi then
+                  () (* the terminator's effect lives in [term] *)
+                else if (not last_piece) && i = hi then begin
                   (* the merged branch: only its link write survives (its
                      call count is batched into the prologue) *)
                   match insns.(i) with
@@ -995,7 +1164,13 @@ let translate t =
                       let nxt64 = Int64.of_int (base + (4 * (i + 1))) in
                       add (Some (fun () -> Array.unsafe_set regs ra nxt64))
                   | _ -> ()
-                else add (effect insns.(i))
+                end
+                else
+                  match insns.(i) with
+                  | Insn.Mem { op = Lda | Ldah; _ } -> add (effect insns.(i))
+                  | Insn.Mem _ ->
+                      add (Option.map (wrap_mem j i) (effect insns.(i)))
+                  | _ -> add (effect insns.(i))
               done)
             pieces;
           let effs = ref (List.rev !effs) in
@@ -1164,19 +1339,13 @@ let translate t =
                     syscall t;
                     fall ()
               | Insn.Call_pal p ->
-                  let msg =
-                    Printf.sprintf "unhandled PAL call %#x at %#x" p pc
-                  in
                   fun () ->
                     t.pc <- pc;
-                    raise (Faulted msg)
+                    raise (Faulted (Fault.Bad_pal { num = p; pc }))
               | Insn.Raw w ->
-                  let msg =
-                    Printf.sprintf "illegal instruction %#x at %#x" w pc
-                  in
                   fun () ->
                     t.pc <- pc;
-                    raise (Faulted msg)
+                    raise (Faulted (Fault.Illegal_insn { word = w; pc }))
               | _ -> assert false
             end
           in
@@ -1241,10 +1410,12 @@ let translate t =
                else begin
                  t.fuel <- t.fuel - n_ins;
                  if t.pending_pair && base_pc = t.prev_pc + 4 then begin
+                   t.block_cont <- true;
                    t.pair_cycles <- t.pair_cycles + pc_cont;
                    t.pending_pair <- ep_cont
                  end
                  else begin
+                   t.block_cont <- false;
                    t.pair_cycles <- t.pair_cycles + pc_brk;
                    t.pending_pair <- ep_brk
                  end;
@@ -1258,10 +1429,12 @@ let translate t =
                else begin
                  t.fuel <- t.fuel - n_ins;
                  if t.pending_pair && base_pc = t.prev_pc + 4 then begin
+                   t.block_cont <- true;
                    t.pair_cycles <- t.pair_cycles + pc_cont;
                    t.pending_pair <- ep_cont
                  end
                  else begin
+                   t.block_cont <- false;
                    t.pair_cycles <- t.pair_cycles + pc_brk;
                    t.pending_pair <- ep_brk
                  end;
@@ -1277,10 +1450,12 @@ let translate t =
                else begin
                  t.fuel <- t.fuel - n_ins;
                  if t.pending_pair && base_pc = t.prev_pc + 4 then begin
+                   t.block_cont <- true;
                    t.pair_cycles <- t.pair_cycles + pc_cont;
                    t.pending_pair <- ep_cont
                  end
                  else begin
+                   t.block_cont <- false;
                    t.pair_cycles <- t.pair_cycles + pc_brk;
                    t.pending_pair <- ep_brk
                  end;
@@ -1307,7 +1482,7 @@ let run ?(max_insns = 2_000_000_000) t =
   (match t.fast with [] -> t.fast <- translate t | _ :: _ -> ());
   let segs = t.fast in
   let rec find pc = function
-    | [] -> raise (Faulted (Printf.sprintf "PC %#x outside code" pc))
+    | [] -> raise (Faulted (Fault.Bad_pc { pc }))
     | fs :: rest ->
         let off = pc - fs.fs_base in
         if off >= 0 && off < fs.fs_len && off land 3 = 0 then
@@ -1322,5 +1497,8 @@ let run ?(max_insns = 2_000_000_000) t =
   in
   try loop () with
   | Halted code -> Exit code
-  | Faulted msg -> Fault msg
+  | Faulted f -> Fault f
   | Fuel -> Out_of_fuel
+  (* belt and braces: every translated access converts these itself *)
+  | Mem.Prot { addr; access } -> Fault (Fault.Segv { addr; access; pc = t.pc })
+  | Mem.Limit { limit; _ } -> Fault (Fault.Mem_limit { limit; pc = t.pc })

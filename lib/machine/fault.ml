@@ -1,0 +1,71 @@
+(* The structured machine-fault taxonomy.
+
+   Every way a simulated program can die abnormally is one of these
+   constructors, carrying the faulting address/number and the PC of the
+   instruction that raised it.  Both execution engines — the reference
+   interpreter and the closure-compiled fast engine — raise the exact
+   same fault value at the same PC with the same statistics, which the
+   differential tests enforce. *)
+
+type access = Load | Store | Fetch
+
+type t =
+  | Segv of { addr : int; access : access; pc : int }
+  | Unaligned of { addr : int; access : access; pc : int }
+  | Illegal_insn of { word : int; pc : int }
+  | Bad_pc of { pc : int }
+  | Bad_pal of { num : int; pc : int }
+  | Unknown_syscall of { num : int; pc : int }
+  | Mem_limit of { limit : int; pc : int }
+
+let access_name = function
+  | Load -> "load"
+  | Store -> "store"
+  | Fetch -> "fetch"
+
+let to_string = function
+  | Segv { addr; access; pc } ->
+      Printf.sprintf "segmentation violation: %s at %#x (PC %#x)"
+        (access_name access) addr pc
+  | Unaligned { addr; access; pc } ->
+      Printf.sprintf "unaligned %s at %#x (PC %#x)" (access_name access) addr
+        pc
+  | Illegal_insn { word; pc } ->
+      Printf.sprintf "illegal instruction %#x at %#x" word pc
+  | Bad_pc { pc } -> Printf.sprintf "PC %#x outside code" pc
+  | Bad_pal { num; pc } ->
+      Printf.sprintf "unhandled PAL call %#x at %#x" num pc
+  | Unknown_syscall { num; pc } ->
+      Printf.sprintf "unknown system call %d at PC %#x" num pc
+  | Mem_limit { limit; pc } ->
+      Printf.sprintf "resident-memory limit (%d pages) exceeded at PC %#x"
+        limit pc
+
+let kind = function
+  | Segv _ -> "segv"
+  | Unaligned _ -> "unaligned"
+  | Illegal_insn _ -> "illegal-insn"
+  | Bad_pc _ -> "bad-pc"
+  | Bad_pal _ -> "bad-pal"
+  | Unknown_syscall _ -> "unknown-syscall"
+  | Mem_limit _ -> "mem-limit"
+
+let pc = function
+  | Segv { pc; _ }
+  | Unaligned { pc; _ }
+  | Illegal_insn { pc; _ }
+  | Bad_pc { pc }
+  | Bad_pal { pc; _ }
+  | Unknown_syscall { pc; _ }
+  | Mem_limit { pc; _ } ->
+      pc
+
+(* The CLI exit-code contract, modelled on the shell's 128+signal
+   convention: a fault kind maps to the signal the OSF/1 kernel would
+   have delivered for it. *)
+let exit_code = function
+  | Segv _ | Bad_pc _ -> 139 (* SIGSEGV *)
+  | Unaligned _ -> 135 (* SIGBUS *)
+  | Illegal_insn _ | Bad_pal _ -> 132 (* SIGILL *)
+  | Unknown_syscall _ -> 159 (* SIGSYS *)
+  | Mem_limit _ -> 137 (* SIGKILL, as the OOM killer would *)

@@ -1,0 +1,45 @@
+(** The structured machine-fault taxonomy.
+
+    Every abnormal termination of a simulated program is one of these
+    values, carrying the faulting address or number and the PC of the
+    instruction that raised it.  Both execution engines raise the exact
+    same fault value at the same PC with the same statistics record —
+    the engine-symmetry invariant the differential tests enforce. *)
+
+type access = Load | Store | Fetch
+
+type t =
+  | Segv of { addr : int; access : access; pc : int }
+      (** access outside every mapped region (or a write to a read-only
+          one): unmapped data, the stack guard gap, below-break heap
+          holes, stores into text *)
+  | Unaligned of { addr : int; access : access; pc : int }
+      (** natural-alignment violation, raised only in strict-align mode *)
+  | Illegal_insn of { word : int; pc : int }
+      (** undecodable instruction word reached by execution *)
+  | Bad_pc of { pc : int }
+      (** control transferred outside every code segment *)
+  | Bad_pal of { num : int; pc : int }
+      (** [call_pal] other than the OSF/1 callsys (0x83) *)
+  | Unknown_syscall of { num : int; pc : int }
+      (** callsys with an unimplemented call number in [$v0] *)
+  | Mem_limit of { limit : int; pc : int }
+      (** the resident-page ceiling was hit ([limit] is the ceiling, in
+          4 KiB pages) *)
+
+val access_name : access -> string
+(** ["load"], ["store"] or ["fetch"]. *)
+
+val to_string : t -> string
+(** Human-readable one-liner, as printed by the CLIs after ["fault: "]. *)
+
+val kind : t -> string
+(** Short stable tag (["segv"], ["bad-pc"], ...) for histograms and JSON. *)
+
+val pc : t -> int
+(** The PC of the faulting instruction. *)
+
+val exit_code : t -> int
+(** The CLI exit code for the fault, following the shell's 128+signal
+    convention (SIGSEGV 139, SIGBUS 135, SIGILL 132, SIGSYS 159,
+    SIGKILL 137). *)

@@ -2,36 +2,154 @@ let page_bits = 12
 let page_size = 1 lsl page_bits
 let page_mask = page_size - 1
 
-type t = { pages : (int, bytes) Hashtbl.t }
+(* A protection map: a handful of [lo, hi) regions derived from the
+   loaded executable, plus the heap tracked as a high-water mark of the
+   program break (the partitioned heap mode makes the break bounce
+   between the application's and the analysis module's values, so only
+   the maximum ever granted is a sound bound).  The map is consulted
+   only when an access misses the page tables, i.e. at most once per
+   page per access kind. *)
+type region = { r_lo : int; r_hi : int; r_writable : bool }
 
-let create () = { pages = Hashtbl.create 256 }
+type prot = {
+  mutable p_regions : region list;
+  mutable p_heap_lo : int;
+  mutable p_heap_hi : int;  (* high-water mark of the program break *)
+  mutable p_limit : int;  (* resident-page ceiling *)
+}
 
-let page m a =
+(* Two views of the same sparse page store: [rpages] holds every
+   readable page, [wpages] every writable one, both mapping a page index
+   to the one backing [bytes].  A permission check is therefore free on
+   the hot path — it is the table lookup itself — and a page's [bytes]
+   is never replaced once created, so cached references (the fast
+   engine's one-entry page caches) cannot go stale. *)
+type t = {
+  rpages : (int, bytes) Hashtbl.t;
+  wpages : (int, bytes) Hashtbl.t;
+  mutable resident : int;
+  mutable prot : prot option;
+}
+
+exception Prot of { addr : int; access : Fault.access }
+exception Limit of { pages : int; limit : int }
+
+let create () =
+  {
+    rpages = Hashtbl.create 256;
+    wpages = Hashtbl.create 256;
+    resident = 0;
+    prot = None;
+  }
+
+(* Permissions are page-granular: a page gets the union of the
+   permissions of every region overlapping it, so the bytes between a
+   region's end and its last page's end share that region's access. *)
+let page_perm pr idx =
+  let lo = idx lsl page_bits in
+  let hi = lo + page_size in
+  let readable = ref false and writable = ref false in
+  List.iter
+    (fun r ->
+      if r.r_lo < hi && lo < r.r_hi then begin
+        readable := true;
+        if r.r_writable then writable := true
+      end)
+    pr.p_regions;
+  if pr.p_heap_lo < hi && lo < pr.p_heap_hi then begin
+    readable := true;
+    writable := true
+  end;
+  (!readable, !writable)
+
+let found_page m idx =
+  match Hashtbl.find_opt m.rpages idx with
+  | Some _ as p -> p
+  | None -> Hashtbl.find_opt m.wpages idx
+
+let page_slow m a (access : Fault.access) =
   let idx = a lsr page_bits in
-  match Hashtbl.find_opt m.pages idx with
-  | Some p -> p
-  | None ->
-      let p = Bytes.make page_size '\000' in
-      Hashtbl.replace m.pages idx p;
-      p
+  let readable, writable =
+    match m.prot with None -> (true, true) | Some pr -> page_perm pr idx
+  in
+  let ok =
+    match access with Load | Fetch -> readable | Store -> writable
+  in
+  if not ok then raise (Prot { addr = a; access });
+  let p =
+    match found_page m idx with
+    | Some p -> p
+    | None ->
+        (match m.prot with
+        | Some pr when m.resident >= pr.p_limit ->
+            raise (Limit { pages = m.resident; limit = pr.p_limit })
+        | _ -> ());
+        m.resident <- m.resident + 1;
+        Bytes.make page_size '\000'
+  in
+  if readable then Hashtbl.replace m.rpages idx p;
+  if writable then Hashtbl.replace m.wpages idx p;
+  p
 
-let read_u8 m a = Char.code (Bytes.unsafe_get (page m a) (a land page_mask))
+let rpage m a =
+  let idx = a lsr page_bits in
+  match Hashtbl.find_opt m.rpages idx with
+  | Some p -> p
+  | None -> page_slow m a Fault.Load
+
+let wpage m a =
+  let idx = a lsr page_bits in
+  match Hashtbl.find_opt m.wpages idx with
+  | Some p -> p
+  | None -> page_slow m a Fault.Store
+
+let protect m ~regions ~heap_lo ~max_pages =
+  let pr =
+    {
+      p_regions =
+        List.map (fun (lo, hi, w) -> { r_lo = lo; r_hi = hi; r_writable = w })
+          regions;
+      p_heap_lo = heap_lo;
+      p_heap_hi = heap_lo;
+      p_limit = max_pages;
+    }
+  in
+  m.prot <- Some pr;
+  (* pages mapped by the loader predate the map: re-derive both views *)
+  let drop tbl keep =
+    let dead =
+      Hashtbl.fold
+        (fun idx _ acc -> if keep (page_perm pr idx) then acc else idx :: acc)
+        tbl []
+    in
+    List.iter (Hashtbl.remove tbl) dead
+  in
+  drop m.rpages (fun (r, _) -> r);
+  drop m.wpages (fun (_, w) -> w)
+
+let grow_heap m addr =
+  match m.prot with
+  | None -> ()
+  | Some pr -> if addr > pr.p_heap_hi then pr.p_heap_hi <- addr
+
+let read_u8 m a = Char.code (Bytes.unsafe_get (rpage m a) (a land page_mask))
 
 let write_u8 m a v =
-  Bytes.unsafe_set (page m a) (a land page_mask) (Char.unsafe_chr (v land 0xFF))
+  Bytes.unsafe_set (wpage m a) (a land page_mask)
+    (Char.unsafe_chr (v land 0xFF))
 
 (* Fast paths when the access stays within one page. *)
 let read_u16 m a =
   let off = a land page_mask in
   if off + 2 <= page_size then
-    let p = page m a in
+    let p = rpage m a in
     Char.code (Bytes.unsafe_get p off) lor (Char.code (Bytes.unsafe_get p (off + 1)) lsl 8)
   else read_u8 m a lor (read_u8 m (a + 1) lsl 8)
 
 let read_u32 m a =
   let off = a land page_mask in
   if off + 4 <= page_size then begin
-    let p = page m a in
+    let p = rpage m a in
     Char.code (Bytes.unsafe_get p off)
     lor (Char.code (Bytes.unsafe_get p (off + 1)) lsl 8)
     lor (Char.code (Bytes.unsafe_get p (off + 2)) lsl 16)
@@ -42,7 +160,7 @@ let read_u32 m a =
 let read_u64 m a =
   let off = a land page_mask in
   if off + 8 <= page_size then
-    let p = page m a in
+    let p = rpage m a in
     Int64.logor
       (Int64.of_int
          (Char.code (Bytes.unsafe_get p off)
@@ -68,7 +186,7 @@ let write_u16 m a v =
 let write_u32 m a v =
   let off = a land page_mask in
   if off + 4 <= page_size then begin
-    let p = page m a in
+    let p = wpage m a in
     Bytes.unsafe_set p off (Char.unsafe_chr (v land 0xFF));
     Bytes.unsafe_set p (off + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF));
     Bytes.unsafe_set p (off + 2) (Char.unsafe_chr ((v lsr 16) land 0xFF));
@@ -104,4 +222,37 @@ let read_cstring m a =
   in
   go 0
 
-let pages_touched m = Hashtbl.length m.pages
+(* Unchecked accessors for the loader and post-run inspection. *)
+
+let poke_page m a =
+  let idx = a lsr page_bits in
+  match found_page m idx with
+  | Some p -> p
+  | None ->
+      m.resident <- m.resident + 1;
+      let p = Bytes.make page_size '\000' in
+      Hashtbl.replace m.rpages idx p;
+      Hashtbl.replace m.wpages idx p;
+      p
+
+let poke_bytes m a b =
+  Bytes.iteri
+    (fun i c ->
+      let ad = a + i in
+      Bytes.unsafe_set (poke_page m ad) (ad land page_mask) c)
+    b
+
+let peek_u8 m a =
+  let idx = a lsr page_bits in
+  match found_page m idx with
+  | Some p -> Char.code (Bytes.unsafe_get p (a land page_mask))
+  | None -> 0
+
+let peek_u64 m a =
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (peek_u8 m (a + i)))
+  done;
+  !v
+
+let pages_touched m = m.resident

@@ -23,7 +23,7 @@ type stats = State.stats = {
 
 type engine = State.engine = Ref | Fast
 
-type outcome = State.outcome = Exit of int | Fault of string | Out_of_fuel
+type outcome = State.outcome = Exit of int | Fault of Fault.t | Out_of_fuel
 
 let sys_exit = State.sys_exit
 let sys_read = State.sys_read
@@ -39,11 +39,17 @@ let engine_of_string = function
   | "fast" | "closure" -> Some Fast
   | _ -> None
 
-let load ?(engine = Fast) ?(stdin = "") ?(inputs = []) exe =
+let default_max_pages = 65536 (* 256 MiB of resident simulated memory *)
+let default_stack_bytes = 8 * 1024 * 1024
+let default_brk_span = 1 lsl 30 (* brk may roam 1 GiB above the break *)
+
+let load ?(engine = Fast) ?(stdin = "") ?(inputs = []) ?(protect = true)
+    ?(max_pages = default_max_pages) ?(stack_bytes = default_stack_bytes)
+    ?brk_max ?(strict_align = false) exe =
   let mem = Mem.create () in
   List.iter
     (fun seg ->
-      Mem.write_bytes mem seg.Objfile.Exe.seg_vaddr seg.Objfile.Exe.seg_bytes)
+      Mem.poke_bytes mem seg.Objfile.Exe.seg_vaddr seg.Objfile.Exe.seg_bytes)
     exe.Objfile.Exe.x_segs;
   let code =
     List.filter_map
@@ -68,6 +74,22 @@ let load ?(engine = Fast) ?(stdin = "") ?(inputs = []) exe =
   in
   let vfs = Vfs.create ~stdin () in
   List.iter (fun (p, c) -> Vfs.add_input vfs p c) inputs;
+  if protect then begin
+    let stack_top = Objfile.Exe.stack_top exe in
+    let regions =
+      (stack_top - stack_bytes, stack_top, true)
+      :: List.map
+           (fun seg ->
+             let lo = seg.Objfile.Exe.seg_vaddr in
+             ( lo,
+               lo + Bytes.length seg.Objfile.Exe.seg_bytes
+               + seg.Objfile.Exe.seg_bss,
+               seg.Objfile.Exe.seg_write ))
+           exe.Objfile.Exe.x_segs
+    in
+    Mem.protect mem ~regions ~heap_lo:exe.Objfile.Exe.x_break ~max_pages
+  end;
+  let x_break = exe.Objfile.Exe.x_break in
   let t =
     {
       mem;
@@ -78,7 +100,11 @@ let load ?(engine = Fast) ?(stdin = "") ?(inputs = []) exe =
       engine;
       fast = [];
       vfs;
-      brk = exe.Objfile.Exe.x_break;
+      brk = x_break;
+      brk0 = x_break;
+      brk_max = Option.value brk_max ~default:(x_break + default_brk_span);
+      strict_align;
+      block_cont = false;
       insns = 0;
       fuel = 0;
       cycles = 0;
@@ -99,7 +125,7 @@ let load ?(engine = Fast) ?(stdin = "") ?(inputs = []) exe =
 
 let fetch t pc =
   let rec go = function
-    | [] -> raise (Faulted (Printf.sprintf "PC %#x outside code" pc))
+    | [] -> raise (Faulted (Fault.Bad_pc { pc }))
     | cs :: rest ->
         let off = pc - cs.cs_base in
         if off >= 0 && off < 4 * Array.length cs.cs_insns && off land 3 = 0 then begin
@@ -137,6 +163,11 @@ let step t =
   | Mem { op; ra; rb; disp } ->
       t.cycles <- t.cycles + 2;
       let addr = Int64.to_int (Int64.add (getr t rb) (Int64.of_int disp)) in
+      if t.strict_align then begin
+        let access, align = mem_access_info op in
+        if align > 1 && addr land (align - 1) <> 0 then
+          raise (Faulted (Fault.Unaligned { addr; access; pc = t.pc }))
+      end;
       (match op with
       | Ldbu ->
           t.loads <- t.loads + 1;
@@ -236,8 +267,8 @@ let step t =
       t.cycles <- t.cycles + 10;
       syscall t;
       t.pc <- next
-  | Call_pal n -> raise (Faulted (Printf.sprintf "unhandled PAL call %#x at %#x" n t.pc))
-  | Raw w -> raise (Faulted (Printf.sprintf "illegal instruction %#x at %#x" w t.pc)))
+  | Call_pal n -> raise (Faulted (Fault.Bad_pal { num = n; pc = t.pc }))
+  | Raw w -> raise (Faulted (Fault.Illegal_insn { word = w; pc = t.pc })))
 
 let run_ref ~max_insns t =
   let rec go budget =
@@ -246,7 +277,11 @@ let run_ref ~max_insns t =
       match step t with
       | () -> go (budget - 1)
       | exception Halted code -> Exit code
-      | exception Faulted msg -> Fault msg
+      | exception Faulted f -> Fault f
+      | exception Mem.Prot { addr; access } ->
+          Fault (Fault.Segv { addr; access; pc = t.pc })
+      | exception Mem.Limit { limit; _ } ->
+          Fault (Fault.Mem_limit { limit; pc = t.pc })
   in
   go max_insns
 
@@ -278,7 +313,7 @@ let freg_bits t r = getf t r
 let pc t = t.pc
 let mem t = t.mem
 let brk t = t.brk
-let read_u64 t a = Mem.read_u64 t.mem a
+let read_u64 t a = Mem.peek_u64 t.mem a
 (* Installing a hook invalidates any cached translation: the fast engine
    compiles trace-aware code (per-instruction when a hook is present). *)
 let set_trace t f =

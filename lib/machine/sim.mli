@@ -25,7 +25,10 @@ type t
 
 type outcome = State.outcome =
   | Exit of int
-  | Fault of string  (** bad PC, undecodable instruction, bad PAL call... *)
+  | Fault of Fault.t
+      (** a structured machine fault: segmentation violation, illegal
+          instruction, bad PC, bad PAL call, unknown syscall, alignment
+          (under strict alignment), or the resident-memory ceiling *)
   | Out_of_fuel  (** hit the [max_insns] budget *)
 
 type engine = State.engine =
@@ -67,11 +70,31 @@ val load :
   ?engine:engine ->
   ?stdin:string ->
   ?inputs:(string * string) list ->
+  ?protect:bool ->
+  ?max_pages:int ->
+  ?stack_bytes:int ->
+  ?brk_max:int ->
+  ?strict_align:bool ->
   Objfile.Exe.t ->
   t
 (** Build a machine with the image mapped, [$sp] set, and registered input
     files available to [open].  [engine] selects the execution engine used
-    by {!run} (default [Fast]). *)
+    by {!run} (default [Fast]).
+
+    By default ([protect = true]) a protection map derived from the
+    executable is installed: each segment is readable (writable only when
+    its [seg_write] flag says so), the stack gets [stack_bytes] (default
+    8 MiB) of writable memory below the text base with everything beneath
+    it a guard gap, and the heap covers the program break's high-water
+    mark as [brk] moves it.  Accesses outside the map raise structured
+    {!Fault.Segv} faults instead of silently materialising pages, and at
+    most [max_pages] (default 65536, i.e. 256 MiB) resident pages may
+    exist before {!Fault.Mem_limit} fires.  [brk_max] bounds how far the
+    break may be pushed (default 1 GiB past the initial break); a [brk]
+    request outside [initial break, brk_max] is refused with -1.
+    [strict_align] (default off) makes naturally-misaligned accesses
+    raise {!Fault.Unaligned}.  [protect:false] restores the permissive
+    allocate-on-touch memory, which raw instruction-level tests use. *)
 
 val run : ?max_insns:int -> t -> outcome
 (** Execute until exit, fault or fuel exhaustion ([max_insns] defaults to

@@ -37,6 +37,13 @@ type t = {
   mutable fast : fast_seg list;  (** lazily built by {!Exec} *)
   vfs : Vfs.t;
   mutable brk : int;
+  brk0 : int;  (** initial program break: [brk] may never shrink below *)
+  mutable brk_max : int;  (** address-space ceiling for [brk] requests *)
+  mutable strict_align : bool;
+  mutable block_cont : bool;
+      (** fast-engine scratch: whether the current turbo block entered
+          with a pairable predecessor pending (selects which statically
+          simulated pair accounting a mid-block fault must unwind) *)
   mutable insns : int;
   mutable fuel : int;  (** remaining budget, maintained by the fast engine *)
   mutable cycles : int;
@@ -52,7 +59,7 @@ type t = {
   mutable trace : (int -> Insn.t -> unit) option;
 }
 
-type outcome = Exit of int | Fault of string | Out_of_fuel
+type outcome = Exit of int | Fault of Fault.t | Out_of_fuel
 
 let sys_exit = 1
 let sys_read = 3
@@ -62,7 +69,7 @@ let sys_brk = 17
 let sys_open = 45
 
 exception Halted of int
-exception Faulted of string
+exception Faulted of Fault.t
 exception Fuel
 
 let getr t r = if r = 31 then 0L else Array.unsafe_get t.regs r
@@ -214,7 +221,24 @@ let fbr_taken cond (x : float) =
   | Fbgt -> x > 0.0
   | Fbge -> x >= 0.0
 
-let syscall t =
+(* The access kind and natural alignment of a memory-format opcode, for
+   fault reporting and the strict-align mode.  [Ldq_u]/[Stq_u] align
+   their own address; [Lda]/[Ldah] never touch memory. *)
+let mem_access_info (op : Insn.mem_op) : Fault.access * int =
+  match op with
+  | Insn.Ldbu -> (Fault.Load, 1)
+  | Insn.Ldwu -> (Fault.Load, 2)
+  | Insn.Ldl -> (Fault.Load, 4)
+  | Insn.Ldq | Insn.Ldt -> (Fault.Load, 8)
+  | Insn.Ldq_u -> (Fault.Load, 1)
+  | Insn.Stb -> (Fault.Store, 1)
+  | Insn.Stw -> (Fault.Store, 2)
+  | Insn.Stl -> (Fault.Store, 4)
+  | Insn.Stq | Insn.Stt -> (Fault.Store, 8)
+  | Insn.Stq_u -> (Fault.Store, 1)
+  | Insn.Lda | Insn.Ldah -> (Fault.Load, 1)
+
+let syscall_body t =
   t.syscalls <- t.syscalls + 1;
   let num = Int64.to_int (getr t Reg.v0) in
   let a0 = getr t 16 and a1 = getr t 17 and a2 = getr t 18 in
@@ -244,10 +268,26 @@ let syscall t =
       ret (Vfs.sys_open t.vfs path (Int64.to_int a1))
   | n when n = sys_close -> ret (Vfs.sys_close t.vfs (Int64.to_int a0))
   | n when n = sys_brk ->
+      (* OSF/1-style validation: the break may move anywhere between its
+         initial value and the address-space ceiling; anything else —
+         negative, inside text, absurdly large — is refused with -1 and
+         the break left untouched *)
       let want = Int64.to_int a0 in
       if want = 0 then ret t.brk
+      else if want < t.brk0 || want > t.brk_max then ret (-1)
       else begin
         t.brk <- want;
+        Mem.grow_heap t.mem want;
         ret want
       end
-  | n -> raise (Faulted (Printf.sprintf "unknown system call %d at PC %#x" n t.pc))
+  | n -> raise (Faulted (Fault.Unknown_syscall { num = n; pc = t.pc }))
+
+(* Both engines keep [t.pc] at the [call_pal] instruction while the
+   system call runs, so a memory fault raised by a syscall touching the
+   program's buffers converts identically under ref and fast. *)
+let syscall t =
+  try syscall_body t with
+  | Mem.Prot { addr; access } ->
+      raise (Faulted (Fault.Segv { addr; access; pc = t.pc }))
+  | Mem.Limit { limit; _ } ->
+      raise (Faulted (Fault.Mem_limit { limit; pc = t.pc }))

@@ -39,6 +39,10 @@ type t = {
   mutable fast : fast_seg list;
   vfs : Vfs.t;
   mutable brk : int;
+  brk0 : int;
+  mutable brk_max : int;
+  mutable strict_align : bool;
+  mutable block_cont : bool;
   mutable insns : int;
   mutable fuel : int;
   mutable cycles : int;
@@ -54,7 +58,7 @@ type t = {
   mutable trace : (int -> Insn.t -> unit) option;
 }
 
-type outcome = Exit of int | Fault of string | Out_of_fuel
+type outcome = Exit of int | Fault of Fault.t | Out_of_fuel
 
 val sys_exit : int
 val sys_read : int
@@ -64,7 +68,7 @@ val sys_brk : int
 val sys_open : int
 
 exception Halted of int
-exception Faulted of string
+exception Faulted of Fault.t
 
 exception Fuel
 (** Raised by the fast engine when the instruction budget runs out. *)
@@ -92,7 +96,12 @@ val is_cmov : Insn.opr_op -> bool
 val br_taken : Insn.br_cond -> int64 -> bool
 val fbr_taken : Insn.fbr_cond -> float -> bool
 
+val mem_access_info : Insn.mem_op -> Fault.access * int
+(** The access kind and natural alignment of a memory-format opcode
+    ([Ldq_u]/[Stq_u] report alignment 1: they align their own address). *)
+
 val syscall : t -> unit
 (** Execute the system call selected by [$v0]; raises [Halted] for [exit]
-    and [Faulted] for an unknown call number (the message quotes [t.pc],
-    which must point at the [call_pal] instruction). *)
+    and [Faulted] for an unknown call number or a memory fault touching
+    the program's buffers (both quote [t.pc], which must point at the
+    [call_pal] instruction in either engine). *)

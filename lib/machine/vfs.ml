@@ -2,12 +2,24 @@ type stream =
   | Reader of { data : string; mutable pos : int }
   | Writer of Buffer.t
 
+type fault_plan = {
+  fp_fail_open : int list;  (** open calls (0-based) that return -1 *)
+  fp_fail_write : int list;  (** write calls that return -1 (EIO) *)
+  fp_short_read : int list;  (** read calls truncated to half the count *)
+}
+
+let no_faults = { fp_fail_open = []; fp_fail_write = []; fp_short_read = [] }
+
 type t = {
   inputs : (string, string) Hashtbl.t;
   outputs : (string, Buffer.t) Hashtbl.t;
   mutable fds : stream option array;
   out : Buffer.t;
   err : Buffer.t;
+  mutable plan : fault_plan;
+  mutable n_opens : int;
+  mutable n_reads : int;
+  mutable n_writes : int;
 }
 
 let create ?(stdin = "") () =
@@ -18,6 +30,10 @@ let create ?(stdin = "") () =
       fds = Array.make 16 None;
       out = Buffer.create 256;
       err = Buffer.create 64;
+      plan = no_faults;
+      n_opens = 0;
+      n_reads = 0;
+      n_writes = 0;
     }
   in
   t.fds.(0) <- Some (Reader { data = stdin; pos = 0 });
@@ -45,7 +61,14 @@ let alloc_fd t stream =
   in
   find 3
 
+let set_fault_plan t plan = t.plan <- plan
+let io_counts t = (t.n_opens, t.n_reads, t.n_writes)
+
 let sys_open t path flags =
+  let seq = t.n_opens in
+  t.n_opens <- t.n_opens + 1;
+  if List.mem seq t.plan.fp_fail_open then -1
+  else
   match flags with
   | 0 -> (
       (* prefer files written earlier in this run, then registered inputs *)
@@ -80,18 +103,31 @@ let sys_close t fd =
   else -1
 
 let sys_read t fd buf =
+  let seq = t.n_reads in
+  t.n_reads <- t.n_reads + 1;
   if fd < 0 || fd >= Array.length t.fds then -1
   else
     match t.fds.(fd) with
     | Some (Reader r) ->
-        let n = min (Bytes.length buf) (String.length r.data - r.pos) in
+        let want = Bytes.length buf in
+        let want =
+          (* a short read delivers half the requested count (at least one
+             byte for non-trivial requests): programs must cope, the
+             standard never promised a full buffer *)
+          if List.mem seq t.plan.fp_short_read then max (min want 1) (want / 2)
+          else want
+        in
+        let n = min want (String.length r.data - r.pos) in
         Bytes.blit_string r.data r.pos buf 0 n;
         r.pos <- r.pos + n;
         n
     | Some (Writer _) | None -> -1
 
 let sys_write t fd s =
-  if fd < 0 || fd >= Array.length t.fds then -1
+  let seq = t.n_writes in
+  t.n_writes <- t.n_writes + 1;
+  if List.mem seq t.plan.fp_fail_write then -1
+  else if fd < 0 || fd >= Array.length t.fds then -1
   else
     match t.fds.(fd) with
     | Some (Writer b) ->

@@ -7,7 +7,25 @@
 
 type t
 
+(** Deterministic I/O fault plan, for fault-injection runs: the listed
+    call ordinals (0-based, counted per syscall kind across the whole
+    run) misbehave the way a real kernel may — [open] refused, [write]
+    failing with an error, [read] returning fewer bytes than asked. *)
+type fault_plan = {
+  fp_fail_open : int list;  (** open calls that return -1 *)
+  fp_fail_write : int list;  (** write calls that return -1 (EIO) *)
+  fp_short_read : int list;  (** read calls truncated to half the count *)
+}
+
+val no_faults : fault_plan
+
 val create : ?stdin:string -> unit -> t
+
+val set_fault_plan : t -> fault_plan -> unit
+
+val io_counts : t -> int * int * int
+(** [(opens, reads, writes)] seen so far — the ordinal space a
+    [fault_plan] indexes into. *)
 
 val add_input : t -> string -> string -> unit
 (** [add_input vfs path contents] registers a readable file. *)

@@ -1,4 +1,9 @@
-type seg = { seg_vaddr : int; seg_bytes : bytes; seg_bss : int }
+type seg = {
+  seg_vaddr : int;
+  seg_bytes : bytes;
+  seg_bss : int;
+  seg_write : bool;
+}
 
 type sym = {
   x_name : string;
@@ -22,7 +27,8 @@ type t = {
   x_code_refs : code_ref list;
 }
 
-let magic = "AEXE1\n"
+let magic = "AEXE2\n"
+let magic_v1 = "AEXE1\n"
 let text_base = 0x1200_0000
 let data_base = 0x1400_0000
 let stack_top x = x.x_text_start
@@ -60,7 +66,8 @@ let to_string x =
     (fun s ->
       Wire.put_i64 w s.seg_vaddr;
       Wire.put_bytes w s.seg_bytes;
-      Wire.put_i64 w s.seg_bss)
+      Wire.put_i64 w s.seg_bss;
+      Wire.put_u8 w (if s.seg_write then 1 else 0))
     x.x_segs;
   Wire.put_list w
     (fun s ->
@@ -78,9 +85,74 @@ let to_string x =
     x.x_code_refs;
   Wire.contents w
 
+(* Structural validation of a freshly parsed image.  Every rejection is a
+   [Wire.Corrupt]: a malformed executable must fail closed at load time,
+   with the same exception class as a framing error, never crash later
+   inside the machine.  The checks are deliberately structural only —
+   address-space sanity, text/data ordering, segment overlap — so that
+   every image the assembler, linker and instrumenter legitimately emit
+   passes unchanged. *)
+let bad fmt =
+  Printf.ksprintf
+    (fun s -> raise (Wire.Corrupt ("malformed executable: " ^ s)))
+    fmt
+
+let addr_limit = 1 lsl 40
+
+let validate x =
+  let addr_ok a = a >= 0 && a < addr_limit in
+  if not (addr_ok x.x_entry) then bad "entry %#x out of range" x.x_entry;
+  if not (addr_ok x.x_text_start) then
+    bad "text start %#x out of range" x.x_text_start;
+  if x.x_text_size < 0 || x.x_text_size >= addr_limit then
+    bad "text size %d out of range" x.x_text_size;
+  if not (addr_ok x.x_data_start) then
+    bad "data start %#x out of range" x.x_data_start;
+  if not (addr_ok x.x_break) then bad "break %#x out of range" x.x_break;
+  if x.x_text_start + x.x_text_size > x.x_data_start then
+    bad "text [%#x, %#x) overlaps the data base %#x" x.x_text_start
+      (x.x_text_start + x.x_text_size)
+      x.x_data_start;
+  if x.x_break < x.x_data_start then
+    bad "break %#x below data start %#x" x.x_break x.x_data_start;
+  if x.x_entry < x.x_text_start || x.x_entry >= x.x_data_start then
+    bad "entry %#x outside [text start, data start)" x.x_entry;
+  if x.x_entry land 3 <> 0 then bad "entry %#x misaligned" x.x_entry;
+  List.iter
+    (fun s ->
+      if not (addr_ok s.seg_vaddr) then
+        bad "segment base %#x out of range" s.seg_vaddr;
+      if s.seg_bss < 0 || s.seg_bss >= addr_limit then
+        bad "segment bss %d out of range" s.seg_bss;
+      if s.seg_vaddr < x.x_data_start && s.seg_vaddr land 3 <> 0 then
+        bad "code segment base %#x misaligned" s.seg_vaddr)
+    x.x_segs;
+  let spans =
+    List.filter_map
+      (fun s ->
+        let len = Bytes.length s.seg_bytes + s.seg_bss in
+        if len = 0 then None else Some (s.seg_vaddr, s.seg_vaddr + len))
+      x.x_segs
+  in
+  let spans = List.sort compare spans in
+  let rec overlap = function
+    | (_, hi1) :: ((lo2, _) :: _ as rest) ->
+        if lo2 < hi1 then bad "segments overlap at %#x" lo2;
+        overlap rest
+    | _ -> ()
+  in
+  overlap spans;
+  x
+
 let of_string str =
   let rd = Wire.reader str in
-  Wire.expect_magic rd magic;
+  let version =
+    if String.length str >= String.length magic_v1
+       && String.sub str 0 (String.length magic_v1) = magic_v1
+    then 1
+    else 2
+  in
+  Wire.expect_magic rd (if version = 1 then magic_v1 else magic);
   let x_entry = Wire.get_i64 rd in
   let x_text_start = Wire.get_i64 rd in
   let x_text_size = Wire.get_i64 rd in
@@ -91,7 +163,12 @@ let of_string str =
         let seg_vaddr = Wire.get_i64 rd in
         let seg_bytes = Wire.get_bytes rd in
         let seg_bss = Wire.get_i64 rd in
-        { seg_vaddr; seg_bytes; seg_bss })
+        let seg_write =
+          (* v1 images predate the flag: data-side segments writable *)
+          if version = 1 then seg_vaddr >= x_data_start
+          else Wire.get_u8 rd <> 0
+        in
+        { seg_vaddr; seg_bytes; seg_bss; seg_write })
   in
   let x_symbols =
     Wire.get_list rd (fun rd ->
@@ -116,8 +193,9 @@ let of_string str =
         let cr_target = Wire.get_i64 rd in
         { cr_kind; cr_addr; cr_target })
   in
-  { x_entry; x_segs; x_symbols; x_text_start; x_text_size; x_data_start; x_break;
-    x_code_refs }
+  validate
+    { x_entry; x_segs; x_symbols; x_text_start; x_text_size; x_data_start;
+      x_break; x_code_refs }
 
 let save path x =
   let oc = open_out_bin path in

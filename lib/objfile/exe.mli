@@ -10,6 +10,9 @@ type seg = {
   seg_vaddr : int;
   seg_bytes : bytes;
   seg_bss : int;  (** zero-filled bytes following [seg_bytes] *)
+  seg_write : bool;
+      (** writable at run time; the simulator's protection map denies
+          stores to segments without it (text, read-only data) *)
 }
 
 type sym = {
@@ -63,8 +66,28 @@ val funcs_sorted : t -> sym list
 val text_bytes : t -> bytes
 (** Contents of the text segment. *)
 
+val validate : t -> t
+(** Structural sanity checks on an image: addresses within the simulated
+    address space, text below data, entry inside code and 4-aligned, code
+    segment bases 4-aligned, no overlapping segments.  Raises
+    {!Wire.Corrupt} on the first violation; returns the image unchanged
+    otherwise.  {!of_string} applies it, so a malformed image read from
+    disk fails closed at load time instead of crashing the machine. *)
+
 val to_string : t -> string
+
 val of_string : string -> t
+(** Parse and {!validate} a serialized image.  Accepts the current
+    ["AEXE2\n"] format and, for compatibility, ["AEXE1\n"] images, whose
+    segments predate the [seg_write] flag (data-side segments are assumed
+    writable).  Raises {!Wire.Corrupt} on any framing or validation
+    error — never [Invalid_argument] or [Failure]. *)
+
 val save : string -> t -> unit
 val load : string -> t
+
 val magic : string
+(** Current format magic, ["AEXE2\n"]. *)
+
+val magic_v1 : string
+(** Previous format magic, ["AEXE1\n"], still accepted by {!of_string}. *)

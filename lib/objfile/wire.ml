@@ -80,4 +80,7 @@ let put_list w fn xs =
 
 let get_list r fn =
   let n = get_u32 r in
+  (* every element costs at least one byte, so a count beyond the
+     remaining input is corrupt — fail before building the list *)
+  need r n;
   List.init n (fun _ -> fn r)

@@ -492,7 +492,7 @@ let check_image ~original ~instrumented ~(info : I.info) =
 
 let outcome_to_string = function
   | Machine.Sim.Exit n -> Printf.sprintf "exit %d" n
-  | Machine.Sim.Fault f -> Printf.sprintf "fault: %s" f
+  | Machine.Sim.Fault f -> Printf.sprintf "fault: %s" (Machine.Fault.to_string f)
   | Machine.Sim.Out_of_fuel -> "out of fuel"
 
 let first_diff a b =

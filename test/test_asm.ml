@@ -88,7 +88,7 @@ let run_and_reg1 u =
   match Machine.Sim.run ~max_insns:1000 m with
   | Machine.Sim.Exit 0 -> Machine.Sim.reg m 1
   | Machine.Sim.Exit n -> Alcotest.failf "exit %d" n
-  | Machine.Sim.Fault f -> Alcotest.failf "fault %s" f
+  | Machine.Sim.Fault f -> Alcotest.failf "fault %s" (Machine.Fault.to_string f)
   | Machine.Sim.Out_of_fuel -> Alcotest.fail "fuel"
 
 let prop_ldiq =

@@ -9,7 +9,7 @@ let run exe =
   match Machine.Sim.run ~max_insns:600_000_000 m with
   | Machine.Sim.Exit 0 -> m
   | Machine.Sim.Exit n -> Alcotest.failf "exit %d (stderr %s)" n (Machine.Sim.stderr m)
-  | Machine.Sim.Fault f -> Alcotest.failf "fault %s" f
+  | Machine.Sim.Fault f -> Alcotest.failf "fault %s" (Machine.Fault.to_string f)
   | Machine.Sim.Out_of_fuel -> Alcotest.fail "fuel"
 
 (* -- prototype parsing ----------------------------------------------------- *)

@@ -21,7 +21,7 @@ let stat_fields =
 
 let outcome_str = function
   | Machine.Sim.Exit n -> Printf.sprintf "exit %d" n
-  | Machine.Sim.Fault f -> "fault " ^ f
+  | Machine.Sim.Fault f -> "fault " ^ Machine.Fault.to_string f
   | Machine.Sim.Out_of_fuel -> "out of fuel"
 
 let check_cell label exe =

@@ -1,0 +1,140 @@
+(* Executable-image fuzzing: `Objfile.Exe.of_string` confronted with
+   damaged bytes must either produce a structurally valid image or raise
+   `Objfile.Wire.Corrupt` — never `Invalid_argument`, `Failure`,
+   `Out_of_memory` or any other exception.  Two sources of damage:
+
+   - the checked-in seed corpus under test/corpus/ (truncations, magic
+     damage, targeted bit flips — see its README);
+   - thousands of fresh seeded corruptions of a just-linked image.
+
+   Images that do load are additionally run briefly under both engines,
+   which must agree on the outcome: a bit flip that survives validation
+   becomes a differential test case for free. *)
+
+let make_exe () =
+  let src =
+    {|
+        .text
+        .globl __start
+__start:
+        clr $16
+        ldiq $0, 1
+        call_pal 0x83
+        .data
+msg:    .asciiz "corpus"
+|}
+  in
+  let u = Asmlib.Assemble.assemble ~name:"c.s" src in
+  Linker.Link.link [ Linker.Link.Unit u ]
+
+(* feed one blob to the loader; string result describes the fate *)
+let load_fate blob =
+  match Objfile.Exe.of_string blob with
+  | exception Objfile.Wire.Corrupt _ -> Ok "rejected"
+  | exception e -> Error (Printexc.to_string e)
+  | exe -> (
+      (* a loaded image must also run without escaping *)
+      match
+        List.map
+          (fun engine ->
+            let m = Machine.Sim.load ~engine exe in
+            Machine.Sim.run ~max_insns:10_000 m)
+          [ Machine.Sim.Ref; Machine.Sim.Fast ]
+      with
+      | exception e -> Error ("run: " ^ Printexc.to_string e)
+      | [ o_ref; o_fast ] ->
+          if o_ref = o_fast then Ok "loaded"
+          else Error "engines disagree on corrupted image"
+      | _ -> assert false)
+
+let check_fate name blob =
+  match load_fate blob with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%s: escaped with %s" name e
+
+let corpus_dir =
+  (* dune runtest executes in the build tree's test directory, where the
+     dep glob places corpus/; `dune exec` from the project root sees the
+     source copy instead *)
+  if Sys.file_exists "corpus" then "corpus" else "test/corpus"
+
+let test_seed_corpus () =
+  let entries = Sys.readdir corpus_dir in
+  Array.sort compare entries;
+  let n = ref 0 in
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".aexe" then begin
+        incr n;
+        let blob =
+          In_channel.with_open_bin (Filename.concat corpus_dir f)
+            In_channel.input_all
+        in
+        check_fate f blob
+      end)
+    entries;
+  if !n < 10 then Alcotest.failf "corpus too small: %d files" !n;
+  (* the pristine member must still load *)
+  let blob =
+    In_channel.with_open_bin (Filename.concat corpus_dir "valid.aexe")
+      In_channel.input_all
+  in
+  match load_fate blob with
+  | Ok "loaded" -> ()
+  | Ok f -> Alcotest.failf "valid.aexe: expected to load, got %s" f
+  | Error e -> Alcotest.failf "valid.aexe: %s" e
+
+let test_truncations () =
+  let blob = Objfile.Exe.to_string (make_exe ()) in
+  let n = String.length blob in
+  (* every prefix length in the header region, then a spread across the
+     rest of the image *)
+  for k = 0 to min n 96 do
+    check_fate (Printf.sprintf "truncate@%d" k) (String.sub blob 0 k)
+  done;
+  let rng = Random.State.make [| 0x7A11 |] in
+  for _ = 1 to 400 do
+    let k = Random.State.int rng n in
+    check_fate (Printf.sprintf "truncate@%d" k) (String.sub blob 0 k)
+  done
+
+let test_bit_flips () =
+  let blob = Objfile.Exe.to_string (make_exe ()) in
+  let n = String.length blob in
+  let rng = Random.State.make [| 0xB17F11 |] in
+  for i = 1 to 2000 do
+    let b = Bytes.of_string blob in
+    let pos = Random.State.int rng n in
+    let bit = Random.State.int rng 8 in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+    check_fate (Printf.sprintf "flip %d @%d.%d" i pos bit) (Bytes.to_string b)
+  done
+
+let test_garbage () =
+  let rng = Random.State.make [| 0x6A12BA6E |] in
+  for i = 1 to 500 do
+    let len = Random.State.int rng 512 in
+    let blob = String.init len (fun _ -> Char.chr (Random.State.int rng 256)) in
+    check_fate (Printf.sprintf "garbage %d (len %d)" i len) blob
+  done;
+  (* garbage wearing a valid magic *)
+  for i = 1 to 500 do
+    let len = Random.State.int rng 256 in
+    let blob =
+      "AEXE2\n"
+      ^ String.init len (fun _ -> Char.chr (Random.State.int rng 256))
+    in
+    check_fate (Printf.sprintf "magic-garbage %d (len %d)" i len) blob
+  done
+
+let () =
+  Alcotest.run "exe-fuzz"
+    [
+      ( "malformed images",
+        [
+          Alcotest.test_case "seed corpus" `Quick test_seed_corpus;
+          Alcotest.test_case "truncations" `Quick test_truncations;
+          Alcotest.test_case "bit flips" `Quick test_bit_flips;
+          Alcotest.test_case "random garbage" `Quick test_garbage;
+        ] );
+    ]

@@ -1,0 +1,58 @@
+(* Fault-injection smoke: a small seeded campaign over one plain and one
+   instrumented workload must finish with zero escaped exceptions and
+   zero engine disagreements, and the report must be deterministic for a
+   fixed seed. *)
+
+let campaign exe =
+  Faultinject.campaign ~seed:7 ~syscall_cases:8 ~image_cases:16 ~fuel_cases:4
+    ~max_insns:20_000_000 exe
+
+let test_plain () =
+  let w = List.find (fun w -> w.Workloads.w_name = "cover") Workloads.all in
+  let exe = Workloads.compile w in
+  let r = campaign exe in
+  Alcotest.(check int) "cases" 28 r.Faultinject.r_cases;
+  Alcotest.(check (list string)) "escapes" []
+    (List.map (fun e -> e.Faultinject.e_detail) r.Faultinject.r_escapes);
+  Alcotest.(check (list string)) "mismatches" []
+    (List.map (fun e -> e.Faultinject.e_detail) r.Faultinject.r_mismatches);
+  (* deterministic: same seed, same report *)
+  let r' = campaign exe in
+  Alcotest.(check bool) "deterministic" true (r = r')
+
+let test_instrumented () =
+  let w = List.find (fun w -> w.Workloads.w_name = "qsort") Workloads.all in
+  let tool =
+    List.find (fun t -> t.Tools.Tool.name = "dyninst") Tools.Registry.all
+  in
+  let exe, _ = Tools.Tool.apply tool (Workloads.compile w) in
+  let r = campaign exe in
+  Alcotest.(check (list string)) "escapes" []
+    (List.map (fun e -> e.Faultinject.e_detail) r.Faultinject.r_escapes);
+  Alcotest.(check (list string)) "mismatches" []
+    (List.map (fun e -> e.Faultinject.e_detail) r.Faultinject.r_mismatches)
+
+let test_report_shape () =
+  let w = List.find (fun w -> w.Workloads.w_name = "cover") Workloads.all in
+  let r = campaign (Workloads.compile w) in
+  Alcotest.(check bool) "ok" true (Faultinject.ok r);
+  let json = Faultinject.report_to_json r in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "json has histogram" true (contains json "\"histogram\"");
+  Alcotest.(check bool) "json has zero escapes" true
+    (contains json "\"escapes\": 0")
+
+let () =
+  Alcotest.run "faultinject"
+    [
+      ( "campaigns",
+        [
+          Alcotest.test_case "plain workload" `Quick test_plain;
+          Alcotest.test_case "instrumented workload" `Quick test_instrumented;
+          Alcotest.test_case "report shape" `Quick test_report_shape;
+        ] );
+    ]

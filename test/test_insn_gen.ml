@@ -113,11 +113,13 @@ let make_exe w =
           Objfile.Exe.seg_vaddr = Objfile.Exe.text_base;
           seg_bytes = text;
           seg_bss = 0;
+          seg_write = false;
         };
         {
           Objfile.Exe.seg_vaddr = Objfile.Exe.data_base;
           seg_bytes = data;
           seg_bss = 0;
+          seg_write = true;
         };
       ];
     x_symbols = [];
@@ -140,7 +142,7 @@ let gen_reg_value st =
 
 let outcome_str = function
   | Machine.Sim.Exit n -> Printf.sprintf "exit %d" n
-  | Machine.Sim.Fault f -> "fault " ^ f
+  | Machine.Sim.Fault f -> "fault " ^ Machine.Fault.to_string f
   | Machine.Sim.Out_of_fuel -> "out of fuel"
 
 let step engine w regs fregs =
@@ -198,6 +200,116 @@ let test_step_agreement () =
     | _ -> ())
   done
 
+(* -- whole-program fault symmetry ---------------------------------------- *)
+
+(* Deliberately-faulting programs long enough that the fast engine takes
+   its batched (turbo) path: a prologue of safe arithmetic, then one wild
+   memory access, then trailing instructions that must never execute.
+   Both engines must report the same structured fault, at the same PC,
+   with the same statistics — the fast engine has to unwind its batched
+   counters back to the faulting instruction. *)
+
+let make_prog words =
+  let words = words @ [ nop_word; nop_word; nop_word ] in
+  let text = Bytes.create (4 * List.length words) in
+  List.iteri (fun i w -> Alpha.Code.write_word text (4 * i) w) words;
+  let exe = make_exe nop_word in
+  let seg_data = List.nth exe.Objfile.Exe.x_segs 1 in
+  {
+    exe with
+    Objfile.Exe.x_segs =
+      [
+        {
+          Objfile.Exe.seg_vaddr = Objfile.Exe.text_base;
+          seg_bytes = text;
+          seg_bss = 0;
+          seg_write = false;
+        };
+        seg_data;
+      ];
+    x_text_size = Bytes.length text;
+  }
+
+let enc = Alpha.Code.encode
+
+(* addq $r, imm, $r on scratch registers: never faults *)
+let safe_op st =
+  enc
+    (Alpha.Insn.Opr
+       {
+         op = Alpha.Insn.Addq;
+         ra = Random.State.int st 8;
+         rb = Alpha.Insn.Imm (Random.State.int st 256);
+         rc = Random.State.int st 8;
+       })
+
+(* one wild memory access; $10 is preloaded with the wild base address *)
+let wild_sites =
+  [
+    (* load from the unmapped low pages *)
+    (0x1000, enc (Mem { op = Alpha.Insn.Ldq; ra = 9; rb = 10; disp = 0 }));
+    (* store into read-only text *)
+    ( Objfile.Exe.text_base,
+      enc (Mem { op = Alpha.Insn.Stq; ra = 9; rb = 10; disp = 0 }) );
+    (* load from the text–data gap *)
+    (0x1300_0000, enc (Mem { op = Alpha.Insn.Ldl; ra = 9; rb = 10; disp = 8 }));
+    (* store far beyond the break *)
+    ( 0x7f00_0000,
+      enc (Mem { op = Alpha.Insn.Stb; ra = 9; rb = 10; disp = -4 }) );
+    (* load below the stack's writable window *)
+    ( Objfile.Exe.text_base - (64 * 1024 * 1024),
+      enc (Mem { op = Alpha.Insn.Ldq_u; ra = 9; rb = 10; disp = 0 }) );
+  ]
+
+let run_prog engine exe wild_base fuel =
+  let m = Machine.Sim.load ~engine exe in
+  Machine.Sim.set_reg m 10 (Int64.of_int wild_base);
+  let outcome = Machine.Sim.run ~max_insns:fuel m in
+  (outcome, m)
+
+let test_program_faults () =
+  let st = Random.State.make [| seed lxor 0xFA17 |] in
+  for i = 1 to 100 do
+    let prologue = List.init (Random.State.int st 12) (fun _ -> safe_op st) in
+    let wild_base, wild = pick st wild_sites in
+    let exe = make_prog (prologue @ [ wild ] @ List.init 4 (fun _ -> safe_op st)) in
+    let ctx = Printf.sprintf "program %d (prologue %d)" i (List.length prologue) in
+    (* ample fuel: the fault must stop both engines identically *)
+    let o_ref, m_ref = run_prog Machine.Sim.Ref exe wild_base 1000 in
+    let o_fast, m_fast = run_prog Machine.Sim.Fast exe wild_base 1000 in
+    if o_ref <> o_fast then
+      Alcotest.failf "%s: outcome ref=%s fast=%s" ctx (outcome_str o_ref)
+        (outcome_str o_fast);
+    (match o_ref with
+    | Machine.Sim.Fault (Machine.Fault.Segv _) -> ()
+    | o -> Alcotest.failf "%s: expected segv, got %s" ctx (outcome_str o));
+    if Machine.Sim.pc m_ref <> Machine.Sim.pc m_fast then
+      Alcotest.failf "%s: pc ref=%#x fast=%#x" ctx (Machine.Sim.pc m_ref)
+        (Machine.Sim.pc m_fast);
+    let want_pc = Objfile.Exe.text_base + (4 * List.length prologue) in
+    if Machine.Sim.pc m_ref <> want_pc then
+      Alcotest.failf "%s: fault pc %#x, expected %#x" ctx
+        (Machine.Sim.pc m_ref) want_pc;
+    if Machine.Sim.stats m_ref <> Machine.Sim.stats m_fast then
+      Alcotest.failf "%s: statistics records differ" ctx;
+    (* fuel cut inside the prologue: both engines run out at the same
+       spot with the same counters *)
+    if prologue <> [] then begin
+      let cut = 1 + Random.State.int st (List.length prologue) in
+      let o_ref, m_ref = run_prog Machine.Sim.Ref exe wild_base cut in
+      let o_fast, m_fast = run_prog Machine.Sim.Fast exe wild_base cut in
+      if o_ref <> o_fast then
+        Alcotest.failf "%s: fuel-cut outcome ref=%s fast=%s" ctx
+          (outcome_str o_ref) (outcome_str o_fast);
+      (match o_ref with
+      | Machine.Sim.Out_of_fuel -> ()
+      | o -> Alcotest.failf "%s: fuel cut %d: expected out of fuel, got %s"
+               ctx cut (outcome_str o));
+      if Machine.Sim.stats m_ref <> Machine.Sim.stats m_fast then
+        Alcotest.failf "%s: fuel-cut statistics differ" ctx
+    end
+  done
+
 (* illegal words and unhandled PAL calls must fault identically *)
 let test_fault_symmetry () =
   List.iter
@@ -223,5 +335,6 @@ let () =
           Alcotest.test_case "single-step engine agreement" `Quick
             test_step_agreement;
           Alcotest.test_case "fault symmetry" `Quick test_fault_symmetry;
+          Alcotest.test_case "faulting programs" `Quick test_program_faults;
         ] );
     ]

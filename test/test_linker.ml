@@ -32,7 +32,7 @@ answer: ldiq $0, 77
       Alcotest.failf "unexpected outcome %s"
         (match o with
         | Machine.Sim.Exit n -> string_of_int n
-        | Machine.Sim.Fault f -> f
+        | Machine.Sim.Fault f -> Machine.Fault.to_string f
         | Machine.Sim.Out_of_fuel -> "fuel")
 
 let member name value =

@@ -25,7 +25,8 @@ let run_probe src =
   match Machine.Sim.run ~max_insns:1000 m with
   | Machine.Sim.Exit 0 -> m
   | Machine.Sim.Exit n -> Alcotest.failf "probe exit %d" n
-  | Machine.Sim.Fault f -> Alcotest.failf "probe fault %s" f
+  | Machine.Sim.Fault f ->
+      Alcotest.failf "probe fault %s" (Machine.Fault.to_string f)
   | Machine.Sim.Out_of_fuel -> Alcotest.fail "probe fuel"
 
 let reg3 src = Machine.Sim.reg (run_probe src) 3
@@ -391,6 +392,248 @@ __start:
   Alcotest.(check int) "machine break agrees" (Int64.to_int initial + 8192)
     (Machine.Sim.brk m)
 
+let test_brk_clamp () =
+  (* out-of-range break requests are refused with -1 and leave the break
+     untouched, under both engines: below the initial break, negative,
+     and absurdly far beyond the ceiling *)
+  let src =
+    {|
+        .text
+        .globl __start
+__start:
+        clr $16
+        ldiq $0, 17               # sys_brk: query initial break
+        call_pal 0x83
+        mov $0, $9
+        ldiq $16, 4096            # far below the break: inside text? no — low memory
+        ldiq $0, 17
+        call_pal 0x83
+        mov $0, $10               # expect -1
+        ldiq $16, -8
+        ldiq $0, 17               # negative request
+        call_pal 0x83
+        mov $0, $11               # expect -1
+        ldiq $1, 1
+        sll $1, 40, $16
+        ldiq $0, 17               # 1 TiB: beyond the ceiling
+        call_pal 0x83
+        mov $0, $12               # expect -1
+        clr $16
+        ldiq $0, 17               # query again: unchanged
+        call_pal 0x83
+        mov $0, $13
+        clr $16
+        ldiq $0, 1
+        call_pal 0x83
+|}
+  in
+  let outcome, m = run_both_engines src in
+  Alcotest.(check bool) "exit" true (outcome = Machine.Sim.Exit 0);
+  Alcotest.(check int64) "below-break refused" (-1L) (Machine.Sim.reg m 10);
+  Alcotest.(check int64) "negative refused" (-1L) (Machine.Sim.reg m 11);
+  Alcotest.(check int64) "beyond ceiling refused" (-1L) (Machine.Sim.reg m 12);
+  Alcotest.(check int64) "break untouched" (Machine.Sim.reg m 9)
+    (Machine.Sim.reg m 13)
+
+(* run a probe expected to segfault; returns (addr, access) *)
+let expect_segv name src =
+  let u = Asmlib.Assemble.assemble ~name:"s.s" src in
+  let exe = Linker.Link.link [ Linker.Link.Unit u ] in
+  let run engine =
+    let m = Machine.Sim.load ~engine exe in
+    (Machine.Sim.run ~max_insns:1000 m, m)
+  in
+  let o_ref, m_ref = run Machine.Sim.Ref in
+  let o_fast, m_fast = run Machine.Sim.Fast in
+  if o_ref <> o_fast then Alcotest.failf "%s: engines disagree" name;
+  Alcotest.(check bool)
+    (name ^ ": pcs agree")
+    true
+    (Machine.Sim.pc m_ref = Machine.Sim.pc m_fast);
+  match o_ref with
+  | Machine.Sim.Fault (Machine.Fault.Segv { addr; access; pc = _ }) ->
+      (addr, access)
+  | Machine.Sim.Fault f ->
+      Alcotest.failf "%s: expected segv, got %s" name
+        (Machine.Fault.to_string f)
+  | Machine.Sim.Exit n -> Alcotest.failf "%s: exit %d" name n
+  | Machine.Sim.Out_of_fuel -> Alcotest.failf "%s: out of fuel" name
+
+let test_protection_faults () =
+  (* a store into text faults as a store *)
+  let addr_access =
+    expect_segv "store to text"
+      {|
+        .text
+        .globl __start
+__start:
+        lda $1, __start
+        stq $31, 0($1)
+|}
+  in
+  Alcotest.(check bool) "store access" true (snd addr_access = Machine.Fault.Store);
+  (* a wild load from unmapped low memory faults as a load *)
+  let addr_access =
+    expect_segv "wild load"
+      {|
+        .text
+        .globl __start
+__start:
+        ldiq $1, 4096
+        ldq $2, 0($1)
+|}
+  in
+  Alcotest.(check bool) "load access" true (snd addr_access = Machine.Fault.Load);
+  Alcotest.(check int) "load addr" 4096 (fst addr_access);
+  (* far below the stack's writable window *)
+  let addr_access =
+    expect_segv "below stack"
+      {|
+        .text
+        .globl __start
+__start:
+        mov $30, $1
+        ldiq $2, 1
+        sll $2, 26, $2            # 64 MiB, past the 8 MiB stack
+        subq $1, $2, $1
+        stq $31, 0($1)
+|}
+  in
+  Alcotest.(check bool) "stack access" true (snd addr_access = Machine.Fault.Store);
+  (* the same wild load is silently absorbed with protection off *)
+  let src = {|
+        .text
+        .globl __start
+__start:
+        ldiq $1, 4096
+        ldq $2, 0($1)
+        clr $16
+        ldiq $0, 1
+        call_pal 0x83
+|} in
+  let u = Asmlib.Assemble.assemble ~name:"u.s" src in
+  let exe = Linker.Link.link [ Linker.Link.Unit u ] in
+  let m = Machine.Sim.load ~protect:false exe in
+  Alcotest.(check bool)
+    "no-protect run exits" true
+    (Machine.Sim.run ~max_insns:1000 m = Machine.Sim.Exit 0)
+
+let test_mem_limit () =
+  (* touching more pages than the resident ceiling allows must raise
+     Mem_limit, identically under both engines *)
+  let src =
+    {|
+        .text
+        .globl __start
+__start:
+        clr $16
+        ldiq $0, 17               # query break
+        call_pal 0x83
+        mov $0, $9
+        ldiq $1, 1
+        sll $1, 24, $1            # 16 MiB
+        addq $9, $1, $16
+        ldiq $0, 17               # grow the heap 16 MiB
+        call_pal 0x83
+        mov $9, $1                # touch every page
+loop:   stq $31, 0($1)
+        lda $1, 8192($1)
+        cmplt $1, $16, $2
+        bne $2, loop
+        clr $16
+        ldiq $0, 1
+        call_pal 0x83
+|}
+  in
+  let u = Asmlib.Assemble.assemble ~name:"m.s" src in
+  let exe = Linker.Link.link [ Linker.Link.Unit u ] in
+  let run engine =
+    let m = Machine.Sim.load ~engine ~max_pages:256 exe in
+    Machine.Sim.run ~max_insns:100_000_000 m
+  in
+  let o_ref = run Machine.Sim.Ref and o_fast = run Machine.Sim.Fast in
+  Alcotest.(check bool) "engines agree" true (o_ref = o_fast);
+  match o_ref with
+  | Machine.Sim.Fault (Machine.Fault.Mem_limit { limit; _ }) ->
+      Alcotest.(check int) "limit" 256 limit
+  | o ->
+      Alcotest.failf "expected mem-limit, got %s"
+        (match o with
+        | Machine.Sim.Exit n -> Printf.sprintf "exit %d" n
+        | Machine.Sim.Fault f -> Machine.Fault.to_string f
+        | Machine.Sim.Out_of_fuel -> "out of fuel")
+
+let test_strict_align () =
+  (* a misaligned ldq faults under --strict-align, identically on both
+     engines, and is legal without it *)
+  let src = {|
+        .text
+        .globl __start
+__start:
+        lda $1, buf+1
+        ldq $2, 0($1)
+        clr $16
+        ldiq $0, 1
+        call_pal 0x83
+        .data
+buf:    .space 16
+|} in
+  let u = Asmlib.Assemble.assemble ~name:"a.s" src in
+  let exe = Linker.Link.link [ Linker.Link.Unit u ] in
+  let run ~strict engine =
+    let m = Machine.Sim.load ~engine ~strict_align:strict exe in
+    (Machine.Sim.run ~max_insns:1000 m, m)
+  in
+  let o_ref, m_ref = run ~strict:true Machine.Sim.Ref in
+  let o_fast, m_fast = run ~strict:true Machine.Sim.Fast in
+  Alcotest.(check bool) "strict engines agree" true (o_ref = o_fast);
+  Alcotest.(check bool)
+    "strict pcs agree" true
+    (Machine.Sim.pc m_ref = Machine.Sim.pc m_fast);
+  (match o_ref with
+  | Machine.Sim.Fault (Machine.Fault.Unaligned { addr; _ }) ->
+      Alcotest.(check bool) "odd addr" true (addr land 7 = 1)
+  | o ->
+      Alcotest.failf "expected unaligned fault, got %s"
+        (match o with
+        | Machine.Sim.Exit n -> Printf.sprintf "exit %d" n
+        | Machine.Sim.Fault f -> Machine.Fault.to_string f
+        | Machine.Sim.Out_of_fuel -> "out of fuel"));
+  let o_lax, _ = run ~strict:false Machine.Sim.Fast in
+  Alcotest.(check bool) "lax run exits" true (o_lax = Machine.Sim.Exit 0)
+
+let test_unknown_syscall () =
+  (* a syscall number the VFS does not implement is a structured fault at
+     the call_pal, identically under both engines *)
+  let src = {|
+        .text
+        .globl __start
+__start:
+        ldiq $0, 999
+        call_pal 0x83
+|} in
+  let u = Asmlib.Assemble.assemble ~name:"y.s" src in
+  let exe = Linker.Link.link [ Linker.Link.Unit u ] in
+  let run engine =
+    let m = Machine.Sim.load ~engine exe in
+    (Machine.Sim.run ~max_insns:100 m, m)
+  in
+  let o_ref, m_ref = run Machine.Sim.Ref in
+  let o_fast, m_fast = run Machine.Sim.Fast in
+  Alcotest.(check bool) "engines agree" true (o_ref = o_fast);
+  Alcotest.(check bool)
+    "pcs agree" true
+    (Machine.Sim.pc m_ref = Machine.Sim.pc m_fast);
+  match o_ref with
+  | Machine.Sim.Fault (Machine.Fault.Unknown_syscall { num; _ }) ->
+      Alcotest.(check int) "number" 999 num
+  | o ->
+      Alcotest.failf "expected unknown-syscall fault, got %s"
+        (match o with
+        | Machine.Sim.Exit n -> Printf.sprintf "exit %d" n
+        | Machine.Sim.Fault f -> Machine.Fault.to_string f
+        | Machine.Sim.Out_of_fuel -> "out of fuel")
+
 let test_open_missing_input () =
   (* opening a file that was never provided fails with -1; the program
      still exits cleanly *)
@@ -455,6 +698,11 @@ let () =
           Alcotest.test_case "read at EOF" `Quick test_read_at_eof;
           Alcotest.test_case "write to closed fd" `Quick test_write_closed_fd;
           Alcotest.test_case "brk shrink then grow" `Quick test_brk_shrink_grow;
+          Alcotest.test_case "brk clamp" `Quick test_brk_clamp;
+          Alcotest.test_case "protection faults" `Quick test_protection_faults;
+          Alcotest.test_case "resident-page ceiling" `Quick test_mem_limit;
+          Alcotest.test_case "strict alignment" `Quick test_strict_align;
+          Alcotest.test_case "unknown syscall" `Quick test_unknown_syscall;
           Alcotest.test_case "open missing input" `Quick test_open_missing_input;
         ] );
       ("properties", props);

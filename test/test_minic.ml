@@ -11,7 +11,8 @@ let check_program ?stdin ?inputs ~expect src () =
   (match outcome with
   | Machine.Sim.Exit 0 -> ()
   | Machine.Sim.Exit n -> Alcotest.failf "exit %d; stderr: %s" n (Machine.Sim.stderr m)
-  | Machine.Sim.Fault f -> Alcotest.failf "fault: %s" f
+  | Machine.Sim.Fault f ->
+      Alcotest.failf "fault: %s" (Machine.Fault.to_string f)
   | Machine.Sim.Out_of_fuel -> Alcotest.fail "out of fuel");
   Alcotest.(check string) "stdout" expect (Machine.Sim.stdout m)
 

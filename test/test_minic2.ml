@@ -118,7 +118,7 @@ let compile_and_run src =
   match Machine.Sim.run ~max_insns:10_000_000 m with
   | Machine.Sim.Exit 0 -> Machine.Sim.stdout m
   | Machine.Sim.Exit n -> Alcotest.failf "exit %d" n
-  | Machine.Sim.Fault f -> Alcotest.failf "fault %s" f
+  | Machine.Sim.Fault f -> Alcotest.failf "fault %s" (Machine.Fault.to_string f)
   | Machine.Sim.Out_of_fuel -> Alcotest.fail "fuel"
 
 let prop_expressions =

@@ -77,15 +77,20 @@ let prop_archive_roundtrip =
       let a = Archive.create "lib.a" members in
       Archive.of_string (Archive.to_string a) = a)
 
+(* images must satisfy [Exe.validate] ([of_string] applies it), so the
+   generator places segments at spaced, aligned bases and keeps the entry
+   inside code *)
 let gen_exe =
   QCheck.Gen.(
     map
-      (fun (entry, segs, syms) ->
+      (fun (entry_off, segs, syms) ->
         {
-          Exe.x_entry = entry;
+          Exe.x_entry = Exe.text_base + (4 * entry_off);
           x_segs =
-            List.map
-              (fun (v, b, bss) -> { Exe.seg_vaddr = v; seg_bytes = b; seg_bss = bss })
+            List.mapi
+              (fun k (b, bss, w) ->
+                { Exe.seg_vaddr = Exe.text_base + (k * 0x10000);
+                  seg_bytes = b; seg_bss = bss; seg_write = w })
               segs;
           x_symbols =
             List.map
@@ -99,9 +104,8 @@ let gen_exe =
           x_code_refs =
             [ { Exe.cr_kind = Exe.Cr_quad; cr_addr = 1; cr_target = 2 } ];
         })
-      (triple (int_range 0 10000)
-         (list_size (int_range 1 3)
-            (triple (int_range 0 100000) gen_bytes (int_range 0 64)))
+      (triple (int_range 0 16)
+         (list_size (int_range 1 3) (triple gen_bytes (int_range 0 64) bool))
          (list_size (int_range 0 4) (pair gen_name (int_range 0 100000)))))
 
 let prop_exe_roundtrip =
@@ -164,7 +168,7 @@ let test_exe_helpers () =
     {
       Exe.x_entry = Exe.text_base;
       x_segs =
-        [ { Exe.seg_vaddr = Exe.text_base; seg_bytes = Bytes.make 16 '\000'; seg_bss = 0 } ];
+        [ { Exe.seg_vaddr = Exe.text_base; seg_bytes = Bytes.make 16 '\000'; seg_bss = 0; seg_write = false } ];
       x_symbols =
         [
           { Exe.x_name = "b"; x_addr = Exe.text_base + 8; x_type = Types.Func; x_size = 8 };

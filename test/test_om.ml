@@ -119,7 +119,7 @@ let run exe =
   match Machine.Sim.run ~max_insns:50_000_000 m with
   | Machine.Sim.Exit 0 -> m
   | Machine.Sim.Exit n -> Alcotest.failf "exit %d" n
-  | Machine.Sim.Fault f -> Alcotest.failf "fault %s" f
+  | Machine.Sim.Fault f -> Alcotest.failf "fault %s" (Machine.Fault.to_string f)
   | Machine.Sim.Out_of_fuel -> Alcotest.fail "fuel"
 
 let test_nop_padding () =
@@ -252,7 +252,9 @@ let gen_synthetic_exe =
     in
     {
       Objfile.Exe.x_entry = base;
-      x_segs = [ { Objfile.Exe.seg_vaddr = base; seg_bytes = bytes; seg_bss = 0 } ];
+      x_segs =
+        [ { Objfile.Exe.seg_vaddr = base; seg_bytes = bytes; seg_bss = 0;
+            seg_write = false } ];
       x_symbols = syms;
       x_text_start = base;
       x_text_size = 4 * nwords;

@@ -8,7 +8,7 @@ let run exe =
   match Machine.Sim.run ~max_insns:600_000_000 m with
   | Machine.Sim.Exit 0 -> m
   | Machine.Sim.Exit n -> Alcotest.failf "exit %d" n
-  | Machine.Sim.Fault f -> Alcotest.failf "fault %s" f
+  | Machine.Sim.Fault f -> Alcotest.failf "fault %s" (Machine.Fault.to_string f)
   | Machine.Sim.Out_of_fuel -> Alcotest.fail "fuel"
 
 let apply_and_run tool_name exe =

@@ -29,7 +29,8 @@ let test_hello () =
   (match outcome with
   | Machine.Sim.Exit 0 -> ()
   | Machine.Sim.Exit n -> Alcotest.failf "exit %d" n
-  | Machine.Sim.Fault f -> Alcotest.failf "fault: %s" f
+  | Machine.Sim.Fault f ->
+      Alcotest.failf "fault: %s" (Machine.Fault.to_string f)
   | Machine.Sim.Out_of_fuel -> Alcotest.fail "out of fuel");
   Alcotest.(check string) "stdout" "hello\n" (Machine.Sim.stdout m)
 
@@ -54,7 +55,8 @@ let test_loop () =
   match outcome with
   | Machine.Sim.Exit 55 -> ()
   | Machine.Sim.Exit n -> Alcotest.failf "exit %d, expected 55" n
-  | Machine.Sim.Fault f -> Alcotest.failf "fault: %s" f
+  | Machine.Sim.Fault f ->
+      Alcotest.failf "fault: %s" (Machine.Fault.to_string f)
   | Machine.Sim.Out_of_fuel -> Alcotest.fail "out of fuel"
 
 let call_src =
@@ -79,7 +81,8 @@ let test_call () =
   match outcome with
   | Machine.Sim.Exit 42 -> ()
   | Machine.Sim.Exit n -> Alcotest.failf "exit %d, expected 42" n
-  | Machine.Sim.Fault f -> Alcotest.failf "fault: %s" f
+  | Machine.Sim.Fault f ->
+      Alcotest.failf "fault: %s" (Machine.Fault.to_string f)
   | Machine.Sim.Out_of_fuel -> Alcotest.fail "out of fuel"
 
 let () =

@@ -8,7 +8,8 @@ let expect_exit0 tag (outcome, m) =
   | Machine.Sim.Exit n ->
       Alcotest.failf "%s: exit %d (stdout %S, stderr %S)" tag n
         (Machine.Sim.stdout m) (Machine.Sim.stderr m)
-  | Machine.Sim.Fault f -> Alcotest.failf "%s: fault: %s" tag f
+  | Machine.Sim.Fault f ->
+      Alcotest.failf "%s: fault: %s" tag (Machine.Fault.to_string f)
   | Machine.Sim.Out_of_fuel -> Alcotest.failf "%s: out of fuel" tag
 
 let workload_cases =

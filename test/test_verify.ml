@@ -283,9 +283,10 @@ let make_exe f_insns =
     Exe.x_entry = Exe.text_base + (4 * nf);
     x_segs =
       [
-        { Exe.seg_vaddr = Exe.text_base; seg_bytes = text; seg_bss = 0 };
+        { Exe.seg_vaddr = Exe.text_base; seg_bytes = text; seg_bss = 0;
+          seg_write = false };
         { Exe.seg_vaddr = Exe.data_base; seg_bytes = Bytes.create 16;
-          seg_bss = 0 };
+          seg_bss = 0; seg_write = true };
       ];
     x_symbols =
       [
