@@ -892,6 +892,293 @@ let faults ?(smoke = false) () =
     exit 1
   end
 
+(* -- serving mode -------------------------------------------------------- *)
+
+(* Load-generate against an in-process atomd: N concurrent clients drain
+   a shared queue of instrument requests over a (workload x tool x
+   option-variant) matrix, three times over — cold (fresh store, empty
+   caches), warm (same daemon, in-memory cache hot) and disk (restarted
+   daemon, in-memory cache dropped, same store) — then a run phase
+   replays each workload's instrumented image.  Reports requests/sec and
+   p50/p99 latency per phase into BENCH_serve.json, and byte-compares
+   every served image and every run's stdout against the single-process
+   pipeline: any divergence fails the bench. *)
+
+type serve_phase = {
+  sp_name : string;
+  sp_requests : int;
+  sp_secs : float;
+  sp_rps : float;
+  sp_p50_ms : float;
+  sp_p99_ms : float;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0 else sorted.(min (n - 1) (p * n / 100))
+
+let serve_drive ~name ~clients sock items =
+  let lock = Mutex.create () in
+  let queue = Queue.create () in
+  List.iter (fun it -> Queue.push it queue) items;
+  let replies = ref [] in
+  let lats = ref [] in
+  let client () =
+    let c = Serve.Client.connect sock in
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    let rec go () =
+      Mutex.lock lock;
+      let item = if Queue.is_empty queue then None else Some (Queue.pop queue) in
+      Mutex.unlock lock;
+      match item with
+      | None -> ()
+      | Some (id, req) ->
+          let t0 = Unix.gettimeofday () in
+          let reply = Serve.Client.rpc c req in
+          let dt = Unix.gettimeofday () -. t0 in
+          Mutex.lock lock;
+          replies := (id, reply) :: !replies;
+          lats := dt :: !lats;
+          Mutex.unlock lock;
+          go ()
+    in
+    go ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let doms = List.init clients (fun _ -> Domain.spawn client) in
+  List.iter Domain.join doms;
+  let secs = Unix.gettimeofday () -. t0 in
+  let lats = Array.of_list !lats in
+  Array.sort compare lats;
+  let n = List.length items in
+  ( {
+      sp_name = name;
+      sp_requests = n;
+      sp_secs = secs;
+      sp_rps = float_of_int n /. secs;
+      sp_p50_ms = 1000.0 *. percentile lats 50;
+      sp_p99_ms = 1000.0 *. percentile lats 99;
+    },
+    !replies )
+
+let serve_bench ?(smoke = false) () =
+  let clients = 4 in
+  let wl_names =
+    if smoke then [ "cover"; "qsort" ]
+    else [ "cover"; "qsort"; "sieve"; "bitvec"; "perm"; "hashtab" ]
+  in
+  let tool_names =
+    if smoke then [ "prof"; "branch" ]
+    else [ "prof"; "branch"; "syscall"; "malloc"; "dyninst" ]
+  in
+  let variants =
+    [
+      ("summary-wrapper", Atom.Instrument.default_options);
+      ( "saveall-wrapper",
+        { Atom.Instrument.default_options with
+          Atom.Instrument.save_strategy = Atom.Instrument.Save_all } );
+      ( "live-inline",
+        { Atom.Instrument.default_options with
+          Atom.Instrument.save_strategy = Atom.Instrument.Summary_and_live;
+          Atom.Instrument.call_style = Atom.Instrument.Inline_saves } );
+    ]
+  in
+  Printf.printf "atomd load generator%s: %d clients, %d workloads x %d tools \
+                 x %d option variants\n%!"
+    (if smoke then " (smoke)" else "")
+    clients (List.length wl_names) (List.length tool_names)
+    (List.length variants);
+  let workloads =
+    List.map
+      (fun n -> List.find (fun w -> w.Workloads.w_name = n) Workloads.all)
+      wl_names
+  in
+  let exe_bytes =
+    List.map
+      (fun w -> (w.Workloads.w_name, Objfile.Exe.to_string (Workloads.compile w)))
+      workloads
+  in
+  let items =
+    List.concat_map
+      (fun (wn, bytes) ->
+        List.concat_map
+          (fun tn ->
+            List.map
+              (fun (vn, options) ->
+                ( wn ^ "/" ^ tn ^ "/" ^ vn,
+                  Serve.Protocol.Instrument
+                    { tool = tn; options; exe = Serve.Protocol.Inline bytes } ))
+              variants)
+          tool_names)
+      (List.rev exe_bytes)
+  in
+  let tmp = Filename.temp_file "atom-serve-bench" "" in
+  Sys.remove tmp;
+  Unix.mkdir tmp 0o700;
+  let store = Filename.concat tmp "store" in
+  let sock1 = Filename.concat tmp "cold.sock" in
+  let sock2 = Filename.concat tmp "disk.sock" in
+  Fun.protect ~finally:(fun () ->
+      Atom.Toolcache.set_store None;
+      let rec rm p =
+        if Sys.is_directory p then begin
+          Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+          Unix.rmdir p
+        end
+        else Sys.remove p
+      in
+      (try rm tmp with Sys_error _ | Unix.Unix_error _ -> ()))
+  @@ fun () ->
+  clear_toolchain_caches ();
+  let t1 = Serve.start ~cache_dir:store ~socket:sock1 () in
+  let cold, cold_replies = serve_drive ~name:"cold" ~clients sock1 items in
+  let warm, warm_replies = serve_drive ~name:"warm" ~clients sock1 items in
+  Serve.stop t1;
+  (* restart: in-memory caches dropped, the store survives *)
+  clear_toolchain_caches ();
+  let t2 = Serve.start ~cache_dir:store ~socket:sock2 () in
+  let disk, disk_replies = serve_drive ~name:"disk" ~clients sock2 items in
+  (* run phase: each workload's default-variant image of the first tool,
+     via the digest the disk-phase reply advertised *)
+  let digest_of id =
+    match List.assoc id disk_replies with
+    | Serve.Protocol.Instrumented { digest; _ } -> digest
+    | _ -> failwith ("no instrumented reply for " ^ id)
+  in
+  let run_items =
+    List.map
+      (fun wn ->
+        let id = wn ^ "/" ^ List.hd tool_names ^ "/summary-wrapper" in
+        ( "run/" ^ wn,
+          Serve.Protocol.Run
+            {
+              image = Serve.Protocol.Image (digest_of id);
+              stdin = "";
+              ceilings = Serve.Protocol.no_ceilings;
+              engine = Machine.Sim.Fast;
+            } ))
+      wl_names
+  in
+  let runs, run_replies = serve_drive ~name:"run" ~clients sock2 run_items in
+  Serve.stop t2;
+  Atom.Toolcache.set_store None;
+  (* parity: every served image, from every phase, against the
+     single-process pipeline *)
+  let divergences = ref 0 in
+  List.iter
+    (fun (wn, bytes) ->
+      let exe = Objfile.Exe.of_string bytes in
+      List.iter
+        (fun tn ->
+          let tool = List.find (fun t -> t.Tools.Tool.name = tn) Tools.Registry.all in
+          List.iter
+            (fun (vn, options) ->
+              let id = wn ^ "/" ^ tn ^ "/" ^ vn in
+              let want =
+                Objfile.Exe.to_string (fst (Tools.Tool.apply ~options tool exe))
+              in
+              List.iter
+                (fun (phase, replies) ->
+                  match List.assoc id replies with
+                  | Serve.Protocol.Instrumented { image; _ } ->
+                      if not (String.equal image want) then begin
+                        incr divergences;
+                        Printf.printf "  DIVERGENCE: %s (%s phase)\n" id phase
+                      end
+                  | _ ->
+                      incr divergences;
+                      Printf.printf "  DIVERGENCE: %s (%s phase): bad reply\n"
+                        id phase)
+                [ ("cold", cold_replies); ("warm", warm_replies);
+                  ("disk", disk_replies) ])
+            variants)
+        tool_names)
+    exe_bytes;
+  let run_failures = ref 0 in
+  List.iter
+    (fun w ->
+      let tool =
+        List.find (fun t -> t.Tools.Tool.name = List.hd tool_names)
+          Tools.Registry.all
+      in
+      let exe', _ = Tools.Tool.apply tool (Workloads.compile w) in
+      let outcome, m = Workloads.run_exe exe' in
+      let id = "run/" ^ w.Workloads.w_name in
+      match (List.assoc id run_replies, outcome) with
+      | Serve.Protocol.Ran r, Machine.Sim.Exit code ->
+          let same =
+            r.Serve.Protocol.rr_outcome = Serve.Protocol.W_exit code
+            && String.equal r.Serve.Protocol.rr_stdout (Machine.Sim.stdout m)
+            && r.Serve.Protocol.rr_stats.Machine.Sim.st_insns
+               = (Machine.Sim.stats m).Machine.Sim.st_insns
+          in
+          if not same then begin
+            incr run_failures;
+            Printf.printf "  RUN DIVERGENCE: %s\n" id
+          end
+      | _ ->
+          incr run_failures;
+          Printf.printf "  RUN DIVERGENCE: %s: bad reply\n" id)
+    workloads;
+  let phases = [ cold; warm; disk; runs ] in
+  hrule 78;
+  Printf.printf "%-6s %9s %9s %11s %9s %9s\n" "phase" "requests" "secs"
+    "req/s" "p50 ms" "p99 ms";
+  hrule 78;
+  List.iter
+    (fun p ->
+      Printf.printf "%-6s %9d %9.2f %11.1f %9.2f %9.2f\n" p.sp_name
+        p.sp_requests p.sp_secs p.sp_rps p.sp_p50_ms p.sp_p99_ms)
+    phases;
+  hrule 78;
+  let warm_over_cold = warm.sp_rps /. cold.sp_rps in
+  Printf.printf
+    "warm/cold throughput: %.1fx   divergences: %d   run parity failures: %d\n"
+    warm_over_cold !divergences !run_failures;
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc "{\n";
+  output_string oc "  \"bench\": \"atomd serving mode\",\n";
+  output_string oc
+    (Printf.sprintf "  \"smoke\": %b,\n  \"clients\": %d,\n  \"workers\": %d,\n"
+       smoke clients Serve.default_config.Serve.workers);
+  output_string oc
+    (Printf.sprintf "  \"workloads\": [%s],\n"
+       (String.concat ", "
+          (List.map (fun n -> "\"" ^ json_escape n ^ "\"") wl_names)));
+  output_string oc
+    (Printf.sprintf "  \"tools\": [%s],\n"
+       (String.concat ", "
+          (List.map (fun n -> "\"" ^ json_escape n ^ "\"") tool_names)));
+  output_string oc
+    (Printf.sprintf "  \"option_variants\": [%s],\n"
+       (String.concat ", "
+          (List.map (fun (n, _) -> "\"" ^ json_escape n ^ "\"") variants)));
+  output_string oc "  \"phases\": [\n";
+  List.iteri
+    (fun i p ->
+      output_string oc
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"requests\": %d, \"secs\": %.3f, \
+            \"requests_per_sec\": %.2f, \"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n"
+           p.sp_name p.sp_requests p.sp_secs p.sp_rps p.sp_p50_ms p.sp_p99_ms
+           (if i = List.length phases - 1 then "" else ",")))
+    phases;
+  output_string oc "  ],\n";
+  output_string oc
+    (Printf.sprintf "  \"warm_over_cold\": %.2f,\n" warm_over_cold);
+  output_string oc
+    (Printf.sprintf "  \"divergences\": %d,\n  \"run_parity_failures\": %d\n"
+       !divergences !run_failures);
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_serve.json\n";
+  if !divergences > 0 || !run_failures > 0 then begin
+    Printf.printf
+      "FAIL: the daemon served bytes the single-process pipeline disagrees \
+       with\n";
+    exit 1
+  end
+
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let has_flag f =
@@ -913,6 +1200,7 @@ let () =
   | "bechamel" -> bechamel ~cold:(has_flag "--cold") ()
   | "perf" -> perf ~smoke:(has_flag "--smoke") ()
   | "faults" -> faults ~smoke:(has_flag "--smoke") ()
+  | "serve" -> serve_bench ~smoke:(has_flag "--smoke") ()
   | "verify" -> verify_sweep ()
   | "quick" ->
       let tools =
@@ -939,6 +1227,6 @@ let () =
       Printf.eprintf
         "unknown mode %S \
          (fig5 [--smoke] [--cold]|fig6|ablations|verify|bechamel [--cold]|\
-         quick|perf [--smoke]|all)\n"
+         quick|perf [--smoke]|faults [--smoke]|serve [--smoke]|all)\n"
         other;
       exit 2

@@ -1,0 +1,103 @@
+(* atomd — the ATOM instrumentation-and-simulation daemon.
+
+   Serves batched requests — "instrument executable X with tool T under
+   options O", "run image I with stdin S under ceilings" — over a
+   length-prefixed Unix-domain-socket protocol, fanned out across a pool
+   of worker domains that share one persistent content-addressed
+   toolchain cache.  See README.md, "Serving mode". *)
+
+let usage = "atomd --socket PATH [options]\n\
+             atomd --selftest [options]"
+
+let socket = ref ""
+let workers = ref Serve.default_config.Serve.workers
+let cache = ref ""
+let max_pages = ref Serve.default_config.Serve.max_pages
+let brk_span = ref Serve.default_config.Serve.brk_span
+let max_insns = ref Serve.default_config.Serve.max_insns
+let max_images = ref Serve.default_config.Serve.max_images
+let selftest = ref false
+
+let spec =
+  [
+    ("--socket", Arg.Set_string socket, "PATH Unix-domain socket to listen on");
+    ("--workers", Arg.Set_int workers,
+     Printf.sprintf "N worker domains (default %d)" !workers);
+    ("--cache", Arg.Set_string cache,
+     "DIR persistent toolchain-cache directory (default: in-memory only)");
+    ("--max-insns", Arg.Set_int max_insns,
+     Printf.sprintf "N hard per-request fuel ceiling (default %d)" !max_insns);
+    ("--max-pages", Arg.Set_int max_pages,
+     Printf.sprintf "N hard per-request resident-page ceiling (default %d)"
+       !max_pages);
+    ("--brk-span", Arg.Set_int brk_span,
+     Printf.sprintf
+       "BYTES hard per-request brk roam above the image break (default %d)"
+       !brk_span);
+    ("--max-images", Arg.Set_int max_images,
+     Printf.sprintf "N prepared-image registry bound (default %d)" !max_images);
+    ("--selftest", Arg.Set selftest,
+     " start a daemon on a private socket, exercise it, shut it down");
+  ]
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
+
+let config () =
+  {
+    Serve.workers = !workers;
+    max_insns = !max_insns;
+    max_pages = !max_pages;
+    brk_span = !brk_span;
+    max_images = !max_images;
+  }
+
+let run_selftest () =
+  let dir = Filename.temp_file "atomd-selftest" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock = Filename.concat dir "atomd.sock" in
+  let t = Serve.start ~config:(config ()) ~socket:sock () in
+  let wl =
+    match Workloads.find "espresso-mini" with
+    | Some w -> w
+    | None -> List.hd Workloads.all
+  in
+  let exe_bytes = Objfile.Exe.to_string (Workloads.compile wl) in
+  let c = Serve.Client.connect sock in
+  let digest, _image = Serve.Client.instrument c ~tool:"prof" exe_bytes in
+  let r = Serve.Client.run c (Serve.Protocol.Image digest) in
+  let ok =
+    match r.Serve.Protocol.rr_outcome with
+    | Serve.Protocol.W_exit 0 -> true
+    | _ -> false
+  in
+  let s = Serve.Client.stats c in
+  Printf.printf
+    "selftest: workload=%s tool=prof exit-ok=%b insns=%d jobs=%d errors=%d\n"
+    wl.Workloads.w_name ok r.Serve.Protocol.rr_stats.Machine.Sim.st_insns
+    s.Serve.Protocol.sr_jobs s.Serve.Protocol.sr_errors;
+  Serve.Client.shutdown c;
+  Serve.Client.close c;
+  Serve.wait t;
+  (try Sys.remove sock with Sys_error _ -> ());
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  if not ok then exit 1
+
+let () =
+  Arg.parse spec (fun a -> die "unexpected argument %S" a) usage;
+  if !selftest then run_selftest ()
+  else begin
+    if !socket = "" then die "atomd: --socket is required (or use --selftest)";
+    let cache_dir = if !cache = "" then None else Some !cache in
+    let t = Serve.start ~config:(config ()) ?cache_dir ~socket:!socket () in
+    Printf.printf "atomd: listening on %s with %d workers%s\n%!" !socket
+      !workers
+      (match cache_dir with
+      | Some d -> Printf.sprintf ", cache at %s" d
+      | None -> ", in-memory cache");
+    let quit _ = Atomic.set (Serve.stop_flag t) true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle quit);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle quit);
+    Serve.wait t;
+    print_endline "atomd: drained, bye"
+  end

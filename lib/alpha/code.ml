@@ -185,12 +185,17 @@ let roundtrips w = encode (decode w) = w land mask32
 (* Shared decode memo: instruction words repeat heavily across an image
    (and the same image is decoded by Om.Build, the instrument engine and
    the verifier), so each distinct word is decoded — and re-encoded for
-   the roundtrip check — at most once per process.  Insn.t values are
-   immutable, so sharing them between consumers is safe. *)
-let memo : (int, Insn.t * bool) Hashtbl.t = Hashtbl.create 4096
+   the roundtrip check — at most once.  Insn.t values are immutable, so
+   sharing them between consumers is safe.  The table is domain-local:
+   worker domains of a serving process each memoize independently rather
+   than racing on (or locking around) one hash table in the decode hot
+   path. *)
+let memo_key : (int, Insn.t * bool) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
 
 let decode_memo w =
   let w = w land mask32 in
+  let memo = Domain.DLS.get memo_key in
   match Hashtbl.find_opt memo w with
   | Some cell -> cell
   | None ->

@@ -1,4 +1,6 @@
-(** Content-addressed cache of prepared analysis modules.
+(** Content-addressed cache of prepared analysis modules — shared,
+    concurrency-safe, and optionally backed by a persistent on-disk
+    store.
 
     Selecting, laying out and provisionally linking a tool's analysis
     module — and running the dataflow-summary analysis over the linked
@@ -10,13 +12,30 @@
     workloads × 11 tools benchmark prepares each tool once instead of 165
     times.
 
+    {b Concurrency.}  Every operation is safe to call from any number of
+    domains (the serving daemon's worker pool shares this one cache).  A
+    miss publishes its key as in-flight and builds outside the lock;
+    concurrent requests for the same key wait for the build instead of
+    duplicating it, so N simultaneous first requests for one key are
+    exactly one miss and N−1 hits.  Cached values are immutable — the
+    application IR, whose stub lists instrumentation mutates in place, is
+    never handed out directly: {!find_or_add_program} returns a fresh
+    {!Om.Ir.copy} per call.
+
+    {b Persistence.}  {!set_store} points the cache at a directory; every
+    entry built thereafter is written through (temp file + atomic rename)
+    and later lookups — in this process after {!clear}, in other worker
+    processes, or after a daemon restart — are served from disk.  Entries
+    carry a format version, the OCaml version and the full content key;
+    anything stale or unreadable is silently treated as a miss.
+
     The option fingerprint is conservative: today none of the cached
     artefacts depend on the options, but any option that could affect
     analysis-side code generation is folded into the key so a stale entry
     can never be replayed under different options (a changed option is a
     guaranteed miss).  Correctness never depends on this cache — the
-    benchmark harness and the tests check that cold and warm paths produce
-    byte-identical instrumented images. *)
+    benchmark harness and the tests check that cold, warm and disk-served
+    paths produce byte-identical instrumented images. *)
 
 type prepared = {
   pr_pl : Linker.Link.placement;  (** analysis-module layout *)
@@ -28,14 +47,16 @@ type prepared = {
 val find_or_add : string -> (unit -> prepared) -> prepared
 (** [find_or_add key build] returns the cached entry for [key], building
     and caching it on a miss.  Exceptions from [build] propagate and cache
-    nothing. *)
+    nothing (waiters blocked on the same key retry). *)
 
 val find_or_add_program : string -> (unit -> Om.Ir.program) -> Om.Ir.program
 (** Same, for the application's built IR ({!Om.Build.program}), which is
     tool-independent: keyed by a digest of the serialised executable, one
-    build serves every tool in a sweep.  Instrumentation mutates the IR
-    only through the per-instruction stub lists, so those are reset to
-    empty on every lookup (hit or miss) before the program is returned. *)
+    build serves every tool in a sweep.  Returns a fresh per-request
+    {!Om.Ir.copy} of the cached master on every call (hit or miss): the
+    master's stub lists stay empty forever, and concurrent
+    instrumentation jobs for the same executable cannot observe each
+    other's stubs. *)
 
 (** The final link of an analysis module at its real bases: the emitted
     image plus the assembled analysis blob (text ++ rdata ++ data ++
@@ -51,18 +72,47 @@ type linked = {
 
 val find_or_add_linked : string -> (unit -> linked) -> linked
 
+val find_or_add_image : string -> (unit -> string * string) -> string * string
+(** Whole-image cache for the serving daemon, layered above the three
+    pipeline caches: the value is the complete instrumented image as
+    [(hex digest, serialised bytes)], keyed by (executable digest, tool
+    name, option fingerprint).  Instrumentation is deterministic, so a
+    repeat request skips even the per-request splice and code
+    generation; with a store attached, a restarted daemon serves repeat
+    instrumentations without touching the toolchain at all. *)
+
 val exe_digest : Objfile.Exe.t -> string
 val unit_digest : Objfile.Unit_file.t -> string
 (** Content digests of the serialised value, memoized by physical
     identity so sweeps don't reserialise the same executable or unit on
-    every call.  The memos are emptied by {!clear}. *)
+    every call.  The memo is a bounded ring of weak slots: it never
+    retains an executable the rest of the process has dropped (a
+    long-lived server digests an unbounded stream of them), and it is
+    emptied by {!clear}. *)
+
+val set_store : string option -> unit
+(** Attach (or detach, with [None]) a persistent on-disk store directory.
+    The directory is created if missing.  Entries are written through on
+    every build and served back on any later miss, including across
+    {!clear} and across processes sharing the directory. *)
+
+val store : unit -> string option
+(** The store directory currently attached, if any. *)
 
 val clear : unit -> unit
-(** Drop every entry (the benchmark's cold mode). *)
+(** Drop every in-memory entry (the benchmark's cold mode).  The on-disk
+    store, if attached, is untouched — after [clear] lookups refill from
+    disk; detach the store first for a truly cold run. *)
 
 val hits : unit -> int
 val misses : unit -> int
-(** Cumulative process-wide counters (not reset by {!clear}). *)
+(** Cumulative process-wide counters (not reset by {!clear}).  With
+    in-flight deduplication the split is deterministic even under
+    contention: concurrent first requests for one key count one miss,
+    the rest hits. *)
+
+val disk_hits : unit -> int
+(** Lookups served from the persistent store rather than built. *)
 
 val size : unit -> int
-(** Number of live entries. *)
+(** Number of live in-memory entries. *)

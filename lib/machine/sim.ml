@@ -43,14 +43,28 @@ let default_max_pages = 65536 (* 256 MiB of resident simulated memory *)
 let default_stack_bytes = 8 * 1024 * 1024
 let default_brk_span = 1 lsl 30 (* brk may roam 1 GiB above the break *)
 
-let load ?(engine = Fast) ?(stdin = "") ?(inputs = []) ?(protect = true)
-    ?(max_pages = default_max_pages) ?(stack_bytes = default_stack_bytes)
-    ?brk_max ?(strict_align = false) exe =
-  let mem = Mem.create () in
-  List.iter
-    (fun seg ->
-      Mem.poke_bytes mem seg.Objfile.Exe.seg_vaddr seg.Objfile.Exe.seg_bytes)
-    exe.Objfile.Exe.x_segs;
+(* The one fuel default, shared by every run path (Sim.run, the fast
+   engine via it, Workloads.run_exe, the serving daemon's per-request
+   ceiling): 500M instructions.  Having a single threaded constant means
+   a program can never report Fuel_exhausted through one path while
+   completing through another. *)
+let default_max_insns = 500_000_000
+
+(* An executable prepared for execution: decoded code segments, dual-issue
+   pair tables and the protection region list, none of which depend on a
+   particular run.  Preparing once and starting many machines from the
+   same image is what makes a serving process cheap per run: thousands of
+   runs share one parse/decode. *)
+type image = {
+  im_exe : Objfile.Exe.t;
+  im_code : code_seg list;
+  im_seg_regions : (int * int * bool) list;  (* excludes the stack region *)
+  im_stack_top : int;
+  im_entry : int;
+  im_break : int;
+}
+
+let prepare exe =
   let code =
     List.filter_map
       (fun seg ->
@@ -72,30 +86,52 @@ let load ?(engine = Fast) ?(stdin = "") ?(inputs = []) ?(protect = true)
         else None)
       exe.Objfile.Exe.x_segs
   in
+  let seg_regions =
+    List.map
+      (fun seg ->
+        let lo = seg.Objfile.Exe.seg_vaddr in
+        ( lo,
+          lo + Bytes.length seg.Objfile.Exe.seg_bytes + seg.Objfile.Exe.seg_bss,
+          seg.Objfile.Exe.seg_write ))
+      exe.Objfile.Exe.x_segs
+  in
+  {
+    im_exe = exe;
+    im_code = code;
+    im_seg_regions = seg_regions;
+    im_stack_top = Objfile.Exe.stack_top exe;
+    im_entry = exe.Objfile.Exe.x_entry;
+    im_break = exe.Objfile.Exe.x_break;
+  }
+
+let image_exe im = im.im_exe
+
+let start ?(engine = Fast) ?(stdin = "") ?(inputs = []) ?(protect = true)
+    ?(max_pages = default_max_pages) ?(stack_bytes = default_stack_bytes)
+    ?brk_max ?(strict_align = false) im =
+  let exe = im.im_exe in
+  let mem = Mem.create () in
+  List.iter
+    (fun seg ->
+      Mem.poke_bytes mem seg.Objfile.Exe.seg_vaddr seg.Objfile.Exe.seg_bytes)
+    exe.Objfile.Exe.x_segs;
+  let code = im.im_code in
   let vfs = Vfs.create ~stdin () in
   List.iter (fun (p, c) -> Vfs.add_input vfs p c) inputs;
   if protect then begin
-    let stack_top = Objfile.Exe.stack_top exe in
     let regions =
-      (stack_top - stack_bytes, stack_top, true)
-      :: List.map
-           (fun seg ->
-             let lo = seg.Objfile.Exe.seg_vaddr in
-             ( lo,
-               lo + Bytes.length seg.Objfile.Exe.seg_bytes
-               + seg.Objfile.Exe.seg_bss,
-               seg.Objfile.Exe.seg_write ))
-           exe.Objfile.Exe.x_segs
+      (im.im_stack_top - stack_bytes, im.im_stack_top, true)
+      :: im.im_seg_regions
     in
-    Mem.protect mem ~regions ~heap_lo:exe.Objfile.Exe.x_break ~max_pages
+    Mem.protect mem ~regions ~heap_lo:im.im_break ~max_pages
   end;
-  let x_break = exe.Objfile.Exe.x_break in
+  let x_break = im.im_break in
   let t =
     {
       mem;
       regs = Array.make 32 0L;
       fregs = Array.make 32 0L;
-      pc = exe.Objfile.Exe.x_entry;
+      pc = im.im_entry;
       code;
       engine;
       fast = [];
@@ -120,8 +156,13 @@ let load ?(engine = Fast) ?(stdin = "") ?(inputs = []) ?(protect = true)
       trace = None;
     }
   in
-  t.regs.(Reg.sp) <- Int64.of_int (Objfile.Exe.stack_top exe - 64);
+  t.regs.(Reg.sp) <- Int64.of_int (im.im_stack_top - 64);
   t
+
+let load ?engine ?stdin ?inputs ?protect ?max_pages ?stack_bytes ?brk_max
+    ?strict_align exe =
+  start ?engine ?stdin ?inputs ?protect ?max_pages ?stack_bytes ?brk_max
+    ?strict_align (prepare exe)
 
 let fetch t pc =
   let rec go = function
@@ -285,7 +326,7 @@ let run_ref ~max_insns t =
   in
   go max_insns
 
-let run ?(max_insns = 2_000_000_000) t =
+let run ?(max_insns = default_max_insns) t =
   match t.engine with
   | Ref -> run_ref ~max_insns t
   | Fast -> Exec.run ~max_insns t

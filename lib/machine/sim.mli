@@ -66,6 +66,37 @@ val engine_of_string : string -> engine option
 (** Parse an engine name as accepted by the CLIs' [--engine] flag:
     ["ref"]/["reference"] or ["fast"]/["closure"]. *)
 
+type image
+(** An executable prepared for execution: decoded code segments,
+    dual-issue pair tables and the protection region list — everything
+    about a run that does {e not} depend on the run.  Prepare once, then
+    {!start} any number of machines (concurrently, from any domain): a
+    serving process runs one loaded image thousands of times without
+    re-parsing it.  The image is immutable; per-run state (memory, VFS,
+    registers, statistics, fast-engine translations) lives in {!t}. *)
+
+val prepare : Objfile.Exe.t -> image
+(** Decode the executable's code segments and derive its protection
+    regions.  This is the expensive, shareable half of the old [load]. *)
+
+val image_exe : image -> Objfile.Exe.t
+(** The executable the image was prepared from. *)
+
+val start :
+  ?engine:engine ->
+  ?stdin:string ->
+  ?inputs:(string * string) list ->
+  ?protect:bool ->
+  ?max_pages:int ->
+  ?stack_bytes:int ->
+  ?brk_max:int ->
+  ?strict_align:bool ->
+  image ->
+  t
+(** Build a fresh machine over a prepared image: new memory with the
+    segments mapped, new VFS, [$sp] set, statistics zeroed.  Two machines
+    started from one image share only immutable data. *)
+
 val load :
   ?engine:engine ->
   ?stdin:string ->
@@ -77,7 +108,7 @@ val load :
   ?strict_align:bool ->
   Objfile.Exe.t ->
   t
-(** Build a machine with the image mapped, [$sp] set, and registered input
+(** [prepare] + [start]: build a machine with the image mapped, [$sp] set, and registered input
     files available to [open].  [engine] selects the execution engine used
     by {!run} (default [Fast]).
 
@@ -96,9 +127,15 @@ val load :
     raise {!Fault.Unaligned}.  [protect:false] restores the permissive
     allocate-on-touch memory, which raw instruction-level tests use. *)
 
+val default_max_insns : int
+(** The one fuel default — 500 million instructions — used by {!run},
+    {!Workloads.run_exe} and the serving daemon's per-request ceiling
+    alike, so the same program can never exhaust its fuel through one
+    path while completing through another. *)
+
 val run : ?max_insns:int -> t -> outcome
 (** Execute until exit, fault or fuel exhaustion ([max_insns] defaults to
-    2 {e billion}). *)
+    {!default_max_insns}). *)
 
 val stats : t -> stats
 val engine : t -> engine

@@ -51,6 +51,35 @@ let iter_insts prog fn =
     (fun p -> Array.iter (fun b -> Array.iter (fun i -> fn p b i) b.b_insts) p.p_blocks)
     prog.procs
 
+(* A fresh instrumentation view: new [inst]/[block]/[proc] records with
+   empty action slots, sharing the immutable payload (decoded
+   instructions, the executable).  Callers that cache a built program
+   hand each client its own view, so two concurrent instrumentations of
+   the same executable can never observe each other's stubs. *)
+let copy prog =
+  {
+    exe = prog.exe;
+    procs =
+      Array.map
+        (fun p ->
+          {
+            p with
+            p_blocks =
+              Array.map
+                (fun b ->
+                  {
+                    b with
+                    b_insts =
+                      Array.map
+                        (fun i ->
+                          { i with i_before = []; i_after = []; i_taken = [] })
+                        b.b_insts;
+                  })
+                p.p_blocks;
+          })
+        prog.procs;
+  }
+
 let find_proc prog name =
   Array.find_opt (fun p -> p.p_name = name) prog.procs
 

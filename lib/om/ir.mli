@@ -66,6 +66,14 @@ val inst_count : program -> int
 
 val iter_insts : program -> (proc -> block -> inst -> unit) -> unit
 
+val copy : program -> program
+(** A fresh instrumentation view of the program: new procedure, block and
+    instruction records whose action slots are all empty, sharing the
+    immutable payload (decoded instructions, successor lists, the
+    executable).  A cached master program is never handed out directly —
+    each client instruments its own view, so concurrent instrumentations
+    of one executable cannot observe each other's stubs. *)
+
 val find_proc : program -> string -> proc option
 
 val proc_at : program -> int -> proc option

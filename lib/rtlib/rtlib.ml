@@ -1,14 +1,29 @@
 let header = Sources.header_c
 
+(* One lock covers the once-cells and the compilation cache: the runtime
+   library is process-global state shared by every worker domain of a
+   serving process. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let memo fn =
   let cell = ref None in
   fun () ->
-    match !cell with
+    match locked (fun () -> !cell) with
     | Some v -> v
     | None ->
+        (* compile outside the lock (it is slow and reentrant); a racing
+           domain may compile twice, first publication wins *)
         let v = fn () in
-        cell := Some v;
-        v
+        locked (fun () ->
+            match !cell with
+            | Some v' -> v'
+            | None ->
+                cell := Some v;
+                v)
 
 let crt0 = memo (fun () -> Asmlib.Assemble.assemble ~name:"crt0.o" Sources.crt0_s)
 
@@ -25,7 +40,7 @@ let libc =
    once built, so sharing the compiled object is safe. *)
 let user_cache : (string, Objfile.Unit_file.t) Hashtbl.t = Hashtbl.create 16
 
-let clear_cache () = Hashtbl.reset user_cache
+let clear_cache () = locked (fun () -> Hashtbl.reset user_cache)
 
 let compile_user ?(cache = true) ~name source =
   let full = header ^ "\n" ^ source in
@@ -34,12 +49,16 @@ let compile_user ?(cache = true) ~name source =
     (* the unit name lands in diagnostics inside the object, so it is part
        of the content key *)
     let key = Digest.string (name ^ "\000" ^ full) in
-    match Hashtbl.find_opt user_cache key with
+    match locked (fun () -> Hashtbl.find_opt user_cache key) with
     | Some u -> u
     | None ->
         let u = Minic.Driver.compile ~name full in
-        Hashtbl.replace user_cache key u;
-        u
+        locked (fun () ->
+            match Hashtbl.find_opt user_cache key with
+            | Some u' -> u'
+            | None ->
+                Hashtbl.replace user_cache key u;
+                u)
   end
 
 let link_program units =

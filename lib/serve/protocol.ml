@@ -1,0 +1,400 @@
+(* The atomd wire protocol: length-prefixed frames over a byte stream
+   (Unix-domain socket or pipe).
+
+   Frame          = u32 big-endian payload length, then the payload.
+   Payload        = one tag byte, then tag-specific fields.
+   Integers       = 8-byte big-endian two's complement.
+   Strings/bytes  = integer length, then the raw bytes.
+
+   Executables travel in their own AEXE2 wire format
+   ({!Objfile.Exe.to_string}), so the protocol never re-encodes an
+   image; an instrumented image returned by the server byte-compares
+   directly against a locally produced one.
+
+   Requests: I instrument, R run, L load-image, T stats, Q shutdown.
+   Replies:  the lowercase request tag on success, E on error.  Every
+   request gets exactly one reply; the server never drops a request
+   silently (fail-closed: an internal exception becomes an E reply and
+   the worker lives on). *)
+
+exception Malformed of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Malformed m)) fmt
+
+(* a frame larger than this is refused outright: fail closed on hostile
+   or corrupt length prefixes instead of allocating unboundedly *)
+let max_frame = 256 * 1024 * 1024
+
+(* -- framing ------------------------------------------------------------- *)
+
+let write_frame oc payload =
+  let n = String.length payload in
+  if n > max_frame then fail "frame too large (%d bytes)" n;
+  let hdr = Bytes.create 4 in
+  Bytes.set_uint8 hdr 0 ((n lsr 24) land 0xFF);
+  Bytes.set_uint8 hdr 1 ((n lsr 16) land 0xFF);
+  Bytes.set_uint8 hdr 2 ((n lsr 8) land 0xFF);
+  Bytes.set_uint8 hdr 3 (n land 0xFF);
+  output_bytes oc hdr;
+  output_string oc payload;
+  flush oc
+
+(* [None] on a clean EOF at a frame boundary *)
+let read_frame ic =
+  match really_input_string ic 4 with
+  | exception End_of_file -> None
+  | hdr ->
+      let n =
+        (Char.code hdr.[0] lsl 24)
+        lor (Char.code hdr.[1] lsl 16)
+        lor (Char.code hdr.[2] lsl 8)
+        lor Char.code hdr.[3]
+      in
+      if n > max_frame then fail "frame too large (%d bytes)" n;
+      (match really_input_string ic n with
+      | s -> Some s
+      | exception End_of_file -> fail "truncated frame (wanted %d bytes)" n)
+
+(* -- primitive codecs ---------------------------------------------------- *)
+
+let put_int b (v : int) =
+  let v = Int64.of_int v in
+  for i = 7 downto 0 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF))
+  done
+
+let put_str b s =
+  put_int b (String.length s);
+  Buffer.add_string b s
+
+type cursor = { buf : string; mutable pos : int }
+
+let take c n =
+  if c.pos + n > String.length c.buf then fail "truncated payload";
+  let s = String.sub c.buf c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_byte c = (take c 1).[0]
+
+let get_int c =
+  let s = take c 8 in
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[i]))
+  done;
+  Int64.to_int !v
+
+let get_str c =
+  let n = get_int c in
+  if n < 0 || n > max_frame then fail "bad string length %d" n;
+  take c n
+
+let finish c =
+  if c.pos <> String.length c.buf then fail "trailing bytes in payload"
+
+(* -- instrumentation options --------------------------------------------- *)
+
+let put_options b (o : Atom.Instrument.options) =
+  Buffer.add_char b
+    (match o.save_strategy with
+    | Atom.Instrument.Summary -> '\000'
+    | Atom.Instrument.Save_all -> '\001'
+    | Atom.Instrument.Summary_and_live -> '\002');
+  Buffer.add_char b
+    (match o.call_style with
+    | Atom.Instrument.Wrapper -> '\000'
+    | Atom.Instrument.Inline_saves -> '\001'
+    | Atom.Instrument.Inline_body -> '\002');
+  match o.heap_mode with
+  | Atom.Instrument.Linked ->
+      Buffer.add_char b '\000';
+      put_int b 0
+  | Atom.Instrument.Partitioned off ->
+      Buffer.add_char b '\001';
+      put_int b off
+
+let get_options c : Atom.Instrument.options =
+  let save =
+    match get_byte c with
+    | '\000' -> Atom.Instrument.Summary
+    | '\001' -> Atom.Instrument.Save_all
+    | '\002' -> Atom.Instrument.Summary_and_live
+    | ch -> fail "bad save strategy %d" (Char.code ch)
+  in
+  let style =
+    match get_byte c with
+    | '\000' -> Atom.Instrument.Wrapper
+    | '\001' -> Atom.Instrument.Inline_saves
+    | '\002' -> Atom.Instrument.Inline_body
+    | ch -> fail "bad call style %d" (Char.code ch)
+  in
+  let heap_tag = get_byte c in
+  let off = get_int c in
+  let heap =
+    match heap_tag with
+    | '\000' -> Atom.Instrument.Linked
+    | '\001' -> Atom.Instrument.Partitioned off
+    | ch -> fail "bad heap mode %d" (Char.code ch)
+  in
+  { Atom.Instrument.save_strategy = save; call_style = style; heap_mode = heap }
+
+(* -- requests ------------------------------------------------------------ *)
+
+(* an executable in a request: inline AEXE2 bytes, or the hex digest of
+   an image the server already holds (returned by a previous instrument
+   or load-image reply) *)
+type image_ref = Inline of string | Image of string
+
+(* per-request resource ceilings; 0 means "server default", and every
+   value is clamped to the server's configured maximum, so a hostile
+   request cannot starve the fleet *)
+type ceilings = { rc_max_insns : int; rc_max_pages : int; rc_brk_max : int }
+
+let no_ceilings = { rc_max_insns = 0; rc_max_pages = 0; rc_brk_max = 0 }
+
+type request =
+  | Instrument of {
+      tool : string;
+      options : Atom.Instrument.options;
+      exe : image_ref;
+    }
+  | Run of {
+      image : image_ref;
+      stdin : string;
+      ceilings : ceilings;
+      engine : Machine.Sim.engine;
+    }
+  | Load_image of string  (** AEXE2 bytes; reply carries the digest *)
+  | Stats
+  | Shutdown
+
+let put_image_ref b = function
+  | Inline s ->
+      Buffer.add_char b '\000';
+      put_str b s
+  | Image d ->
+      Buffer.add_char b '\001';
+      put_str b d
+
+let get_image_ref c =
+  match get_byte c with
+  | '\000' -> Inline (get_str c)
+  | '\001' -> Image (get_str c)
+  | ch -> fail "bad image ref tag %d" (Char.code ch)
+
+let encode_request r =
+  let b = Buffer.create 256 in
+  (match r with
+  | Instrument { tool; options; exe } ->
+      Buffer.add_char b 'I';
+      put_str b tool;
+      put_options b options;
+      put_image_ref b exe
+  | Run { image; stdin; ceilings; engine } ->
+      Buffer.add_char b 'R';
+      put_image_ref b image;
+      put_str b stdin;
+      put_int b ceilings.rc_max_insns;
+      put_int b ceilings.rc_max_pages;
+      put_int b ceilings.rc_brk_max;
+      Buffer.add_char b
+        (match engine with Machine.Sim.Fast -> '\000' | Machine.Sim.Ref -> '\001')
+  | Load_image s ->
+      Buffer.add_char b 'L';
+      put_str b s
+  | Stats -> Buffer.add_char b 'T'
+  | Shutdown -> Buffer.add_char b 'Q');
+  Buffer.contents b
+
+let decode_request payload =
+  let c = { buf = payload; pos = 0 } in
+  let r =
+    match get_byte c with
+    | 'I' ->
+        let tool = get_str c in
+        let options = get_options c in
+        let exe = get_image_ref c in
+        Instrument { tool; options; exe }
+    | 'R' ->
+        let image = get_image_ref c in
+        let stdin = get_str c in
+        let rc_max_insns = get_int c in
+        let rc_max_pages = get_int c in
+        let rc_brk_max = get_int c in
+        let engine =
+          match get_byte c with
+          | '\000' -> Machine.Sim.Fast
+          | '\001' -> Machine.Sim.Ref
+          | ch -> fail "bad engine %d" (Char.code ch)
+        in
+        Run
+          { image; stdin; ceilings = { rc_max_insns; rc_max_pages; rc_brk_max };
+            engine }
+    | 'L' -> Load_image (get_str c)
+    | 'T' -> Stats
+    | 'Q' -> Shutdown
+    | ch -> fail "bad request tag %d" (Char.code ch)
+  in
+  finish c;
+  r
+
+(* -- replies ------------------------------------------------------------- *)
+
+(* a run's outcome, flattened for the wire: the structured fault keeps
+   its stable kind tag plus the human-readable detail *)
+type wire_outcome =
+  | W_exit of int
+  | W_fault of { kind : string; detail : string }
+  | W_out_of_fuel
+
+type run_reply = {
+  rr_outcome : wire_outcome;
+  rr_stats : Machine.Sim.stats;
+  rr_stdout : string;
+  rr_stderr : string;
+}
+
+type stats_reply = {
+  sr_hits : int;  (** toolchain-cache memory hits *)
+  sr_misses : int;  (** toolchain-cache builds *)
+  sr_disk_hits : int;  (** toolchain-cache entries served from the store *)
+  sr_entries : int;  (** live in-memory toolchain-cache entries *)
+  sr_images : int;  (** prepared images in the registry *)
+  sr_jobs : int;  (** requests served (all kinds) *)
+  sr_errors : int;  (** requests answered with an E reply *)
+  sr_workers : int;
+}
+
+type reply =
+  | Instrumented of { digest : string; image : string }
+  | Ran of run_reply
+  | Loaded of { digest : string }
+  | Stats_reply of stats_reply
+  | Shutting_down
+  | Error of string
+
+let put_stats b (s : Machine.Sim.stats) =
+  put_int b s.st_insns;
+  put_int b s.st_cycles;
+  put_int b s.st_pair_cycles;
+  put_int b s.st_loads;
+  put_int b s.st_stores;
+  put_int b s.st_cond_branches;
+  put_int b s.st_taken;
+  put_int b s.st_calls;
+  put_int b s.st_syscalls
+
+let get_stats c : Machine.Sim.stats =
+  let st_insns = get_int c in
+  let st_cycles = get_int c in
+  let st_pair_cycles = get_int c in
+  let st_loads = get_int c in
+  let st_stores = get_int c in
+  let st_cond_branches = get_int c in
+  let st_taken = get_int c in
+  let st_calls = get_int c in
+  let st_syscalls = get_int c in
+  {
+    st_insns;
+    st_cycles;
+    st_pair_cycles;
+    st_loads;
+    st_stores;
+    st_cond_branches;
+    st_taken;
+    st_calls;
+    st_syscalls;
+  }
+
+let encode_reply r =
+  let b = Buffer.create 256 in
+  (match r with
+  | Instrumented { digest; image } ->
+      Buffer.add_char b 'i';
+      put_str b digest;
+      put_str b image
+  | Ran { rr_outcome; rr_stats; rr_stdout; rr_stderr } ->
+      Buffer.add_char b 'r';
+      (match rr_outcome with
+      | W_exit code ->
+          Buffer.add_char b '\000';
+          put_int b code
+      | W_fault { kind; detail } ->
+          Buffer.add_char b '\001';
+          put_str b kind;
+          put_str b detail
+      | W_out_of_fuel -> Buffer.add_char b '\002');
+      put_stats b rr_stats;
+      put_str b rr_stdout;
+      put_str b rr_stderr
+  | Loaded { digest } ->
+      Buffer.add_char b 'l';
+      put_str b digest
+  | Stats_reply s ->
+      Buffer.add_char b 't';
+      put_int b s.sr_hits;
+      put_int b s.sr_misses;
+      put_int b s.sr_disk_hits;
+      put_int b s.sr_entries;
+      put_int b s.sr_images;
+      put_int b s.sr_jobs;
+      put_int b s.sr_errors;
+      put_int b s.sr_workers
+  | Shutting_down -> Buffer.add_char b 'q'
+  | Error m ->
+      Buffer.add_char b 'E';
+      put_str b m);
+  Buffer.contents b
+
+let decode_reply payload =
+  let c = { buf = payload; pos = 0 } in
+  let r =
+    match get_byte c with
+    | 'i' ->
+        let digest = get_str c in
+        let image = get_str c in
+        Instrumented { digest; image }
+    | 'r' ->
+        let rr_outcome =
+          match get_byte c with
+          | '\000' -> W_exit (get_int c)
+          | '\001' ->
+              let kind = get_str c in
+              let detail = get_str c in
+              W_fault { kind; detail }
+          | '\002' -> W_out_of_fuel
+          | ch -> fail "bad outcome tag %d" (Char.code ch)
+        in
+        let rr_stats = get_stats c in
+        let rr_stdout = get_str c in
+        let rr_stderr = get_str c in
+        Ran { rr_outcome; rr_stats; rr_stdout; rr_stderr }
+    | 'l' -> Loaded { digest = get_str c }
+    | 't' ->
+        let sr_hits = get_int c in
+        let sr_misses = get_int c in
+        let sr_disk_hits = get_int c in
+        let sr_entries = get_int c in
+        let sr_images = get_int c in
+        let sr_jobs = get_int c in
+        let sr_errors = get_int c in
+        let sr_workers = get_int c in
+        Stats_reply
+          {
+            sr_hits;
+            sr_misses;
+            sr_disk_hits;
+            sr_entries;
+            sr_images;
+            sr_jobs;
+            sr_errors;
+            sr_workers;
+          }
+    | 'q' -> Shutting_down
+    | 'E' -> Error (get_str c)
+    | ch -> fail "bad reply tag %d" (Char.code ch)
+  in
+  finish c;
+  r

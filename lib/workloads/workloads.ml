@@ -587,16 +587,35 @@ let all =
 let find name = List.find_opt (fun w -> w.w_name = name) all
 
 let cache : (string, Objfile.Exe.t) Hashtbl.t = Hashtbl.create 16
+let cache_lock = Mutex.create ()
 
 let compile w =
-  match Hashtbl.find_opt cache w.w_name with
+  let cached =
+    Mutex.lock cache_lock;
+    let v = Hashtbl.find_opt cache w.w_name in
+    Mutex.unlock cache_lock;
+    v
+  in
+  match cached with
   | Some exe -> exe
   | None ->
+      (* compiled outside the lock: slow, and a racing domain merely
+         duplicates the work (first publication wins) *)
       let exe = Rtlib.compile_and_link ~name:(w.w_name ^ ".o") w.w_source in
-      Hashtbl.replace cache w.w_name exe;
+      Mutex.lock cache_lock;
+      let exe =
+        match Hashtbl.find_opt cache w.w_name with
+        | Some exe' -> exe'
+        | None ->
+            Hashtbl.replace cache w.w_name exe;
+            exe
+      in
+      Mutex.unlock cache_lock;
       exe
 
-let run_exe ?(engine = Machine.Sim.Fast) ?(max_insns = 500_000_000) exe =
+(* the fuel default is Sim's: one documented constant for every run path *)
+let run_exe ?(engine = Machine.Sim.Fast)
+    ?(max_insns = Machine.Sim.default_max_insns) exe =
   let m = Machine.Sim.load ~engine exe in
   let outcome = Machine.Sim.run ~max_insns m in
   (outcome, m)

@@ -22,4 +22,7 @@ val run_exe :
   Objfile.Exe.t ->
   Machine.Sim.outcome * Machine.Sim.t
 (** Load and run an executable with no stdin and no input files, on the
-    selected simulator engine (default [Fast]). *)
+    selected simulator engine (default [Fast]).  [max_insns] defaults to
+    {!Machine.Sim.default_max_insns} — the same constant every other run
+    path uses, so an outcome can never flip between [Out_of_fuel] and
+    completion depending on which path ran the program. *)
