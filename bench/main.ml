@@ -892,6 +892,403 @@ let faults ?(smoke = false) () =
     exit 1
   end
 
+(* -- soak ---------------------------------------------------------------- *)
+
+(* Fleet-scale differential soak: generate seeded Mini-C programs with
+   Progen, compile each through the Mini-C toolchain, instrument it with
+   every registered tool, run original and instrumented images on both
+   engines under protection ceilings, and compare everything against the
+   generator's interpreter-independent oracle:
+
+     - the original's stdout must equal the oracle's prediction on both
+       engines (catches miscompiles anywhere in the stack);
+     - Ref and Fast must agree bit-for-bit on outcome, stdout, stderr,
+       stats and final break, instrumented or not (the PR-2 guarantee,
+       now over an unbounded program space);
+     - every instrumented run must preserve the original's outcome and
+       stdout (the paper's transparency property, tools report via
+       files, never stdout);
+     - nothing may escape as a raw exception (the PR-5 guarantee).
+
+   Any failure is persisted with a one-line repro command, minimized
+   with Progen.shrink, and written to test/corpus/ as a regression
+   candidate.  Results go to BENCH_soak.json. *)
+
+let soak_fuel = 100_000_000
+
+type soak_obs = {
+  so_outcome : Machine.Sim.outcome;
+  so_stdout : string;
+  so_stderr : string;
+  so_brk : int;
+  so_stats : Machine.Sim.stats;
+}
+
+let soak_observe ~engine exe =
+  let m = Machine.Sim.load ~engine exe in
+  let so_outcome = Machine.Sim.run ~max_insns:soak_fuel m in
+  {
+    so_outcome;
+    so_stdout = Machine.Sim.stdout m;
+    so_stderr = Machine.Sim.stderr m;
+    so_brk = Machine.Sim.brk m;
+    so_stats = Machine.Sim.stats m;
+  }
+
+let soak_outcome_str = function
+  | Machine.Sim.Exit n -> Printf.sprintf "exit %d" n
+  | Machine.Sim.Fault f -> "fault " ^ Machine.Fault.to_string f
+  | Machine.Sim.Out_of_fuel -> "out of fuel"
+
+(* Engines must agree on everything; a run and its baseline must agree on
+   what the program observably did. *)
+let soak_engines_agree a b =
+  a.so_outcome = b.so_outcome && a.so_stdout = b.so_stdout
+  && a.so_stderr = b.so_stderr && a.so_brk = b.so_brk && a.so_stats = b.so_stats
+
+type soak_failure = {
+  sk_seed : int;
+  sk_size : int;
+  sk_kind : string;  (* "escape" for raw exceptions, "mismatch" otherwise *)
+  sk_subject : string;  (* "minic", "baseline", or a tool name *)
+  sk_detail : string;
+  sk_repro : string;
+}
+
+exception Soak_failed of string * string * string  (* kind, subject, detail *)
+
+(* Run the whole per-program differential check; raises Soak_failed on the
+   first divergence.  Returns total instructions simulated (for the
+   throughput report). *)
+let soak_check_program tools t =
+  let src = Progen.source t in
+  let exe =
+    try Rtlib.compile_and_link ~name:"soak.o" src with
+    | Minic.Driver.Error msg ->
+        raise (Soak_failed ("mismatch", "minic", "frontend rejection: " ^ msg))
+    | e ->
+        raise
+          (Soak_failed ("escape", "minic", "compile raised " ^ Printexc.to_string e))
+  in
+  let observe ~subject ~engine exe =
+    try soak_observe ~engine exe
+    with e ->
+      raise
+        (Soak_failed
+           ( "escape",
+             subject,
+             Printf.sprintf "%s engine raised %s"
+               (Machine.Sim.engine_name engine)
+               (Printexc.to_string e) ))
+  in
+  let insns = ref 0 in
+  let differential ~subject exe =
+    let ref_o = observe ~subject ~engine:Machine.Sim.Ref exe in
+    let fast_o = observe ~subject ~engine:Machine.Sim.Fast exe in
+    insns := !insns + ref_o.so_stats.Machine.Sim.st_insns
+             + fast_o.so_stats.Machine.Sim.st_insns;
+    if not (soak_engines_agree ref_o fast_o) then
+      raise
+        (Soak_failed
+           ( "mismatch",
+             subject,
+             Printf.sprintf "ref/fast disagree: ref %s, fast %s"
+               (soak_outcome_str ref_o.so_outcome)
+               (soak_outcome_str fast_o.so_outcome) ));
+    ref_o
+  in
+  (* baseline: both engines agree and match the oracle *)
+  let base = differential ~subject:"baseline" exe in
+  (match base.so_outcome with
+  | Machine.Sim.Exit 0 -> ()
+  | o ->
+      raise
+        (Soak_failed
+           ("mismatch", "baseline", "uninstrumented run: " ^ soak_outcome_str o)));
+  if not (String.equal base.so_stdout (Progen.expected_stdout t)) then
+    raise
+      (Soak_failed
+         ( "mismatch",
+           "baseline",
+           Printf.sprintf "oracle mismatch: expected %d bytes, got %d bytes"
+             (String.length (Progen.expected_stdout t))
+             (String.length base.so_stdout) ));
+  (* every tool: instrument, run differentially, demand transparency *)
+  List.iter
+    (fun tool ->
+      let name = tool.Tools.Tool.name in
+      let ixe =
+        try fst (Tools.Tool.apply tool exe)
+        with e ->
+          raise
+            (Soak_failed
+               ("escape", name, "instrument raised " ^ Printexc.to_string e))
+      in
+      let obs = differential ~subject:name ixe in
+      if obs.so_outcome <> base.so_outcome then
+        raise
+          (Soak_failed
+             ( "mismatch",
+               name,
+               Printf.sprintf "outcome changed: %s -> %s"
+                 (soak_outcome_str base.so_outcome)
+                 (soak_outcome_str obs.so_outcome) ));
+      if not (String.equal obs.so_stdout base.so_stdout) then
+        raise
+          (Soak_failed
+             ("mismatch", name, "instrumented stdout differs from original")))
+    tools;
+  !insns
+
+(* sizes cycle so one soak covers small and large programs *)
+let soak_sizes = [| 2; 3; 4; 6; 8; 10; 12; 14 |]
+
+let soak ?(smoke = false) ?(seed = 1) ?(count = 0) ?(size = 0) ?(atomd = false)
+    ?(dump = false) () =
+  let count = if count > 0 then count else if smoke then 25 else 1000 in
+  let tools = Tools.Registry.all in
+  let gen i =
+    let size =
+      if size > 0 then size
+      else soak_sizes.(i mod Array.length soak_sizes)
+    in
+    Progen.generate ~seed:(seed + i) ~size ()
+  in
+  if dump then begin
+    let t = gen 0 in
+    print_string (Progen.source t);
+    print_endline "/* expected stdout:";
+    print_string (Progen.expected_stdout t);
+    print_endline "*/";
+    exit 0
+  end;
+  Printf.printf "soak%s: %d programs x %d tools x 2 engines, seeds %d..%d\n%!"
+    (if smoke then " (smoke)" else "")
+    count (List.length tools) seed
+    (seed + count - 1);
+  let failures = ref [] in
+  let total_insns = ref 0 in
+  let gen_secs = ref 0.0 in
+  let check_secs = ref 0.0 in
+  let corpus_sources = ref [] in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to count - 1 do
+    let t, dt = time_it (fun () -> gen i) in
+    gen_secs := !gen_secs +. dt;
+    corpus_sources := (Progen.seed t, Progen.source t) :: !corpus_sources;
+    (match time_it (fun () ->
+         match soak_check_program tools t with
+         | insns -> Ok insns
+         | exception Soak_failed (kind, subject, detail) ->
+             Error (kind, subject, detail)) with
+    | Ok insns, dt ->
+        total_insns := !total_insns + insns;
+        check_secs := !check_secs +. dt
+    | Error (kind, subject, detail), dt ->
+        check_secs := !check_secs +. dt;
+        Printf.printf "  FAIL seed=%d size=%d %s/%s: %s\n%!" (Progen.seed t)
+          (Progen.size t) kind subject detail;
+        (* minimize while preserving the same failure kind+subject *)
+        let same_failure c =
+          match soak_check_program tools c with
+          | _ -> false
+          | exception Soak_failed (k, s, _) -> k = kind && s = subject
+        in
+        let small = Progen.shrink t same_failure in
+        let corpus_file =
+          Printf.sprintf "test/corpus/progen_s%d.c" (Progen.seed t)
+        in
+        (try
+           let oc = open_out corpus_file in
+           Printf.fprintf oc "/* soak failure: %s/%s: %s\n   repro: %s */\n%s"
+             kind subject detail (Progen.repro_hint t) (Progen.source small);
+           close_out oc
+         with Sys_error _ -> ());
+        failures :=
+          {
+            sk_seed = Progen.seed t;
+            sk_size = Progen.size t;
+            sk_kind = kind;
+            sk_subject = subject;
+            sk_detail = detail;
+            sk_repro = Progen.repro_hint t;
+          }
+          :: !failures);
+    if (i + 1) mod 100 = 0 then begin
+      Printf.printf "  %d/%d programs, %d Minsns, %.1f prog/s\n%!" (i + 1) count
+        (!total_insns / 1_000_000)
+        (float_of_int (i + 1) /. (Unix.gettimeofday () -. t0));
+      (* bound memory growth over long runs *)
+      clear_toolchain_caches ()
+    end
+  done;
+  let total_secs = Unix.gettimeofday () -. t0 in
+  let escapes = List.filter (fun f -> f.sk_kind = "escape") !failures in
+  let mismatches = List.filter (fun f -> f.sk_kind <> "escape") !failures in
+  (* optional atomd replay: a live daemon serves the same corpus *)
+  let atomd_stats =
+    if not atomd then None
+    else begin
+      let slice =
+        (* instrument+run traffic: every corpus program with a rotating
+           tool, both engines *)
+        List.rev !corpus_sources
+      in
+      Printf.printf "atomd replay: %d programs over a live daemon\n%!"
+        (List.length slice);
+      let tmp = Filename.temp_file "atom-soak" "" in
+      Sys.remove tmp;
+      Unix.mkdir tmp 0o700;
+      let sock = Filename.concat tmp "soak.sock" in
+      let store = Filename.concat tmp "store" in
+      clear_toolchain_caches ();
+      let daemon = Serve.start ~cache_dir:store ~socket:sock () in
+      let finally () =
+        Serve.stop daemon;
+        Atom.Toolcache.set_store None;
+        let rec rm p =
+          if Sys.is_directory p then begin
+            Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+            Unix.rmdir p
+          end
+          else Sys.remove p
+        in
+        try rm tmp with Sys_error _ | Unix.Unix_error _ -> ()
+      in
+      Fun.protect ~finally @@ fun () ->
+      let c = Serve.Client.connect sock in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      let requests = ref 0 and divergences = ref [] in
+      let rt0 = Unix.gettimeofday () in
+      List.iteri
+        (fun i (sd, src) ->
+          match Rtlib.compile_and_link ~name:"soak.o" src with
+          | exception _ -> ()  (* already reported by the local phase *)
+          | exe ->
+              let bytes = Objfile.Exe.to_string exe in
+              let tool = List.nth tools (i mod List.length tools) in
+              let reply =
+                Serve.Client.rpc c
+                  (Serve.Protocol.Instrument
+                     {
+                       tool = tool.Tools.Tool.name;
+                       options = Atom.Instrument.default_options;
+                       exe = Serve.Protocol.Inline bytes;
+                     })
+              in
+              incr requests;
+              match reply with
+              | Serve.Protocol.Instrumented { digest; _ } ->
+                  List.iter
+                    (fun engine ->
+                      let reply =
+                        Serve.Client.rpc c
+                          (Serve.Protocol.Run
+                             {
+                               image = Serve.Protocol.Image digest;
+                               stdin = "";
+                               ceilings = Serve.Protocol.no_ceilings;
+                               engine;
+                             })
+                      in
+                      incr requests;
+                      match reply with
+                      | Serve.Protocol.Ran r -> (
+                          let local = soak_observe ~engine
+                              (fst (Tools.Tool.apply tool exe)) in
+                          match r.Serve.Protocol.rr_outcome with
+                          | Serve.Protocol.W_exit 0
+                            when String.equal r.Serve.Protocol.rr_stdout
+                                   local.so_stdout ->
+                              ()
+                          | _ ->
+                              divergences :=
+                                Printf.sprintf
+                                  "seed %d tool %s engine %s: served run \
+                                   diverges from local pipeline"
+                                  sd tool.Tools.Tool.name
+                                  (Machine.Sim.engine_name engine)
+                                :: !divergences)
+                      | _ ->
+                          divergences :=
+                            Printf.sprintf "seed %d: run request failed" sd
+                            :: !divergences)
+                    [ Machine.Sim.Ref; Machine.Sim.Fast ]
+              | _ ->
+                  divergences :=
+                    Printf.sprintf "seed %d tool %s: instrument request failed"
+                      sd tool.Tools.Tool.name
+                    :: !divergences)
+        slice;
+      let secs = Unix.gettimeofday () -. rt0 in
+      Some (!requests, secs, List.rev !divergences)
+    end
+  in
+  (* report *)
+  let oc = open_out "BENCH_soak.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"benchmark\": \"soak\",\n";
+  p "  \"smoke\": %b,\n" smoke;
+  p "  \"seed\": %d,\n" seed;
+  p "  \"count\": %d,\n" count;
+  p "  \"tools\": [%s],\n"
+    (String.concat ", "
+       (List.map (fun t -> "\"" ^ t.Tools.Tool.name ^ "\"") tools));
+  p "  \"engines\": [\"ref\", \"fast\"],\n";
+  p "  \"programs\": %d,\n" count;
+  p "  \"runs_per_program\": %d,\n" (2 * (List.length tools + 1));
+  p "  \"total_insns\": %d,\n" !total_insns;
+  p "  \"gen_secs\": %.3f,\n" !gen_secs;
+  p "  \"check_secs\": %.3f,\n" !check_secs;
+  p "  \"total_secs\": %.3f,\n" total_secs;
+  p "  \"programs_per_sec\": %.2f,\n" (float_of_int count /. total_secs);
+  p "  \"insns_per_sec\": %.0f,\n" (float_of_int !total_insns /. total_secs);
+  p "  \"escapes\": %d,\n" (List.length escapes);
+  p "  \"mismatches\": %d,\n" (List.length mismatches);
+  (match atomd_stats with
+  | Some (reqs, secs, divs) ->
+      p "  \"atomd\": { \"requests\": %d, \"secs\": %.3f, \"rps\": %.1f, \
+         \"divergences\": %d },\n"
+        reqs secs
+        (float_of_int reqs /. secs)
+        (List.length divs)
+  | None -> ());
+  p "  \"failures\": [%s]\n"
+    (String.concat ",\n    "
+       (List.rev_map
+          (fun f ->
+            Printf.sprintf
+              "{ \"seed\": %d, \"size\": %d, \"kind\": \"%s\", \"subject\": \
+               \"%s\", \"detail\": %S, \"repro\": %S }"
+              f.sk_seed f.sk_size f.sk_kind f.sk_subject f.sk_detail f.sk_repro)
+          !failures));
+  p "}\n";
+  close_out oc;
+  Printf.printf
+    "soak: %d programs, %d Minsns, %.1f prog/s, %d escapes, %d mismatches -> \
+     BENCH_soak.json\n%!"
+    count
+    (!total_insns / 1_000_000)
+    (float_of_int count /. total_secs)
+    (List.length escapes) (List.length mismatches);
+  let atomd_divs =
+    match atomd_stats with Some (_, _, divs) -> divs | None -> []
+  in
+  List.iter (fun d -> Printf.printf "  atomd divergence: %s\n%!" d) atomd_divs;
+  if !failures <> [] || atomd_divs <> [] then begin
+    let oc = open_out "BENCH_soak_failing.txt" in
+    List.iter
+      (fun f ->
+        Printf.fprintf oc "%s %s seed=%d size=%d: %s\n  repro: %s\n" f.sk_kind
+          f.sk_subject f.sk_seed f.sk_size f.sk_detail f.sk_repro)
+      (List.rev !failures);
+    List.iter (fun d -> Printf.fprintf oc "atomd: %s\n" d) atomd_divs;
+    close_out oc;
+    Printf.printf "SOAK FAILURES (see BENCH_soak_failing.txt and test/corpus/)\n";
+    exit 1
+  end
+
 (* -- serving mode -------------------------------------------------------- *)
 
 (* Load-generate against an in-process atomd: N concurrent clients drain
@@ -1200,6 +1597,21 @@ let () =
   | "bechamel" -> bechamel ~cold:(has_flag "--cold") ()
   | "perf" -> perf ~smoke:(has_flag "--smoke") ()
   | "faults" -> faults ~smoke:(has_flag "--smoke") ()
+  | "soak" ->
+      let int_flag f default =
+        let rec go i =
+          if i >= Array.length Sys.argv - 1 then default
+          else if Sys.argv.(i) = f then
+            match int_of_string_opt Sys.argv.(i + 1) with
+            | Some n -> n
+            | None -> default
+          else go (i + 1)
+        in
+        go 1
+      in
+      soak ~smoke:(has_flag "--smoke") ~seed:(int_flag "--seed" 1)
+        ~count:(int_flag "--count" 0) ~size:(int_flag "--size" 0)
+        ~atomd:(has_flag "--atomd") ~dump:(has_flag "--dump") ()
   | "serve" -> serve_bench ~smoke:(has_flag "--smoke") ()
   | "verify" -> verify_sweep ()
   | "quick" ->
@@ -1227,6 +1639,7 @@ let () =
       Printf.eprintf
         "unknown mode %S \
          (fig5 [--smoke] [--cold]|fig6|ablations|verify|bechamel [--cold]|\
-         quick|perf [--smoke]|faults [--smoke]|serve [--smoke]|all)\n"
+         quick|perf [--smoke]|faults [--smoke]|serve [--smoke]|\
+         soak [--smoke] [--seed N] [--count N] [--size N] [--atomd] [--dump]|all)\n"
         other;
       exit 2

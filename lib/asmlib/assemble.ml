@@ -174,6 +174,16 @@ let emit_ldiq st ln reg n =
     emit_mem_sym st ln Alpha.Insn.Ldq reg l 0
   end
 
+(* Same, for constants that overflow OCaml's native int (|v| >= 2^62):
+   always from the literal pool, where the value is kept as int64. *)
+let emit_ldiq64 st ln reg v =
+  if Int64.equal (Int64.of_int (Int64.to_int v)) v then
+    emit_ldiq st ln reg (Int64.to_int v)
+  else begin
+    let l = pool_label st v in
+    emit_mem_sym st ln Alpha.Insn.Ldq reg l 0
+  end
+
 let emit_ldit st ln freg x =
   let l = pool_label st (Int64.bits_of_float x) in
   emit_mem_sym st ln Alpha.Insn.Ldt freg l 0
@@ -247,6 +257,7 @@ let special st ln m ops =
   | "mov", [ Src.O_reg a; b ] ->
       emit_insn st ln (Opr { op = Bis; ra = zero; rb = Reg a; rc = reg ln b })
   | "mov", [ Src.O_imm n; b ] -> emit_ldiq st ln (reg ln b) n
+  | "mov", [ Src.O_imm64 v; b ] -> emit_ldiq64 st ln (reg ln b) v
   | "clr", [ a ] -> emit_insn st ln (Opr { op = Bis; ra = zero; rb = Reg zero; rc = reg ln a })
   | "not", [ a; b ] ->
       emit_insn st ln (Opr { op = Ornot; ra = zero; rb = Reg (reg ln a); rc = reg ln b })
@@ -255,6 +266,7 @@ let special st ln m ops =
   | "sextl", [ a; b ] ->
       emit_insn st ln (Opr { op = Addl; ra = reg ln a; rb = Imm 0; rc = reg ln b })
   | "ldiq", [ a; Src.O_imm n ] -> emit_ldiq st ln (reg ln a) n
+  | "ldiq", [ a; Src.O_imm64 v ] -> emit_ldiq64 st ln (reg ln a) v
   | "ldiq", [ a; Src.O_sym (s, off) ] -> emit_lda_sym st ln (reg ln a) s off
   | "ldit", [ a; Src.O_fimm x ] -> emit_ldit st ln (freg ln a) x
   | "ldit", [ a; Src.O_imm n ] -> emit_ldit st ln (freg ln a) (float_of_int n)
@@ -321,6 +333,7 @@ let datum_quad st ln sec o =
   let b = buf_of st sec in
   match o with
   | Src.O_imm n -> Secbuf.add_i64 b n
+  | Src.O_imm64 v -> Secbuf.add_i64_bits b v
   | Src.O_fimm x -> Secbuf.add_i64_bits b (Int64.bits_of_float x)
   | Src.O_sym (s, off) ->
       add_reloc st sec

@@ -187,16 +187,40 @@ let operand c =
       in
       if looks_float then Src.O_fimm (float_number c)
       else begin
-        let n = number c in
-        if try_char c '(' then begin
-          let tok = ident c in
-          expect c ')';
-          match register_operand c.ln tok with
-          | Src.O_reg r -> Src.O_mem (n, r)
-          | Src.O_freg _ -> err c.ln "base register must be an integer register"
-          | _ -> assert false
-        end
-        else Src.O_imm n
+        skip_ws c;
+        let start = c.pos in
+        if peek c = Some '-' || peek c = Some '+' then advance c;
+        let rec go () =
+          match peek c with
+          | Some ch
+            when (ch >= '0' && ch <= '9')
+                 || (ch >= 'a' && ch <= 'f')
+                 || (ch >= 'A' && ch <= 'F')
+                 || ch = 'x' || ch = 'X' ->
+              advance c;
+              go ()
+          | Some _ | None -> ()
+        in
+        go ();
+        let text = String.sub c.s start (c.pos - start) in
+        match int_of_string_opt text with
+        | Some n ->
+            if try_char c '(' then begin
+              let tok = ident c in
+              expect c ')';
+              match register_operand c.ln tok with
+              | Src.O_reg r -> Src.O_mem (n, r)
+              | Src.O_freg _ ->
+                  err c.ln "base register must be an integer register"
+              | _ -> assert false
+            end
+            else Src.O_imm n
+        | None -> (
+            (* too big for OCaml's native int (|v| >= 2^62): keep the
+               full 64-bit value *)
+            match Int64.of_string_opt text with
+            | Some v -> Src.O_imm64 v
+            | None -> err c.ln "bad number %S" text)
       end
   | Some ch when is_ident_start ch ->
       let tok = ident c in

@@ -2,6 +2,7 @@ type operand =
   | O_reg of Alpha.Reg.t
   | O_freg of Alpha.Reg.f
   | O_imm of int
+  | O_imm64 of int64
   | O_fimm of float
   | O_mem of int * Alpha.Reg.t
   | O_sym of string * int
@@ -28,6 +29,7 @@ let operand_to_string = function
   | O_reg r -> Alpha.Reg.dollar r
   | O_freg r -> "$f" ^ string_of_int r
   | O_imm n -> string_of_int n
+  | O_imm64 v -> Int64.to_string v
   | O_fimm f -> Printf.sprintf "%h" f
   | O_mem (d, r) -> Printf.sprintf "%d(%s)" d (Alpha.Reg.dollar r)
   | O_sym (s, 0) -> s

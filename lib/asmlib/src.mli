@@ -5,6 +5,10 @@ type operand =
   | O_reg of Alpha.Reg.t
   | O_freg of Alpha.Reg.f
   | O_imm of int
+  | O_imm64 of int64
+      (** a full 64-bit immediate: used for constants whose magnitude
+          exceeds OCaml's 63-bit native [int] (|v| >= 2^62), which
+          [O_imm] silently wraps *)
   | O_fimm of float
   | O_mem of int * Alpha.Reg.t  (** [disp(reg)] *)
   | O_sym of string * int  (** [sym] or [sym+off]: an address or branch target *)

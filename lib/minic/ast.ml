@@ -93,3 +93,67 @@ let rec equal_ty a b =
       && List.for_all2 equal_ty a1 a2
   | (Tvoid | Tlong | Tchar | Tdouble | Tptr _ | Tarr _ | Tstruct _ | Tfun _), _ ->
       false
+
+(* Syntactic constant folding over integer expressions: literals, unary
+   and binary integer arithmetic, comparisons, short-circuit logic,
+   ternaries and integer casts.  Used for array dimensions and global
+   initialisers; [None] means "not a compile-time constant" (division by
+   a zero constant is deliberately not a constant).  The char cast
+   mirrors the typechecker's Tlong->Tchar coercion (mask to the byte's
+   unsigned value, the ldbu convention). *)
+let rec const_eval (e : expr) : int64 option =
+  let ( let* ) = Option.bind in
+  let bool_ v = Some (if v then 1L else 0L) in
+  match e.e with
+  | Enum v -> Some v
+  | Echar c -> Some (Int64.of_int (Char.code c))
+  | Eun (Neg, a) ->
+      let* a = const_eval a in
+      Some (Int64.neg a)
+  | Eun (Bitnot, a) ->
+      let* a = const_eval a in
+      Some (Int64.lognot a)
+  | Eun (Lognot, a) ->
+      let* a = const_eval a in
+      bool_ (Int64.equal a 0L)
+  | Ebin (op, a, b) -> (
+      let* a = const_eval a in
+      let* b = const_eval b in
+      match op with
+      | Add -> Some (Int64.add a b)
+      | Sub -> Some (Int64.sub a b)
+      | Mul -> Some (Int64.mul a b)
+      | Div -> if b = 0L then None else Some (Int64.div a b)
+      | Mod -> if b = 0L then None else Some (Int64.rem a b)
+      | Band -> Some (Int64.logand a b)
+      | Bor -> Some (Int64.logor a b)
+      | Bxor -> Some (Int64.logxor a b)
+      | Shl -> Some (Int64.shift_left a (Int64.to_int b land 63))
+      | Shr -> Some (Int64.shift_right a (Int64.to_int b land 63))
+      | Lt -> bool_ (Int64.compare a b < 0)
+      | Le -> bool_ (Int64.compare a b <= 0)
+      | Gt -> bool_ (Int64.compare a b > 0)
+      | Ge -> bool_ (Int64.compare a b >= 0)
+      | Eq -> bool_ (Int64.equal a b)
+      | Ne -> bool_ (not (Int64.equal a b)))
+  | Elogand (a, b) -> (
+      let* a = const_eval a in
+      (* short-circuit: a constant false left arm decides alone *)
+      if Int64.equal a 0L then Some 0L
+      else
+        let* b = const_eval b in
+        bool_ (not (Int64.equal b 0L)))
+  | Elogor (a, b) -> (
+      let* a = const_eval a in
+      if not (Int64.equal a 0L) then Some 1L
+      else
+        let* b = const_eval b in
+        bool_ (not (Int64.equal b 0L)))
+  | Econd (c, a, b) ->
+      let* c = const_eval c in
+      if Int64.equal c 0L then const_eval b else const_eval a
+  | Ecast (Tlong, a) -> const_eval a
+  | Ecast (Tchar, a) ->
+      let* a = const_eval a in
+      Some (Int64.logand a 0xFFL)
+  | _ -> None

@@ -84,3 +84,10 @@ type program = top list
 
 val ty_to_string : ty -> string
 val equal_ty : ty -> ty -> bool
+
+val const_eval : expr -> int64 option
+(** Syntactic constant folding: [Some v] when the expression is a
+    compile-time integer constant (literals combined with unary/binary
+    arithmetic, comparisons, short-circuit logic, ternaries and integer
+    casts), [None] otherwise.  Shared by the parser (array dimensions)
+    and the typechecker (global initialisers). *)

@@ -42,6 +42,14 @@ let fresh ctx tag =
 let r x = Asmlib.Src.O_reg x
 let f x = Asmlib.Src.O_freg x
 let imm n = Asmlib.Src.O_imm n
+
+(* Constants come out of the front end as int64; OCaml's native int only
+   has 63 bits, so |v| >= 2^62 must not be funneled through Int64.to_int
+   (it wraps silently).  Such values travel as O_imm64. *)
+let imm64 v =
+  if Int64.equal (Int64.of_int (Int64.to_int v)) v then
+    Asmlib.Src.O_imm (Int64.to_int v)
+  else Asmlib.Src.O_imm64 v
 let mem d b = Asmlib.Src.O_mem (d, b)
 let sym s = Asmlib.Src.O_sym (s, 0)
 
@@ -89,8 +97,9 @@ let amode ctx addr =
       | Loc_addr id when slot_addr ctx id <= 32000 -> A_fp (slot_addr ctx id)
       | Bin (Ast.Add, Lint, Loc_addr id, Cint c)
         when is_light_param ctx (Loc_addr id) = None
-             && Int64.to_int c + slot_addr ctx id <= 32000
-             && Int64.to_int c >= 0 ->
+             && Int64.compare c 0L >= 0
+             && Int64.compare c 32000L <= 0
+             && Int64.to_int c + slot_addr ctx id <= 32000 ->
           A_fp (slot_addr ctx id + Int64.to_int c)
       | Glob_addr s -> A_sym s
       | _ -> A_dyn addr)
@@ -102,11 +111,14 @@ let dest_reg ctx sc d = match sc with SF64 -> f (ft ctx d) | S8 | S64 -> r (it c
 
 (* Materialise a 64-bit constant delta addition: old(d1) + delta -> rc *)
 let emit_add_const ctx d1 rc delta =
+  let fits_native = Int64.equal (Int64.of_int (Int64.to_int delta)) delta in
   let dv = Int64.to_int delta in
-  if dv >= 0 && dv <= 255 then ins ctx "addq" [ r (it ctx d1); imm dv; rc ]
-  else if dv < 0 && dv >= -255 then ins ctx "subq" [ r (it ctx d1); imm (-dv); rc ]
+  if fits_native && dv >= 0 && dv <= 255 then
+    ins ctx "addq" [ r (it ctx d1); imm dv; rc ]
+  else if fits_native && dv < 0 && dv >= -255 then
+    ins ctx "subq" [ r (it ctx d1); imm (-dv); rc ]
   else begin
-    ins ctx "ldiq" [ rc; imm dv ];
+    ins ctx "ldiq" [ rc; imm64 delta ];
     match rc with
     | Asmlib.Src.O_reg rcn -> ins ctx "addq" [ r (it ctx d1); r rcn; r rcn ]
     | _ -> assert false
@@ -114,8 +126,7 @@ let emit_add_const ctx d1 rc delta =
 
 let rec eval ctx d e =
   match e with
-  | Cint v ->
-      ins ctx "ldiq" [ r (it ctx d); imm (Int64.to_int v) ]
+  | Cint v -> ins ctx "ldiq" [ r (it ctx d); imm64 v ]
   | Cfloat x -> ins ctx "ldit" [ f (ft ctx d); Asmlib.Src.O_fimm x ]
   | Cstr i -> ins ctx "lda" [ r (it ctx d); sym (str_label i) ]
   | Glob_addr s -> ins ctx "lda" [ r (it ctx d); sym s ]
@@ -162,7 +173,7 @@ let rec eval ctx d e =
       eval ctx d a;
       ins ctx "not" [ r (it ctx d); r (it ctx d) ]
   | Bin (op, Lint, a, Cint n)
-    when Int64.to_int n >= 0 && Int64.to_int n <= 255
+    when Int64.compare n 0L >= 0 && Int64.compare n 255L <= 0
          && (match op with
             | Ast.Add | Ast.Sub | Ast.Mul | Ast.Band | Ast.Bor | Ast.Bxor
             | Ast.Shl | Ast.Shr | Ast.Lt | Ast.Le | Ast.Eq ->
@@ -637,7 +648,7 @@ let global (g : tglobal) : Asmlib.Src.stmt list =
       let one init =
         match (init, g.g_elem) with
         | Gint v, 1 -> mk (Asmlib.Src.D_byte [ Int64.to_int v land 0xFF ])
-        | Gint v, _ -> mk (Asmlib.Src.D_quad [ Asmlib.Src.O_imm (Int64.to_int v) ])
+        | Gint v, _ -> mk (Asmlib.Src.D_quad [ imm64 v ])
         | Gfloat x, _ -> mk (Asmlib.Src.D_double [ x ])
         | Gaddr (s, off), _ -> mk (Asmlib.Src.D_quad [ Asmlib.Src.O_sym (s, off) ])
         | Gstr i, _ -> mk (Asmlib.Src.D_quad [ Asmlib.Src.O_sym (str_label i, 0) ])

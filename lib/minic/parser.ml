@@ -234,35 +234,6 @@ and array_suffix st ty =
   end
   else ty
 
-(* constant folding for array dimensions *)
-and const_eval (e : expr) : int64 option =
-  let ( let* ) = Option.bind in
-  match e.e with
-  | Enum v -> Some v
-  | Echar c -> Some (Int64.of_int (Char.code c))
-  | Eun (Neg, a) ->
-      let* a = const_eval a in
-      Some (Int64.neg a)
-  | Eun (Bitnot, a) ->
-      let* a = const_eval a in
-      Some (Int64.lognot a)
-  | Ebin (op, a, b) -> (
-      let* a = const_eval a in
-      let* b = const_eval b in
-      match op with
-      | Add -> Some (Int64.add a b)
-      | Sub -> Some (Int64.sub a b)
-      | Mul -> Some (Int64.mul a b)
-      | Div -> if b = 0L then None else Some (Int64.div a b)
-      | Mod -> if b = 0L then None else Some (Int64.rem a b)
-      | Band -> Some (Int64.logand a b)
-      | Bor -> Some (Int64.logor a b)
-      | Bxor -> Some (Int64.logxor a b)
-      | Shl -> Some (Int64.shift_left a (Int64.to_int b land 63))
-      | Shr -> Some (Int64.shift_right a (Int64.to_int b land 63))
-      | Lt | Le | Gt | Ge | Eq | Ne -> None)
-  | _ -> None
-
 and postfix st =
   let ln = line st in
   let rec go acc =

@@ -482,7 +482,13 @@ let rec const_init env ln want (e : expr) : ginit =
   | Eaddr { e = Eident name; _ }, _ when Hashtbl.mem env.globals name ->
       Gaddr (name, 0)
   | Ecast (_, inner), w -> const_init env ln w inner
-  | _ -> err ln "initialiser is not a constant"
+  | _, want -> (
+      (* not a literal: fold constant integer expressions, e.g.
+         [-9223372036854775807 - 1] or [(1 << 40) | 5] *)
+      match (Ast.const_eval e, want) with
+      | Some v, Tdouble -> Gfloat (Int64.to_float v)
+      | Some v, _ -> Gint v
+      | None, _ -> err ln "initialiser is not a constant")
 
 (* -- top level --------------------------------------------------------- *)
 

@@ -1,0 +1,1241 @@
+(* Seeded generator of well-typed, terminating Mini-C programs, with an
+   interpreter-independent oracle.
+
+   The generator builds a small IR, renders it to Mini-C source, and
+   evaluates the same IR with a direct OCaml interpreter to predict the
+   program's stdout.  The IR is restricted so that every construct has
+   exactly one meaning in both worlds:
+
+   - all integer arithmetic is 64-bit two's complement (Int64 on the
+     oracle side, Alpha quadwords on the machine side);
+   - division and remainder use positive constant divisors only; the
+     runtime's __divq/__remq truncate toward zero with the remainder
+     taking the dividend's sign, exactly like Int64.div/Int64.rem;
+   - shifts use constant counts in [0, 48];
+   - array indices are masked with the (power-of-two) array length;
+   - char loads are rendered with an explicit & 0xFF (ldbu already
+     zero-extends; the mask makes the convention visible), char stores
+     are masked by Mini-C's char coercion;
+   - loops have constant trip counts (or a counter the rendered code
+     provably advances), recursion carries an explicit depth guard, so
+     every program terminates by construction;
+   - helper functions are pure (no global writes), so argument
+     evaluation order cannot matter.
+
+   Floating point is deliberately out of scope: the oracle would have to
+   model the runtime's approximate sqrt and %f rounding, and the
+   hand-written workload suite already exercises those paths. *)
+
+(* -- deterministic PRNG ------------------------------------------------- *)
+
+(* splitmix64: self-contained so the same seed yields the same program on
+   any OCaml version (Stdlib.Random's algorithm is not pinned). *)
+module Rng = struct
+  type t = { mutable s : int64 }
+
+  let golden = 0x9E3779B97F4A7C15L
+
+  let make seed =
+    let z = Int64.logxor (Int64.of_int seed) 0x5851F42D4C957F2DL in
+    { s = z }
+
+  let next t =
+    t.s <- Int64.add t.s golden;
+    let z = t.s in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  (* uniform-ish in [0, n); n > 0 *)
+  let int t n =
+    Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int n))
+
+  let int64 t = next t
+  let bool t = Int64.logand (next t) 1L = 1L
+
+  (* pick an element of a non-empty list *)
+  let choose t xs = List.nth xs (int t (List.length xs))
+end
+
+(* -- IR ----------------------------------------------------------------- *)
+
+type binop = Add | Sub | Mul | Band | Bor | Bxor | Lt | Le | Gt | Ge | Eq | Ne
+
+type expr =
+  | Cint of int64
+  | Local of string
+  | Global of string
+  | Elem of string * expr * int  (* arr[(e & (n-1))]; n a power of two *)
+  | Byte of string * expr * int  (* (buf[(e & (n-1))] & 0xFF) *)
+  | Bin of binop * expr * expr
+  | Div of expr * int64  (* divisor > 0 *)
+  | Mod of expr * int64  (* divisor > 0 *)
+  | Shl of expr * int
+  | Shr of expr * int
+  | Neg of expr
+  | Bnot of expr
+  | Lnot of expr
+  | Andand of expr * expr
+  | Oror of expr * expr
+  | Cond of expr * expr * expr
+  | Call of string * expr list
+
+type lhs =
+  | Lloc of string
+  | Lglob of string
+  | Lelem of string * expr * int
+  | Lbyte of string * expr * int
+
+(* pointer chase over the global struct array: link pool[] by a seeded
+   affine map, then follow .next for wk_steps hops *)
+type walk = {
+  wk_id : int;
+  wk_pool : int;  (* pool array length, a power of two *)
+  wk_a : int;  (* odd multiplier, < pool size *)
+  wk_b : int;
+  wk_start : int;
+  wk_steps : int;
+  wk_mul : int64;
+  wk_add : int64;
+}
+
+(* malloc'd linked list: cons ls_len cells, then sum by walking to 0 *)
+type listsum = { ls_id : int; ls_len : int; ls_mul : int64; ls_add : int64 }
+
+type stmt =
+  | Sset of lhs * expr
+  | Sop of binop * lhs * expr  (* compound assign; Add|Sub|Mul|Band|Bor|Bxor only *)
+  | Schk of expr  (* chk = (((chk * 31) ^ (chk >> 7)) + e); *)
+  | Sif of expr * stmt list * stmt list
+  | Sfor of { var : string; count : int; body : stmt list }
+  | Swhile of { var : string; count : int; body : stmt list }
+  | Sbreak_if of expr  (* if (e) { break; } *)
+  | Scont_if of expr  (* if (e) { continue; }  — only directly inside Sfor *)
+  | Sprint of int * expr  (* printf("t<id>=%x\n", (e & 0xFFFFFFF)); *)
+  | Swalk of walk
+  | Slist of listsum
+
+type func = {
+  fn_name : string;
+  fn_params : string list;  (* all long; recursive helpers put the depth first *)
+  fn_locals : (string * expr) list;  (* declared in order, with initialisers *)
+  fn_base : expr option;  (* Some e: emit "if (<first param> < 1) { return e; }" *)
+  fn_selfcalls : int;  (* 0 = not recursive *)
+  fn_body : stmt list;  (* restricted: assigns locals only *)
+  fn_ret : expr;
+}
+
+type gdecl =
+  | Gscalar of string * int64
+  | Garr of string * int * int64 list  (* partial initialiser; rest is .bss zeros *)
+  | Gbytes of string * int
+
+type prog = {
+  p_seed : int;
+  p_size : int;
+  p_pool : int;  (* pool array length (power of two); used by Swalk *)
+  p_globals : gdecl list;
+  p_funcs : func list;
+  p_scalars : (string * int64) list;  (* every long local of main, incl. loop vars *)
+  p_main : stmt list;
+}
+
+type t = { t_prog : prog; t_source : string; t_expect : string }
+
+(* -- IR census ---------------------------------------------------------- *)
+
+let rec expr_nodes = function
+  | Cint _ | Local _ | Global _ -> 1
+  | Elem (_, e, _) | Byte (_, e, _) -> 1 + expr_nodes e
+  | Div (e, _) | Mod (e, _) | Shl (e, _) | Shr (e, _) | Neg e | Bnot e | Lnot e ->
+      1 + expr_nodes e
+  | Bin (_, a, b) | Andand (a, b) | Oror (a, b) -> 1 + expr_nodes a + expr_nodes b
+  | Cond (c, a, b) -> 1 + expr_nodes c + expr_nodes a + expr_nodes b
+  | Call (_, args) -> 1 + List.fold_left (fun n a -> n + expr_nodes a) 0 args
+
+let lhs_nodes = function
+  | Lloc _ | Lglob _ -> 1
+  | Lelem (_, e, _) | Lbyte (_, e, _) -> 1 + expr_nodes e
+
+let rec stmt_nodes = function
+  | Sset (l, e) | Sop (_, l, e) -> 1 + lhs_nodes l + expr_nodes e
+  | Schk e | Sbreak_if e | Scont_if e | Sprint (_, e) -> 1 + expr_nodes e
+  | Sif (c, a, b) -> 1 + expr_nodes c + block_nodes a + block_nodes b
+  (* trip counts weigh in so that halving them counts as a shrink *)
+  | Sfor { count; body; _ } | Swhile { count; body; _ } ->
+      2 + count + block_nodes body
+  | Swalk w -> 8 + w.wk_steps
+  | Slist l -> 8 + l.ls_len
+
+and block_nodes b = List.fold_left (fun n s -> n + stmt_nodes s) 0 b
+
+let func_nodes f =
+  1
+  + List.fold_left (fun n (_, e) -> n + 1 + expr_nodes e) 0 f.fn_locals
+  + (match f.fn_base with None -> 0 | Some e -> expr_nodes e)
+  + block_nodes f.fn_body + expr_nodes f.fn_ret
+
+let prog_nodes p =
+  List.length p.p_globals + List.length p.p_scalars
+  + List.fold_left (fun n f -> n + func_nodes f) 0 p.p_funcs
+  + block_nodes p.p_main
+
+(* -- rendering ---------------------------------------------------------- *)
+
+let chk_mask = 0xFFFFFFFL
+
+let op_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | Eq -> "==" | Ne -> "!="
+
+let const_str v =
+  (* min_int is its own negation, so spell it as min_int+1 - 1 *)
+  if Int64.equal v Int64.min_int then
+    Printf.sprintf "((0 - %Ld) - 1)" Int64.max_int
+  else if v < 0L then Printf.sprintf "(0 - %Ld)" (Int64.neg v)
+  else Int64.to_string v
+
+(* Global initialisers must be constants after parsing, so negative values
+   are rendered as [-n] (unary minus on a literal) rather than [(0 - n)]. *)
+let gconst_str v =
+  if Int64.equal v Int64.min_int then
+    Printf.sprintf "(-%Ld - 1)" Int64.max_int
+  else if v < 0L then Printf.sprintf "-%Ld" (Int64.neg v)
+  else Int64.to_string v
+
+let rec expr_str = function
+  | Cint v -> const_str v
+  | Local n | Global n -> n
+  | Elem (a, e, n) -> Printf.sprintf "%s[(%s & %d)]" a (expr_str e) (n - 1)
+  | Byte (a, e, n) -> Printf.sprintf "(%s[(%s & %d)] & 255)" a (expr_str e) (n - 1)
+  | Bin (op, a, b) -> Printf.sprintf "(%s %s %s)" (expr_str a) (op_str op) (expr_str b)
+  | Div (e, k) -> Printf.sprintf "(%s / %Ld)" (expr_str e) k
+  | Mod (e, k) -> Printf.sprintf "(%s %% %Ld)" (expr_str e) k
+  | Shl (e, k) -> Printf.sprintf "(%s << %d)" (expr_str e) k
+  | Shr (e, k) -> Printf.sprintf "(%s >> %d)" (expr_str e) k
+  | Neg e -> Printf.sprintf "(-%s)" (expr_str e)
+  | Bnot e -> Printf.sprintf "(~%s)" (expr_str e)
+  | Lnot e -> Printf.sprintf "(!%s)" (expr_str e)
+  | Andand (a, b) -> Printf.sprintf "(%s && %s)" (expr_str a) (expr_str b)
+  | Oror (a, b) -> Printf.sprintf "(%s || %s)" (expr_str a) (expr_str b)
+  | Cond (c, a, b) ->
+      Printf.sprintf "(%s ? %s : %s)" (expr_str c) (expr_str a) (expr_str b)
+  | Call (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_str args))
+
+let lhs_str = function
+  | Lloc n | Lglob n -> n
+  | Lelem (a, e, n) -> Printf.sprintf "%s[(%s & %d)]" a (expr_str e) (n - 1)
+  | Lbyte (a, e, n) -> Printf.sprintf "%s[(%s & %d)]" a (expr_str e) (n - 1)
+
+let opassign_str = function
+  | Add -> "+=" | Sub -> "-=" | Mul -> "*="
+  | Band -> "&=" | Bor -> "|=" | Bxor -> "^="
+  | Lt | Le | Gt | Ge | Eq | Ne -> invalid_arg "opassign_str: comparison"
+
+let chk_update_str e_str =
+  Printf.sprintf "chk = (((chk * 31) ^ (chk >> 7)) + %s);" e_str
+
+let rec stmt_lines ind s =
+  let pad = String.make (2 * ind) ' ' in
+  match s with
+  | Sset (l, e) -> [ Printf.sprintf "%s%s = %s;" pad (lhs_str l) (expr_str e) ]
+  | Sop (op, l, e) ->
+      [ Printf.sprintf "%s%s %s %s;" pad (lhs_str l) (opassign_str op) (expr_str e) ]
+  | Schk e -> [ pad ^ chk_update_str (expr_str e) ]
+  | Sif (c, a, []) ->
+      (Printf.sprintf "%sif (%s) {" pad (expr_str c))
+      :: block_lines (ind + 1) a
+      @ [ pad ^ "}" ]
+  | Sif (c, a, b) ->
+      (Printf.sprintf "%sif (%s) {" pad (expr_str c))
+      :: block_lines (ind + 1) a
+      @ [ pad ^ "} else {" ]
+      @ block_lines (ind + 1) b
+      @ [ pad ^ "}" ]
+  | Sfor { var; count; body } ->
+      (Printf.sprintf "%sfor (%s = 0; %s < %d; %s++) {" pad var var count var)
+      :: block_lines (ind + 1) body
+      @ [ pad ^ "}" ]
+  | Swhile { var; count; body } ->
+      (Printf.sprintf "%s%s = 0;" pad var)
+      :: (Printf.sprintf "%swhile (%s < %d) {" pad var count)
+      :: block_lines (ind + 1) body
+      @ [ Printf.sprintf "%s  %s += 1;" pad var; pad ^ "}" ]
+  | Sbreak_if e -> [ Printf.sprintf "%sif (%s) { break; }" pad (expr_str e) ]
+  | Scont_if e -> [ Printf.sprintf "%sif (%s) { continue; }" pad (expr_str e) ]
+  | Sprint (id, e) ->
+      [ Printf.sprintf "%sprintf(\"t%d=%%x\\n\", (%s & %Ld));" pad id (expr_str e)
+          chk_mask ]
+  | Swalk w ->
+      let k = w.wk_id in
+      [
+        Printf.sprintf "%sfor (iw%d = 0; iw%d < %d; iw%d++) {" pad k k w.wk_pool k;
+        Printf.sprintf "%s  pool[iw%d].val = ((iw%d * %s) + %s);" pad k k
+          (const_str w.wk_mul) (const_str w.wk_add);
+        Printf.sprintf "%s  pool[iw%d].next = &pool[(((iw%d * %d) + %d) & %d)];"
+          pad k k w.wk_a w.wk_b (w.wk_pool - 1);
+        Printf.sprintf "%s}" pad;
+        Printf.sprintf "%spw%d = &pool[%d];" pad k w.wk_start;
+        Printf.sprintf "%saw%d = 0;" pad k;
+        Printf.sprintf "%sfor (jw%d = 0; jw%d < %d; jw%d++) {" pad k k w.wk_steps k;
+        Printf.sprintf "%s  aw%d = ((aw%d * 3) + pw%d->val);" pad k k k;
+        Printf.sprintf "%s  pw%d = pw%d->next;" pad k k;
+        Printf.sprintf "%s}" pad;
+        pad ^ chk_update_str (Printf.sprintf "aw%d" k);
+      ]
+  | Slist l ->
+      let k = l.ls_id in
+      [
+        Printf.sprintf "%shl%d = 0;" pad k;
+        Printf.sprintf "%sfor (il%d = 0; il%d < %d; il%d++) {" pad k k l.ls_len k;
+        Printf.sprintf "%s  ql%d = (struct node *) malloc(sizeof(struct node));" pad k;
+        Printf.sprintf "%s  ql%d->val = ((il%d * %s) + %s);" pad k k
+          (const_str l.ls_mul) (const_str l.ls_add);
+        Printf.sprintf "%s  ql%d->next = hl%d;" pad k k;
+        Printf.sprintf "%s  hl%d = ql%d;" pad k k;
+        Printf.sprintf "%s}" pad;
+        Printf.sprintf "%sal%d = 0;" pad k;
+        Printf.sprintf "%swhile (hl%d) {" pad k;
+        Printf.sprintf "%s  al%d = ((al%d * 7) + hl%d->val);" pad k k k;
+        Printf.sprintf "%s  hl%d = hl%d->next;" pad k k;
+        Printf.sprintf "%s}" pad;
+        pad ^ chk_update_str (Printf.sprintf "al%d" k);
+      ]
+
+and block_lines ind b = List.concat_map (stmt_lines ind) b
+
+(* template ids used anywhere in a block (walks, lists) *)
+let rec scan_templates acc = function
+  | Swalk w -> (`Walk w.wk_id :: fst acc, snd acc)
+  | Slist l -> (fst acc, `List l.ls_id :: snd acc)
+  | Sif (_, a, b) -> List.fold_left scan_templates (List.fold_left scan_templates acc a) b
+  | Sfor { body; _ } | Swhile { body; _ } -> List.fold_left scan_templates acc body
+  | Sset _ | Sop _ | Schk _ | Sbreak_if _ | Scont_if _ | Sprint _ -> acc
+
+let render (p : prog) =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  line "/* progen seed=%d size=%d — generated, do not edit */" p.p_seed p.p_size;
+  let walks, lists =
+    List.fold_left scan_templates ([], []) p.p_main
+  in
+  let uses_struct = walks <> [] || lists <> [] in
+  if uses_struct then line "struct node { long val; struct node *next; };";
+  if walks <> [] then begin
+    line "struct node pool[%d];" p.p_pool
+  end;
+  line "long chk;";
+  List.iter
+    (function
+      | Gscalar (n, 0L) -> line "long %s;" n
+      | Gscalar (n, v) -> line "long %s = %s;" n (gconst_str v)
+      | Garr (n, len, []) -> line "long %s[%d];" n len
+      | Garr (n, len, init) ->
+          line "long %s[%d] = { %s };" n len
+            (String.concat ", " (List.map gconst_str init))
+      | Gbytes (n, len) -> line "char %s[%d];" n len)
+    p.p_globals;
+  line "";
+  List.iter
+    (fun f ->
+      line "long %s(%s) {" f.fn_name
+        (match f.fn_params with
+        | [] -> "void"
+        | ps -> String.concat ", " (List.map (fun p -> "long " ^ p) ps));
+      List.iter
+        (fun (n, e) -> line "  long %s = %s;" n (expr_str e))
+        f.fn_locals;
+      (match f.fn_base with
+      | Some e ->
+          line "  if (%s < 1) { return %s; }" (List.hd f.fn_params) (expr_str e)
+      | None -> ());
+      List.iter (fun s -> List.iter (line "%s") (stmt_lines 1 s)) f.fn_body;
+      line "  return %s;" (expr_str f.fn_ret);
+      line "}";
+      line "")
+    p.p_funcs;
+  line "long main(void) {";
+  List.iter
+    (function
+      | n, 0L -> line "  long %s = 0;" n
+      | n, v -> line "  long %s = %s;" n (const_str v))
+    p.p_scalars;
+  List.iter
+    (function
+      | `Walk k ->
+          line "  long iw%d = 0; long jw%d = 0; long aw%d = 0;" k k k;
+          line "  struct node *pw%d;" k)
+    (List.sort_uniq compare walks);
+  List.iter
+    (function
+      | `List k ->
+          line "  long il%d = 0; long al%d = 0;" k k;
+          line "  struct node *hl%d; struct node *ql%d;" k k)
+    (List.sort_uniq compare lists);
+  List.iter (fun s -> List.iter (line "%s") (stmt_lines 1 s)) p.p_main;
+  line "  printf(\"progen %d.%d: chk=%%x\\n\", (chk & %Ld));" p.p_seed p.p_size
+    chk_mask;
+  line "  return 0;";
+  line "}";
+  Buffer.contents b
+
+(* -- oracle evaluator --------------------------------------------------- *)
+
+exception Break_exc
+exception Continue_exc
+
+type oracle = {
+  ints : (string, int64 ref) Hashtbl.t;  (* global scalars (incl. chk) *)
+  arrs : (string, int64 array) Hashtbl.t;
+  bufs : (string, int array) Hashtbl.t;  (* char arrays, 0..255 per cell *)
+  fmap : (string, func) Hashtbl.t;
+  pool_val : int64 array;
+  pool_next : int array;
+  out : Buffer.t;
+}
+
+let ( +% ) = Int64.add
+let ( *% ) = Int64.mul
+
+let truthy v = if Int64.equal v 0L then false else true
+let of_bool b = if b then 1L else 0L
+
+let apply_op op a b =
+  match op with
+  | Add -> Int64.add a b
+  | Sub -> Int64.sub a b
+  | Mul -> Int64.mul a b
+  | Band -> Int64.logand a b
+  | Bor -> Int64.logor a b
+  | Bxor -> Int64.logxor a b
+  | Lt -> of_bool (Int64.compare a b < 0)
+  | Le -> of_bool (Int64.compare a b <= 0)
+  | Gt -> of_bool (Int64.compare a b > 0)
+  | Ge -> of_bool (Int64.compare a b >= 0)
+  | Eq -> of_bool (Int64.equal a b)
+  | Ne -> of_bool (not (Int64.equal a b))
+
+let idx_of v n = Int64.to_int (Int64.logand v (Int64.of_int (n - 1)))
+
+let rec o_expr o locals e : int64 =
+  match e with
+  | Cint v -> v
+  | Local n -> !(List.assoc n locals)
+  | Global n -> !(Hashtbl.find o.ints n)
+  | Elem (a, e, n) -> (Hashtbl.find o.arrs a).(idx_of (o_expr o locals e) n)
+  | Byte (a, e, n) ->
+      Int64.of_int (Hashtbl.find o.bufs a).(idx_of (o_expr o locals e) n)
+  | Bin (op, a, b) -> apply_op op (o_expr o locals a) (o_expr o locals b)
+  | Div (e, k) ->
+      let v = o_expr o locals e in
+      Int64.div v k
+  | Mod (e, k) ->
+      let v = o_expr o locals e in
+      Int64.rem v k
+  | Shl (e, k) -> Int64.shift_left (o_expr o locals e) k
+  | Shr (e, k) -> Int64.shift_right (o_expr o locals e) k
+  | Neg e -> Int64.neg (o_expr o locals e)
+  | Bnot e -> Int64.lognot (o_expr o locals e)
+  | Lnot e -> of_bool (not (truthy (o_expr o locals e)))
+  | Andand (a, b) ->
+      of_bool (truthy (o_expr o locals a) && truthy (o_expr o locals b))
+  | Oror (a, b) ->
+      of_bool (truthy (o_expr o locals a) || truthy (o_expr o locals b))
+  | Cond (c, a, b) ->
+      if truthy (o_expr o locals c) then o_expr o locals a else o_expr o locals b
+  | Call (f, args) ->
+      let fn = Hashtbl.find o.fmap f in
+      let argv = List.map (o_expr o locals) args in
+      o_call o fn argv
+
+and o_call o fn argv =
+  let locals =
+    ref (List.map2 (fun p v -> (p, ref v)) fn.fn_params argv)
+  in
+  List.iter
+    (fun (n, e) -> locals := (n, ref (o_expr o !locals e)) :: !locals)
+    fn.fn_locals;
+  let locals = !locals in
+  let base_hit =
+    match fn.fn_base with
+    | Some e when Int64.compare !(List.assoc (List.hd fn.fn_params) locals) 1L < 0 ->
+        Some (o_expr o locals e)
+    | _ -> None
+  in
+  match base_hit with
+  | Some v -> v
+  | None ->
+      List.iter (o_stmt o locals) fn.fn_body;
+      o_expr o locals fn.fn_ret
+
+and o_store o locals l v =
+  match l with
+  | Lloc n -> List.assoc n locals := v
+  | Lglob n -> Hashtbl.find o.ints n := v
+  | Lelem (a, e, n) ->
+      (Hashtbl.find o.arrs a).(idx_of (o_expr o locals e) n) <- v
+  | Lbyte (a, e, n) ->
+      (Hashtbl.find o.bufs a).(idx_of (o_expr o locals e) n) <-
+        Int64.to_int (Int64.logand v 0xFFL)
+
+and o_load o locals l =
+  match l with
+  | Lloc n -> !(List.assoc n locals)
+  | Lglob n -> !(Hashtbl.find o.ints n)
+  | Lelem (a, e, n) -> (Hashtbl.find o.arrs a).(idx_of (o_expr o locals e) n)
+  | Lbyte (a, e, n) ->
+      Int64.of_int (Hashtbl.find o.bufs a).(idx_of (o_expr o locals e) n)
+
+and o_chk o v =
+  let chk = Hashtbl.find o.ints "chk" in
+  chk := Int64.logxor (!chk *% 31L) (Int64.shift_right !chk 7) +% v
+
+and o_stmt o locals s =
+  match s with
+  | Sset (l, e) -> o_store o locals l (o_expr o locals e)
+  | Sop (op, l, e) ->
+      (* the address (index) is evaluated once, like Mini-C's Assignop *)
+      let v = o_expr o locals e in
+      (match l with
+      | Lloc _ | Lglob _ ->
+          o_store o locals l (apply_op op (o_load o locals l) v)
+      | Lelem (a, e', n) ->
+          let i = idx_of (o_expr o locals e') n in
+          let arr = Hashtbl.find o.arrs a in
+          arr.(i) <- apply_op op arr.(i) v
+      | Lbyte (a, e', n) ->
+          let i = idx_of (o_expr o locals e') n in
+          let buf = Hashtbl.find o.bufs a in
+          buf.(i) <-
+            Int64.to_int
+              (Int64.logand (apply_op op (Int64.of_int buf.(i)) v) 0xFFL))
+  | Schk e -> o_chk o (o_expr o locals e)
+  | Sif (c, a, b) ->
+      if truthy (o_expr o locals c) then List.iter (o_stmt o locals) a
+      else List.iter (o_stmt o locals) b
+  | Sfor { var; count; body } -> (
+      let cell = List.assoc var locals in
+      try
+        for i = 0 to count - 1 do
+          cell := Int64.of_int i;
+          try List.iter (o_stmt o locals) body with Continue_exc -> ()
+        done;
+        cell := Int64.of_int count
+      with Break_exc -> ())
+  | Swhile { var; count; body } -> (
+      let cell = List.assoc var locals in
+      cell := 0L;
+      try
+        while Int64.compare !cell (Int64.of_int count) < 0 do
+          List.iter (o_stmt o locals) body;
+          cell := !cell +% 1L
+        done
+      with Break_exc -> ())
+  | Sbreak_if e -> if truthy (o_expr o locals e) then raise Break_exc
+  | Scont_if e -> if truthy (o_expr o locals e) then raise Continue_exc
+  | Sprint (id, e) ->
+      Buffer.add_string o.out
+        (Printf.sprintf "t%d=%Lx\n" id
+           (Int64.logand (o_expr o locals e) chk_mask))
+  | Swalk w ->
+      let n = Array.length o.pool_val in
+      for i = 0 to n - 1 do
+        o.pool_val.(i) <- (Int64.of_int i *% w.wk_mul) +% w.wk_add;
+        o.pool_next.(i) <- ((i * w.wk_a) + w.wk_b) land (n - 1)
+      done;
+      let p = ref w.wk_start and acc = ref 0L in
+      for _ = 1 to w.wk_steps do
+        acc := (!acc *% 3L) +% o.pool_val.(!p);
+        p := o.pool_next.(!p)
+      done;
+      o_chk o !acc
+  | Slist l ->
+      (* cons ls_len cells then walk the (reversed) list *)
+      let acc = ref 0L in
+      for i = l.ls_len - 1 downto 0 do
+        acc := (!acc *% 7L) +% (Int64.of_int i *% l.ls_mul) +% l.ls_add
+      done;
+      o_chk o !acc
+
+let run_oracle (p : prog) =
+  let o =
+    {
+      ints = Hashtbl.create 16;
+      arrs = Hashtbl.create 8;
+      bufs = Hashtbl.create 8;
+      fmap = Hashtbl.create 8;
+      pool_val = Array.make (max p.p_pool 1) 0L;
+      pool_next = Array.make (max p.p_pool 1) 0;
+      out = Buffer.create 256;
+    }
+  in
+  Hashtbl.replace o.ints "chk" (ref 0L);
+  List.iter
+    (function
+      | Gscalar (n, v) -> Hashtbl.replace o.ints n (ref v)
+      | Garr (n, len, init) ->
+          let a = Array.make len 0L in
+          List.iteri (fun i v -> a.(i) <- v) init;
+          Hashtbl.replace o.arrs n a
+      | Gbytes (n, len) -> Hashtbl.replace o.bufs n (Array.make len 0))
+    p.p_globals;
+  List.iter (fun f -> Hashtbl.replace o.fmap f.fn_name f) p.p_funcs;
+  let locals = List.map (fun (n, v) -> (n, ref v)) p.p_scalars in
+  List.iter (o_stmt o locals) p.p_main;
+  Buffer.add_string o.out
+    (Printf.sprintf "progen %d.%d: chk=%Lx\n" p.p_seed p.p_size
+       (Int64.logand !(Hashtbl.find o.ints "chk") chk_mask));
+  Buffer.contents o.out
+
+(* -- cost model --------------------------------------------------------- *)
+
+(* Rough dynamic-work units (one unit ~ a handful of simulated
+   instructions); used only to keep generated programs inside a soak-able
+   envelope, not for anything precise. *)
+
+let rec expr_cost fcosts = function
+  | Cint _ | Local _ | Global _ -> 1
+  | Elem (_, e, _) | Byte (_, e, _) -> 2 + expr_cost fcosts e
+  | Div (e, _) | Mod (e, _) -> 40 + expr_cost fcosts e  (* software divide *)
+  | Shl (e, _) | Shr (e, _) | Neg e | Bnot e | Lnot e -> 1 + expr_cost fcosts e
+  | Bin (_, a, b) | Andand (a, b) | Oror (a, b) ->
+      1 + expr_cost fcosts a + expr_cost fcosts b
+  | Cond (c, a, b) ->
+      1 + expr_cost fcosts c + max (expr_cost fcosts a) (expr_cost fcosts b)
+  | Call (f, args) ->
+      let base = try List.assoc f fcosts with Not_found -> 10 in
+      let arg_cost = List.fold_left (fun n a -> n + expr_cost fcosts a) 0 args in
+      (* recursive helpers are costed at the call site from the constant
+         depth in the first argument *)
+      (match args with
+      | Cint d :: _ when Int64.compare d 0L > 0 -> arg_cost + (base * Int64.to_int d)
+      | _ -> arg_cost + base)
+
+let lhs_cost fcosts = function
+  | Lloc _ | Lglob _ -> 1
+  | Lelem (_, e, _) | Lbyte (_, e, _) -> 2 + expr_cost fcosts e
+
+let rec stmt_cost fcosts = function
+  | Sset (l, e) | Sop (_, l, e) -> 2 + lhs_cost fcosts l + expr_cost fcosts e
+  | Schk e -> 5 + expr_cost fcosts e
+  | Sbreak_if e | Scont_if e -> 1 + expr_cost fcosts e
+  | Sprint (_, e) -> 60 + expr_cost fcosts e
+  | Sif (c, a, b) ->
+      1 + expr_cost fcosts c + max (block_cost fcosts a) (block_cost fcosts b)
+  | Sfor { count; body; _ } | Swhile { count; body; _ } ->
+      2 + (count * (3 + block_cost fcosts body))
+  | Swalk w -> 10 + (w.wk_steps * 6) + (w.wk_pool * 6) (* pool re-link + walk *)
+  | Slist l -> 10 + (l.ls_len * 30)
+
+and block_cost fcosts b = List.fold_left (fun n s -> n + stmt_cost fcosts s) 0 b
+
+(* -- generation --------------------------------------------------------- *)
+
+type genv = {
+  rng : Rng.t;
+  fcosts : (string * int) list;  (* per-invocation unit cost of helpers *)
+  scalars_g : string list;  (* global long scalars (not chk) *)
+  arrays : (string * int) list;
+  bytes : (string * int) list;
+  helpers : (string * int) list;  (* name, arity — depth arg NOT included *)
+  rec_helpers : (string * int) list;  (* name, non-depth arity *)
+  mutable locals : string list;  (* assignable long scalars in scope *)
+  mutable loopvars : string list;  (* readable only *)
+  mutable uniq : int;
+  mutable budget : int;
+  mutable prints : int;
+  mutable print_id : int;
+  mutable templates : int;
+  mutable new_scalars : (string * int64) list;  (* accumulated main decls *)
+  pool : int;
+}
+
+let fresh g prefix =
+  let n = g.uniq in
+  g.uniq <- n + 1;
+  Printf.sprintf "%s%d" prefix n
+
+let small_const rng =
+  match Rng.int rng 8 with
+  | 0 -> 0L
+  | 1 -> 1L
+  | 2 -> Int64.of_int (Rng.int rng 16)
+  | 3 -> Int64.neg (Int64.of_int (1 + Rng.int rng 100))
+  | 4 -> Int64.of_int (Rng.int rng 1024)
+  | 5 ->
+      Rng.choose rng
+        [ 0xFFL; 0xFFFFL; 0x7FFFFFFFL; 0xFFFFFFFFL;
+          (* the wide ones exercise 64-bit materialisation: |v| >= 2^62
+             overflows OCaml's native int and must go via the literal pool *)
+          Int64.max_int; Int64.min_int; 0x4000000000000000L ]
+  | 6 ->
+      if Rng.int rng 3 = 0 then Rng.int64 rng  (* full 64-bit *)
+      else Int64.logand (Rng.int64 rng) 0xFFFFFFFFFFFFL  (* 48-bit *)
+  | _ -> Int64.of_int (Rng.int rng 65536)
+
+(* Generate a pure expression.  [rdepth] bounds the tree depth;
+   [callable] lists helpers this context may call. *)
+let rec gen_expr g ~callable rdepth : expr =
+  let leaf () =
+    let picks =
+      [ `Const; `Const ]
+      @ (if g.locals <> [] then [ `Local; `Local ] else [])
+      @ (if g.loopvars <> [] then [ `Loopvar ] else [])
+      @ (if g.scalars_g <> [] then [ `Global ] else [])
+      @ (if g.arrays <> [] then [ `Elem ] else [])
+      @ if g.bytes <> [] then [ `Byte ] else []
+    in
+    match Rng.choose g.rng picks with
+    | `Const -> Cint (small_const g.rng)
+    | `Local -> Local (Rng.choose g.rng g.locals)
+    | `Loopvar -> Local (Rng.choose g.rng g.loopvars)
+    | `Global -> Global (Rng.choose g.rng g.scalars_g)
+    | `Elem ->
+        let a, n = Rng.choose g.rng g.arrays in
+        Elem (a, gen_expr g ~callable 0, n)
+    | `Byte ->
+        let a, n = Rng.choose g.rng g.bytes in
+        Byte (a, gen_expr g ~callable 0, n)
+  in
+  if rdepth <= 0 then leaf ()
+  else
+    match Rng.int g.rng 20 with
+    | 0 | 1 | 2 | 3 -> leaf ()
+    | 4 | 5 | 6 | 7 | 8 | 9 ->
+        let op =
+          Rng.choose g.rng
+            [ Add; Add; Sub; Sub; Mul; Band; Bor; Bxor; Lt; Le; Gt; Ge; Eq; Ne ]
+        in
+        Bin (op, gen_expr g ~callable (rdepth - 1), gen_expr g ~callable (rdepth - 1))
+    | 10 ->
+        let k = Int64.of_int (1 + Rng.int g.rng 1000) in
+        if Rng.bool g.rng then Div (gen_expr g ~callable (rdepth - 1), k)
+        else Mod (gen_expr g ~callable (rdepth - 1), k)
+    | 11 ->
+        let k = Rng.int g.rng 48 in
+        if Rng.bool g.rng then Shl (gen_expr g ~callable (rdepth - 1), k)
+        else Shr (gen_expr g ~callable (rdepth - 1), k)
+    | 12 -> Neg (gen_expr g ~callable (rdepth - 1))
+    | 13 -> Bnot (gen_expr g ~callable (rdepth - 1))
+    | 14 -> Lnot (gen_expr g ~callable (rdepth - 1))
+    | 15 ->
+        if Rng.bool g.rng then
+          Andand (gen_expr g ~callable (rdepth - 1), gen_expr g ~callable (rdepth - 1))
+        else Oror (gen_expr g ~callable (rdepth - 1), gen_expr g ~callable (rdepth - 1))
+    | 16 ->
+        Cond
+          ( gen_expr g ~callable (rdepth - 1),
+            gen_expr g ~callable (rdepth - 1),
+            gen_expr g ~callable (rdepth - 1) )
+    | _ -> (
+        (* helper call, when the context allows one *)
+        let plain = List.filter (fun (n, _) -> List.mem_assoc n callable) g.helpers in
+        let recs = List.filter (fun (n, _) -> List.mem_assoc n callable) g.rec_helpers in
+        match (plain, recs) with
+        | [], [] -> leaf ()
+        | _ ->
+            if recs <> [] && (plain = [] || Rng.int g.rng 3 = 0) then begin
+              let f, arity = Rng.choose g.rng recs in
+              let depth = 2 + Rng.int g.rng 6 in
+              Call
+                ( f,
+                  Cint (Int64.of_int depth)
+                  :: List.init arity (fun _ -> gen_expr g ~callable (rdepth - 1)) )
+            end
+            else
+              let f, arity = Rng.choose g.rng plain in
+              Call (f, List.init arity (fun _ -> gen_expr g ~callable (rdepth - 1))))
+
+let gen_cond g ~callable =
+  match Rng.int g.rng 3 with
+  | 0 ->
+      Bin
+        ( Rng.choose g.rng [ Lt; Le; Gt; Ge; Eq; Ne ],
+          gen_expr g ~callable 2,
+          gen_expr g ~callable 1 )
+  | 1 -> Bin (Band, gen_expr g ~callable 2, Cint (Int64.of_int (1 + Rng.int g.rng 15)))
+  | _ -> gen_expr g ~callable 2
+
+let gen_lhs g =
+  let picks =
+    (if g.locals <> [] then [ `Local; `Local; `Local ] else [])
+    @ (if g.scalars_g <> [] then [ `Global; `Global ] else [])
+    @ (if g.arrays <> [] then [ `Elem; `Elem ] else [])
+    @ if g.bytes <> [] then [ `Byte ] else []
+  in
+  match Rng.choose g.rng picks with
+  | `Local -> Lloc (Rng.choose g.rng g.locals)
+  | `Global -> Lglob (Rng.choose g.rng g.scalars_g)
+  | `Elem ->
+      let a, n = Rng.choose g.rng g.arrays in
+      Lelem (a, gen_expr g ~callable:g.helpers 1, n)
+  | `Byte ->
+      let a, n = Rng.choose g.rng g.bytes in
+      Lbyte (a, gen_expr g ~callable:g.helpers 1, n)
+
+(* Generate a block whose estimated dynamic cost stays within [allow].
+   [ldepth] is the loop-nesting depth, [in_loop]/[in_for] gate
+   break/continue. *)
+let rec gen_block g ~callable ~allow ~ldepth ~in_loop ~in_for =
+  let stmts = ref [] in
+  let remaining = ref allow in
+  let max_stmts = 2 + Rng.int g.rng 5 in
+  let n = ref 0 in
+  while !remaining > 8 && !n < max_stmts do
+    incr n;
+    let s = gen_stmt g ~callable ~allow:!remaining ~ldepth ~in_loop ~in_for in
+    match s with
+    | None -> remaining := 0
+    | Some s ->
+        let c = stmt_cost g.fcosts s in
+        if c <= !remaining then begin
+          stmts := s :: !stmts;
+          remaining := !remaining - c
+        end
+        else remaining := !remaining (* skip: too expensive; try another *)
+  done;
+  List.rev !stmts
+
+and gen_stmt g ~callable ~allow ~ldepth ~in_loop ~in_for =
+  let pick = Rng.int g.rng 24 in
+  match pick with
+  | 0 | 1 | 2 | 3 | 4 ->
+      Some (Sset (gen_lhs g, gen_expr g ~callable 3))
+  | 5 | 6 | 7 ->
+      let op = Rng.choose g.rng [ Add; Sub; Mul; Band; Bor; Bxor ] in
+      Some (Sop (op, gen_lhs g, gen_expr g ~callable 2))
+  | 8 | 9 | 10 -> Some (Schk (gen_expr g ~callable 3))
+  | 11 | 12 ->
+      let c = gen_cond g ~callable in
+      let a = gen_block g ~callable ~allow:(allow / 2) ~ldepth ~in_loop ~in_for in
+      let b =
+        if Rng.bool g.rng then
+          gen_block g ~callable ~allow:(allow / 2) ~ldepth ~in_loop ~in_for
+        else []
+      in
+      if a = [] && b = [] then Some (Schk c) else Some (Sif (c, a, b))
+  | 13 | 14 | 15 | 16 when ldepth < 3 ->
+      let count = 2 + Rng.int g.rng 11 in
+      let var = fresh g "i" in
+      g.new_scalars <- (var, 0L) :: g.new_scalars;
+      let saved = g.loopvars in
+      g.loopvars <- var :: g.loopvars;
+      let body =
+        gen_block g ~callable
+          ~allow:(max 10 ((allow - 4) / count) - 3)
+          ~ldepth:(ldepth + 1) ~in_loop:true ~in_for:true
+      in
+      g.loopvars <- saved;
+      if body = [] then None else Some (Sfor { var; count; body })
+  | 17 when ldepth < 3 ->
+      let count = 2 + Rng.int g.rng 9 in
+      let var = fresh g "w" in
+      g.new_scalars <- (var, 0L) :: g.new_scalars;
+      let saved = g.loopvars in
+      g.loopvars <- var :: g.loopvars;
+      let body =
+        gen_block g ~callable
+          ~allow:(max 10 ((allow - 4) / count) - 3)
+          ~ldepth:(ldepth + 1) ~in_loop:true ~in_for:false
+      in
+      g.loopvars <- saved;
+      if body = [] then None else Some (Swhile { var; count; body })
+  | 18 when in_loop -> Some (Sbreak_if (gen_cond g ~callable))
+  | 19 when in_for -> Some (Scont_if (gen_cond g ~callable))
+  | 20 when g.prints > 0 && ldepth <= 1 ->
+      g.prints <- g.prints - 1;
+      let id = g.print_id in
+      g.print_id <- id + 1;
+      Some (Sprint (id, gen_expr g ~callable 3))
+  | 21 when g.templates > 0 && g.pool > 0 && ldepth = 0 ->
+      g.templates <- g.templates - 1;
+      let id = g.print_id in
+      g.print_id <- id + 1;
+      let a = (2 * Rng.int g.rng (g.pool / 2)) + 1 in
+      Some
+        (Swalk
+           {
+             wk_id = id;
+             wk_pool = g.pool;
+             wk_a = a;
+             wk_b = Rng.int g.rng g.pool;
+             wk_start = Rng.int g.rng g.pool;
+             wk_steps = 16 + Rng.int g.rng 120;
+             wk_mul = small_const g.rng;
+             wk_add = small_const g.rng;
+           })
+  | 22 when g.templates > 0 && ldepth = 0 ->
+      g.templates <- g.templates - 1;
+      let id = g.print_id in
+      g.print_id <- id + 1;
+      Some
+        (Slist
+           {
+             ls_id = id;
+             ls_len = 4 + Rng.int g.rng 28;
+             ls_mul = small_const g.rng;
+             ls_add = small_const g.rng;
+           })
+  | _ -> Some (Schk (gen_expr g ~callable 2))
+
+(* -- helper-function generation ----------------------------------------- *)
+
+(* Helpers are pure: they assign only their own locals.  A helper may call
+   any helper generated before it (no mutual recursion); a recursive
+   helper calls only itself, guarded by the depth parameter. *)
+let gen_helper g idx ~recursive =
+  let name = Printf.sprintf "h%d" idx in
+  let arity = 1 + Rng.int g.rng 2 in
+  let params = List.init arity (fun i -> Printf.sprintf "p%d" i) in
+  let params = if recursive then "d" :: params else params in
+  let saved_locals = g.locals and saved_loopvars = g.loopvars in
+  g.locals <- [];
+  g.loopvars <- List.filter (fun _ -> false) g.loopvars;
+  (* params are readable: expose them as loop vars (read-only names) *)
+  g.loopvars <- params;
+  let callable = g.helpers in
+  let nlocals = 1 + Rng.int g.rng 2 in
+  let locals =
+    List.init nlocals (fun i ->
+        (Printf.sprintf "t%d" i, gen_expr g ~callable 2))
+  in
+  g.locals <- List.map fst locals;
+  let loop_decls = ref [] in
+  (* a small pure body: a couple of assignments, maybe a bounded loop *)
+  let body = ref [] in
+  let nstmts = Rng.int g.rng 3 in
+  for _ = 1 to nstmts do
+    match Rng.int g.rng 4 with
+    | 0 | 1 ->
+        body :=
+          Sset (Lloc (Rng.choose g.rng g.locals), gen_expr g ~callable 2) :: !body
+    | 2 ->
+        let op = Rng.choose g.rng [ Add; Sub; Mul; Bxor ] in
+        body :=
+          Sop (op, Lloc (Rng.choose g.rng g.locals), gen_expr g ~callable 2)
+          :: !body
+    | _ ->
+        let var = fresh g "k" in
+        loop_decls := (var, Cint 0L) :: !loop_decls;
+        let saved = g.loopvars in
+        g.loopvars <- var :: g.loopvars;
+        let count = 2 + Rng.int g.rng 7 in
+        let inner =
+          [
+            Sop
+              ( Rng.choose g.rng [ Add; Bxor ],
+                Lloc (Rng.choose g.rng g.locals),
+                gen_expr g ~callable 2 );
+          ]
+        in
+        g.loopvars <- saved;
+        body := Sfor { var; count; body = inner } :: !body
+  done;
+  let base = if recursive then Some (gen_expr g ~callable 2) else None in
+  let ret =
+    if recursive then begin
+      (* one or two self-calls, each with a strictly smaller depth *)
+      let nargs = arity in
+      let self delta =
+        Call
+          ( name,
+            Bin (Sub, Local "d", Cint (Int64.of_int delta))
+            :: List.init nargs (fun _ -> gen_expr g ~callable 2) )
+      in
+      if Rng.bool g.rng then Bin (Add, Bin (Mul, self 1, Cint 3L), gen_expr g ~callable 2)
+      else Bin (Bxor, self 1, Bin (Bor, self 2, Cint 1L))
+    end
+    else gen_expr g ~callable 3
+  in
+  g.locals <- saved_locals;
+  g.loopvars <- saved_loopvars;
+  let fn =
+    {
+      fn_name = name;
+      fn_params = params;
+      fn_locals = locals @ List.rev !loop_decls;
+      fn_base = base;
+      fn_selfcalls = (if recursive then if Rng.bool g.rng then 1 else 2 else 0);
+      fn_body = List.rev !body;
+      fn_ret = ret;
+    }
+  in
+  (* per-invocation cost, charged at call sites; recursive helpers are
+     additionally scaled by the constant depth argument *)
+  let flat =
+    block_cost g.fcosts fn.fn_body
+    + List.fold_left (fun n (_, e) -> n + expr_cost g.fcosts e) 0 fn.fn_locals
+    + expr_cost g.fcosts fn.fn_ret + 8
+  in
+  let cost = if recursive then flat * 4 else flat in
+  (fn, cost)
+
+(* -- program generation ------------------------------------------------- *)
+
+let default_size = 10
+
+let generate_prog ~seed ~size =
+  let rng = Rng.make (seed * 2654435761) in
+  (* globals *)
+  let n_scalars = 2 + Rng.int rng 3 in
+  let scalars_g = List.init n_scalars (fun i -> Printf.sprintf "g%d" i) in
+  let n_arrays = 1 + Rng.int rng 2 in
+  let arrays =
+    List.init n_arrays (fun i ->
+        (Printf.sprintf "arr%d" i, 1 lsl (4 + Rng.int rng 4)))
+  in
+  let n_bytes = Rng.int rng 2 in
+  let bytes =
+    List.init n_bytes (fun i ->
+        (Printf.sprintf "buf%d" i, 1 lsl (5 + Rng.int rng 4)))
+  in
+  let globals =
+    List.map
+      (fun n ->
+        Gscalar (n, if Rng.bool rng then small_const rng else 0L))
+      scalars_g
+    @ List.map
+        (fun (n, len) ->
+          if Rng.bool rng then
+            let k = 1 + Rng.int rng (min len 8) in
+            Garr (n, len, List.init k (fun _ -> small_const rng))
+          else Garr (n, len, []))
+        arrays
+    @ List.map (fun (n, len) -> Gbytes (n, len)) bytes
+  in
+  let pool = 1 lsl (4 + Rng.int rng 3) in
+  let g =
+    {
+      rng;
+      fcosts = [];
+      scalars_g;
+      arrays;
+      bytes;
+      helpers = [];
+      rec_helpers = [];
+      locals = [];
+      loopvars = [];
+      uniq = 0;
+      budget = 0;
+      prints = 0;
+      print_id = 0;
+      templates = 0;
+      new_scalars = [];
+      pool;
+    }
+  in
+  (* helpers, each able to call the ones before it *)
+  let n_helpers = 1 + min 3 (size / 4) in
+  let g = ref g in
+  let funcs = ref [] in
+  for i = 0 to n_helpers - 1 do
+    let recursive = Rng.int rng 3 = 0 in
+    let fn, cost = gen_helper !g i ~recursive in
+    funcs := fn :: !funcs;
+    let arity = List.length fn.fn_params - if recursive then 1 else 0 in
+    g :=
+      {
+        !g with
+        fcosts = (fn.fn_name, cost) :: !g.fcosts;
+        helpers =
+          (if recursive then !g.helpers else (fn.fn_name, arity) :: !g.helpers);
+        rec_helpers =
+          (if recursive then (fn.fn_name, arity) :: !g.rec_helpers
+           else !g.rec_helpers);
+      }
+  done;
+  let g = !g in
+  (* main locals *)
+  let n_locals = 2 + min 6 (size / 2) in
+  let main_locals =
+    List.init n_locals (fun i -> (Printf.sprintf "v%d" i, small_const rng))
+  in
+  g.locals <- List.map fst main_locals;
+  g.budget <- 1200 + (size * 320);
+  g.prints <- 3 + min 12 size;
+  g.templates <- 2;
+  let callable = g.helpers @ g.rec_helpers in
+  let body =
+    gen_block g ~callable ~allow:g.budget ~ldepth:0 ~in_loop:false ~in_for:false
+  in
+  (* fold a few observable cells into the checksum so every program ends
+     with a non-trivial digest even if the random body was all control
+     flow *)
+  let closing =
+    Schk
+      (List.fold_left
+         (fun acc n -> Bin (Bxor, acc, Global n))
+         (match main_locals with (n, _) :: _ -> Local n | [] -> Cint 1L)
+         scalars_g)
+    ::
+    (match arrays with
+    | (a, n) :: _ ->
+        [ Schk (Bin (Add, Elem (a, Cint 1L, n), Elem (a, Cint 7L, n))) ]
+    | [] -> [])
+  in
+  {
+    p_seed = seed;
+    p_size = size;
+    p_pool = pool;
+    p_globals = globals;
+    p_funcs = List.rev !funcs;
+    p_scalars = main_locals @ List.rev g.new_scalars;
+    p_main = body @ closing;
+  }
+
+(* -- public API --------------------------------------------------------- *)
+
+let of_prog prog =
+  { t_prog = prog; t_source = render prog; t_expect = run_oracle prog }
+
+let generate ?(size = default_size) ~seed () =
+  of_prog (generate_prog ~seed ~size)
+
+let seed t = t.t_prog.p_seed
+let size t = t.t_prog.p_size
+let source t = t.t_source
+let expected_stdout t = t.t_expect
+let node_count t = prog_nodes t.t_prog
+
+let repro_hint t =
+  Printf.sprintf "dune exec bench/main.exe -- soak --seed %d --count 1 --size %d"
+    t.t_prog.p_seed t.t_prog.p_size
+
+(* -- shrinking ----------------------------------------------------------- *)
+
+(* Candidate mutations of a statement list, lazily enumerated:
+   remove a statement, unwrap a compound body, halve a trip count. *)
+
+let rec has_loop_ctl = function
+  | Sbreak_if _ | Scont_if _ -> true
+  | Sif (_, a, b) -> List.exists has_loop_ctl a || List.exists has_loop_ctl b
+  | Sset _ | Sop _ | Schk _ | Sprint _ | Swalk _ | Slist _ | Sfor _ | Swhile _ ->
+      false
+
+(* all ways to shrink a block by one step *)
+let rec block_variants (b : stmt list) : stmt list list =
+  let n = List.length b in
+  let removals =
+    List.init n (fun i -> List.filteri (fun j _ -> j <> i) b)
+  in
+  let in_place =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           List.map
+             (fun s' -> List.mapi (fun j x -> if j = i then s' else x) b)
+             (stmt_variants s))
+         b)
+  in
+  let unwraps =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           let splice body =
+             List.concat
+               (List.mapi (fun j x -> if j = i then body else [ x ]) b)
+           in
+           match s with
+           | Sif (_, a, bb) when not (List.exists has_loop_ctl (a @ bb)) ->
+               [ splice a ] @ if bb <> [] then [ splice bb ] else []
+           | Sfor { body; _ } | Swhile { body; _ }
+             when not (List.exists has_loop_ctl body) ->
+               [ splice body ]
+           | _ -> [])
+         b)
+  in
+  removals @ in_place @ unwraps
+
+and stmt_variants (s : stmt) : stmt list =
+  match s with
+  | Sfor { var; count; body } ->
+      (if count > 1 then [ Sfor { var; count = count / 2; body } ] else [])
+      @ List.map (fun body -> Sfor { var; count; body }) (block_variants body)
+  | Swhile { var; count; body } ->
+      (if count > 1 then [ Swhile { var; count = count / 2; body } ] else [])
+      @ List.map (fun body -> Swhile { var; count; body }) (block_variants body)
+  | Sif (c, a, b) ->
+      List.map (fun a -> Sif (c, a, b)) (block_variants a)
+      @ List.map (fun b -> Sif (c, a, b)) (block_variants b)
+  | Swalk w ->
+      (if w.wk_steps > 1 then [ Swalk { w with wk_steps = w.wk_steps / 2 } ]
+       else [])
+  | Slist l -> if l.ls_len > 1 then [ Slist { l with ls_len = l.ls_len / 2 } ] else []
+  | Sset _ | Sop _ | Schk _ | Sbreak_if _ | Scont_if _ | Sprint _ -> []
+
+(* helpers referenced anywhere in the program *)
+let referenced_helpers p =
+  let used = Hashtbl.create 8 in
+  let rec scan_e = function
+    | Call (f, args) ->
+        Hashtbl.replace used f ();
+        List.iter scan_e args
+    | Elem (_, e, _) | Byte (_, e, _) | Div (e, _) | Mod (e, _) | Shl (e, _)
+    | Shr (e, _) | Neg e | Bnot e | Lnot e ->
+        scan_e e
+    | Bin (_, a, b) | Andand (a, b) | Oror (a, b) -> scan_e a; scan_e b
+    | Cond (c, a, b) -> scan_e c; scan_e a; scan_e b
+    | Cint _ | Local _ | Global _ -> ()
+  in
+  let scan_l = function
+    | Lelem (_, e, _) | Lbyte (_, e, _) -> scan_e e
+    | Lloc _ | Lglob _ -> ()
+  in
+  let rec scan_s = function
+    | Sset (l, e) | Sop (_, l, e) -> scan_l l; scan_e e
+    | Schk e | Sbreak_if e | Scont_if e | Sprint (_, e) -> scan_e e
+    | Sif (c, a, b) -> scan_e c; List.iter scan_s a; List.iter scan_s b
+    | Sfor { body; _ } | Swhile { body; _ } -> List.iter scan_s body
+    | Swalk _ | Slist _ -> ()
+  in
+  List.iter scan_s p.p_main;
+  (* a helper keeps alive the helpers it calls *)
+  let rec close () =
+    let before = Hashtbl.length used in
+    List.iter
+      (fun f ->
+        if Hashtbl.mem used f.fn_name then begin
+          List.iter (fun (_, e) -> scan_e e) f.fn_locals;
+          (match f.fn_base with Some e -> scan_e e | None -> ());
+          List.iter scan_s f.fn_body;
+          scan_e f.fn_ret
+        end)
+      p.p_funcs;
+    if Hashtbl.length used > before then close ()
+  in
+  close ();
+  used
+
+let prog_variants (p : prog) : prog list =
+  let main_vs = List.map (fun m -> { p with p_main = m }) (block_variants p.p_main) in
+  let used = referenced_helpers p in
+  let dead =
+    List.filter (fun f -> not (Hashtbl.mem used f.fn_name)) p.p_funcs
+  in
+  let drop_dead =
+    match dead with
+    | [] -> []
+    | _ ->
+        [ { p with
+            p_funcs = List.filter (fun f -> Hashtbl.mem used f.fn_name) p.p_funcs } ]
+  in
+  drop_dead @ main_vs
+
+let shrink t still_fails =
+  let rec go cur =
+    let cur_nodes = prog_nodes cur.t_prog in
+    let next =
+      List.find_map
+        (fun p' ->
+          if prog_nodes p' >= cur_nodes then None
+          else
+            let cand = of_prog p' in
+            if still_fails cand then Some cand else None)
+        (prog_variants cur.t_prog)
+    in
+    match next with Some c -> go c | None -> cur
+  in
+  go t

@@ -1,0 +1,69 @@
+(** A deterministic, seeded generator of well-typed, terminating Mini-C
+    programs, with an interpreter-independent oracle.
+
+    Every generated program:
+
+    - is valid Mini-C (it must parse, typecheck and compile — a frontend
+      rejection is a compiler bug, not a generator miss);
+    - terminates by construction: every loop has a constant trip count
+      (or a counter the loop body provably advances), recursion carries
+      an explicit depth guard, and the generator tracks an estimated
+      dynamic-work budget so programs stay small enough to soak at
+      fleet scale;
+    - prints a running self-checksum and a final [progen S.Z: chk=...]
+      line on stdout, so a silent miscompile is visible as an output
+      mismatch rather than requiring any state inspection;
+    - comes with {!expected_stdout}: the output predicted by a small
+      OCaml evaluator over the generator's own IR.  The oracle shares
+      no code with the Mini-C frontend, the code generator or either
+      simulator engine, so agreement is evidence that the whole stack
+      (parser → typechecker → codegen → assembler → linker → machine)
+      preserved the program's meaning.
+
+    The program space covers: nested bounded loops ([for]/[while] with
+    [break]/[continue]), recursion with depth guards, pointer chasing
+    over a global struct array and over [malloc]'d linked lists,
+    global/local scalar and array mixes (long and char), compound
+    assignment, short-circuit logic, ternaries, pure helper functions,
+    and interleaved [printf] traffic.  Floating point is deliberately
+    excluded: the oracle would have to model the runtime's approximate
+    [sqrt]/[%f] rounding, and the hand-written workload suite already
+    covers FP paths. *)
+
+type t
+(** A generated program: the IR it was built from plus the rendered
+    source and the oracle's expected stdout. *)
+
+val generate : ?size:int -> seed:int -> unit -> t
+(** Generate the program for [seed] (default [size] 10).  Deterministic:
+    the PRNG is a self-contained splitmix64, so the same (seed, size)
+    yields a byte-identical program on any platform or OCaml version.
+    [size] scales the statement count, helper count and work budget. *)
+
+val seed : t -> int
+val size : t -> int
+
+val source : t -> string
+(** The Mini-C source text. *)
+
+val expected_stdout : t -> string
+(** Everything the program prints when it runs correctly, per the
+    oracle evaluator. *)
+
+val node_count : t -> int
+(** The program's IR weight (statements, expressions and loop trip
+    counts) — the measure {!shrink} strictly decreases. *)
+
+val shrink : t -> (t -> bool) -> t
+(** [shrink p still_fails] greedily minimises a failing program: it
+    tries removing statements, unwrapping loop/if bodies, halving trip
+    counts and dropping unreferenced helpers, keeping each mutation only
+    if [still_fails] holds on the re-rendered, re-oracled candidate.
+    The result still satisfies [still_fails] (or is [p] itself if no
+    mutation preserved it) and has a strictly smaller {!node_count}
+    whenever any mutation was accepted.  Source and expected stdout are
+    recomputed, so the shrunk program is self-consistent. *)
+
+val repro_hint : t -> string
+(** A one-line command that regenerates and re-checks this program,
+    e.g. ["dune exec bench/main.exe -- soak --seed 42 --count 1"]. *)

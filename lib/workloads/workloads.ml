@@ -613,6 +613,18 @@ let compile w =
       Mutex.unlock cache_lock;
       exe
 
+(* Generated traffic: the progen corpus behind the same interface as the
+   hand-written suite.  Names are unique per (seed, size, index), so the
+   compile memo above never conflates two generated programs. *)
+let generated ?size ~seed ~count () =
+  List.init count (fun i ->
+      let t = Progen.generate ?size ~seed:(seed + i) () in
+      {
+        w_name = Printf.sprintf "gen-s%d-z%d" (Progen.seed t) (Progen.size t);
+        w_models = "progen generated traffic";
+        w_source = Progen.source t;
+      })
+
 (* the fuel default is Sim's: one documented constant for every run path *)
 let run_exe ?(engine = Machine.Sim.Fast)
     ?(max_insns = Machine.Sim.default_max_insns) exe =

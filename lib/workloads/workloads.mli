@@ -13,6 +13,14 @@ val all : t list
 
 val find : string -> t option
 
+val generated : ?size:int -> seed:int -> count:int -> unit -> t list
+(** [count] programs from the {!Progen} generator, seeds [seed] …
+    [seed + count - 1], behind the same interface as the hand-written
+    suite so the matrix drivers ([verify], [perf], [faults]) can opt
+    into generated traffic without code changes.  Names are
+    ["gen-s<seed>-z<size>"] — unique per (seed, size), so {!compile}'s
+    memo treats each generated program as its own workload. *)
+
 val compile : t -> Objfile.Exe.t
 (** Compile and link against the runtime library (memoised per workload). *)
 

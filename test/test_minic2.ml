@@ -375,6 +375,50 @@ long main(void) {
 }|};
   ]
 
+(* -- soak regressions ------------------------------------------------------ *)
+(* Minimized from programs the lib/progen soak generator flushed out.  Two
+   front-end bugs hid here: const_init rejected any initializer more complex
+   than [+-]literal, and codegen funneled constants through Int64.to_int,
+   which silently wraps once |v| >= 2^62 (OCaml's native int is 63-bit). *)
+
+let soak_regression_cases =
+  [
+    t "folded constant global initializer" ~expect:"-9223372036854775808 46"
+      {|
+long g = -9223372036854775807 - 1;
+long h = (3 < 5) ? 6 * 7 + (1 << 2) : 0;
+long main(void) { printf("%d %d", g, h); return 0; }|};
+    t "min_int literal survives codegen" ~expect:"-1317624576693539401 -1 0"
+      {|
+long main(void) {
+  long g = -9223372036854775807 - 1;
+  printf("%d %d %d", g / 7, g % 7, g == 0);
+  return 0;
+}|};
+    t "2^62 and max_int literals" ~expect:"807 904 904"
+      {|
+long main(void) {
+  long a = 9223372036854775807;
+  long b = 4611686018427387904;
+  long c = 1; c = c << 62;
+  printf("%d %d %d", a % 1000, b % 1000, c % 1000);
+  return 0;
+}|};
+    t "min_int as global quad datum" ~expect:"-9223372036854775808 9223372036854775807"
+      {|
+long lo = -9223372036854775807 - 1;
+long hi = 9223372036854775807;
+long main(void) { printf("%d %d", lo, hi); return 0; }|};
+    t "big constant not aliased into byte immediate" ~expect:"-9223372036854775552 0"
+      {|
+long main(void) {
+  long x = 1;
+  printf("%d %d", x + (-9223372036854775807 - 1 + 255),
+         x < (-9223372036854775807 - 1 + 200));
+  return 0;
+}|};
+  ]
+
 (* -- error cases ----------------------------------------------------------- *)
 
 let expect_compile_error name src =
@@ -406,6 +450,7 @@ let () =
     [
       ("libc", libc_cases);
       ("statements", statement_cases);
+      ("soak-regressions", soak_regression_cases);
       ("errors", error_cases);
       ("properties", props);
     ]

@@ -1,0 +1,146 @@
+(* Generator tests: determinism, validity (every generated program
+   compiles, terminates within fuel, and prints exactly what the
+   interpreter-independent oracle predicts), and shrinking. *)
+
+let fuel = 20_000_000
+
+let compile t =
+  let name = Printf.sprintf "progen_s%d_z%d.o" (Progen.seed t) (Progen.size t) in
+  Rtlib.compile_and_link ~name (Progen.source t)
+
+let run_stdout exe =
+  let m = Machine.Sim.load exe in
+  match Machine.Sim.run ~max_insns:fuel m with
+  | Machine.Sim.Exit 0 -> Machine.Sim.stdout m
+  | Machine.Sim.Exit n -> Alcotest.failf "exit %d" n
+  | Machine.Sim.Fault f -> Alcotest.failf "fault %s" (Machine.Fault.to_string f)
+  | Machine.Sim.Out_of_fuel -> Alcotest.fail "out of fuel"
+
+(* -- determinism ---------------------------------------------------------- *)
+
+let test_determinism () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun size ->
+          let a = Progen.generate ~seed ~size () in
+          let b = Progen.generate ~seed ~size () in
+          Alcotest.(check string)
+            (Printf.sprintf "source seed=%d size=%d" seed size)
+            (Progen.source a) (Progen.source b);
+          Alcotest.(check string)
+            (Printf.sprintf "oracle seed=%d size=%d" seed size)
+            (Progen.expected_stdout a)
+            (Progen.expected_stdout b))
+        [ 1; 4; 10; 25 ])
+    [ 0; 1; 2; 7; 42; 1000; 123456789 ]
+
+let test_distinct_seeds () =
+  (* different seeds should (essentially always) give different programs *)
+  let a = Progen.generate ~seed:1 () and b = Progen.generate ~seed:2 () in
+  Alcotest.(check bool) "distinct" true (Progen.source a <> Progen.source b)
+
+(* -- validity + oracle agreement ------------------------------------------ *)
+
+let test_compiles_and_matches_oracle () =
+  for seed = 1 to 30 do
+    let size = 2 + (seed mod 14) in
+    let t = Progen.generate ~seed ~size () in
+    let exe =
+      try compile t
+      with Minic.Driver.Error msg ->
+        Alcotest.failf "seed %d size %d: frontend rejection: %s\n%s" seed size
+          msg (Progen.source t)
+    in
+    let got = run_stdout exe in
+    if not (String.equal got (Progen.expected_stdout t)) then
+      Alcotest.failf "seed %d size %d: output mismatch\n--- expected\n%s--- got\n%s"
+        seed size (Progen.expected_stdout t) got
+  done
+
+let test_checksum_line () =
+  let t = Progen.generate ~seed:3 ~size:5 () in
+  let expect = Progen.expected_stdout t in
+  let prefix = Printf.sprintf "progen %d.%d: chk=" 3 5 in
+  let has_final =
+    String.length expect > 0
+    && String.split_on_char '\n' expect
+       |> List.exists (fun l -> String.length l >= String.length prefix
+                                && String.sub l 0 (String.length prefix) = prefix)
+  in
+  Alcotest.(check bool) "final checksum line present" true has_final
+
+(* -- shrinking ------------------------------------------------------------- *)
+
+let test_shrink_strictly_smaller () =
+  (* an always-true predicate makes every removal acceptable, so the
+     shrinker must strictly reduce the weight and keep the invariant
+     that the result still satisfies the predicate *)
+  let t = Progen.generate ~seed:11 ~size:8 () in
+  let always _ = true in
+  let s = Progen.shrink t always in
+  Alcotest.(check bool) "weight shrank" true
+    (Progen.node_count s < Progen.node_count t);
+  Alcotest.(check bool) "predicate holds" true (always s)
+
+let test_shrink_preserves_predicate () =
+  (* a predicate about the rendered source: shrinking keeps it while
+     discarding unrelated statements *)
+  let t = Progen.generate ~seed:5 ~size:10 () in
+  let pred c =
+    (* keep any program that still prints at least one tN= line *)
+    let out = Progen.expected_stdout c in
+    List.exists
+      (fun l -> String.length l > 1 && l.[0] = 't')
+      (String.split_on_char '\n' out)
+    (* ... and still compiles + matches its own oracle *)
+    && String.equal (run_stdout (compile c)) out
+  in
+  if pred t then begin
+    let s = Progen.shrink t pred in
+    Alcotest.(check bool) "shrunk not larger" true
+      (Progen.node_count s <= Progen.node_count t);
+    Alcotest.(check bool) "still satisfies" true (pred s)
+  end
+
+let test_shrunk_program_self_consistent () =
+  let t = Progen.generate ~seed:21 ~size:6 () in
+  let s = Progen.shrink t (fun _ -> true) in
+  (* the shrunk program must still compile and agree with its own oracle *)
+  let got = run_stdout (compile s) in
+  Alcotest.(check string) "shrunk oracle agreement" (Progen.expected_stdout s) got
+
+let test_repro_hint () =
+  let t = Progen.generate ~seed:99 ~size:4 () in
+  let h = Progen.repro_hint t in
+  Alcotest.(check bool) "mentions seed" true
+    (let re = "--seed 99" in
+     let rec find i =
+       i + String.length re <= String.length h
+       && (String.sub h i (String.length re) = re || find (i + 1))
+     in
+     find 0)
+
+let () =
+  Alcotest.run "progen"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed, same bytes" `Quick test_determinism;
+          Alcotest.test_case "distinct seeds differ" `Quick test_distinct_seeds;
+        ] );
+      ( "validity",
+        [
+          Alcotest.test_case "30 seeds compile and match the oracle" `Slow
+            test_compiles_and_matches_oracle;
+          Alcotest.test_case "final checksum line" `Quick test_checksum_line;
+        ] );
+      ( "shrinking",
+        [
+          Alcotest.test_case "strictly smaller" `Quick test_shrink_strictly_smaller;
+          Alcotest.test_case "predicate preserved" `Slow test_shrink_preserves_predicate;
+          Alcotest.test_case "shrunk program self-consistent" `Slow
+            test_shrunk_program_self_consistent;
+          Alcotest.test_case "repro hint" `Quick test_repro_hint;
+        ] );
+    ]
