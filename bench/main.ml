@@ -1,7 +1,7 @@
 (* Benchmark harness: regenerates the paper's evaluation.
 
    Figure 5 - time for ATOM to instrument the benchmark suite with each
-   of the 11 tools (host wall-clock; the paper measured seconds on an
+   registered tool (host wall-clock; the paper measured seconds on an
    Alpha 3000/400 over 20 SPEC92 programs).  Measured under three
    pipelines — pre-overhaul reference, fast with cold caches, fast with
    warm caches — with every instrumented image byte-compared across all
@@ -26,9 +26,14 @@
    BENCH_faults.json and demands zero escaped exceptions and zero
    engine disagreements.
 
+   Wcet - static worst-case path bounds: records flow facts with the
+   trace tool, solves the IPET integer program per procedure, and
+   asserts the static bound dominates the measured cycles for every
+   workload on both engines; writes BENCH_wcet.json.
+
    Usage: main.exe
      [fig5 [--smoke] [--cold]|fig6|ablations|verify|bechamel [--cold]|
-      quick|perf [--smoke]|faults [--smoke]|all]  *)
+      quick|perf [--smoke]|faults [--smoke]|wcet [--smoke]|all]  *)
 
 let time_it fn =
   let t0 = Unix.gettimeofday () in
@@ -1576,6 +1581,124 @@ let serve_bench ?(smoke = false) () =
     exit 1
   end
 
+(* -- WCET: static worst-case path bounds vs measured cycles ------------- *)
+
+type wcet_row = {
+  wc_workload : string;
+  wc_engine : string;
+  wc_measured : int;
+  wc_bound : int;
+  wc_accounted : int;
+  wc_discount : int;
+  wc_fallbacks : int;
+  wc_infeasible : int;
+  wc_truncated : int;
+  wc_solve_secs : float;
+}
+
+(* For every workload x engine cell: measure the uninstrumented run's
+   cycles, record flow facts with the trace tool, solve the IPET integer
+   program, and demand bound >= measured.  The accounted column is the
+   observed run's own per-block cycle total (what the bound degenerates
+   to when the flow facts pin every path). *)
+let wcet_bench ?(smoke = false) () =
+  let workloads =
+    if smoke then
+      List.filter
+        (fun w -> List.mem w.Workloads.w_name [ "sieve"; "qsort"; "cells" ])
+        Workloads.all
+    else Workloads.all
+  in
+  let trace_tool =
+    match Tools.Registry.find "trace" with
+    | Some t -> t
+    | None -> failwith "trace tool not registered"
+  in
+  let rows = ref [] in
+  let violations = ref [] in
+  Printf.printf "WCET: IPET static bound vs measured cycles per workload x engine\n";
+  Printf.printf "%-10s %-5s %14s %14s %12s %8s\n" "workload" "eng" "measured"
+    "bound" "gap" "gap-pm";
+  hrule 70;
+  List.iter
+    (fun w ->
+      let exe = Workloads.compile w in
+      let cfg = Om.Cfg.build (Om.Build.program exe) in
+      let exe', _ = Tools.Tool.apply trace_tool exe in
+      List.iter
+        (fun engine ->
+          let id =
+            w.Workloads.w_name ^ "/" ^ Machine.Sim.engine_name engine
+          in
+          let outcome, m = Workloads.run_exe ~engine exe in
+          (match outcome with
+          | Machine.Sim.Exit 0 -> ()
+          | _ -> failwith (id ^ ": base run failed"));
+          let measured = (Machine.Sim.stats m).Machine.Sim.st_cycles in
+          let outcome', m' = Workloads.run_exe ~engine exe' in
+          (match outcome' with
+          | Machine.Sim.Exit 0 -> ()
+          | _ -> failwith (id ^ ": trace-instrumented run failed"));
+          let facts =
+            match List.assoc_opt "trace.out" (Machine.Sim.output_files m') with
+            | Some text -> Wcet.Facts.parse text
+            | None -> failwith (id ^ ": trace run produced no trace.out")
+          in
+          let res, solve_secs =
+            time_it (fun () -> Wcet.Ipet.analyze cfg facts)
+          in
+          let bound = res.Wcet.Ipet.bound in
+          let gap = bound - measured in
+          if bound < measured then violations := id :: !violations;
+          Printf.printf "%-10s %-5s %14d %14d %12d %8d%s\n" w.Workloads.w_name
+            (Machine.Sim.engine_name engine)
+            measured bound gap
+            (if measured > 0 then gap * 1000 / measured else 0)
+            (if bound < measured then "  VIOLATION" else "");
+          rows :=
+            {
+              wc_workload = w.Workloads.w_name;
+              wc_engine = Machine.Sim.engine_name engine;
+              wc_measured = measured;
+              wc_bound = bound;
+              wc_accounted = res.Wcet.Ipet.accounted;
+              wc_discount = res.Wcet.Ipet.discount;
+              wc_fallbacks = res.Wcet.Ipet.fallbacks;
+              wc_infeasible = res.Wcet.Ipet.infeasible;
+              wc_truncated = res.Wcet.Ipet.truncated;
+              wc_solve_secs = solve_secs;
+            }
+            :: !rows)
+        [ Machine.Sim.Ref; Machine.Sim.Fast ])
+    workloads;
+  hrule 70;
+  let rows = List.rev !rows in
+  let violations = List.rev !violations in
+  let oc = open_out "BENCH_wcet.json" in
+  Printf.fprintf oc "{\n  \"smoke\": %b,\n  \"rows\": [\n" smoke;
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    { \"workload\": \"%s\", \"engine\": \"%s\", \"measured\": %d, \
+         \"bound\": %d, \"gap\": %d, \"accounted\": %d, \"discount\": %d, \
+         \"fallbacks\": %d, \"infeasible\": %d, \"truncated\": %d, \
+         \"solve_secs\": %.3f }%s\n"
+        (json_escape r.wc_workload) (json_escape r.wc_engine) r.wc_measured
+        r.wc_bound (r.wc_bound - r.wc_measured) r.wc_accounted r.wc_discount
+        r.wc_fallbacks r.wc_infeasible r.wc_truncated r.wc_solve_secs
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n  \"violations\": [%s]\n}\n"
+    (String.concat ", "
+       (List.map (fun v -> "\"" ^ json_escape v ^ "\"") violations));
+  close_out oc;
+  Printf.printf "wrote BENCH_wcet.json\n";
+  if violations <> [] then begin
+    Printf.printf "FAIL: static bound below measured cycles: %s\n"
+      (String.concat ", " violations);
+    exit 1
+  end
+
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let has_flag f =
@@ -1613,6 +1736,7 @@ let () =
         ~count:(int_flag "--count" 0) ~size:(int_flag "--size" 0)
         ~atomd:(has_flag "--atomd") ~dump:(has_flag "--dump") ()
   | "serve" -> serve_bench ~smoke:(has_flag "--smoke") ()
+  | "wcet" -> wcet_bench ~smoke:(has_flag "--smoke") ()
   | "verify" -> verify_sweep ()
   | "quick" ->
       let tools =
@@ -1640,6 +1764,7 @@ let () =
         "unknown mode %S \
          (fig5 [--smoke] [--cold]|fig6|ablations|verify|bechamel [--cold]|\
          quick|perf [--smoke]|faults [--smoke]|serve [--smoke]|\
+         wcet [--smoke]|\
          soak [--smoke] [--seed N] [--count N] [--size N] [--atomd] [--dump]|all)\n"
         other;
       exit 2

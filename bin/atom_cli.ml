@@ -21,7 +21,7 @@
 let usage =
   "atom [--list] [-o OUT] [--run] [--dump-files] [--save-all] \
    [--inline-saves] [--heap-offset N] [--verify] [--no-verify] \
-   [--engine ref|fast] prog.exe tool"
+   [--engine ref|fast] [--wcet] [--facts FILE] prog.exe tool"
 
 let () =
   let list_tools = ref false in
@@ -33,6 +33,8 @@ let () =
   let heap_offset = ref 0 in
   let differential = ref false in
   let no_verify = ref false in
+  let wcet = ref false in
+  let facts_out = ref "" in
   let engine = ref Machine.Sim.Fast in
   let rest = ref [] in
   Arg.parse
@@ -54,6 +56,11 @@ let () =
             | Some e -> engine := e
             | None -> raise (Arg.Bad ("unknown engine " ^ s))),
         "simulator engine for --run/--verify: fast (default) or ref" );
+      ("--wcet", Arg.Set wcet,
+       "with the trace tool: run both executables, solve the IPET program \
+        and report static bound vs measured cycles");
+      ("--facts", Arg.Set_string facts_out,
+       "FILE with --wcet: also write the recorded flow facts as JSON");
     ]
     (fun a -> rest := a :: !rest)
     usage;
@@ -110,6 +117,56 @@ let () =
                module %d bytes\n"
               out info.Atom.Instrument.i_sites info.Atom.Instrument.i_text_growth
               info.Atom.Instrument.i_analysis_bytes;
+            if !wcet then begin
+              if tool.Tools.Tool.name <> "trace" then begin
+                prerr_endline "atom: --wcet needs the trace tool";
+                exit 2
+              end;
+              let run_to_exit label exe =
+                let m = Machine.Sim.load ~engine:!engine exe in
+                match Machine.Sim.run m with
+                | Machine.Sim.Exit 0 -> m
+                | Machine.Sim.Exit n ->
+                    Printf.eprintf "atom: --wcet: %s run exited %d\n" label n;
+                    exit 1
+                | Machine.Sim.Fault f ->
+                    Printf.eprintf "atom: --wcet: %s run faulted: %s\n" label
+                      (Machine.Fault.to_string f);
+                    exit 1
+                | Machine.Sim.Out_of_fuel ->
+                    Printf.eprintf "atom: --wcet: %s run out of fuel\n" label;
+                    exit 1
+              in
+              let base = run_to_exit "original" exe in
+              let measured = (Machine.Sim.stats base).Machine.Sim.st_cycles in
+              let traced = run_to_exit "instrumented" exe' in
+              let facts =
+                match
+                  List.assoc_opt "trace.out" (Machine.Sim.output_files traced)
+                with
+                | Some text -> Wcet.Facts.parse text
+                | None ->
+                    prerr_endline "atom: --wcet: no trace.out recorded";
+                    exit 1
+              in
+              let cfg = Om.Cfg.build (Om.Build.program exe) in
+              if !facts_out <> "" then begin
+                let oc = open_out !facts_out in
+                output_string oc (Wcet.Facts.to_json ~cfg facts);
+                close_out oc
+              end;
+              let res = Wcet.Ipet.analyze cfg facts in
+              let b = res.Wcet.Ipet.bound in
+              Printf.printf
+                "wcet: measured %d cycles, static bound %d (gap %d, discount \
+                 %d)%s\n"
+                measured b (b - measured) res.Wcet.Ipet.discount
+                (if b < measured then "  VIOLATION" else "");
+              List.iter
+                (fun (p, v) -> Printf.printf "  %-24s %d\n" p v)
+                res.Wcet.Ipet.per_proc;
+              if b < measured then exit 4
+            end;
             if !run then begin
               let m = Machine.Sim.load ~engine:!engine exe' in
               let outcome = Machine.Sim.run m in

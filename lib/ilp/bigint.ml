@@ -1,0 +1,276 @@
+(* Sign-magnitude bignum over base-2^20 limbs (little-endian int arrays,
+   no leading zero limb).  20-bit limbs keep every product below 2^40 and
+   every accumulated carry well inside the native 63-bit int. *)
+
+let limb_bits = 20
+let base = 1 lsl limb_bits
+let mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+let one = { sign = 1; mag = [| 1 |] }
+
+let trim mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length mag then mag else Array.sub mag 0 !n
+
+let make sign mag =
+  let mag = trim mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+let of_int i =
+  if i = 0 then zero
+  else begin
+    let sign = if i < 0 then -1 else 1 in
+    (* min_int negates fine limb-by-limb via the loop below *)
+    let rec limbs acc v =
+      if v = 0 then List.rev acc
+      else
+        (* careful with min_int: land/lsr are fine on the bit pattern *)
+        limbs ((v land mask) :: acc) (v lsr limb_bits)
+    in
+    let v = if i < 0 then -i else i in
+    if v < 0 then begin
+      (* i = min_int: -i overflows; handle via Int64-free split *)
+      let low = i land mask in
+      let rest = i lsr limb_bits in
+      (* i is min_int: bit pattern is positive after lsr *)
+      let rest_limbs = limbs [] rest in
+      let mag = Array.of_list (low :: rest_limbs) in
+      make sign mag
+    end
+    else make sign (Array.of_list (limbs [] v))
+  end
+
+let sign t = t.sign
+let is_zero t = t.sign = 0
+
+let to_int_opt t =
+  let n = Array.length t.mag in
+  if n = 0 then Some 0
+  else if n > 4 then None (* > 80 bits *)
+  else begin
+    let v = ref 0 and ok = ref true in
+    for i = n - 1 downto 0 do
+      if !v > (max_int - mask) lsr limb_bits then ok := false
+      else v := (!v lsl limb_bits) lor t.mag.(i)
+    done;
+    if not !ok then None
+    else if !v < 0 then None
+    else Some (if t.sign < 0 then - !v else !v)
+  end
+
+let mcompare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let r = ref 0 and i = ref (la - 1) in
+    while !r = 0 && !i >= 0 do
+      r := compare a.(!i) b.(!i);
+      decr i
+    done;
+    !r
+  end
+
+let madd a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  let r = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr limb_bits
+  done;
+  r.(n) <- !carry;
+  r
+
+(* a - b, requires a >= b *)
+let msub a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  r
+
+let mmul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let cur = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- cur land mask;
+        carry := cur lsr limb_bits
+      done;
+      r.(i + lb) <- r.(i + lb) + !carry
+    done;
+    r
+  end
+
+(* magnitude divmod by a single limb *)
+let mdivmod_small a d =
+  let n = Array.length a in
+  let q = Array.make n 0 in
+  let r = ref 0 in
+  for i = n - 1 downto 0 do
+    let cur = (!r lsl limb_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (q, !r)
+
+(* Knuth algorithm D on magnitudes; returns (quotient, remainder). *)
+let mdivmod u v =
+  let lv = Array.length v in
+  if lv = 0 then raise Division_by_zero;
+  if mcompare u v < 0 then ([||], u)
+  else if lv = 1 then begin
+    let q, r = mdivmod_small u v.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  end
+  else begin
+    (* D1: normalise so the divisor's top limb >= base/2 *)
+    let d = base / (v.(lv - 1) + 1) in
+    let un = trim (mmul u [| d |]) in
+    let vn = trim (mmul v [| d |]) in
+    let n = Array.length vn in
+    let m = Array.length un - n in
+    (* working copy with an extra top limb *)
+    let w = Array.make (Array.length un + 1) 0 in
+    Array.blit un 0 w 0 (Array.length un);
+    let q = Array.make (m + 1) 0 in
+    for j = m downto 0 do
+      (* D3: estimate q̂ from the top two limbs *)
+      let top = (w.(j + n) lsl limb_bits) lor w.(j + n - 1) in
+      let qhat = ref (top / vn.(n - 1)) in
+      let rhat = ref (top mod vn.(n - 1)) in
+      let adjust () =
+        !qhat >= base
+        || !qhat * vn.(n - 2) > (!rhat lsl limb_bits) lor w.(j + n - 2)
+      in
+      while !rhat < base && adjust () do
+        decr qhat;
+        rhat := !rhat + vn.(n - 1)
+      done;
+      (* D4: multiply and subtract *)
+      let borrow = ref 0 and carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = (!qhat * vn.(i)) + !carry in
+        carry := p lsr limb_bits;
+        let d0 = w.(i + j) - (p land mask) - !borrow in
+        if d0 < 0 then begin
+          w.(i + j) <- d0 + base;
+          borrow := 1
+        end
+        else begin
+          w.(i + j) <- d0;
+          borrow := 0
+        end
+      done;
+      let d0 = w.(j + n) - !carry - !borrow in
+      (* D5/D6: if we went negative, add one divisor back *)
+      if d0 < 0 then begin
+        w.(j + n) <- d0 + base;
+        decr qhat;
+        let carry2 = ref 0 in
+        for i = 0 to n - 1 do
+          let s = w.(i + j) + vn.(i) + !carry2 in
+          w.(i + j) <- s land mask;
+          carry2 := s lsr limb_bits
+        done;
+        w.(j + n) <- (w.(j + n) + !carry2) land mask
+      end
+      else w.(j + n) <- d0;
+      q.(j) <- !qhat
+    done;
+    (* D8: denormalise the remainder *)
+    let r = trim (Array.sub w 0 n) in
+    let r = if d = 1 then r else fst (mdivmod_small r d) in
+    (trim q, trim r)
+  end
+
+let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then { t with sign = 1 } else t
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (madd a.mag b.mag)
+  else begin
+    let c = mcompare a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sign (msub a.mag b.mag)
+    else make b.sign (msub b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else make (a.sign * b.sign) (mmul a.mag b.mag)
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero
+  else if a.sign = 0 then (zero, zero)
+  else begin
+    let q, r = mdivmod a.mag b.mag in
+    (make (a.sign * b.sign) q, make a.sign r)
+  end
+
+let rec gcd_mag a b =
+  (* Euclid on magnitudes via divmod *)
+  if Array.length b = 0 then a
+  else
+    let _, r = mdivmod a b in
+    gcd_mag b r
+
+let gcd a b =
+  if a.sign = 0 then abs b
+  else if b.sign = 0 then abs a
+  else make 1 (gcd_mag a.mag b.mag)
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then mcompare a.mag b.mag
+  else mcompare b.mag a.mag
+
+let equal a b = compare a b = 0
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let chunks = ref [] in
+    let m = ref t.mag in
+    while Array.length !m > 0 do
+      let q, r = mdivmod_small !m 1_000_000 in
+      chunks := r :: !chunks;
+      m := trim q
+    done;
+    let buf = Buffer.create 32 in
+    if t.sign < 0 then Buffer.add_char buf '-';
+    (match !chunks with
+    | [] -> Buffer.add_char buf '0'
+    | first :: rest ->
+        Buffer.add_string buf (string_of_int first);
+        List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%06d" c)) rest);
+    Buffer.contents buf
+  end

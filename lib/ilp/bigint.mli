@@ -1,0 +1,35 @@
+(** Arbitrary-precision signed integers, dependency-free.
+
+    Sign-magnitude over base-2{^20} limbs, so every intermediate product
+    and carry fits comfortably in OCaml's 63-bit native [int].  This is
+    what keeps the rational simplex exact: pivot arithmetic can grow
+    coefficients past 63 bits long before a small CFG's ILP is solved. *)
+
+type t
+
+val zero : t
+val one : t
+val of_int : int -> t
+val to_int_opt : t -> int option
+
+val sign : t -> int
+(** -1, 0 or 1 *)
+
+val is_zero : t -> bool
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], [q] truncated toward
+    zero and [r] carrying [a]'s sign ([|r| < |b|]).
+    @raise Division_by_zero when [b] is zero. *)
+
+val gcd : t -> t -> t
+(** Non-negative; [gcd 0 0 = 0]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_string : t -> string

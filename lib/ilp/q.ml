@@ -1,0 +1,61 @@
+type t = { num : Bigint.t; den : Bigint.t }
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let num, den =
+      if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den)
+      else (num, den)
+    in
+    let g = Bigint.gcd num den in
+    let num, _ = Bigint.divmod num g in
+    let den, _ = Bigint.divmod den g in
+    { num; den }
+  end
+
+let zero = { num = Bigint.zero; den = Bigint.one }
+let one = { num = Bigint.one; den = Bigint.one }
+let of_int i = { num = Bigint.of_int i; den = Bigint.one }
+let of_ints n d = make (Bigint.of_int n) (Bigint.of_int d)
+let sign t = Bigint.sign t.num
+let is_zero t = Bigint.is_zero t.num
+let neg t = { t with num = Bigint.neg t.num }
+
+let add a b =
+  make
+    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+let div a b = make (Bigint.mul a.num b.den) (Bigint.mul a.den b.num)
+
+let compare a b =
+  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let floor t =
+  let q, r = Bigint.divmod t.num t.den in
+  if Bigint.sign r < 0 then Bigint.sub q Bigint.one else q
+
+let ceil t =
+  let q, r = Bigint.divmod t.num t.den in
+  if Bigint.sign r > 0 then Bigint.add q Bigint.one else q
+
+let is_integer t = Bigint.equal t.den Bigint.one
+
+let to_string t =
+  if is_integer t then Bigint.to_string t.num
+  else Bigint.to_string t.num ^ "/" ^ Bigint.to_string t.den
+
+let to_float t =
+  (* good enough for reporting: go through decimal strings *)
+  match (Bigint.to_int_opt t.num, Bigint.to_int_opt t.den) with
+  | Some n, Some d -> float_of_int n /. float_of_int d
+  | _ ->
+      let f s = float_of_string (Bigint.to_string s) in
+      f t.num /. f t.den

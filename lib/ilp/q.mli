@@ -1,0 +1,38 @@
+(** Exact rationals over {!Bigint}, always normalised (positive
+    denominator, numerator and denominator coprime, zero is [0/1]). *)
+
+type t = { num : Bigint.t; den : Bigint.t }
+
+val zero : t
+val one : t
+val of_int : int -> t
+
+val of_ints : int -> int -> t
+(** [of_ints n d] = n/d. @raise Division_by_zero on d = 0 *)
+
+val make : Bigint.t -> Bigint.t -> t
+val sign : t -> int
+val is_zero : t -> bool
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** @raise Division_by_zero *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val floor : t -> Bigint.t
+(** Largest integer <= the rational. *)
+
+val ceil : t -> Bigint.t
+
+val is_integer : t -> bool
+val to_string : t -> string
+
+val to_float : t -> float
+(** Lossy, for reporting only. *)

@@ -1,0 +1,277 @@
+type relation = Le | Ge | Eq
+
+type constr = {
+  coeffs : (int * Q.t) list;
+  rel : relation;
+  rhs : Q.t;
+}
+
+type problem = {
+  nvars : int;
+  objective : Q.t array;
+  constraints : constr list;
+}
+
+type lp_result =
+  | Optimal of { value : Q.t; solution : Q.t array }
+  | Infeasible
+  | Unbounded
+
+(* -- dense two-phase primal simplex, Bland's rule ----------------------- *)
+
+(* One simplex run over tableau [t] (m rows, each of length [width]; the
+   last column is the RHS), maximizing objective [c] (length [width-1],
+   zero-padded over slack/artificial columns).  [eligible j] masks
+   columns allowed to enter (used to freeze artificials in phase 2).
+   Returns [`Optimal] or [`Unbounded]; the tableau and [basis] are
+   updated in place. *)
+let simplex t basis c ~eligible =
+  let m = Array.length t in
+  let width = if m = 0 then 0 else Array.length t.(0) in
+  let ncols = width - 1 in
+  let rec iterate () =
+    (* reduced costs from scratch: rc_j = c_j - sum_i c_basis(i) * t_ij *)
+    let entering = ref (-1) in
+    (let j = ref 0 in
+     while !entering < 0 && !j < ncols do
+       let jj = !j in
+       if eligible jj then begin
+         let rc = ref c.(jj) in
+         for i = 0 to m - 1 do
+           let cb = c.(basis.(i)) in
+           if not (Q.is_zero cb) then rc := Q.sub !rc (Q.mul cb t.(i).(jj))
+         done;
+         if Q.sign !rc > 0 then entering := jj
+       end;
+       incr j
+     done);
+    if !entering < 0 then `Optimal
+    else begin
+      let e = !entering in
+      (* ratio test; ties broken on the smallest basic variable (Bland) *)
+      let row = ref (-1) in
+      let best = ref Q.zero in
+      for i = 0 to m - 1 do
+        if Q.sign t.(i).(e) > 0 then begin
+          let ratio = Q.div t.(i).(ncols) t.(i).(e) in
+          if
+            !row < 0
+            || Q.compare ratio !best < 0
+            || (Q.equal ratio !best && basis.(i) < basis.(!row))
+          then begin
+            row := i;
+            best := ratio
+          end
+        end
+      done;
+      if !row < 0 then `Unbounded
+      else begin
+        let r = !row in
+        let piv = t.(r).(e) in
+        for j = 0 to ncols do
+          t.(r).(j) <- Q.div t.(r).(j) piv
+        done;
+        for i = 0 to m - 1 do
+          if i <> r then begin
+            let f = t.(i).(e) in
+            if not (Q.is_zero f) then
+              for j = 0 to ncols do
+                t.(i).(j) <- Q.sub t.(i).(j) (Q.mul f t.(r).(j))
+              done
+          end
+        done;
+        basis.(r) <- e;
+        iterate ()
+      end
+    end
+  in
+  iterate ()
+
+let lp (p : problem) =
+  let n = p.nvars in
+  let cons = Array.of_list p.constraints in
+  let m = Array.length cons in
+  (* normalise rows to rhs >= 0 and count the extra columns *)
+  let rows =
+    Array.map
+      (fun c ->
+        let dense = Array.make n Q.zero in
+        List.iter
+          (fun (v, q) ->
+            if v < 0 || v >= n then invalid_arg "Solver.lp: variable out of range";
+            dense.(v) <- Q.add dense.(v) q)
+          c.coeffs;
+        if Q.sign c.rhs < 0 then begin
+          let flipped =
+            match c.rel with Le -> Ge | Ge -> Le | Eq -> Eq
+          in
+          (Array.map Q.neg dense, flipped, Q.neg c.rhs)
+        end
+        else (dense, c.rel, c.rhs))
+      cons
+  in
+  let nslack =
+    Array.fold_left
+      (fun k (_, rel, _) -> match rel with Le | Ge -> k + 1 | Eq -> k)
+      0 rows
+  in
+  let nart =
+    Array.fold_left
+      (fun k (_, rel, _) -> match rel with Ge | Eq -> k + 1 | Le -> k)
+      0 rows
+  in
+  let ncols = n + nslack + nart in
+  let width = ncols + 1 in
+  let t = Array.make_matrix m width Q.zero in
+  let basis = Array.make m 0 in
+  let art_start = n + nslack in
+  let sl = ref 0 and ar = ref 0 in
+  Array.iteri
+    (fun i (dense, rel, rhs) ->
+      Array.blit dense 0 t.(i) 0 n;
+      t.(i).(ncols) <- rhs;
+      (match rel with
+      | Le ->
+          t.(i).(n + !sl) <- Q.one;
+          basis.(i) <- n + !sl;
+          incr sl
+      | Ge ->
+          t.(i).(n + !sl) <- Q.neg Q.one;
+          incr sl;
+          t.(i).(art_start + !ar) <- Q.one;
+          basis.(i) <- art_start + !ar;
+          incr ar
+      | Eq ->
+          t.(i).(art_start + !ar) <- Q.one;
+          basis.(i) <- art_start + !ar;
+          incr ar))
+    rows;
+  let is_artificial j = j >= art_start in
+  (* phase 1: maximize -(sum of artificials) *)
+  (if nart > 0 then begin
+     let c1 = Array.make ncols Q.zero in
+     for j = art_start to ncols - 1 do
+       c1.(j) <- Q.neg Q.one
+     done;
+     match simplex t basis c1 ~eligible:(fun _ -> true) with
+     | `Unbounded -> assert false (* phase-1 objective is bounded by 0 *)
+     | `Optimal -> ()
+   end);
+  let art_sum =
+    let s = ref Q.zero in
+    for i = 0 to m - 1 do
+      if is_artificial basis.(i) then s := Q.add !s t.(i).(ncols)
+    done;
+    !s
+  in
+  if nart > 0 && Q.sign art_sum <> 0 then Infeasible
+  else begin
+    (* drive any zero-valued artificial out of the basis if possible *)
+    for i = 0 to m - 1 do
+      if is_artificial basis.(i) then begin
+        let j = ref 0 and found = ref (-1) in
+        while !found < 0 && !j < art_start do
+          if not (Q.is_zero t.(i).(!j)) then found := !j;
+          incr j
+        done;
+        match !found with
+        | -1 -> () (* redundant row; harmless to keep, stays at zero *)
+        | e ->
+            let piv = t.(i).(e) in
+            for jj = 0 to ncols do
+              t.(i).(jj) <- Q.div t.(i).(jj) piv
+            done;
+            for ii = 0 to m - 1 do
+              if ii <> i then begin
+                let f = t.(ii).(e) in
+                if not (Q.is_zero f) then
+                  for jj = 0 to ncols do
+                    t.(ii).(jj) <- Q.sub t.(ii).(jj) (Q.mul f t.(i).(jj))
+                  done
+              end
+            done;
+            basis.(i) <- e
+      end
+    done;
+    (* phase 2 *)
+    let c2 = Array.make ncols Q.zero in
+    Array.blit p.objective 0 c2 0 n;
+    match
+      simplex t basis c2 ~eligible:(fun j -> not (is_artificial j))
+    with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+        let solution = Array.make n Q.zero in
+        for i = 0 to m - 1 do
+          if basis.(i) < n then solution.(basis.(i)) <- t.(i).(ncols)
+        done;
+        let value = ref Q.zero in
+        for v = 0 to n - 1 do
+          value := Q.add !value (Q.mul p.objective.(v) solution.(v))
+        done;
+        Optimal { value = !value; solution }
+  end
+
+(* -- branch and bound --------------------------------------------------- *)
+
+type ilp_result =
+  | Ilp_optimal of { value : Q.t; solution : Q.t array }
+  | Ilp_truncated of { upper : Q.t; incumbent : (Q.t * Q.t array) option }
+  | Ilp_infeasible
+  | Ilp_unbounded
+
+let first_fractional sol =
+  let n = Array.length sol in
+  let rec go i =
+    if i >= n then None
+    else if Q.is_integer sol.(i) then go (i + 1)
+    else Some i
+  in
+  go 0
+
+let ilp ?(max_nodes = 10_000) (p : problem) =
+  match lp p with
+  | Unbounded -> Ilp_unbounded
+  | Infeasible -> Ilp_infeasible
+  | Optimal { value = root_value; solution = root_sol } -> (
+      let incumbent = ref None in
+      let better v =
+        match !incumbent with
+        | None -> true
+        | Some (bv, _) -> Q.compare v bv > 0
+      in
+      let nodes = ref 1 in
+      let exhausted = ref false in
+      (* DFS over extra bound constraints *)
+      let rec visit extra value sol =
+        match first_fractional sol with
+        | None -> if better value then incumbent := Some (value, sol)
+        | Some v ->
+            let lo = Q.floor sol.(v) and hi = Q.ceil sol.(v) in
+            let branch c =
+              if !exhausted then ()
+              else if !nodes >= max_nodes then exhausted := true
+              else begin
+                incr nodes;
+                let p' = { p with constraints = c :: extra @ p.constraints } in
+                match lp p' with
+                | Infeasible -> ()
+                | Unbounded ->
+                    (* cannot happen: the parent relaxation was bounded and
+                       children are subsets; treat defensively as a prune *)
+                    ()
+                | Optimal { value = v'; solution = s' } ->
+                    if better v' then visit (c :: extra) v' s'
+              end
+            in
+            branch
+              { coeffs = [ (v, Q.one) ]; rel = Le; rhs = { Q.num = lo; den = Bigint.one } };
+            branch
+              { coeffs = [ (v, Q.one) ]; rel = Ge; rhs = { Q.num = hi; den = Bigint.one } }
+      in
+      visit [] root_value root_sol;
+      if !exhausted then Ilp_truncated { upper = root_value; incumbent = !incumbent }
+      else
+        match !incumbent with
+        | Some (value, solution) -> Ilp_optimal { value; solution }
+        | None -> Ilp_infeasible)

@@ -1,0 +1,43 @@
+(** Exact linear and integer-linear programming over {!Q}.
+
+    All variables are implicitly non-negative; constraints are sparse
+    rows compared against a right-hand side.  The LP core is a dense
+    two-phase primal simplex with Bland's rule, so it terminates on every
+    input and reports infeasibility and unboundedness structurally —
+    never by exception.  The ILP layer is branch-and-bound on the first
+    fractional variable, maximization only (which is all IPET needs). *)
+
+type relation = Le | Ge | Eq
+
+type constr = {
+  coeffs : (int * Q.t) list;  (** (variable, coefficient); variables absent are 0 *)
+  rel : relation;
+  rhs : Q.t;
+}
+
+type problem = {
+  nvars : int;
+  objective : Q.t array;  (** length [nvars]; maximized *)
+  constraints : constr list;
+}
+
+type lp_result =
+  | Optimal of { value : Q.t; solution : Q.t array }
+  | Infeasible
+  | Unbounded
+
+val lp : problem -> lp_result
+(** Maximize over the continuous relaxation (x >= 0). *)
+
+type ilp_result =
+  | Ilp_optimal of { value : Q.t; solution : Q.t array }
+      (** proven integral optimum *)
+  | Ilp_truncated of { upper : Q.t; incumbent : (Q.t * Q.t array) option }
+      (** node budget exhausted: [upper] is the root relaxation value (a
+          proven upper bound on the integral optimum); [incumbent] the
+          best integral solution found, if any *)
+  | Ilp_infeasible
+  | Ilp_unbounded  (** the continuous relaxation is unbounded above *)
+
+val ilp : ?max_nodes:int -> problem -> ilp_result
+(** Branch and bound; [max_nodes] (default 10000) LP solves. *)

@@ -13,6 +13,15 @@
     stream.  [test/test_engine_diff.ml] and [test/test_insn_gen.ml]
     enforce this differentially. *)
 
+val insn_cycles : Alpha.Insn.t -> int
+(** Weighted cycles one instruction contributes to {!State.stats}
+    [st_cycles], exactly as both engines charge it (loads/stores 2,
+    [lda]/[ldah] 1, multiplies 8, [divt] 30, other float ops 4 except
+    sign-copies at 1, branches and jumps 1, the [callsys] PALcall 10,
+    faulting instructions 0).  This is the machine's cycle model; the
+    WCET layer uses it as the per-block cost function so that static
+    bounds and measured [st_cycles] are in the same unit. *)
+
 val translate : State.t -> State.fast_seg list
 (** Compile every code segment of the machine to closure arrays.  Exposed
     for tests; {!run} translates (and caches on the state) on first use. *)

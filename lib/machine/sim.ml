@@ -45,10 +45,13 @@ let default_brk_span = 1 lsl 30 (* brk may roam 1 GiB above the break *)
 
 (* The one fuel default, shared by every run path (Sim.run, the fast
    engine via it, Workloads.run_exe, the serving daemon's per-request
-   ceiling): 500M instructions.  Having a single threaded constant means
+   ceiling): 1G instructions.  Having a single threaded constant means
    a program can never report Fuel_exhausted through one path while
-   completing through another. *)
-let default_max_insns = 500_000_000
+   completing through another.  Sized so the heaviest legitimate run we
+   ship — a trace-instrumented workload at ~17x its base instruction
+   count, 564M today — clears it with headroom. *)
+let default_max_insns = 1_000_000_000
+let insn_cycles = Exec.insn_cycles
 
 (* An executable prepared for execution: decoded code segments, dual-issue
    pair tables and the protection region list, none of which depend on a

@@ -127,8 +127,14 @@ val load :
     raise {!Fault.Unaligned}.  [protect:false] restores the permissive
     allocate-on-touch memory, which raw instruction-level tests use. *)
 
+val insn_cycles : Alpha.Insn.t -> int
+(** The machine's per-instruction cycle model — what one retired
+    instruction adds to [st_cycles] on either engine (see
+    {!Exec.insn_cycles}).  The WCET layer sums this over basic blocks so
+    static bounds and measured cycles share a unit. *)
+
 val default_max_insns : int
-(** The one fuel default — 500 million instructions — used by {!run},
+(** The one fuel default — one billion instructions — used by {!run},
     {!Workloads.run_exe} and the serving daemon's per-request ceiling
     alike, so the same program can never exhaust its fuel through one
     path while completing through another. *)

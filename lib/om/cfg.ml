@@ -1,0 +1,272 @@
+open Alpha
+
+type edge_kind = Taken | Fallthrough
+
+type edge = {
+  e_id : int;
+  e_src : int;
+  e_dst : int;
+  e_kind : edge_kind;
+  e_probe : bool;
+}
+
+type loop = {
+  l_header : int;
+  l_body : int list;
+  l_back : int list;
+  l_entries : int list;
+}
+
+type t = {
+  ir : Ir.program;
+  nblocks : int;
+  blocks : Ir.block array;
+  block_proc : int array;
+  proc_first : int array;
+  edges : edge array;
+  succs : int list array;
+  preds : int list array;
+  loops : loop array;
+  retreating : int list;
+}
+
+(* -- small bitsets over block indices ---------------------------------- *)
+
+let bits_make n = Array.make ((n + 62) / 63) 0
+let bits_mem s i = s.(i / 63) land (1 lsl (i mod 63)) <> 0
+let bits_add s i = s.(i / 63) <- s.(i / 63) lor (1 lsl (i mod 63))
+let bits_fill s = Array.fill s 0 (Array.length s) (-1)
+let bits_copy s = Array.copy s
+
+let bits_inter_into dst src =
+  let changed = ref false in
+  for w = 0 to Array.length dst - 1 do
+    let v = dst.(w) land src.(w) in
+    if v <> dst.(w) then begin
+      dst.(w) <- v;
+      changed := true
+    end
+  done;
+  !changed
+
+let build (ir : Ir.program) =
+  let nprocs = Array.length ir.Ir.procs in
+  let nblocks =
+    Array.fold_left (fun n p -> n + Array.length p.Ir.p_blocks) 0 ir.Ir.procs
+  in
+  let blocks = Array.make nblocks Ir.{ b_addr = 0; b_insts = [||]; b_succs = [] } in
+  let block_proc = Array.make nblocks 0 in
+  let proc_first = Array.make (nprocs + 1) 0 in
+  let addr_gid = Hashtbl.create (2 * nblocks) in
+  let g = ref 0 in
+  Array.iteri
+    (fun pi p ->
+      proc_first.(pi) <- !g;
+      Array.iter
+        (fun b ->
+          blocks.(!g) <- b;
+          block_proc.(!g) <- pi;
+          Hashtbl.replace addr_gid b.Ir.b_addr !g;
+          incr g)
+        p.Ir.p_blocks)
+    ir.Ir.procs;
+  proc_first.(nprocs) <- nblocks;
+  (* Edges, mirroring [Build]'s successor construction: the taken target
+     of the last instruction (when it is a non-call PC-relative branch
+     into the same procedure) and the fall-through (when the last
+     instruction falls through, or is a call that returns).  Recomputing
+     from the instruction instead of classifying [b_succs] keeps the
+     taken/fall distinction even when a branch targets its own
+     fall-through address. *)
+  let edges = ref [] in
+  let nedges = ref 0 in
+  let succs = Array.make nblocks [] in
+  let preds = Array.make nblocks [] in
+  let add_edge src dst kind probe =
+    let e = { e_id = !nedges; e_src = src; e_dst = dst; e_kind = kind; e_probe = probe } in
+    incr nedges;
+    edges := e :: !edges;
+    succs.(src) <- e.e_id :: succs.(src);
+    preds.(dst) <- e.e_id :: preds.(dst)
+  in
+  for gid = 0 to nblocks - 1 do
+    let b = blocks.(gid) in
+    let last = b.Ir.b_insts.(Array.length b.Ir.b_insts - 1) in
+    let li = last.Ir.i_insn in
+    let same_proc a =
+      match Hashtbl.find_opt addr_gid a with
+      | Some d when block_proc.(d) = block_proc.(gid) -> Some d
+      | Some _ | None -> None
+    in
+    (match Insn.branch_target ~pc:last.Ir.i_pc li with
+    | Some t when not (Insn.is_call li) -> (
+        match same_proc t with
+        | Some dst -> add_edge gid dst Taken true
+        | None -> ())
+    | Some _ | None -> ());
+    if Insn.falls_through li || Insn.is_call li then
+      match same_proc (last.Ir.i_pc + 4) with
+      | Some dst -> add_edge gid dst Fallthrough (Insn.falls_through li)
+      | None -> ()
+  done;
+  let edges =
+    let a = Array.of_list (List.rev !edges) in
+    Array.iteri (fun i e -> assert (e.e_id = i)) a;
+    a
+  in
+  for i = 0 to nblocks - 1 do
+    succs.(i) <- List.rev succs.(i);
+    preds.(i) <- List.rev preds.(i)
+  done;
+  (* -- per-procedure loop structure ------------------------------------ *)
+  let loops = ref [] in
+  let back_edge = Array.make (Array.length edges) false in
+  let retreating = ref [] in
+  for pi = 0 to nprocs - 1 do
+    let lo = proc_first.(pi) and hi = proc_first.(pi + 1) in
+    let n = hi - lo in
+    if n > 0 then begin
+      (* reachability from the procedure entry over intra-proc edges *)
+      let reach = Array.make n false in
+      let stack = ref [ 0 ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | u :: rest ->
+            stack := rest;
+            if not reach.(u) then begin
+              reach.(u) <- true;
+              List.iter
+                (fun eid -> stack := (edges.(eid).e_dst - lo) :: !stack)
+                succs.(u + lo)
+            end
+      done;
+      (* iterative dominators over the reachable subgraph *)
+      let dom = Array.init n (fun _ -> bits_make n) in
+      for i = 0 to n - 1 do
+        if i = 0 then bits_add dom.(0) 0 else bits_fill dom.(i)
+      done;
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        for i = 1 to n - 1 do
+          if reach.(i) then begin
+            let acc = ref None in
+            List.iter
+              (fun eid ->
+                let p = edges.(eid).e_src - lo in
+                if reach.(p) then
+                  match !acc with
+                  | None -> acc := Some (bits_copy dom.(p))
+                  | Some a -> ignore (bits_inter_into a dom.(p)))
+              preds.(i + lo);
+            match !acc with
+            | None -> ()
+            | Some a ->
+                bits_add a i;
+                if a <> dom.(i) then begin
+                  Array.blit a 0 dom.(i) 0 (Array.length a);
+                  changed := true
+                end
+          end
+        done
+      done;
+      (* natural back edges and loops, merged per header *)
+      let by_header = Hashtbl.create 7 in
+      Array.iter
+        (fun e ->
+          if block_proc.(e.e_src) = pi then begin
+            let u = e.e_src - lo and h = e.e_dst - lo in
+            if reach.(u) && reach.(h) && bits_mem dom.(u) h then begin
+              back_edge.(e.e_id) <- true;
+              let prev = try Hashtbl.find by_header h with Not_found -> [] in
+              Hashtbl.replace by_header h (e.e_id :: prev)
+            end
+          end)
+        edges;
+      Hashtbl.iter
+        (fun h backs ->
+          let in_body = Array.make n false in
+          in_body.(h) <- true;
+          let work = ref (List.map (fun eid -> edges.(eid).e_src - lo) backs) in
+          while !work <> [] do
+            match !work with
+            | [] -> ()
+            | u :: rest ->
+                work := rest;
+                if not in_body.(u) then begin
+                  in_body.(u) <- true;
+                  List.iter
+                    (fun eid -> work := (edges.(eid).e_src - lo) :: !work)
+                    preds.(u + lo)
+                end
+          done;
+          let body = ref [] in
+          for i = n - 1 downto 0 do
+            if in_body.(i) then body := (i + lo) :: !body
+          done;
+          let entries =
+            List.filter
+              (fun eid -> not in_body.(edges.(eid).e_src - lo))
+              preds.(h + lo)
+          in
+          loops :=
+            {
+              l_header = h + lo;
+              l_body = !body;
+              l_back = List.sort compare backs;
+              l_entries = entries;
+            }
+            :: !loops)
+        by_header;
+      (* DFS spanning forest: ancestor edges that are not natural back
+         edges.  Roots: the procedure entry, then any block left
+         unvisited (unreachable-from-entry code still gets covered). *)
+      let color = Array.make n 0 (* 0 white, 1 grey, 2 black *) in
+      let rec dfs u =
+        color.(u) <- 1;
+        List.iter
+          (fun eid ->
+            let v = edges.(eid).e_dst - lo in
+            if color.(v) = 1 then begin
+              if not back_edge.(eid) then retreating := eid :: !retreating
+            end
+            else if color.(v) = 0 then dfs v)
+          succs.(u + lo);
+        color.(u) <- 2
+      in
+      for i = 0 to n - 1 do
+        if color.(i) = 0 then dfs i
+      done
+    end
+  done;
+  let loops =
+    Array.of_list
+      (List.sort (fun a b -> compare a.l_header b.l_header) !loops)
+  in
+  {
+    ir;
+    nblocks;
+    blocks;
+    block_proc;
+    proc_first;
+    edges;
+    succs;
+    preds;
+    loops;
+    retreating = List.sort compare !retreating;
+  }
+
+let block_costs t ~model =
+  Array.map
+    (fun b ->
+      Array.fold_left (fun c i -> c + model i.Ir.i_insn) 0 b.Ir.b_insts)
+    t.blocks
+
+let gid_of_addr t addr =
+  let rec find i =
+    if i >= t.nblocks then None
+    else if t.blocks.(i).Ir.b_addr = addr then Some i
+    else find (i + 1)
+  in
+  find 0

@@ -1,0 +1,63 @@
+(** A whole-program control-flow-graph view over {!Ir.program}, shared by
+    the [trace] flow-fact tool and the WCET/IPET layer.
+
+    Blocks get dense {e global ids} (procedure order, then block order
+    within the procedure — the same order {!Build.program} produced them),
+    and every intra-procedure successor relation is materialised as an
+    explicit edge with a kind and a {e probeability} flag.  Both sides of
+    the WCET pipeline rebuild this structure independently from the same
+    executable, so slot [i] in a recorded flow-fact artifact and variable
+    [i] in the IPET program denote the same block/edge/loop by
+    construction. *)
+
+type edge_kind =
+  | Taken  (** the PC-relative branch target of the block's last insn *)
+  | Fallthrough  (** execution continuing at the next address *)
+
+type edge = {
+  e_id : int;
+  e_src : int;  (** global block id *)
+  e_dst : int;  (** global block id, same procedure as [e_src] *)
+  e_kind : edge_kind;
+  e_probe : bool;
+      (** whether {!Atom}'s [add_call_edge] can instrument this edge.
+          False exactly for the fall-through of a call ([bsr]/[jsr]): the
+          callee intervenes, so there is no instrumentation point on the
+          edge itself.  Unprobeable edges still carry ILP flow variables;
+          they just contribute no measured count. *)
+}
+
+type loop = {
+  l_header : int;  (** global block id; loops sharing a header are merged *)
+  l_body : int list;  (** sorted global block ids, header included *)
+  l_back : int list;  (** edge ids [u -> header] with the header dominating [u] *)
+  l_entries : int list;  (** edge ids entering the header from outside the body *)
+}
+
+type t = {
+  ir : Ir.program;
+  nblocks : int;
+  blocks : Ir.block array;  (** indexed by global id *)
+  block_proc : int array;  (** global id -> procedure index *)
+  proc_first : int array;  (** procedure index -> first global id; length nprocs+1, sentinel [nblocks] *)
+  edges : edge array;  (** deterministic order: per block, taken before fall-through *)
+  succs : int list array;  (** global id -> outgoing edge ids *)
+  preds : int list array;  (** global id -> incoming edge ids *)
+  loops : loop array;  (** natural loops of reachable code, merged per header *)
+  retreating : int list;
+      (** edge ids that are DFS-ancestor edges (over a spanning forest
+          rooted at each procedure entry, then at any unvisited block) but
+          are {e not} natural back edges of any loop.  Every cycle in the
+          graph contains a natural back edge or a retreating edge, so
+          bounding these two families bounds all circulation. *)
+}
+
+val build : Ir.program -> t
+
+val block_costs : t -> model:(Alpha.Insn.t -> int) -> int array
+(** Per-block cost: the sum of [model] over the block's instructions.
+    With the machine's cycle model this is the block's cycle weight. *)
+
+val gid_of_addr : t -> int -> int option
+(** Global id of the block whose first instruction sits at the given
+    original address. *)

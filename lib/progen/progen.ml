@@ -1099,6 +1099,26 @@ let size t = t.t_prog.p_size
 let source t = t.t_source
 let expected_stdout t = t.t_expect
 let node_count t = prog_nodes t.t_prog
+let func_names t = List.map (fun f -> f.fn_name) t.t_prog.p_funcs
+
+let max_loop_count t =
+  (* every loop the renderer emits has a constant trip count in the IR:
+     Sfor/Swhile carry [count], a walk renders a pool-init loop and a
+     chase loop, a list sum renders a cons loop and a walk of the same
+     length *)
+  let rec stmt acc = function
+    | Sfor { count; body; _ } | Swhile { count; body; _ } ->
+        List.fold_left stmt (max acc count) body
+    | Sif (_, a, b) -> List.fold_left stmt (List.fold_left stmt acc a) b
+    | Swalk w -> max acc (max w.wk_pool w.wk_steps)
+    | Slist l -> max acc l.ls_len
+    | Sset _ | Sop _ | Schk _ | Sbreak_if _ | Scont_if _ | Sprint _ -> acc
+  in
+  let block acc b = List.fold_left stmt acc b in
+  List.fold_left
+    (fun acc f -> block acc f.fn_body)
+    (block 0 t.t_prog.p_main)
+    t.t_prog.p_funcs
 
 let repro_hint t =
   Printf.sprintf "dune exec bench/main.exe -- soak --seed %d --count 1 --size %d"

@@ -54,6 +54,19 @@ val node_count : t -> int
 (** The program's IR weight (statements, expressions and loop trip
     counts) — the measure {!shrink} strictly decreases. *)
 
+val func_names : t -> string list
+(** Names of the generated helper functions, in declaration order —
+    these plus ["main"] are the program's own procedures, as opposed to
+    the runtime library's. *)
+
+val max_loop_count : t -> int
+(** The largest constant trip count of any loop in the program's IR
+    ([0] when it has none).  Every loop the renderer emits is bounded
+    by a constant from the IR, so no single entry of a generated loop
+    can iterate more than this many times — the oracle-side ground
+    truth that the [trace] tool's recorded per-entry loop maxima are
+    checked against. *)
+
 val shrink : t -> (t -> bool) -> t
 (** [shrink p still_fails] greedily minimises a failing program: it
     tries removing statements, unwrapping loop/if bodies, halving trip

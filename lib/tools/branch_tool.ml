@@ -6,21 +6,17 @@ let instrument api =
   add_call_proto api "BrInit(int)";
   add_call_proto api "BrPredict(int, long, VALUE)";
   add_call_proto api "BrReport()";
-  let n = ref 0 in
-  List.iter
-    (fun p ->
+  Tool.counter_tool api ~init:"BrInit" ~report:"BrReport" (fun ~next ->
       List.iter
-        (fun b ->
-          let inst = get_last_inst b in
-          if is_inst_type inst Inst_cond_branch then begin
-            add_call_inst api inst Before "BrPredict"
-              [ Int !n; Inst_pc inst; Br_cond_value ];
-            incr n
-          end)
-        (blocks p))
-    (procs api);
-  add_call_program api Program_before "BrInit" [ Int !n ];
-  add_call_program api Program_after "BrReport" []
+        (fun p ->
+          List.iter
+            (fun b ->
+              let inst = get_last_inst b in
+              if is_inst_type inst Inst_cond_branch then
+                add_call_inst api inst Before "BrPredict"
+                  [ Int (next ()); Inst_pc inst; Br_cond_value ])
+            (blocks p))
+        (procs api))
 
 let analysis =
   {|

@@ -5,18 +5,15 @@ let instrument api =
   add_call_proto api "DynInit(int)";
   add_call_proto api "DynBlock(int, int, long)";
   add_call_proto api "DynReport()";
-  let n = ref 0 in
-  List.iter
-    (fun p ->
+  Tool.counter_tool api ~init:"DynInit" ~report:"DynReport" (fun ~next ->
       List.iter
-        (fun b ->
-          add_call_block api b Before "DynBlock"
-            [ Int !n; Int (block_ninsts b); Block_pc b ];
-          incr n)
-        (blocks p))
-    (procs api);
-  add_call_program api Program_before "DynInit" [ Int !n ];
-  add_call_program api Program_after "DynReport" []
+        (fun p ->
+          List.iter
+            (fun b ->
+              add_call_block api b Before "DynBlock"
+                [ Int (next ()); Int (block_ninsts b); Block_pc b ])
+            (blocks p))
+        (procs api))
 
 let analysis =
   {|

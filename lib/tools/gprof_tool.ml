@@ -8,19 +8,18 @@ let instrument api =
   add_call_proto api "GpBlock(int, int)";
   add_call_proto api "GpName(int, char *)";
   add_call_proto api "GpReport()";
-  let pid = ref 0 in
-  List.iter
-    (fun p ->
-      add_call_proc api p Before "GpEnter" [ Int !pid ];
+  Tool.counter_tool api ~init:"GpInit" ~report:"GpReport" (fun ~next ->
       List.iter
-        (fun b ->
-          add_call_block api b Before "GpBlock" [ Int !pid; Int (block_ninsts b) ])
-        (blocks p);
-      add_call_program api Program_after "GpName" [ Int !pid; Str (proc_name p) ];
-      incr pid)
-    (procs api);
-  add_call_program api Program_before "GpInit" [ Int !pid ];
-  add_call_program api Program_after "GpReport" []
+        (fun p ->
+          let pid = next () in
+          add_call_proc api p Before "GpEnter" [ Int pid ];
+          List.iter
+            (fun b ->
+              add_call_block api b Before "GpBlock"
+                [ Int pid; Int (block_ninsts b) ])
+            (blocks p);
+          add_call_program api Program_after "GpName" [ Int pid; Str (proc_name p) ])
+        (procs api))
 
 let analysis =
   {|

@@ -6,18 +6,17 @@ let instrument api =
   add_call_proto api "ProfBlock(int, int)";
   add_call_proto api "ProfName(int, char *)";
   add_call_proto api "ProfReport()";
-  let pid = ref 0 in
-  List.iter
-    (fun p ->
+  Tool.counter_tool api ~init:"ProfInit" ~report:"ProfReport" (fun ~next ->
       List.iter
-        (fun b ->
-          add_call_block api b Before "ProfBlock" [ Int !pid; Int (block_ninsts b) ])
-        (blocks p);
-      add_call_program api Program_after "ProfName" [ Int !pid; Str (proc_name p) ];
-      incr pid)
-    (procs api);
-  add_call_program api Program_before "ProfInit" [ Int !pid ];
-  add_call_program api Program_after "ProfReport" []
+        (fun p ->
+          let pid = next () in
+          List.iter
+            (fun b ->
+              add_call_block api b Before "ProfBlock"
+                [ Int pid; Int (block_ninsts b) ])
+            (blocks p);
+          add_call_program api Program_after "ProfName" [ Int pid; Str (proc_name p) ])
+        (procs api))
 
 let analysis =
   {|

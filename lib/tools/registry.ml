@@ -10,6 +10,7 @@ let all =
     Pipe_tool.tool;
     Prof_tool.tool;
     Syscall_tool.tool;
+    Trace_tool.tool;
     Unalign_tool.tool;
   ]
 

@@ -1,8 +1,11 @@
-(** The eleven tools of the paper's evaluation (Figures 5 and 6). *)
+(** The eleven tools of the paper's evaluation (Figures 5 and 6), plus
+    our [trace] flow-fact recorder — twelve in all. *)
 
 val all : Tool.t list
 (** In the paper's order: branch, cache, dyninst, gprof, inline, io,
-    malloc, pipe, prof, syscall, unalign. *)
+    malloc, pipe, prof, syscall, trace, unalign.  [trace] is not a paper
+    tool (its Figure 5/6 numbers are zero); it records the flow facts
+    the WCET layer consumes. *)
 
 val find : string -> Tool.t option
 val names : string list

@@ -12,3 +12,14 @@ type t = {
 let apply ?options ?pipeline tool exe =
   Atom.Instrument.instrument_source ?options ?pipeline ~exe
     ~tool:tool.instrument ~analysis_src:tool.analysis ()
+
+let counter_tool api ~init ~report walk =
+  let n = ref 0 in
+  let next () =
+    let id = !n in
+    incr n;
+    id
+  in
+  walk ~next;
+  Atom.Api.add_call_program api Atom.Api.Program_before init [ Atom.Api.Int !n ];
+  Atom.Api.add_call_program api Atom.Api.Program_after report []

@@ -23,3 +23,18 @@ val apply :
 (** Instrument an executable with the tool.  [pipeline] selects the fast
     (cached, default) or reference (pre-overhaul baseline) engine; both
     produce byte-identical output. *)
+
+val counter_tool :
+  Atom.Api.t ->
+  init:string ->
+  report:string ->
+  (next:(unit -> int) -> unit) ->
+  unit
+(** The counter-array idiom shared by the counting tools (prof, gprof,
+    branch, dyninst, trace): the walk assigns dense slot ids with [next]
+    while adding its per-site calls, then [init] is called at program
+    start with the final slot count (so the analysis code can size its
+    arrays) and [report] at program end.  Registration order — walk
+    calls first, then init, then report — is part of the tools'
+    byte-identity contract; [Api.action] ranks reorder the init/report
+    calls to the right execution slots. *)

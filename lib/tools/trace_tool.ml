@@ -1,0 +1,173 @@
+(* trace: record flow facts for worst-case path analysis — per-block and
+   per-edge execution counts plus observed per-entry loop iteration
+   maxima, written as a PML-like sexp artifact (trace.out).
+
+   Slot assignment must match what lib/wcet reconstructs from the same
+   executable: Om.Cfg.build assigns global block ids in procedure/block
+   order and edge ids in block order (taken before fall-through), and
+   both sides derive them independently from the identical IR.  Blocks
+   occupy count slots [0, nb), edges [nb, nb+ne); loops get their own
+   current/max streak arrays indexed by Cfg loop order.
+
+   Loop bounds are measured as iteration streaks: the header's Before
+   probe increments the loop's current streak, and every probeable
+   loop-entry edge flushes current into max and resets it.  Unprobeable
+   entries (a call falling through into a header) merely merge adjacent
+   streaks, which can only enlarge the recorded maximum — the WCET side's
+   loop constraints stay sound.
+
+   The report is deliberately NOT a ProgramAfter hook.  ProgramAfter
+   fires at the entry of exit(), leaving everything exit() runs
+   afterwards (buffer flushes, the __sys_exit stub) invisible to probes
+   that already wrote their artifact.  Instead the report rides as an
+   ordinary Before probe on __sys_exit's entry block — the last block
+   any clean run executes — inserted after that block's own counter so
+   the written facts cover every retired block except the final ret
+   that the terminating callsys leaves behind.  lib/wcet's termination
+   discount accounts for exactly that suffix. *)
+
+let instrument api =
+  let open Atom.Api in
+  add_call_proto api "TrCfg(int, int, int)";
+  add_call_proto api "TrInit(int)";
+  add_call_proto api "TrCount(int)";
+  add_call_proto api "TrIter(int)";
+  add_call_proto api "TrEnter(int)";
+  add_call_proto api "TrReport()";
+  let cfg = Om.Cfg.build (ir api) in
+  let blocks_by_gid = Array.make cfg.Om.Cfg.nblocks None in
+  let g = ref 0 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun b ->
+          blocks_by_gid.(!g) <- Some b;
+          incr g)
+        (blocks p))
+    (procs api);
+  assert (!g = cfg.Om.Cfg.nblocks);
+  let block gid =
+    match blocks_by_gid.(gid) with
+    | Some b -> b
+    | None -> assert false
+  in
+  let nb = cfg.Om.Cfg.nblocks in
+  let ne = Array.length cfg.Om.Cfg.edges in
+  let nl = Array.length cfg.Om.Cfg.loops in
+  add_call_program api Program_before "TrCfg" [ Int nb; Int ne; Int nl ];
+  let nslots = ref 0 in
+  let next () =
+    let id = !nslots in
+    incr nslots;
+    id
+  in
+  for gid = 0 to nb - 1 do
+    add_call_block api (block gid) Before "TrCount" [ Int (next ()) ]
+  done;
+  Array.iter
+    (fun e ->
+      let slot = next () in
+      if e.Om.Cfg.e_probe then begin
+        let kind =
+          match e.Om.Cfg.e_kind with
+          | Om.Cfg.Taken -> Taken
+          | Om.Cfg.Fallthrough -> Fallthrough
+        in
+        add_call_edge api (block e.Om.Cfg.e_src) kind "TrCount" [ Int slot ]
+      end)
+    cfg.Om.Cfg.edges;
+  Array.iteri
+    (fun li l ->
+      add_call_block api (block l.Om.Cfg.l_header) Before "TrIter" [ Int li ];
+      List.iter
+        (fun eid ->
+          let e = cfg.Om.Cfg.edges.(eid) in
+          if e.Om.Cfg.e_probe then begin
+            let kind =
+              match e.Om.Cfg.e_kind with
+              | Om.Cfg.Taken -> Taken
+              | Om.Cfg.Fallthrough -> Fallthrough
+            in
+            add_call_edge api (block e.Om.Cfg.e_src) kind "TrEnter" [ Int li ]
+          end)
+        l.Om.Cfg.l_entries)
+    cfg.Om.Cfg.loops;
+  add_call_program api Program_before "TrInit" [ Int !nslots ];
+  (* report on __sys_exit's entry block, after its own TrCount (same
+     site, same rank, later insertion); fall back to ProgramAfter for
+     executables without the runtime's stub *)
+  let sys_exit_entry =
+    List.find_map
+      (fun p ->
+        if proc_name p = "__sys_exit" then
+          match blocks p with b :: _ -> Some b | [] -> None
+        else None)
+      (procs api)
+  in
+  match sys_exit_entry with
+  | Some b -> add_call_block api b Before "TrReport" []
+  | None -> add_call_program api Program_after "TrReport" []
+
+let analysis =
+  {|
+long *__tr_counts;
+long *__tr_cur;
+long *__tr_max;
+long __tr_nb;
+long __tr_ne;
+long __tr_nl;
+
+void TrCfg(long nb, long ne, long nl) {
+  __tr_nb = nb;
+  __tr_ne = ne;
+  __tr_nl = nl;
+}
+
+void TrInit(long n) {
+  __tr_counts = (long *) calloc(n + 1, sizeof(long));
+  __tr_cur = (long *) calloc(__tr_nl + 1, sizeof(long));
+  __tr_max = (long *) calloc(__tr_nl + 1, sizeof(long));
+}
+
+void TrCount(long slot) { __tr_counts[slot]++; }
+
+void TrIter(long loop) { __tr_cur[loop]++; }
+
+void TrEnter(long loop) {
+  if (__tr_cur[loop] > __tr_max[loop]) __tr_max[loop] = __tr_cur[loop];
+  __tr_cur[loop] = 0;
+}
+
+void TrReport(void) {
+  void *f = fopen("trace.out", "w");
+  long i;
+  for (i = 0; i < __tr_nl; i++)
+    if (__tr_cur[i] > __tr_max[i]) __tr_max[i] = __tr_cur[i];
+  fprintf(f, "(trace-facts (version 1)\n");
+  fprintf(f, " (slots %d %d %d)\n", __tr_nb, __tr_ne, __tr_nl);
+  for (i = 0; i < __tr_nb; i++)
+    if (__tr_counts[i])
+      fprintf(f, " (block %d %d)\n", i, __tr_counts[i]);
+  for (i = 0; i < __tr_ne; i++)
+    if (__tr_counts[__tr_nb + i])
+      fprintf(f, " (edge %d %d)\n", i, __tr_counts[__tr_nb + i]);
+  for (i = 0; i < __tr_nl; i++)
+    if (__tr_max[i])
+      fprintf(f, " (loop %d %d)\n", i, __tr_max[i]);
+  fprintf(f, ")\n");
+  fclose(f);
+}
+|}
+
+let tool =
+  {
+    Tool.name = "trace";
+    description = "records flow facts for worst-case path bounds";
+    points = "each basic block/each edge";
+    nargs = 1;
+    (* not one of the paper's eleven tools: no Figure 5/6 numbers *)
+    paper_ratio = 0.;
+    paper_avg_instr_secs = 0.;
+    instrument;
+    analysis;
+  }

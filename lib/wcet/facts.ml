@@ -1,0 +1,127 @@
+type t = {
+  nb : int;
+  ne : int;
+  nl : int;
+  block_counts : int array;
+  edge_counts : int array;
+  loop_max : int array;
+}
+
+(* The artifact is a flat sexp; a whitespace/paren tokenizer is all the
+   structure we need. *)
+let parse text =
+  let toks = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      toks := Buffer.contents buf :: !toks;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' | ')' | ' ' | '\t' | '\n' | '\r' -> flush ()
+      | c -> Buffer.add_char buf c)
+    text;
+  flush ();
+  let toks = List.rev !toks in
+  let int_of s =
+    match int_of_string_opt s with
+    | Some i -> i
+    | None -> failwith ("Facts.parse: bad integer " ^ s)
+  in
+  let rec scan_slots = function
+    | "slots" :: nb :: ne :: nl :: rest -> ((int_of nb, int_of ne, int_of nl), rest)
+    | _ :: rest -> scan_slots rest
+    | [] -> failwith "Facts.parse: no (slots ...) entry"
+  in
+  (match toks with
+  | "trace-facts" :: "version" :: "1" :: _ -> ()
+  | _ -> failwith "Facts.parse: not a version-1 trace-facts artifact");
+  let (nb, ne, nl), rest = scan_slots toks in
+  if nb < 0 || ne < 0 || nl < 0 then failwith "Facts.parse: negative slot count";
+  let block_counts = Array.make nb 0 in
+  let edge_counts = Array.make ne 0 in
+  let loop_max = Array.make nl 0 in
+  let set arr n i v =
+    if i < 0 || i >= n then failwith "Facts.parse: slot out of range";
+    arr.(i) <- v
+  in
+  let rec entries = function
+    | "block" :: i :: v :: rest ->
+        set block_counts nb (int_of i) (int_of v);
+        entries rest
+    | "edge" :: i :: v :: rest ->
+        set edge_counts ne (int_of i) (int_of v);
+        entries rest
+    | "loop" :: i :: v :: rest ->
+        set loop_max nl (int_of i) (int_of v);
+        entries rest
+    | _ :: rest -> entries rest
+    | [] -> ()
+  in
+  entries rest;
+  { nb; ne; nl; block_counts; edge_counts; loop_max }
+
+let merge a b =
+  if a.nb <> b.nb || a.ne <> b.ne || a.nl <> b.nl then
+    invalid_arg "Facts.merge: mismatched shapes";
+  {
+    nb = a.nb;
+    ne = a.ne;
+    nl = a.nl;
+    block_counts = Array.map2 ( + ) a.block_counts b.block_counts;
+    edge_counts = Array.map2 ( + ) a.edge_counts b.edge_counts;
+    loop_max = Array.map2 max a.loop_max b.loop_max;
+  }
+
+let to_json ?cfg t =
+  let b = Buffer.create 1024 in
+  let addr_of gid =
+    match cfg with
+    | Some c when gid < c.Om.Cfg.nblocks ->
+        Printf.sprintf ", \"addr\": %d" c.Om.Cfg.blocks.(gid).Om.Ir.b_addr
+    | _ -> ""
+  in
+  let edge_of i =
+    match cfg with
+    | Some c when i < Array.length c.Om.Cfg.edges ->
+        let e = c.Om.Cfg.edges.(i) in
+        Printf.sprintf ", \"src\": %d, \"dst\": %d, \"kind\": \"%s\""
+          e.Om.Cfg.e_src e.Om.Cfg.e_dst
+          (match e.Om.Cfg.e_kind with
+          | Om.Cfg.Taken -> "taken"
+          | Om.Cfg.Fallthrough -> "fallthrough")
+    | _ -> ""
+  in
+  let loop_of i =
+    match cfg with
+    | Some c when i < Array.length c.Om.Cfg.loops ->
+        Printf.sprintf ", \"header\": %d" c.Om.Cfg.loops.(i).Om.Cfg.l_header
+    | _ -> ""
+  in
+  Buffer.add_string b "{\n  \"format\": \"trace-facts\", \"version\": 1,\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"slots\": { \"blocks\": %d, \"edges\": %d, \"loops\": %d },\n"
+       t.nb t.ne t.nl);
+  let section name n get extra =
+    Buffer.add_string b (Printf.sprintf "  \"%s\": [" name);
+    let first = ref true in
+    for i = 0 to n - 1 do
+      if get i <> 0 then begin
+        if not !first then Buffer.add_string b ",";
+        first := false;
+        Buffer.add_string b
+          (Printf.sprintf "\n    { \"id\": %d, \"count\": %d%s }" i (get i) (extra i))
+      end
+    done;
+    Buffer.add_string b "\n  ]"
+  in
+  section "blocks" t.nb (fun i -> t.block_counts.(i)) addr_of;
+  Buffer.add_string b ",\n";
+  section "edges" t.ne (fun i -> t.edge_counts.(i)) edge_of;
+  Buffer.add_string b ",\n";
+  section "loops" t.nl (fun i -> t.loop_max.(i)) loop_of;
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b

@@ -1,0 +1,29 @@
+(** Flow facts recorded by the [trace] tool.
+
+    A fact set is indexed by {!Om.Cfg} slot order: per-block execution
+    counts, per-edge traversal counts (probeable edges only carry real
+    measurements; unprobeable slots stay zero) and the per-loop maximum
+    iteration streak observed between loop entries. *)
+
+type t = {
+  nb : int;  (** blocks *)
+  ne : int;  (** edges *)
+  nl : int;  (** loops *)
+  block_counts : int array;  (** length [nb] *)
+  edge_counts : int array;  (** length [ne] *)
+  loop_max : int array;  (** length [nl] *)
+}
+
+val parse : string -> t
+(** Parse a [trace.out] artifact (the tool's PML-like sexp).
+    @raise Failure on malformed input. *)
+
+val merge : t -> t -> t
+(** Combine fact sets from several runs of the same executable so that a
+    bound computed from the merged facts dominates each contributing
+    run: counts add, loop maxima take the max.
+    @raise Invalid_argument on mismatched shapes. *)
+
+val to_json : ?cfg:Om.Cfg.t -> t -> string
+(** A JSON rendering of the fact set, with block/edge addresses resolved
+    when the CFG is supplied (the [--facts] artifact of [atom_cli]). *)

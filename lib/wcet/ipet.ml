@@ -1,0 +1,353 @@
+open Om
+
+type result = {
+  bound : int;
+  accounted : int;
+  discount : int;
+  per_proc : (string * int) list;
+  fallbacks : int;
+  infeasible : int;
+  truncated : int;
+}
+
+let q = Ilp.Q.of_int
+
+let bigint_to_int b =
+  match Ilp.Bigint.to_int_opt b with Some i -> i | None -> max_int
+
+let floor_to_int v = bigint_to_int (Ilp.Q.floor v)
+
+let analyze ?(max_nodes = 400) (cfg : Cfg.t) (facts : Facts.t) =
+  if
+    facts.Facts.nb <> cfg.Cfg.nblocks
+    || facts.Facts.ne <> Array.length cfg.Cfg.edges
+    || facts.Facts.nl <> Array.length cfg.Cfg.loops
+  then invalid_arg "Ipet.analyze: facts do not match this executable's CFG";
+  let nblocks = cfg.Cfg.nblocks in
+  let nprocs = Array.length cfg.Cfg.ir.Ir.procs in
+  let costs = Cfg.block_costs cfg ~model:Machine.Sim.insn_cycles in
+  let count g = facts.Facts.block_counts.(g) in
+  let ecount e = facts.Facts.edge_counts.(e) in
+  let accounted = ref 0 in
+  for g = 0 to nblocks - 1 do
+    accounted := !accounted + (costs.(g) * count g)
+  done;
+  (* measured-run anchors *)
+  let edge_zero =
+    Array.map
+      (fun e ->
+        if e.Cfg.e_probe then ecount e.Cfg.e_id = 0
+        else count e.Cfg.e_src = 0)
+      cfg.Cfg.edges
+  in
+  let eta_cap = Array.make nblocks 0 in
+  let xi_cap = Array.make nblocks 0 in
+  for g = 0 to nblocks - 1 do
+    let probed_in =
+      List.fold_left
+        (fun s eid ->
+          if cfg.Cfg.edges.(eid).Cfg.e_probe then s + ecount eid else s)
+        0 cfg.Cfg.preds.(g)
+    in
+    let probed_out =
+      List.fold_left
+        (fun s eid ->
+          if cfg.Cfg.edges.(eid).Cfg.e_probe then s + ecount eid else s)
+        0 cfg.Cfg.succs.(g)
+    in
+    eta_cap.(g) <- max 0 (count g - probed_in);
+    xi_cap.(g) <- max 0 (count g - probed_out)
+  done;
+  let retreating = Array.make (Array.length cfg.Cfg.edges) false in
+  List.iter (fun eid -> retreating.(eid) <- true) cfg.Cfg.retreating;
+  let per_proc = ref [] in
+  let fallbacks = ref 0 and infeasible = ref 0 and truncated = ref 0 in
+  let total = ref 0 in
+  for pi = 0 to nprocs - 1 do
+    let lo = cfg.Cfg.proc_first.(pi) and hi = cfg.Cfg.proc_first.(pi + 1) in
+    let executed = ref false in
+    for g = lo to hi - 1 do
+      if count g > 0 then executed := true
+    done;
+    if !executed then begin
+      (* variable assignment: live edges, then nonzero-cap eta/xi *)
+      let nvars = ref 0 in
+      let fresh () =
+        let v = !nvars in
+        incr nvars;
+        v
+      in
+      let edge_var = Hashtbl.create 64 in
+      let eta_var = Hashtbl.create 16 in
+      let xi_var = Hashtbl.create 16 in
+      for g = lo to hi - 1 do
+        List.iter
+          (fun eid -> if not edge_zero.(eid) then Hashtbl.replace edge_var eid (fresh ()))
+          cfg.Cfg.succs.(g)
+      done;
+      for g = lo to hi - 1 do
+        if eta_cap.(g) > 0 then Hashtbl.replace eta_var g (fresh ());
+        if xi_cap.(g) > 0 then Hashtbl.replace xi_var g (fresh ())
+      done;
+      let objective = Array.make !nvars Ilp.Q.zero in
+      Hashtbl.iter
+        (fun eid v ->
+          let src = cfg.Cfg.edges.(eid).Cfg.e_src in
+          objective.(v) <- Ilp.Q.add objective.(v) (q costs.(src)))
+        edge_var;
+      Hashtbl.iter
+        (fun g v -> objective.(v) <- Ilp.Q.add objective.(v) (q costs.(g)))
+        xi_var;
+      let constraints = ref [] in
+      let add c = constraints := c :: !constraints in
+      (* flow conservation: in + eta = out + xi *)
+      for g = lo to hi - 1 do
+        let coeffs = ref [] in
+        List.iter
+          (fun eid ->
+            match Hashtbl.find_opt edge_var eid with
+            | Some v -> coeffs := (v, Ilp.Q.one) :: !coeffs
+            | None -> ())
+          cfg.Cfg.preds.(g);
+        (match Hashtbl.find_opt eta_var g with
+        | Some v -> coeffs := (v, Ilp.Q.one) :: !coeffs
+        | None -> ());
+        List.iter
+          (fun eid ->
+            match Hashtbl.find_opt edge_var eid with
+            | Some v -> coeffs := (v, Ilp.Q.neg Ilp.Q.one) :: !coeffs
+            | None -> ())
+          cfg.Cfg.succs.(g);
+        (match Hashtbl.find_opt xi_var g with
+        | Some v -> coeffs := (v, Ilp.Q.neg Ilp.Q.one) :: !coeffs
+        | None -> ());
+        if !coeffs <> [] then
+          add { Ilp.Solver.coeffs = !coeffs; rel = Ilp.Solver.Eq; rhs = Ilp.Q.zero }
+      done;
+      (* anchor caps: probed retreating edges at their observed counts;
+         then, per block, unprobed inflow plus virtual entries share one
+         budget — the observed residual — because an unprobed CFG edge
+         (a call's fall-through) and the virtual entry of its target
+         describe the same unobserved traffic; giving each its own cap
+         would charge post-call blocks twice.  Symmetrically for
+         unprobed outflow plus virtual exits. *)
+      Hashtbl.iter
+        (fun eid v ->
+          let e = cfg.Cfg.edges.(eid) in
+          if e.Cfg.e_probe && retreating.(eid) then
+            add
+              {
+                Ilp.Solver.coeffs = [ (v, Ilp.Q.one) ];
+                rel = Ilp.Solver.Le;
+                rhs = q (ecount eid);
+              })
+        edge_var;
+      for g = lo to hi - 1 do
+        let shared_budget edge_side var_tbl cap =
+          let coeffs = ref [] in
+          List.iter
+            (fun eid ->
+              if not cfg.Cfg.edges.(eid).Cfg.e_probe then
+                match Hashtbl.find_opt edge_var eid with
+                | Some v -> coeffs := (v, Ilp.Q.one) :: !coeffs
+                | None -> ())
+            edge_side;
+          (match Hashtbl.find_opt var_tbl g with
+          | Some v -> coeffs := (v, Ilp.Q.one) :: !coeffs
+          | None -> ());
+          if !coeffs <> [] then
+            add
+              { Ilp.Solver.coeffs = !coeffs; rel = Ilp.Solver.Le; rhs = q cap }
+        in
+        shared_budget cfg.Cfg.preds.(g) eta_var eta_cap.(g);
+        shared_budget cfg.Cfg.succs.(g) xi_var xi_cap.(g)
+      done;
+      (* loop bounds *)
+      Array.iteri
+        (fun li l ->
+          if cfg.Cfg.block_proc.(l.Cfg.l_header) = pi then begin
+            let bmax = facts.Facts.loop_max.(li) in
+            let coeffs = ref [] in
+            let h = l.Cfg.l_header in
+            List.iter
+              (fun eid ->
+                match Hashtbl.find_opt edge_var eid with
+                | Some v -> coeffs := (v, Ilp.Q.one) :: !coeffs
+                | None -> ())
+              cfg.Cfg.succs.(h);
+            (match Hashtbl.find_opt xi_var h with
+            | Some v -> coeffs := (v, Ilp.Q.one) :: !coeffs
+            | None -> ());
+            let nb = Ilp.Q.neg (q bmax) in
+            List.iter
+              (fun eid ->
+                match Hashtbl.find_opt edge_var eid with
+                | Some v -> coeffs := (v, nb) :: !coeffs
+                | None -> ())
+              l.Cfg.l_entries;
+            List.iter
+              (fun g ->
+                match Hashtbl.find_opt eta_var g with
+                | Some v -> coeffs := (v, nb) :: !coeffs
+                | None -> ())
+              l.Cfg.l_body;
+            if !coeffs <> [] then
+              add
+                {
+                  Ilp.Solver.coeffs = !coeffs;
+                  rel = Ilp.Solver.Le;
+                  rhs = Ilp.Q.zero;
+                }
+          end)
+        cfg.Cfg.loops;
+      let problem =
+        { Ilp.Solver.nvars = !nvars; objective; constraints = !constraints }
+      in
+      (* replay bound: the observed run's own accounted cycles in this
+         procedure — the defensive floor every fallback falls back to *)
+      let replay = ref 0 in
+      for g = lo to hi - 1 do
+        replay := !replay + (costs.(g) * count g)
+      done;
+      let with_all_edges_capped () =
+        let extra = ref problem.Ilp.Solver.constraints in
+        Hashtbl.iter
+          (fun eid v ->
+            let e = cfg.Cfg.edges.(eid) in
+            let cap = if e.Cfg.e_probe then ecount eid else count e.Cfg.e_src in
+            extra :=
+              {
+                Ilp.Solver.coeffs = [ (v, Ilp.Q.one) ];
+                rel = Ilp.Solver.Le;
+                rhs = q cap;
+              }
+              :: !extra)
+          edge_var;
+        { problem with Ilp.Solver.constraints = !extra }
+      in
+      let solve p =
+        match Ilp.Solver.ilp ~max_nodes p with
+        | Ilp.Solver.Ilp_optimal { value; _ } -> Some (floor_to_int value)
+        | Ilp.Solver.Ilp_truncated { upper; _ } ->
+            incr truncated;
+            Some (floor_to_int upper)
+        | Ilp.Solver.Ilp_infeasible | Ilp.Solver.Ilp_unbounded -> None
+      in
+      let opt =
+        match Ilp.Solver.ilp ~max_nodes problem with
+        | Ilp.Solver.Ilp_optimal { value; _ } -> floor_to_int value
+        | Ilp.Solver.Ilp_truncated { upper; _ } ->
+            incr truncated;
+            floor_to_int upper
+        | Ilp.Solver.Ilp_unbounded -> (
+            incr fallbacks;
+            match solve (with_all_edges_capped ()) with
+            | Some v -> v
+            | None ->
+                incr infeasible;
+                !replay)
+        | Ilp.Solver.Ilp_infeasible ->
+            incr infeasible;
+            !replay
+      in
+      let opt = max opt !replay in
+      total := !total + opt;
+      if opt > 0 then
+        per_proc := (cfg.Cfg.ir.Ir.procs.(pi).Ir.p_name, opt) :: !per_proc
+    end
+  done;
+  (* Termination discount.  A clean run dies at an executed callsys
+     with a call stack beneath it; the charged-but-unretired cycles are
+     that block's suffix after the callsys plus, for every frame on the
+     stack, the calling block's suffix after its call site.  We minimize
+     over every chain the observed counts allow — root procedure, then
+     executed call sites down to an executed callsys — a superset of the
+     run's actual configuration, so the minimum never exceeds the truth.
+     Roots are procedures no executed block calls directly; the actual
+     stack bottom is the program entry, which nothing calls.  Indirect
+     calls (jsr) contribute a chain edge into every procedure, only ever
+     enlarging the feasible set.  If the chain graph degenerates (no
+     root reaches a callsys) we fall back to the plain minimum callsys
+     suffix, itself a lower bound on the unretired cycles. *)
+  let cost_of i = Machine.Sim.insn_cycles i.Ir.i_insn in
+  (* (caller, Some callee | None = indirect, block suffix after the call) *)
+  let call_sites = ref [] in
+  (* (proc, block suffix after the callsys) *)
+  let term_sites = ref [] in
+  for g = 0 to nblocks - 1 do
+    if count g > 0 then begin
+      let insts = cfg.Cfg.blocks.(g).Ir.b_insts in
+      let p = cfg.Cfg.block_proc.(g) in
+      let acc = ref 0 in
+      for j = Array.length insts - 1 downto 0 do
+        let i = insts.(j) in
+        (match i.Ir.i_insn with
+        | Alpha.Insn.Call_pal 0x83 -> term_sites := (p, !acc) :: !term_sites
+        | insn when Alpha.Insn.is_call insn ->
+            let callee =
+              match Alpha.Insn.branch_target ~pc:i.Ir.i_pc insn with
+              | Some t -> (
+                  match Cfg.gid_of_addr cfg t with
+                  | Some gd -> Some cfg.Cfg.block_proc.(gd)
+                  | None -> None)
+              | None -> None
+            in
+            call_sites := (p, callee, !acc) :: !call_sites
+        | _ -> ());
+        acc := !acc + cost_of i
+      done
+    end
+  done;
+  let called = Array.make nprocs false in
+  List.iter
+    (fun (_, callee, _) ->
+      match callee with Some p -> called.(p) <- true | None -> ())
+    !call_sites;
+  let dist = Array.make nprocs max_int in
+  for p = 0 to nprocs - 1 do
+    if not called.(p) then dist.(p) <- 0
+  done;
+  (* Bellman-Ford relaxation: few procedures, non-negative weights *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (caller, callee, w) ->
+        if dist.(caller) < max_int then begin
+          let relax p =
+            if dist.(caller) + w < dist.(p) then begin
+              dist.(p) <- dist.(caller) + w;
+              changed := true
+            end
+          in
+          match callee with
+          | Some p -> relax p
+          | None -> Array.iteri (fun p _ -> relax p) dist
+        end)
+      !call_sites
+  done;
+  let chain = ref max_int in
+  List.iter
+    (fun (p, tail) ->
+      if dist.(p) < max_int && dist.(p) + tail < !chain then
+        chain := dist.(p) + tail)
+    !term_sites;
+  let discount =
+    if !chain < max_int then !chain
+    else
+      match !term_sites with
+      | [] -> 0
+      | l -> List.fold_left (fun acc (_, tail) -> min acc tail) max_int l
+  in
+  {
+    bound = !total - discount;
+    accounted = !accounted;
+    discount;
+    per_proc = List.rev !per_proc;
+    fallbacks = !fallbacks;
+    infeasible = !infeasible;
+    truncated = !truncated;
+  }
+
+let analyze_exe ?max_nodes exe facts =
+  analyze ?max_nodes (Cfg.build (Build.program exe)) facts

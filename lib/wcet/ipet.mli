@@ -1,0 +1,60 @@
+(** IPET — implicit path enumeration over OM's CFG.
+
+    Per procedure, an integer program over intra-procedure edge flows
+    plus virtual entry/exit flows per block maximizes
+    [sum cost(b) * x(b)] (the machine's cycle model summed per block)
+    subject to:
+
+    - Kirchhoff flow conservation at every block:
+      in-edges + virtual-entries = out-edges + virtual-exits;
+    - loop bounds from the recorded facts: the header's execution count
+      is at most the observed per-entry iteration maximum times the
+      loop's entry flow (entry edges, plus virtual entries anywhere in
+      the body — an unprobed entry only merges streaks at record time,
+      enlarging the recorded maximum, so the constraint stays sound);
+    - measured-run anchors, each of which provably dominates the true
+      counts of the measured run: probed never-traversed edges are zero;
+      DFS-retreating edges that head no natural loop are at most their
+      observed count; and per block, unprobed in-edges plus the virtual
+      entry together are at most the block's observed residual
+      (execution count minus probed inflow) — one shared budget, since
+      an unprobed call fall-through edge and its target's virtual entry
+      describe the same unobserved traffic — and symmetrically for
+      unprobed out-edges plus the virtual exit.
+
+    The total bound is the sum of per-procedure optima minus a
+    termination discount: every clean run dies at a [callsys] with a
+    call stack beneath it, so the terminating block's suffix after the
+    callsys plus each stack frame's suffix after its call site is
+    charged by the per-block counts but never retires.  The discount is
+    the minimum such chain cost over every root-to-callsys chain the
+    observed counts allow.  Soundness argument: the measured run's own
+    flow satisfies every constraint, so each procedure optimum dominates
+    the run's accounted cycles there, and the discount — a minimum over
+    a superset of the run's possible termination configurations — never
+    exceeds the cycles the run actually left unretired. *)
+
+type result = {
+  bound : int;  (** worst-case cycle bound; compare against [st_cycles] *)
+  accounted : int;
+      (** [sum cost(b) * count(b)] of the observed run — what the run
+          would cost if its final block had retired completely *)
+  discount : int;  (** termination discount already subtracted from [bound] *)
+  per_proc : (string * int) list;  (** procedures with a nonzero optimum *)
+  fallbacks : int;
+      (** procedures whose first LP was unbounded and were re-solved
+          with every edge capped at its observed flow (still sound) *)
+  infeasible : int;
+      (** procedures whose program was reported infeasible — a
+          formulation bug if ever nonzero; the replay bound is used *)
+  truncated : int;
+      (** procedures where branch-and-bound hit the node budget and the
+          root relaxation bound was used (sound, possibly looser) *)
+}
+
+val analyze : ?max_nodes:int -> Om.Cfg.t -> Facts.t -> result
+(** @raise Invalid_argument when the fact set's shape does not match the
+    CFG (facts recorded from a different executable). *)
+
+val analyze_exe : ?max_nodes:int -> Objfile.Exe.t -> Facts.t -> result
+(** [analyze] over [Om.Build.program]'s CFG of the executable. *)

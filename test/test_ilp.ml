@@ -1,0 +1,377 @@
+(* Property tests for the pure-OCaml exact ILP stack: bignum arithmetic
+   cross-checked against native ints, rationals, and the simplex +
+   branch-and-bound solver cross-checked against brute-force enumeration
+   on small bounded integer programs.  Infeasible and unbounded systems
+   must be reported structurally, never via exception escape. *)
+
+module B = Ilp.Bigint
+module Q = Ilp.Q
+module S = Ilp.Solver
+
+(* -- bignum ------------------------------------------------------------- *)
+
+let gen_small = QCheck.Gen.int_range (-1_000_000) 1_000_000
+
+(* products of these stay within int63, so OCaml arithmetic is an oracle *)
+let gen_word = QCheck.Gen.int_range (-1_073_741_823) 1_073_741_823
+
+let prop_add_sub_mul =
+  QCheck.Test.make ~name:"bigint ring ops agree with native ints" ~count:1000
+    QCheck.(pair (make gen_word) (make gen_word))
+    (fun (a, b) ->
+      let ba = B.of_int a and bb = B.of_int b in
+      B.to_int_opt (B.add ba bb) = Some (a + b)
+      && B.to_int_opt (B.sub ba bb) = Some (a - b)
+      && B.to_int_opt (B.mul ba bb) = Some (a * b)
+      && B.compare ba bb = compare a b)
+
+let prop_divmod =
+  QCheck.Test.make ~name:"bigint divmod is truncated division" ~count:1000
+    QCheck.(pair (make gen_word) (make gen_word))
+    (fun (a, b) ->
+      QCheck.assume (b <> 0);
+      let q, r = B.divmod (B.of_int a) (B.of_int b) in
+      B.to_int_opt q = Some (a / b) && B.to_int_opt r = Some (a mod b))
+
+(* beyond-63-bit values: check the division identity a = q*b + r with
+   |r| < |b| and sign(r) = sign(a), using only bignum arithmetic *)
+let prop_divmod_big =
+  QCheck.Test.make ~name:"bigint divmod identity beyond 63 bits" ~count:500
+    QCheck.(quad (make gen_word) (make gen_word) (make gen_word) (make gen_word))
+    (fun (a1, a2, b1, b2) ->
+      QCheck.assume ((b1 <> 0 || b2 <> 0) && b2 <> 0);
+      (* a = a1 * a2 * a2 + a1; b = b1 * b2 + b2: both need > 63 bits *)
+      let big x y z =
+        B.add (B.mul (B.of_int x) (B.mul (B.of_int y) (B.of_int z))) (B.of_int x)
+      in
+      let a = big a1 a2 a2 and b = B.add (B.mul (B.of_int b1) (B.of_int b2)) (B.of_int b2) in
+      QCheck.assume (B.compare b B.zero <> 0);
+      let q, r = B.divmod a b in
+      B.equal a (B.add (B.mul q b) r)
+      && B.compare (B.abs r) (B.abs b) < 0
+      && (B.equal r B.zero || B.compare r B.zero = B.compare a B.zero))
+
+let prop_to_string =
+  QCheck.Test.make ~name:"bigint printing agrees with native ints" ~count:500
+    (QCheck.make gen_word)
+    (fun a -> B.to_string (B.of_int a) = string_of_int a)
+
+let prop_gcd =
+  QCheck.Test.make ~name:"gcd divides both and is positive" ~count:500
+    QCheck.(pair (make gen_small) (make gen_small))
+    (fun (a, b) ->
+      QCheck.assume (a <> 0 || b <> 0);
+      let g = B.gcd (B.of_int a) (B.of_int b) in
+      let divides x =
+        let _, r = B.divmod (B.of_int x) g in
+        B.equal r B.zero
+      in
+      B.compare g B.zero > 0 && divides a && divides b)
+
+(* -- rationals ---------------------------------------------------------- *)
+
+let gen_q =
+  QCheck.Gen.(
+    map2
+      (fun n d -> Q.of_ints n (if d = 0 then 1 else d))
+      (int_range (-1000) 1000)
+      (int_range (-50) 50))
+
+let prop_q_field =
+  QCheck.Test.make ~name:"rational field identities" ~count:1000
+    QCheck.(pair (make gen_q) (make gen_q))
+    (fun (a, b) ->
+      Q.equal (Q.add a b) (Q.add b a)
+      && Q.equal (Q.sub (Q.add a b) b) a
+      && Q.equal (Q.mul a b) (Q.mul b a)
+      && (Q.is_zero b || Q.equal (Q.mul (Q.div a b) b) a))
+
+let prop_q_floor_ceil =
+  QCheck.Test.make ~name:"floor/ceil bracket the rational" ~count:1000
+    (QCheck.make gen_q)
+    (fun a ->
+      let f = Q.floor a and c = Q.ceil a in
+      let qf = { Q.num = f; den = B.one } and qc = { Q.num = c; den = B.one } in
+      Q.compare qf a <= 0
+      && Q.compare a qc <= 0
+      && B.compare (B.sub c f) (B.of_int 1) <= 0
+      && (Q.is_integer a = Q.equal qf a))
+
+(* -- solver vs brute force ---------------------------------------------- *)
+
+(* Random bounded ILPs: n <= 6 vars each with domain [0, dom], random
+   small-coefficient Le/Ge/Eq rows (plus the domain rows), random
+   objective.  Brute force enumerates every integer point. *)
+
+type ilp_case = {
+  n : int;
+  dom : int;
+  obj : int array;
+  rows : (int array * S.relation * int) list;
+}
+
+let gen_case =
+  QCheck.Gen.(
+    int_range 1 6 >>= fun n ->
+    int_range 1 6 >>= fun dom ->
+    array_size (return n) (int_range (-5) 5) >>= fun obj ->
+    int_range 0 4 >>= fun nrows ->
+    list_size (return nrows)
+      (pair
+         (array_size (return n) (int_range (-3) 3))
+         (pair (oneofl [ S.Le; S.Ge; S.Eq ]) (int_range (-6) 18)))
+    >|= fun rows ->
+    { n; dom; obj; rows = List.map (fun (c, (r, b)) -> (c, r, b)) rows })
+
+let print_case c =
+  let row (cs, r, b) =
+    Printf.sprintf "[%s] %s %d"
+      (String.concat ";" (Array.to_list (Array.map string_of_int cs)))
+      (match r with S.Le -> "<=" | S.Ge -> ">=" | S.Eq -> "=")
+      b
+  in
+  Printf.sprintf "n=%d dom=%d obj=[%s] rows=%s" c.n c.dom
+    (String.concat ";" (Array.to_list (Array.map string_of_int c.obj)))
+    (String.concat " " (List.map row c.rows))
+
+let to_problem c =
+  let dom_rows =
+    List.init c.n (fun v ->
+        { S.coeffs = [ (v, Q.one) ]; rel = S.Le; rhs = Q.of_int c.dom })
+  in
+  let rows =
+    List.map
+      (fun (cs, rel, b) ->
+        let coeffs = ref [] in
+        Array.iteri
+          (fun v k -> if k <> 0 then coeffs := (v, Q.of_int k) :: !coeffs)
+          cs;
+        { S.coeffs = !coeffs; rel; rhs = Q.of_int b })
+      c.rows
+  in
+  {
+    S.nvars = c.n;
+    objective = Array.map Q.of_int c.obj;
+    constraints = dom_rows @ rows;
+  }
+
+let feasible c (x : int array) =
+  List.for_all
+    (fun (cs, rel, b) ->
+      let s = ref 0 in
+      Array.iteri (fun v k -> s := !s + (k * x.(v))) cs;
+      match rel with S.Le -> !s <= b | S.Ge -> !s >= b | S.Eq -> !s = b)
+    c.rows
+
+let brute_force c =
+  let best = ref None in
+  let x = Array.make c.n 0 in
+  let rec go v =
+    if v = c.n then begin
+      if feasible c x then begin
+        let s = ref 0 in
+        Array.iteri (fun i k -> s := !s + (k * x.(i))) c.obj;
+        match !best with
+        | Some b when b >= !s -> ()
+        | _ -> best := Some !s
+      end
+    end
+    else
+      for d = 0 to c.dom do
+        x.(v) <- d;
+        go (v + 1)
+      done
+  in
+  go 0;
+  !best
+
+let int_of_q v =
+  match B.to_int_opt (Q.floor v) with Some i -> i | None -> QCheck.assume_fail ()
+
+let prop_solver_matches_brute_force =
+  QCheck.Test.make ~name:"ilp optimum matches brute force" ~count:400
+    (QCheck.make ~print:print_case gen_case)
+    (fun c ->
+      let expect = brute_force c in
+      match (S.ilp (to_problem c), expect) with
+      | S.Ilp_optimal { value; solution }, Some best ->
+          (* solution must be feasible, integral, and achieve the value *)
+          Array.for_all Q.is_integer solution
+          && Q.equal value { Q.num = Q.floor value; den = B.one }
+          && int_of_q value = best
+          &&
+          let x = Array.map int_of_q solution in
+          feasible c x
+          && Array.for_all (fun v -> v >= 0 && v <= c.dom) x
+          &&
+          let s = ref 0 in
+          Array.iteri (fun i k -> s := !s + (k * x.(i))) c.obj;
+          !s = best
+      | S.Ilp_infeasible, None -> true
+      | S.Ilp_truncated _, _ -> true (* budget exhaustion is allowed *)
+      | S.Ilp_optimal _, None | S.Ilp_infeasible, Some _ | S.Ilp_unbounded, _
+        ->
+          false)
+
+(* every domain is bounded above, so the relaxation can never be
+   unbounded; and with no rows besides the domains the optimum is
+   closed-form *)
+let prop_box_closed_form =
+  QCheck.Test.make ~name:"box-constrained optimum is closed form" ~count:300
+    QCheck.(pair (make (QCheck.Gen.int_range 1 6)) (make (QCheck.Gen.int_range 0 8)))
+    (fun (n, dom) ->
+      let obj = Array.init n (fun i -> (i mod 5) - 2) in
+      let c = { n; dom; obj; rows = [] } in
+      match S.ilp (to_problem c) with
+      | S.Ilp_optimal { value; _ } ->
+          let expect =
+            Array.fold_left (fun s k -> if k > 0 then s + (k * dom) else s) 0 obj
+          in
+          int_of_q value = expect
+      | _ -> false)
+
+(* -- structural infeasible / unbounded ---------------------------------- *)
+
+let test_infeasible () =
+  (* x <= 1 and x >= 2 *)
+  let p =
+    {
+      S.nvars = 1;
+      objective = [| Q.one |];
+      constraints =
+        [
+          { S.coeffs = [ (0, Q.one) ]; rel = S.Le; rhs = Q.of_int 1 };
+          { S.coeffs = [ (0, Q.one) ]; rel = S.Ge; rhs = Q.of_int 2 };
+        ];
+    }
+  in
+  (match S.lp p with
+  | S.Infeasible -> ()
+  | _ -> Alcotest.fail "lp should be infeasible");
+  match S.ilp p with
+  | S.Ilp_infeasible -> ()
+  | _ -> Alcotest.fail "ilp should be infeasible"
+
+let test_unbounded () =
+  (* maximize x + y subject to x - y <= 3: rays upward *)
+  let p =
+    {
+      S.nvars = 2;
+      objective = [| Q.one; Q.one |];
+      constraints =
+        [
+          {
+            S.coeffs = [ (0, Q.one); (1, Q.neg Q.one) ];
+            rel = S.Le;
+            rhs = Q.of_int 3;
+          };
+        ];
+    }
+  in
+  (match S.lp p with
+  | S.Unbounded -> ()
+  | _ -> Alcotest.fail "lp should be unbounded");
+  match S.ilp p with
+  | S.Ilp_unbounded -> ()
+  | _ -> Alcotest.fail "ilp should be unbounded"
+
+let test_fractional_lp_integral_ilp () =
+  (* maximize x subject to 2x <= 3: LP gives 3/2, ILP must give 1 *)
+  let p =
+    {
+      S.nvars = 1;
+      objective = [| Q.one |];
+      constraints =
+        [ { S.coeffs = [ (0, Q.of_int 2) ]; rel = S.Le; rhs = Q.of_int 3 } ];
+    }
+  in
+  (match S.lp p with
+  | S.Optimal { value; _ } ->
+      Alcotest.(check bool) "lp gives 3/2" true (Q.equal value (Q.of_ints 3 2))
+  | _ -> Alcotest.fail "lp should be optimal");
+  match S.ilp p with
+  | S.Ilp_optimal { value; _ } ->
+      Alcotest.(check bool) "ilp gives 1" true (Q.equal value Q.one)
+  | _ -> Alcotest.fail "ilp should be optimal"
+
+let test_equality_system () =
+  (* x + y = 5, x - y = 1 -> x = 3, y = 2; objective 2x + y = 8 *)
+  let p =
+    {
+      S.nvars = 2;
+      objective = [| Q.of_int 2; Q.one |];
+      constraints =
+        [
+          {
+            S.coeffs = [ (0, Q.one); (1, Q.one) ];
+            rel = S.Eq;
+            rhs = Q.of_int 5;
+          };
+          {
+            S.coeffs = [ (0, Q.one); (1, Q.neg Q.one) ];
+            rel = S.Eq;
+            rhs = Q.of_int 1;
+          };
+        ];
+    }
+  in
+  match S.ilp p with
+  | S.Ilp_optimal { value; solution } ->
+      Alcotest.(check bool) "value 8" true (Q.equal value (Q.of_int 8));
+      Alcotest.(check bool) "x=3" true (Q.equal solution.(0) (Q.of_int 3));
+      Alcotest.(check bool) "y=2" true (Q.equal solution.(1) (Q.of_int 2))
+  | _ -> Alcotest.fail "ilp should be optimal"
+
+let test_truncation_reports_root_bound () =
+  (* a system needing branching, solved with a 1-node budget: must come
+     back truncated with the root relaxation as upper bound, not raise *)
+  let p =
+    {
+      S.nvars = 2;
+      objective = [| Q.of_int 3; Q.of_int 2 |];
+      constraints =
+        [
+          {
+            S.coeffs = [ (0, Q.of_int 2); (1, Q.of_int 3) ];
+            rel = S.Le;
+            rhs = Q.of_int 7;
+          };
+          { S.coeffs = [ (0, Q.one) ]; rel = S.Le; rhs = Q.of_ints 5 2 };
+        ];
+    }
+  in
+  match S.ilp ~max_nodes:1 p with
+  | S.Ilp_truncated { upper; _ } -> (
+      match S.ilp p with
+      | S.Ilp_optimal { value; _ } ->
+          Alcotest.(check bool) "root bound dominates optimum" true
+            (Q.compare upper value >= 0)
+      | _ -> Alcotest.fail "full solve should be optimal")
+  | S.Ilp_optimal _ ->
+      (* fine if the root LP happened to be integral *)
+      ()
+  | _ -> Alcotest.fail "budgeted solve should truncate or solve"
+
+let () =
+  Alcotest.run "ilp"
+    [
+      ( "bigint",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_add_sub_mul; prop_divmod; prop_divmod_big; prop_to_string; prop_gcd ]
+      );
+      ( "rational",
+        List.map QCheck_alcotest.to_alcotest [ prop_q_field; prop_q_floor_ceil ] );
+      ( "solver",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_solver_matches_brute_force; prop_box_closed_form ] );
+      ( "structure",
+        [
+          Alcotest.test_case "infeasible is structural" `Quick test_infeasible;
+          Alcotest.test_case "unbounded is structural" `Quick test_unbounded;
+          Alcotest.test_case "fractional LP, integral ILP" `Quick
+            test_fractional_lp_integral_ilp;
+          Alcotest.test_case "equality system" `Quick test_equality_system;
+          Alcotest.test_case "truncation reports root bound" `Quick
+            test_truncation_reports_root_bound;
+        ] );
+    ]

@@ -276,7 +276,7 @@ let test_fresh_program_views () =
   Alcotest.(check int) "no fetch ever observed another view's stubs" 0 dirty
 
 let test_one_fuel_default () =
-  Alcotest.(check int) "the one documented fuel default" 500_000_000
+  Alcotest.(check int) "the one documented fuel default" 1_000_000_000
     Machine.Sim.default_max_insns
 
 let () =

@@ -93,10 +93,122 @@ let stats_consistency =
       Alcotest.(check bool) "some of everything happened" true
         (st.st_loads > 0 && st.st_stores > 0 && st.st_calls > 0 && st.st_syscalls > 0))
 
+(* The per-block counter tools (prof, gprof, branch, dyninst) share their
+   slot-allocation and init/report boilerplate through [Tool.counter_tool].
+   These are the instrument functions as they were written before that
+   factoring, verbatim; each must still produce a byte-identical image,
+   since the helper only restructured the code, not the insertion order. *)
+
+let legacy_prof api =
+  let open Atom.Api in
+  add_call_proto api "ProfInit(int)";
+  add_call_proto api "ProfBlock(int, int)";
+  add_call_proto api "ProfName(int, char *)";
+  add_call_proto api "ProfReport()";
+  let pid = ref 0 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun b ->
+          add_call_block api b Before "ProfBlock" [ Int !pid; Int (block_ninsts b) ])
+        (blocks p);
+      add_call_program api Program_after "ProfName" [ Int !pid; Str (proc_name p) ];
+      incr pid)
+    (procs api);
+  add_call_program api Program_before "ProfInit" [ Int !pid ];
+  add_call_program api Program_after "ProfReport" []
+
+let legacy_gprof api =
+  let open Atom.Api in
+  add_call_proto api "GpInit(int)";
+  add_call_proto api "GpEnter(int)";
+  add_call_proto api "GpBlock(int, int)";
+  add_call_proto api "GpName(int, char *)";
+  add_call_proto api "GpReport()";
+  let pid = ref 0 in
+  List.iter
+    (fun p ->
+      add_call_proc api p Before "GpEnter" [ Int !pid ];
+      List.iter
+        (fun b ->
+          add_call_block api b Before "GpBlock" [ Int !pid; Int (block_ninsts b) ])
+        (blocks p);
+      add_call_program api Program_after "GpName" [ Int !pid; Str (proc_name p) ];
+      incr pid)
+    (procs api);
+  add_call_program api Program_before "GpInit" [ Int !pid ];
+  add_call_program api Program_after "GpReport" []
+
+let legacy_branch api =
+  let open Atom.Api in
+  add_call_proto api "BrInit(int)";
+  add_call_proto api "BrPredict(int, long, VALUE)";
+  add_call_proto api "BrReport()";
+  let n = ref 0 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun b ->
+          let inst = get_last_inst b in
+          if is_inst_type inst Inst_cond_branch then begin
+            add_call_inst api inst Before "BrPredict"
+              [ Int !n; Inst_pc inst; Br_cond_value ];
+            incr n
+          end)
+        (blocks p))
+    (procs api);
+  add_call_program api Program_before "BrInit" [ Int !n ];
+  add_call_program api Program_after "BrReport" []
+
+let legacy_dyninst api =
+  let open Atom.Api in
+  add_call_proto api "DynInit(int)";
+  add_call_proto api "DynBlock(int, int, long)";
+  add_call_proto api "DynReport()";
+  let n = ref 0 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun b ->
+          add_call_block api b Before "DynBlock"
+            [ Int !n; Int (block_ninsts b); Block_pc b ];
+          incr n)
+        (blocks p))
+    (procs api);
+  add_call_program api Program_before "DynInit" [ Int !n ];
+  add_call_program api Program_after "DynReport" []
+
+let counter_refactor_cases =
+  List.map
+    (fun (name, legacy) ->
+      Alcotest.test_case (name ^ " image is byte-identical") `Quick (fun () ->
+          let tool = Option.get (Tools.Registry.find name) in
+          List.iter
+            (fun wname ->
+              let exe = Workloads.compile (Option.get (Workloads.find wname)) in
+              let now, _ = Tools.Tool.apply tool exe in
+              let before, _ =
+                Tools.Tool.apply
+                  { tool with Tools.Tool.instrument = legacy }
+                  exe
+              in
+              Alcotest.(check string)
+                (Printf.sprintf "%s on %s" name wname)
+                (Objfile.Exe.to_string before)
+                (Objfile.Exe.to_string now))
+            [ "compress"; "nbody" ]))
+    [
+      ("prof", legacy_prof);
+      ("gprof", legacy_gprof);
+      ("branch", legacy_branch);
+      ("dyninst", legacy_dyninst);
+    ]
+
 let () =
   Alcotest.run "tools"
     [
       ("workloads", workload_cases);
       ("determinism", stats_consistency :: determinism_cases);
       ("tools", tool_cases);
+      ("counter refactor", counter_refactor_cases);
     ]

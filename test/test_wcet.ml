@@ -1,0 +1,228 @@
+(* WCET soundness: the IPET bound computed from one trace-instrumented
+   run must dominate the measured cycle count of every clean run on both
+   engines, must collapse to equality on single-feasible-path programs
+   (straight-line code, fixed-trip loops), and the loop bounds the trace
+   tool derives must agree with the progen oracle's known trip counts. *)
+
+let trace_tool =
+  match Tools.Registry.find "trace" with
+  | Some t -> t
+  | None -> Alcotest.fail "trace tool not registered"
+
+let expect_exit0 tag (outcome, m) =
+  match outcome with
+  | Machine.Sim.Exit 0 -> m
+  | Machine.Sim.Exit n ->
+      Alcotest.failf "%s: exit %d (stderr %S)" tag n (Machine.Sim.stderr m)
+  | Machine.Sim.Fault f ->
+      Alcotest.failf "%s: fault: %s" tag (Machine.Fault.to_string f)
+  | Machine.Sim.Out_of_fuel -> Alcotest.failf "%s: out of fuel" tag
+
+(* One trace-instrumented run: the recorded facts plus the run's stdout
+   (the tool must not perturb application behaviour). *)
+let record_facts tag exe =
+  let exe', _ = Tools.Tool.apply trace_tool exe in
+  let m = expect_exit0 (tag ^ " traced") (Workloads.run_exe exe') in
+  match List.assoc_opt "trace.out" (Machine.Sim.output_files m) with
+  | Some text -> (Wcet.Facts.parse text, Machine.Sim.stdout m)
+  | None -> Alcotest.failf "%s: no trace.out recorded" tag
+
+let measured_cycles tag ~engine exe =
+  let m = expect_exit0 tag (Workloads.run_exe ~engine exe) in
+  (Machine.Sim.stats m).Machine.Sim.st_cycles
+
+(* -- soundness across the workload suite ---------------------------------- *)
+
+let check_sound tag exe =
+  let facts, _ = record_facts tag exe in
+  let res = Wcet.Ipet.analyze (Om.Cfg.build (Om.Build.program exe)) facts in
+  Alcotest.(check int) (tag ^ " no infeasible procedures") 0
+    res.Wcet.Ipet.infeasible;
+  List.iter
+    (fun (engine, ename) ->
+      let measured = measured_cycles (tag ^ " " ^ ename) ~engine exe in
+      if res.Wcet.Ipet.bound < measured then
+        Alcotest.failf "%s (%s): bound %d < measured %d cycles" tag ename
+          res.Wcet.Ipet.bound measured)
+    [ (Machine.Sim.Ref, "ref"); (Machine.Sim.Fast, "fast") ];
+  res
+
+let soundness_cases =
+  List.map
+    (fun w ->
+      Alcotest.test_case w.Workloads.w_name `Slow (fun () ->
+          ignore (check_sound w.Workloads.w_name (Workloads.compile w))))
+    Workloads.all
+
+(* -- exactness on single-feasible-path programs --------------------------- *)
+
+(* With one feasible path the ILP has exactly one solution — the path
+   itself — so any slack separating the bound from the measurement is a
+   formulation bug (double-charged flow, a wrong termination discount). *)
+
+let straight_line_src =
+  {|
+long main(void) {
+  long a, b;
+  a = 7;
+  b = a * 3 + 2;
+  return b - 23;
+}
+|}
+
+let fixed_trip_src =
+  {|
+long main(void) {
+  long i, s;
+  s = 0;
+  for (i = 0; i < 1000; i = i + 1) s = s + i * 3;
+  return s & 1;
+}
+|}
+
+let check_exact tag src =
+  let exe = Rtlib.compile_and_link ~name:(tag ^ ".o") src in
+  let res = check_sound tag exe in
+  let measured = measured_cycles tag ~engine:Machine.Sim.Fast exe in
+  Alcotest.(check int) (tag ^ " bound is exact") measured res.Wcet.Ipet.bound
+
+let exactness_cases =
+  [
+    Alcotest.test_case "straight line" `Quick (fun () ->
+        check_exact "straight" straight_line_src);
+    Alcotest.test_case "fixed-trip loop" `Quick (fun () ->
+        check_exact "fixedtrip" fixed_trip_src);
+  ]
+
+(* -- progen sweep: derived loop bounds vs the oracle's trip counts -------- *)
+
+(* Every loop progen emits has a constant trip count in its IR, so a
+   single entry of any generated loop visits its header at most
+   [max_loop_count + 1] times (the +1 is the final exit test).  The
+   trace tool's recorded per-entry maxima must respect that for every
+   loop in the program's own procedures — streaks of loops whose entry
+   edges are all probed measure exactly one entry, so the comparison is
+   direct.  (Runtime-library loops — printf, malloc — are outside the
+   oracle's knowledge and are skipped, as are the rare loops with an
+   unprobeable entry edge, where consecutive entries legitimately merge
+   into one streak.) *)
+
+let test_progen_sweep () =
+  let checked = ref 0 in
+  for seed = 1 to 30 do
+    let size = 2 + (seed mod 14) in
+    let t = Progen.generate ~seed ~size () in
+    let tag = Printf.sprintf "seed %d" seed in
+    let exe =
+      Rtlib.compile_and_link
+        ~name:(Printf.sprintf "wcet_gen_s%d.o" seed)
+        (Progen.source t)
+    in
+    let facts, traced_stdout = record_facts tag exe in
+    Alcotest.(check string)
+      (tag ^ " traced stdout matches oracle")
+      (Progen.expected_stdout t) traced_stdout;
+    let cfg = Om.Cfg.build (Om.Build.program exe) in
+    let res = Wcet.Ipet.analyze cfg facts in
+    let measured = measured_cycles tag ~engine:Machine.Sim.Fast exe in
+    if res.Wcet.Ipet.bound < measured then
+      Alcotest.failf "%s: bound %d < measured %d cycles" tag
+        res.Wcet.Ipet.bound measured;
+    let own_procs = "main" :: Progen.func_names t in
+    let cap = Progen.max_loop_count t + 1 in
+    Array.iteri
+      (fun li l ->
+        let pname =
+          cfg.Om.Cfg.ir.Om.Ir.procs.(cfg.Om.Cfg.block_proc.(l.Om.Cfg.l_header))
+            .Om.Ir.p_name
+        in
+        let entries_probed =
+          List.for_all
+            (fun eid -> cfg.Om.Cfg.edges.(eid).Om.Cfg.e_probe)
+            l.Om.Cfg.l_entries
+        in
+        if List.mem pname own_procs && entries_probed then begin
+          incr checked;
+          let got = facts.Wcet.Facts.loop_max.(li) in
+          if got > cap then
+            Alcotest.failf
+              "%s: loop at block %d in %s: recorded per-entry maximum %d \
+               exceeds oracle trip bound %d"
+              tag l.Om.Cfg.l_header pname got cap
+        end)
+      cfg.Om.Cfg.loops
+  done;
+  Alcotest.(check bool)
+    "sweep exercised generated loops" true (!checked > 0)
+
+(* -- fact artifact semantics ---------------------------------------------- *)
+
+let with_facts f =
+  let exe = Rtlib.compile_and_link ~name:"wcet_facts.o" fixed_trip_src in
+  let facts, _ = record_facts "facts" exe in
+  f facts
+
+let test_merge_semantics () =
+  with_facts (fun facts ->
+      let m = Wcet.Facts.merge facts facts in
+      Array.iteri
+        (fun i c ->
+          Alcotest.(check int)
+            (Printf.sprintf "block %d count sums" i)
+            (2 * c) m.Wcet.Facts.block_counts.(i))
+        facts.Wcet.Facts.block_counts;
+      Array.iteri
+        (fun i c ->
+          Alcotest.(check int)
+            (Printf.sprintf "edge %d count sums" i)
+            (2 * c) m.Wcet.Facts.edge_counts.(i))
+        facts.Wcet.Facts.edge_counts;
+      Array.iteri
+        (fun i c ->
+          Alcotest.(check int)
+            (Printf.sprintf "loop %d maximum is kept" i)
+            c m.Wcet.Facts.loop_max.(i))
+        facts.Wcet.Facts.loop_max)
+
+let test_merge_shape_mismatch () =
+  with_facts (fun facts ->
+      let tiny =
+        {
+          Wcet.Facts.nb = 1;
+          ne = 0;
+          nl = 0;
+          block_counts = [| 1 |];
+          edge_counts = [||];
+          loop_max = [||];
+        }
+      in
+      Alcotest.check_raises "mismatched shapes rejected"
+        (Invalid_argument "Facts.merge: mismatched shapes") (fun () ->
+          ignore (Wcet.Facts.merge facts tiny)))
+
+let test_parse_malformed () =
+  List.iter
+    (fun text ->
+      match Wcet.Facts.parse text with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.failf "parse accepted %S" text)
+    [ ""; "(not a fact set)"; "(facts (blocks"; "(facts (blocks x))" ]
+
+let fact_cases =
+  [
+    Alcotest.test_case "merge sums counts, keeps maxima" `Quick
+      test_merge_semantics;
+    Alcotest.test_case "merge rejects shape mismatch" `Quick
+      test_merge_shape_mismatch;
+    Alcotest.test_case "parse rejects malformed input" `Quick
+      test_parse_malformed;
+  ]
+
+let () =
+  Alcotest.run "wcet"
+    [
+      ("exactness", exactness_cases);
+      ("facts", fact_cases);
+      ("progen sweep", [ Alcotest.test_case "30 seeds" `Slow test_progen_sweep ]);
+      ("soundness", soundness_cases);
+    ]
