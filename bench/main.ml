@@ -33,7 +33,8 @@
 
    Usage: main.exe
      [fig5 [--smoke] [--cold]|fig6|ablations|verify|bechamel [--cold]|
-      quick|perf [--smoke]|faults [--smoke]|wcet [--smoke]|all]  *)
+      quick|perf [--smoke] [--min-speedup X]|faults [--smoke]|
+      wcet [--smoke]|all]  *)
 
 let time_it fn =
   let t0 = Unix.gettimeofday () in
@@ -407,6 +408,9 @@ let ablate_liveness () =
               Atom.Instrument.save_strategy = Atom.Instrument.Summary_and_live;
               call_style = Atom.Instrument.Inline_body },
             "summary+live+spliced" );
+          ( { Atom.Instrument.default_options with
+              Atom.Instrument.call_style = Atom.Instrument.Specialized },
+            "specialized" );
         ])
     (ablation_tools ())
 
@@ -443,6 +447,7 @@ let option_label (o : Atom.Instrument.options) =
     | Atom.Instrument.Wrapper -> "wrapper"
     | Atom.Instrument.Inline_saves -> "inline"
     | Atom.Instrument.Inline_body -> "spliced"
+    | Atom.Instrument.Specialized -> "specialized"
   in
   let h =
     match o.Atom.Instrument.heap_mode with
@@ -569,7 +574,7 @@ let verify_sweep ?(quick = false) () =
     "pass 3: all option combinations, representative subset, static + differential";
   let styles =
     [ Atom.Instrument.Wrapper; Atom.Instrument.Inline_saves;
-      Atom.Instrument.Inline_body ]
+      Atom.Instrument.Inline_body; Atom.Instrument.Specialized ]
   in
   let sub_tools =
     List.filter
@@ -660,12 +665,17 @@ let bechamel ?(cold = false) () =
 (* -- engine performance sweep --------------------------------------------- *)
 
 (* Every workload, uninstrumented and instrumented with each tool, run
-   under both engines.  Each cell checks full behavioural agreement
-   (outcome, the entire statistics record, stdout, stderr, output files,
-   final heap break) before its timing is trusted; any disagreement
-   fails the sweep.  The headline number is the aggregate: total
-   simulated instructions over total seconds per engine, which averages
-   out the per-cell timer noise. *)
+   under the reference interpreter, the fast engine, and the fast engine
+   under a genuine edge profile (recorded with the packaged trace tool
+   and, for instrumented cells, remapped through the instrumenter's
+   address map).  Each cell checks full behavioural agreement (outcome,
+   the entire statistics record, stdout, stderr, output files, final
+   heap break) across all three runs before its timing is trusted; any
+   disagreement fails the sweep.  The headline number is the aggregate:
+   total simulated instructions over total seconds per engine, which
+   averages out the per-cell timer noise.  [min_speedup] is the CI
+   regression floor: the sweep fails if the better of the two fast
+   aggregates drops below it. *)
 
 type perf_row = {
   p_workload : string;
@@ -673,10 +683,32 @@ type perf_row = {
   p_insns : int;
   p_ref_secs : float;
   p_fast_secs : float;
+  p_prof_secs : float;
   p_agree : bool;
 }
 
-let perf ?(smoke = false) () =
+(* record an edge profile for a workload the way `runsim --profile`
+   consumes one: trace-instrument, run, parse the flow-fact sexp,
+   derive per-branch predictions over the original program's CFG *)
+let record_predictions exe =
+  let trace =
+    match Tools.Registry.find "trace" with
+    | Some t -> t
+    | None -> failwith "no packaged trace tool"
+  in
+  let exe_t, _ = Tools.Tool.apply trace exe in
+  let m = Machine.Sim.load exe_t in
+  (match Machine.Sim.run m with
+  | Machine.Sim.Exit 0 -> ()
+  | _ -> failwith "profile-recording trace run failed");
+  let facts =
+    match List.assoc_opt "trace.out" (Machine.Sim.output_files m) with
+    | Some text -> Wcet.Facts.parse text
+    | None -> failwith "trace tool produced no trace.out"
+  in
+  Wcet.Facts.predictions (Om.Cfg.build (Om.Build.program exe)) facts
+
+let perf ?(smoke = false) ?min_speedup () =
   let workloads =
     if smoke then
       List.filter
@@ -698,44 +730,56 @@ let perf ?(smoke = false) () =
     (if smoke then " (smoke)" else "")
     (List.length workloads) (List.length configs);
   print_endline
-    "each cell runs under both engines and must agree on outcome, statistics,";
+    "each cell runs under the reference interpreter, the fast engine and the";
+  print_endline
+    "profile-guided fast engine; all three must agree on outcome, statistics,";
   print_endline "stdout/stderr, output files and heap break before it is timed";
   print_endline "";
-  Printf.printf "%-10s %-9s %11s %9s %9s %8s\n" "Workload" "Tool" "insns"
-    "ref Mips" "fast Mips" "speedup";
-  hrule 62;
+  Printf.printf "%-10s %-9s %11s %9s %9s %9s %8s %8s\n" "Workload" "Tool"
+    "insns" "ref Mips" "fast Mips" "prof Mips" "speedup" "w/prof";
+  hrule 80;
   let mismatches = ref 0 in
   let rows = ref [] in
   List.iter
     (fun w ->
       let exe = Workloads.compile w in
+      let preds = record_predictions exe in
       List.iter
         (fun tool_opt ->
           let tool_name =
             match tool_opt with None -> "-" | Some t -> t.Tools.Tool.name
           in
           let cell = w.Workloads.w_name ^ "/" ^ tool_name in
-          let exe' =
+          let exe', profile =
             match tool_opt with
-            | None -> exe
-            | Some t -> fst (Tools.Tool.apply t exe)
+            | None -> (exe, Machine.Profile.of_predictions preds)
+            | Some t ->
+                let exe', info = Tools.Tool.apply t exe in
+                let mapped =
+                  List.map
+                    (fun (pc, d) -> (info.Atom.Instrument.i_map pc, d))
+                    preds
+                in
+                (exe', Machine.Profile.of_predictions mapped)
           in
-          let run engine =
+          let run ?profile engine =
             let (outcome, m), secs =
-              time_it (fun () -> Workloads.run_exe ~engine exe')
+              time_it (fun () -> Workloads.run_exe ~engine ?profile exe')
             in
             (outcome, m, secs)
           in
           let o_ref, m_ref, s_ref = run Machine.Sim.Ref in
           let o_fast, m_fast, s_fast = run Machine.Sim.Fast in
-          let agree =
-            o_ref = o_fast
-            && Machine.Sim.stats m_ref = Machine.Sim.stats m_fast
-            && Machine.Sim.stdout m_ref = Machine.Sim.stdout m_fast
-            && Machine.Sim.stderr m_ref = Machine.Sim.stderr m_fast
-            && Machine.Sim.output_files m_ref = Machine.Sim.output_files m_fast
-            && Machine.Sim.brk m_ref = Machine.Sim.brk m_fast
+          let o_prof, m_prof, s_prof = run ~profile Machine.Sim.Fast in
+          let agrees o m =
+            o_ref = o
+            && Machine.Sim.stats m_ref = Machine.Sim.stats m
+            && Machine.Sim.stdout m_ref = Machine.Sim.stdout m
+            && Machine.Sim.stderr m_ref = Machine.Sim.stderr m
+            && Machine.Sim.output_files m_ref = Machine.Sim.output_files m
+            && Machine.Sim.brk m_ref = Machine.Sim.brk m
           in
+          let agree = agrees o_fast m_fast && agrees o_prof m_prof in
           if not agree then begin
             incr mismatches;
             Printf.printf "FAIL %s: fast engine disagrees with reference\n%!"
@@ -749,33 +793,41 @@ let perf ?(smoke = false) () =
               p_insns = insns;
               p_ref_secs = s_ref;
               p_fast_secs = s_fast;
+              p_prof_secs = s_prof;
               p_agree = agree;
             }
             :: !rows;
-          Printf.printf "%-10s %-9s %11d %9.1f %9.1f %7.2fx\n%!"
+          Printf.printf "%-10s %-9s %11d %9.1f %9.1f %9.1f %7.2fx %7.2fx\n%!"
             w.Workloads.w_name tool_name insns
             (float_of_int insns /. s_ref /. 1e6)
             (float_of_int insns /. s_fast /. 1e6)
-            (s_ref /. s_fast))
+            (float_of_int insns /. s_prof /. 1e6)
+            (s_ref /. s_fast) (s_ref /. s_prof))
         configs)
     workloads;
-  hrule 62;
+  hrule 80;
   let rows = List.rev !rows in
   let tot_insns =
     List.fold_left (fun a r -> a + r.p_insns) 0 rows |> float_of_int
   in
   let tot_ref = List.fold_left (fun a r -> a +. r.p_ref_secs) 0.0 rows in
   let tot_fast = List.fold_left (fun a r -> a +. r.p_fast_secs) 0.0 rows in
-  let ref_ips = tot_insns /. tot_ref and fast_ips = tot_insns /. tot_fast in
+  let tot_prof = List.fold_left (fun a r -> a +. r.p_prof_secs) 0.0 rows in
+  let ref_ips = tot_insns /. tot_ref
+  and fast_ips = tot_insns /. tot_fast
+  and prof_ips = tot_insns /. tot_prof in
   Printf.printf
-    "aggregate: %.0fM insns  ref %.1fM ips  fast %.1fM ips  speedup %.2fx\n"
+    "aggregate: %.0fM insns  ref %.1fM ips  fast %.1fM ips (%.2fx)  \
+     profiled %.1fM ips (%.2fx)\n"
     (tot_insns /. 1e6) (ref_ips /. 1e6) (fast_ips /. 1e6)
-    (fast_ips /. ref_ips);
+    (fast_ips /. ref_ips) (prof_ips /. 1e6) (prof_ips /. ref_ips);
   (* hand-rolled JSON: the harness has no JSON dependency *)
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n  \"schema\": \"atom-bench-sim/1\",\n";
+  Buffer.add_string buf "{\n  \"schema\": \"atom-bench-sim/2\",\n";
   Buffer.add_string buf
-    (Printf.sprintf "  \"smoke\": %b,\n  \"engines\": [\"ref\", \"fast\"],\n"
+    (Printf.sprintf
+       "  \"smoke\": %b,\n\
+       \  \"engines\": [\"ref\", \"fast\", \"fast+profile\"],\n"
        smoke);
   Buffer.add_string buf "  \"rows\": [\n";
   List.iteri
@@ -783,16 +835,19 @@ let perf ?(smoke = false) () =
       Buffer.add_string buf
         (Printf.sprintf
            "    {\"workload\": \"%s\", \"tool\": %s, \"insns\": %d, \
-            \"ref_secs\": %.6f, \"fast_secs\": %.6f, \"ref_ips\": %.0f, \
-            \"fast_ips\": %.0f, \"speedup\": %.3f, \"agree\": %b}%s\n"
+            \"ref_secs\": %.6f, \"fast_secs\": %.6f, \"prof_secs\": %.6f, \
+            \"ref_ips\": %.0f, \"fast_ips\": %.0f, \"prof_ips\": %.0f, \
+            \"speedup\": %.3f, \"speedup_profiled\": %.3f, \"agree\": %b}%s\n"
            (json_escape r.p_workload)
            (match r.p_tool with
            | None -> "null"
            | Some t -> "\"" ^ json_escape t ^ "\"")
-           r.p_insns r.p_ref_secs r.p_fast_secs
+           r.p_insns r.p_ref_secs r.p_fast_secs r.p_prof_secs
            (float_of_int r.p_insns /. r.p_ref_secs)
            (float_of_int r.p_insns /. r.p_fast_secs)
+           (float_of_int r.p_insns /. r.p_prof_secs)
            (r.p_ref_secs /. r.p_fast_secs)
+           (r.p_ref_secs /. r.p_prof_secs)
            r.p_agree
            (if i = List.length rows - 1 then "" else ",")))
     rows;
@@ -800,8 +855,10 @@ let perf ?(smoke = false) () =
   Buffer.add_string buf
     (Printf.sprintf
        "  \"aggregate\": {\"insns\": %.0f, \"ref_secs\": %.6f, \"fast_secs\": \
-        %.6f, \"ref_ips\": %.0f, \"fast_ips\": %.0f, \"speedup\": %.3f},\n"
-       tot_insns tot_ref tot_fast ref_ips fast_ips (fast_ips /. ref_ips));
+        %.6f, \"prof_secs\": %.6f, \"ref_ips\": %.0f, \"fast_ips\": %.0f, \
+        \"prof_ips\": %.0f, \"speedup\": %.3f, \"speedup_profiled\": %.3f},\n"
+       tot_insns tot_ref tot_fast tot_prof ref_ips fast_ips prof_ips
+       (fast_ips /. ref_ips) (prof_ips /. ref_ips));
   Buffer.add_string buf
     (Printf.sprintf "  \"mismatches\": %d\n}\n" !mismatches);
   let oc = open_out "BENCH_sim.json" in
@@ -811,7 +868,17 @@ let perf ?(smoke = false) () =
   if !mismatches > 0 then begin
     Printf.printf "%d cell(s) disagreed between engines\n" !mismatches;
     exit 1
-  end
+  end;
+  match min_speedup with
+  | Some floor ->
+      let best = Float.max (fast_ips /. ref_ips) (prof_ips /. ref_ips) in
+      if best < floor then begin
+        Printf.printf
+          "aggregate speedup %.2fx is below the recorded floor %.2fx\n" best
+          floor;
+        exit 1
+      end
+  | None -> ()
 
 (* -- fault-injection campaign ------------------------------------------- *)
 
@@ -909,7 +976,9 @@ let faults ?(smoke = false) () =
        engines (catches miscompiles anywhere in the stack);
      - Ref and Fast must agree bit-for-bit on outcome, stdout, stderr,
        stats and final break, instrumented or not (the PR-2 guarantee,
-       now over an unbounded program space);
+       now over an unbounded program space); the profile-guided fast
+       engine must reproduce the same observation under a deterministic
+       half-wrong profile and under its exact inverse;
      - every instrumented run must preserve the original's outcome and
        stdout (the paper's transparency property, tools report via
        files, never stdout);
@@ -929,8 +998,8 @@ type soak_obs = {
   so_stats : Machine.Sim.stats;
 }
 
-let soak_observe ~engine exe =
-  let m = Machine.Sim.load ~engine exe in
+let soak_observe ?profile ~engine exe =
+  let m = Machine.Sim.load ~engine ?profile exe in
   let so_outcome = Machine.Sim.run ~max_insns:soak_fuel m in
   {
     so_outcome;
@@ -975,8 +1044,8 @@ let soak_check_program tools t =
         raise
           (Soak_failed ("escape", "minic", "compile raised " ^ Printexc.to_string e))
   in
-  let observe ~subject ~engine exe =
-    try soak_observe ~engine exe
+  let observe ?profile ~subject ~engine exe =
+    try soak_observe ?profile ~engine exe
     with e ->
       raise
         (Soak_failed
@@ -1004,6 +1073,42 @@ let soak_check_program tools t =
   in
   (* baseline: both engines agree and match the oracle *)
   let base = differential ~subject:"baseline" exe in
+  (* profile-guided fast engine: a deterministic pseudo-random profile
+     over every conditional branch in the image (directions derive from
+     the branch pc, so roughly half the predictions are wrong) and its
+     exact inverse.  Both exercise the speculation guards and their
+     statistics unwind on hit and miss traffic; both must reproduce the
+     reference observation bit for bit. *)
+  let profiles =
+    let prog = Om.Build.program exe in
+    let preds = ref [] in
+    Om.Ir.iter_insts prog (fun _ _ i ->
+        match i.Om.Ir.i_insn with
+        | Alpha.Insn.Cbr _ | Alpha.Insn.Fbr _ ->
+            preds := (i.Om.Ir.i_pc, (i.Om.Ir.i_pc lsr 2) land 1 = 0) :: !preds
+        | _ -> ());
+    [
+      ("profile", Machine.Profile.of_predictions !preds);
+      ( "stale-profile",
+        Machine.Profile.of_predictions
+          (List.map (fun (pc, d) -> (pc, not d)) !preds) );
+    ]
+  in
+  List.iter
+    (fun (tag, profile) ->
+      let subject = "baseline+" ^ tag in
+      let obs = observe ~profile ~subject ~engine:Machine.Sim.Fast exe in
+      insns := !insns + obs.so_stats.Machine.Sim.st_insns;
+      if not (soak_engines_agree base obs) then
+        raise
+          (Soak_failed
+             ( "mismatch",
+               subject,
+               Printf.sprintf
+                 "profiled fast disagrees with reference: ref %s, profiled %s"
+                 (soak_outcome_str base.so_outcome)
+                 (soak_outcome_str obs.so_outcome) )))
+    profiles;
   (match base.so_outcome with
   | Machine.Sim.Exit 0 -> ()
   | o ->
@@ -1718,7 +1823,17 @@ let () =
   | "ablate-heap" -> ablate_heap ()
   | "ablate-liveness" -> ablate_liveness ()
   | "bechamel" -> bechamel ~cold:(has_flag "--cold") ()
-  | "perf" -> perf ~smoke:(has_flag "--smoke") ()
+  | "perf" ->
+      let min_speedup =
+        let rec go i =
+          if i >= Array.length Sys.argv - 1 then None
+          else if Sys.argv.(i) = "--min-speedup" then
+            float_of_string_opt Sys.argv.(i + 1)
+          else go (i + 1)
+        in
+        go 1
+      in
+      perf ~smoke:(has_flag "--smoke") ?min_speedup ()
   | "faults" -> faults ~smoke:(has_flag "--smoke") ()
   | "soak" ->
       let int_flag f default =
@@ -1763,7 +1878,8 @@ let () =
       Printf.eprintf
         "unknown mode %S \
          (fig5 [--smoke] [--cold]|fig6|ablations|verify|bechamel [--cold]|\
-         quick|perf [--smoke]|faults [--smoke]|serve [--smoke]|\
+         quick|perf [--smoke] [--min-speedup X]|faults [--smoke]|\
+         serve [--smoke]|\
          wcet [--smoke]|\
          soak [--smoke] [--seed N] [--count N] [--size N] [--atomd] [--dump]|all)\n"
         other;

@@ -11,8 +11,9 @@
        atom --list
 
    Options mirror the engine's: --save-all (no dataflow-summary register
-   reduction), --inline-saves (no wrapper routines), --heap-offset N
-   (partitioned heap).
+   reduction), --inline-saves (no wrapper routines), --specialize
+   (per-site minimal save sets and spliced leaf analysis routines),
+   --heap-offset N (partitioned heap).
 
    Every instrumented image is statically verified against the engine's
    audit before it is written (--no-verify skips this); --verify
@@ -20,8 +21,9 @@
 
 let usage =
   "atom [--list] [-o OUT] [--run] [--dump-files] [--save-all] \
-   [--inline-saves] [--heap-offset N] [--verify] [--no-verify] \
-   [--engine ref|fast] [--wcet] [--facts FILE] prog.exe tool"
+   [--inline-saves] [--specialize] [--heap-offset N] [--verify] [--no-verify] \
+   [--engine ref|fast] [--profile FILE] [--wcet] [--facts FILE] \
+   prog.exe tool"
 
 let () =
   let list_tools = ref false in
@@ -30,11 +32,13 @@ let () =
   let dump = ref false in
   let save_all = ref false in
   let inline_saves = ref false in
+  let specialize = ref false in
   let heap_offset = ref 0 in
   let differential = ref false in
   let no_verify = ref false in
   let wcet = ref false in
   let facts_out = ref "" in
+  let profile_file = ref "" in
   let engine = ref Machine.Sim.Fast in
   let rest = ref [] in
   Arg.parse
@@ -45,6 +49,10 @@ let () =
       ("--dump-files", Arg.Set dump, "with --run: print analysis output files");
       ("--save-all", Arg.Set save_all, "save all caller-save registers");
       ("--inline-saves", Arg.Set inline_saves, "inline saves at sites (no wrappers)");
+      ( "--specialize",
+        Arg.Set specialize,
+        "specialize every analysis call: per-site minimal save sets \
+         (clobbered-and-live) and tiny leaf routines spliced in line" );
       ("--heap-offset", Arg.Set_int heap_offset, "partitioned analysis heap at break+N");
       ("--verify", Arg.Set differential,
        "also run original and instrumented programs and diff the behaviour");
@@ -56,6 +64,11 @@ let () =
             | Some e -> engine := e
             | None -> raise (Arg.Bad ("unknown engine " ^ s))),
         "simulator engine for --run/--verify: fast (default) or ref" );
+      ( "--profile",
+        Arg.Set_string profile_file,
+        "FILE flow-fact artifact (a prior trace.out) guiding fast-engine \
+         speculation in --run/--verify/--wcet; branch addresses are \
+         remapped for the instrumented image" );
       ("--wcet", Arg.Set wcet,
        "with the trace tool: run both executables, solve the IPET program \
         and report static bound vs measured cycles");
@@ -87,7 +100,8 @@ let () =
                   (if !save_all then Atom.Instrument.Save_all
                    else Atom.Instrument.Summary);
                 call_style =
-                  (if !inline_saves then Atom.Instrument.Inline_saves
+                  (if !specialize then Atom.Instrument.Specialized
+                   else if !inline_saves then Atom.Instrument.Inline_saves
                    else Atom.Instrument.Wrapper);
                 heap_mode =
                   (if !heap_offset > 0 then Atom.Instrument.Partitioned !heap_offset
@@ -95,10 +109,32 @@ let () =
               }
             in
             let exe', info = Tools.Tool.apply ~options tool exe in
+            (* an edge profile recorded against the original program: the
+               original image uses it as-is, the instrumented image needs
+               its branch addresses pushed through the relocation map *)
+            let profile_orig, profile_inst =
+              if !profile_file = "" then (None, None)
+              else begin
+                let text =
+                  In_channel.with_open_bin !profile_file In_channel.input_all
+                in
+                let facts = Wcet.Facts.parse text in
+                let cfg = Om.Cfg.build (Om.Build.program exe) in
+                let preds = Wcet.Facts.predictions cfg facts in
+                let mapped =
+                  List.map
+                    (fun (pc, d) -> (info.Atom.Instrument.i_map pc, d))
+                    preds
+                in
+                ( Some (Machine.Profile.of_predictions preds),
+                  Some (Machine.Profile.of_predictions mapped) )
+              end
+            in
             if not !no_verify then begin
               let report =
                 if !differential then
-                  Verify.verify ~engine:!engine ~original:exe
+                  Verify.verify ~engine:!engine ?profile_original:profile_orig
+                    ?profile_instrumented:profile_inst ~original:exe
                     ~instrumented:exe' ~info ()
                 else Verify.check_image ~original:exe ~instrumented:exe' ~info
               in
@@ -122,8 +158,8 @@ let () =
                 prerr_endline "atom: --wcet needs the trace tool";
                 exit 2
               end;
-              let run_to_exit label exe =
-                let m = Machine.Sim.load ~engine:!engine exe in
+              let run_to_exit ?profile label exe =
+                let m = Machine.Sim.load ~engine:!engine ?profile exe in
                 match Machine.Sim.run m with
                 | Machine.Sim.Exit 0 -> m
                 | Machine.Sim.Exit n ->
@@ -137,9 +173,11 @@ let () =
                     Printf.eprintf "atom: --wcet: %s run out of fuel\n" label;
                     exit 1
               in
-              let base = run_to_exit "original" exe in
+              let base = run_to_exit ?profile:profile_orig "original" exe in
               let measured = (Machine.Sim.stats base).Machine.Sim.st_cycles in
-              let traced = run_to_exit "instrumented" exe' in
+              let traced =
+                run_to_exit ?profile:profile_inst "instrumented" exe'
+              in
               let facts =
                 match
                   List.assoc_opt "trace.out" (Machine.Sim.output_files traced)
@@ -168,7 +206,9 @@ let () =
               if b < measured then exit 4
             end;
             if !run then begin
-              let m = Machine.Sim.load ~engine:!engine exe' in
+              let m =
+                Machine.Sim.load ~engine:!engine ?profile:profile_inst exe'
+              in
               let outcome = Machine.Sim.run m in
               print_string (Machine.Sim.stdout m);
               if !dump then
@@ -189,7 +229,8 @@ let () =
           | Atom.Instrument.Error m ->
               Printf.eprintf "atom: %s\n" m;
               exit 1
-          | Sys_error m | Objfile.Wire.Corrupt m ->
+          | Sys_error m | Objfile.Wire.Corrupt m | Failure m
+          | Invalid_argument m ->
               prerr_endline m;
               exit 1))
   | _ ->

@@ -2,8 +2,14 @@
 
      runsim prog.exe [--stdin FILE] [--input NAME=FILE] [--stats]
                      [--dump-files] [--fuel N] [--engine ref|fast]
-                     [--no-protect] [--max-pages N] [--stack-bytes N]
-                     [--brk-max ADDR] [--strict-align]
+                     [--profile FILE] [--no-protect] [--max-pages N]
+                     [--stack-bytes N] [--brk-max ADDR] [--strict-align]
+
+   --profile feeds a trace.out flow-fact artifact (recorded by a prior
+   run under the trace tool) back into the fast engine, which then
+   speculates its superblocks across the hot direction of each
+   conditional branch.  Behaviour is identical either way; only speed
+   changes.
 
    Exit codes follow the 128+signal convention for machine faults:
    139 segmentation violation, 135 unaligned access, 132 illegal
@@ -12,8 +18,8 @@
 
 let usage =
   "runsim [--stdin FILE] [--input NAME=FILE] [--stats] [--dump-files] \
-   [--engine ref|fast] [--no-protect] [--max-pages N] [--stack-bytes N] \
-   [--brk-max ADDR] [--strict-align] prog.exe"
+   [--engine ref|fast] [--profile FILE] [--no-protect] [--max-pages N] \
+   [--stack-bytes N] [--brk-max ADDR] [--strict-align] prog.exe"
 
 let () =
   let stdin_file = ref "" in
@@ -27,6 +33,7 @@ let () =
   let stack_bytes = ref (8 * 1024 * 1024) in
   let brk_max = ref 0 in
   let strict_align = ref false in
+  let profile_file = ref "" in
   let prog = ref "" in
   Arg.parse
     [
@@ -52,6 +59,9 @@ let () =
             | Some e -> engine := e
             | None -> raise (Arg.Bad ("unknown engine " ^ s))),
         "execution engine: fast (default) or ref" );
+      ( "--profile",
+        Arg.Set_string profile_file,
+        "flow-fact artifact (trace.out) guiding fast-engine speculation" );
       ( "--no-protect",
         Arg.Clear protect,
         "disable memory protection (allocate-on-touch memory)" );
@@ -80,11 +90,23 @@ let () =
           (name, In_channel.with_open_bin file In_channel.input_all))
         !inputs
     in
+    let profile =
+      if !profile_file = "" then None
+      else begin
+        let text =
+          In_channel.with_open_bin !profile_file In_channel.input_all
+        in
+        let facts = Wcet.Facts.parse text in
+        let cfg = Om.Cfg.build (Om.Build.program exe) in
+        Some
+          (Machine.Profile.of_predictions (Wcet.Facts.predictions cfg facts))
+      end
+    in
     let m =
       Machine.Sim.load ~engine:!engine ~stdin:stdin_data ~inputs:vfs_inputs
         ~protect:!protect ~max_pages:!max_pages ~stack_bytes:!stack_bytes
         ?brk_max:(if !brk_max > 0 then Some !brk_max else None)
-        ~strict_align:!strict_align exe
+        ~strict_align:!strict_align ?profile exe
     in
     let outcome = Machine.Sim.run ~max_insns:!fuel m in
     print_string (Machine.Sim.stdout m);
@@ -114,6 +136,7 @@ let () =
     | Machine.Sim.Out_of_fuel ->
         prerr_endline "out of fuel";
         exit 124
-  with Sys_error m | Objfile.Wire.Corrupt m ->
+  with
+  | Sys_error m | Objfile.Wire.Corrupt m | Failure m | Invalid_argument m ->
     prerr_endline m;
     exit 1

@@ -1,7 +1,7 @@
 open Objfile
 
 type save_strategy = Summary | Save_all | Summary_and_live
-type call_style = Wrapper | Inline_saves | Inline_body
+type call_style = Wrapper | Inline_saves | Inline_body | Specialized
 type heap_mode = Linked | Partitioned of int
 
 type options = {
@@ -26,7 +26,8 @@ let options_key o =
     (match o.call_style with
     | Wrapper -> "wrapper"
     | Inline_saves -> "inline"
-    | Inline_body -> "spliced")
+    | Inline_body -> "spliced"
+    | Specialized -> "specialized")
     (match o.heap_mode with
     | Linked -> "linked"
     | Partitioned n -> Printf.sprintf "partitioned:%d" n)
@@ -92,6 +93,32 @@ let inlinable_body text ~text_base ~addr ~size =
                 match Alpha.Insn.branch_target ~pc:(addr + (4 * i)) insn with
                 | Some t -> t >= addr && t <= addr + size - 4
                 | None -> true))
+        (List.init n Fun.id) insns
+    in
+    if ok then Some (List.filteri (fun i _ -> i < n - 1) insns) else None
+  end
+
+(* The [Specialized] style only splices the tightest shape: a straight-line
+   leaf — no control flow at all, no calls, a single trailing [ret], and a
+   short body (the counter-increment shape used by prof/branch/trace).
+   Anything else becomes a direct call with the specialized save set. *)
+let max_leaf_insns = 16
+
+let leaf_body text ~text_base ~addr ~size =
+  if size < 8 || size > 4 * (max_leaf_insns + 1) || size mod 4 <> 0 then None
+  else begin
+    let insns = decode_proc text ~text_base ~addr ~size in
+    let n = size / 4 in
+    let ok =
+      List.for_all2
+        (fun i insn ->
+          if i = n - 1 then Alpha.Insn.is_return insn
+          else
+            match insn with
+            | Alpha.Insn.Jump _ | Alpha.Insn.Raw _ | Alpha.Insn.Br _
+            | Alpha.Insn.Cbr _ | Alpha.Insn.Fbr _ | Alpha.Insn.Call_pal _ ->
+                false
+            | Alpha.Insn.Mem _ | Alpha.Insn.Opr _ | Alpha.Insn.Fop _ -> true)
         (List.init n Fun.id) insns
     in
     if ok then Some (List.filteri (fun i _ -> i < n - 1) insns) else None
@@ -239,15 +266,17 @@ let instrument ?(options = default_options) ?(pipeline = Fast) ~exe ~tool
     | Summary | Summary_and_live -> Om.Dataflow.modified_by summaries name
   in
   let live_table =
-    match options.save_strategy with
-    | Summary_and_live ->
+    (* the [Specialized] style always live-filters its save sets,
+       whatever the save strategy says *)
+    match (options.save_strategy, options.call_style) with
+    | Summary_and_live, _ | _, Specialized ->
         let compute =
           match pipeline with
           | Fast -> Om.Liveness.compute
           | Ref -> Om.Liveness.compute_ref
         in
         Some (compute prog)
-    | Summary | Save_all -> None
+    | (Summary | Save_all), _ -> None
   in
   (* 5. interned strings and late-bound addresses *)
   let strings = Buffer.create 64 in
@@ -273,7 +302,12 @@ let instrument ?(options = default_options) ?(pipeline = Fast) ~exe ~tool
   let inline_len : (string, int) Hashtbl.t = Hashtbl.create 16 in
   let inline_bodies : (string, Alpha.Insn.t list) Hashtbl.t = Hashtbl.create 16 in
   (match options.call_style with
-  | Inline_body ->
+  | Inline_body | Specialized ->
+      let qualifies =
+        match options.call_style with
+        | Specialized -> leaf_body
+        | Wrapper | Inline_saves | Inline_body -> inlinable_body
+      in
       let text_len = Bytes.length prov_img.Linker.Link.i_text in
       List.iter
         (fun name ->
@@ -282,7 +316,7 @@ let instrument ?(options = default_options) ?(pipeline = Fast) ~exe ~tool
             when sym.Exe.x_addr >= prov_text_base
                  && sym.Exe.x_addr + sym.Exe.x_size <= prov_text_base + text_len -> (
               match
-                inlinable_body prov_img.Linker.Link.i_text ~text_base:prov_text_base
+                qualifies prov_img.Linker.Link.i_text ~text_base:prov_text_base
                   ~addr:sym.Exe.x_addr ~size:sym.Exe.x_size
               with
               | Some body -> Hashtbl.replace inline_len name (List.length body)
@@ -294,7 +328,7 @@ let instrument ?(options = default_options) ?(pipeline = Fast) ~exe ~tool
     match options.call_style with
     | Wrapper -> Stubgen.Call (fun () -> Hashtbl.find wrapper_addrs name)
     | Inline_saves -> Stubgen.Call (fun () -> Hashtbl.find proc_addrs name)
-    | Inline_body -> (
+    | Inline_body | Specialized -> (
         match Hashtbl.find_opt inline_len name with
         | Some n -> Stubgen.Splice (n, fun () -> Hashtbl.find inline_bodies name)
         | None -> Stubgen.Call (fun () -> Hashtbl.find proc_addrs name))
@@ -330,7 +364,7 @@ let instrument ?(options = default_options) ?(pipeline = Fast) ~exe ~tool
       let extra_saves =
         match options.call_style with
         | Wrapper -> Alpha.Regset.empty
-        | Inline_saves | Inline_body ->
+        | Inline_saves | Inline_body | Specialized ->
             Alpha.Regset.diff (summary_of a.Api.a_proc)
               (Alpha.Regset.of_list
                  (Alpha.Reg.ra
@@ -462,7 +496,7 @@ let instrument ?(options = default_options) ?(pipeline = Fast) ~exe ~tool
   let wrappers_at = align16 a_end in
   let wrapper_code = Buffer.create 256 in
   (match options.call_style with
-  | Inline_saves | Inline_body -> ()
+  | Inline_saves | Inline_body | Specialized -> ()
   | Wrapper ->
       List.iter
         (fun name ->

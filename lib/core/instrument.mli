@@ -38,6 +38,16 @@ type call_style =
           internal, single trailing [ret]) — the paper's planned inlining
           optimization; non-qualifying procedures fall back to direct
           calls *)
+  | Specialized
+      (** the lowest-overhead style: each site saves only the registers
+          the analysis routine actually clobbers (its
+          {!Om.Dataflow.modified_by} summary) {e and} that are live in
+          the application at the site — liveness is computed whatever the
+          save strategy says — and tiny leaf routines (straight-line, no
+          calls, no branches, a single trailing [ret], at most
+          {!max_leaf_insns} body instructions: the counter-increment
+          shape used by prof/branch/trace) are spliced into the stub
+          outright, eliminating the [bsr]/[ret] round trip *)
 
 type heap_mode =
   | Linked
@@ -56,6 +66,10 @@ type options = {
 
 val default_options : options
 (** [{ save_strategy = Summary; call_style = Wrapper; heap_mode = Linked }] *)
+
+val max_leaf_insns : int
+(** Largest body (excluding the trailing [ret]) the [Specialized] style
+    will splice into a site stub. *)
 
 (** Which implementation of the instrument pipeline runs.  Both produce
     byte-identical executables (checked by the benchmark harness and the

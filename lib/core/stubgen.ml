@@ -67,8 +67,7 @@ let needs_fp_scratch site_insn args =
   List.exists (fun a -> a = R_cond) args
   && (match site_insn with Insn.Fbr _ -> true | _ -> false)
 
-(* registers whose values the stub must observe to compute its arguments;
-   they are saved (and read back from their slots) even when dead *)
+(* registers whose values the stub must observe to compute its arguments *)
 let arg_sources ~site_insn args =
   List.fold_left
     (fun acc arg ->
@@ -84,19 +83,30 @@ let arg_sources ~site_insn args =
 
 let build_frame ~site_insn ~args ~extra_saves ~live ~needs_ra =
   let nargs = List.length args in
+  (* An argument-source register only needs a slot when an earlier
+     argument move can clobber it before it is read — i.e. when it is
+     itself one of the argument registers a0..a<n-1>.  Every other
+     source still holds its original value when its argument is
+     computed, so a dead one is read directly and never spilled.
+     Floating-point sources are never written by the argument moves
+     (the f1 transfer scratch is force-saved separately below). *)
+  let forced_sources =
+    Regset.of_list
+      (List.filter
+         (fun r -> r >= 16 && r < 16 + nargs)
+         (Regset.ints (arg_sources ~site_insn args)))
+  in
   let keep =
     match live with
     | None -> fun _ -> true
     | Some l ->
-        let must = Regset.union l (arg_sources ~site_insn args) in
+        let must = Regset.union l forced_sources in
         fun r -> Regset.mem r must
   in
   let keep_f =
     match live with
     | None -> fun _ -> true
-    | Some l ->
-        let must = Regset.union l (arg_sources ~site_insn args) in
-        fun r -> Regset.mem_f r must
+    | Some l -> fun r -> Regset.mem_f r l
   in
   let int_regs =
     let candidates =

@@ -455,6 +455,34 @@ let is_store (i : Insn.t) =
   | Insn.Mem { op = Stb | Stw | Stl | Stq | Stq_u | Stt; _ } -> true
   | _ -> false
 
+(* How a non-final piece of a superblock chain hands control to the next
+   piece: through a merged unconditional branch ([L_br], PR 2's call
+   folding), or through a conditional branch speculated along the
+   profile's predicted direction ([L_spec taken]).  A speculated crossing
+   compiles to a run-time guard between the pieces: on the predicted
+   outcome execution falls straight through into the next piece's
+   effects; on a misprediction the guard unwinds every counter batched
+   past the branch and dispatches to the actual successor. *)
+type link = L_br | L_spec of bool
+
+(* Inclusive per-chain-position prefixes of every batched counter, plus
+   the pair-model prefixes under both entry modes.  Shared by the
+   mid-chain fault unwinder ([wrap_mem]) and the speculation guards:
+   both must roll the batch back to the reference's exact state at an
+   interior chain position. *)
+type fixup = {
+  fx_cyc : int array;
+  fx_loads : int array;
+  fx_stores : int array;
+  fx_calls : int array;
+  fx_cbr : int array;
+  fx_taken : int array;  (* counts *predicted* directions at guards *)
+  fx_cont_counts : int array;
+  fx_cont_pends : bool array;
+  fx_brk_counts : int array;
+  fx_brk_pends : bool array;
+}
+
 let translate t =
   let regs = t.regs and fregs = t.fregs and mem = t.mem in
   (* One-entry page caches shared by every translated memory access — one
@@ -872,6 +900,16 @@ let translate t =
   let per_insn =
     (match t.trace with Some _ -> true | None -> false) || t.strict_align
   in
+  (* Profile-guided speculation: with an edge profile attached, chains
+     may also cross conditional branches along the predicted direction,
+     and get a longer budget so a hot loop re-chains several unrolled
+     iterations into one straight-line closure. *)
+  let predict_at : int -> bool option =
+    match t.profile with
+    | None -> fun _ -> None
+    | Some p -> fun pc -> Profile.predict p pc
+  in
+  let chain_cap = 64 in
   List.map
     (fun cs ->
       let insns = cs.cs_insns in
@@ -925,6 +963,8 @@ let translate t =
              in a merged [Br] whose only run-time effect is its optional
              return-address write. *)
           let pieces = ref [] in
+          let links = ref [] in
+          (* merged-terminator link kinds, one per non-final piece *)
           let total = ref 0 in
           let cur = ref l in
           let stop = ref (-1) in
@@ -945,20 +985,48 @@ let translate t =
               continue_ := false
             end
             else begin
+              let stop_here () =
+                stop := e;
+                continue_ := false
+              in
+              let merge link idx =
+                links := link :: !links;
+                cur := idx
+              in
               match insns.(e) with
-              | Insn.Br { disp = d; _ } when !total < 64 ->
+              | Insn.Br { disp = d; _ } when !total < chain_cap ->
                   let off = (4 * (e + 1)) + (4 * d) in
-                  if off >= 0 && off < len4 then cur := off lsr 2
-                  else begin
-                    stop := e;
-                    continue_ := false
-                  end
-              | _ ->
-                  stop := e;
-                  continue_ := false
+                  if off >= 0 && off < len4 then merge L_br (off lsr 2)
+                  else stop_here ()
+              | (Insn.Cbr { disp = d; _ } | Insn.Fbr { disp = d; _ })
+                when !total < chain_cap -> (
+                  (* speculate across the conditional branch only along
+                     an in-segment predicted direction, and never back
+                     into a range this chain already covers — unrolling
+                     hot loops into the chain duplicates their closures
+                     (translation time, i-cache) for no batching gain,
+                     since the loop back-edge re-enters as a leader *)
+                  let fresh idx =
+                    not
+                      (List.exists (fun (lo, hi) -> idx >= lo && idx <= hi)
+                         !pieces)
+                  in
+                  match predict_at (base + (4 * e)) with
+                  | Some true ->
+                      let off = (4 * (e + 1)) + (4 * d) in
+                      if off >= 0 && off < len4 && fresh (off lsr 2) then
+                        merge (L_spec true) (off lsr 2)
+                      else stop_here ()
+                  | Some false ->
+                      if e + 1 < n && fresh (e + 1) then
+                        merge (L_spec false) (e + 1)
+                      else stop_here ()
+                  | None -> stop_here ())
+              | _ -> stop_here ()
             end
           done;
           let pieces = List.rev !pieces in
+          let links_arr = Array.of_list (List.rev !links) in
           let stop = !stop in
           let has_term = stop < n in
           let _, e_last = List.nth pieces (List.length pieces - 1) in
@@ -966,7 +1034,9 @@ let translate t =
           let cyc = ref 0
           and nloads = ref 0
           and nstores = ref 0
-          and ncalls_mid = ref 0 in
+          and ncalls_mid = ref 0
+          and nbr_mid = ref 0
+          and ntaken_mid = ref 0 in
           List.iteri
             (fun pi (lo, hi) ->
               for i = lo to hi do
@@ -974,17 +1044,24 @@ let translate t =
                 if is_load insns.(i) then incr nloads;
                 if is_store insns.(i) then incr nstores
               done;
-              (* merged call entries: every piece but the last ends in a
-                 branch folded into the chain *)
+              (* merged terminators: every piece but the last ends in a
+                 branch folded into the chain — a call entry, or a
+                 speculated conditional whose predicted direction is
+                 batched (and corrected by the guard on a miss) *)
               if pi < List.length pieces - 1 then
-                match insns.(hi) with
-                | Insn.Br { link = true; _ } -> incr ncalls_mid
+                match (links_arr.(pi), insns.(hi)) with
+                | L_br, Insn.Br { link = true; _ } -> incr ncalls_mid
+                | L_spec pred, _ ->
+                    incr nbr_mid;
+                    if pred then incr ntaken_mid
                 | _ -> ())
             pieces;
           let cyc = !cyc
           and nloads = !nloads
           and nstores = !nstores
-          and ncalls_mid = !ncalls_mid in
+          and ncalls_mid = !ncalls_mid
+          and nbr_mid = !nbr_mid
+          and ntaken_mid = !ntaken_mid in
           (* Dual-issue pair accounting over the chain, simulated at
              translation time from both possible entry states (a pairable
              predecessor pending, or not).  Across a merged branch the
@@ -1033,36 +1110,50 @@ let translate t =
              modes, selected at run time by [t.block_cont] (which the
              dispatch prologue records). *)
           let fix =
-            if nloads = 0 && nstores = 0 then None
+            if nloads = 0 && nstores = 0 && nbr_mid = 0 then None
             else begin
-              let merged = Array.make n_ins false in
+              let pos_link = Array.make n_ins None in
               (let pos = ref 0 in
                List.iteri
                  (fun pi (lo, hi) ->
                    for i = lo to hi do
-                     if pi < npieces - 1 && i = hi then merged.(!pos) <- true;
+                     if pi < npieces - 1 && i = hi then
+                       pos_link.(!pos) <- Some links_arr.(pi);
                      incr pos
                    done)
                  pieces);
               let p_cyc = Array.make n_ins 0
               and p_loads = Array.make n_ins 0
               and p_stores = Array.make n_ins 0
-              and p_calls = Array.make n_ins 0 in
-              let cc = ref 0 and cl = ref 0 and cst = ref 0 and ca = ref 0 in
+              and p_calls = Array.make n_ins 0
+              and p_cbr = Array.make n_ins 0
+              and p_taken = Array.make n_ins 0 in
+              let cc = ref 0
+              and cl = ref 0
+              and cst = ref 0
+              and ca = ref 0
+              and cb = ref 0
+              and ct = ref 0 in
               for j = 0 to n_ins - 1 do
                 let i = chain.(j) in
                 cc := !cc + insn_cycles insns.(i);
                 if is_load insns.(i) then incr cl;
                 if is_store insns.(i) then incr cst;
-                if merged.(j) then begin
-                  match insns.(i) with
-                  | Insn.Br { link = true; _ } -> incr ca
-                  | _ -> ()
-                end;
+                (match pos_link.(j) with
+                | Some L_br -> (
+                    match insns.(i) with
+                    | Insn.Br { link = true; _ } -> incr ca
+                    | _ -> ())
+                | Some (L_spec pred) ->
+                    incr cb;
+                    if pred then incr ct
+                | None -> ());
                 p_cyc.(j) <- !cc;
                 p_loads.(j) <- !cl;
                 p_stores.(j) <- !cst;
-                p_calls.(j) <- !ca
+                p_calls.(j) <- !ca;
+                p_cbr.(j) <- !cb;
+                p_taken.(j) <- !ct
               done;
               let pair_prefix p0 =
                 let counts = Array.make n_ins 0
@@ -1085,53 +1176,64 @@ let translate t =
               let cont_counts, cont_pends = pair_prefix true in
               let brk_counts, brk_pends = pair_prefix false in
               Some
-                ( p_cyc,
-                  p_loads,
-                  p_stores,
-                  p_calls,
-                  cont_counts,
-                  cont_pends,
-                  brk_counts,
-                  brk_pends )
+                {
+                  fx_cyc = p_cyc;
+                  fx_loads = p_loads;
+                  fx_stores = p_stores;
+                  fx_calls = p_calls;
+                  fx_cbr = p_cbr;
+                  fx_taken = p_taken;
+                  fx_cont_counts = cont_counts;
+                  fx_cont_pends = cont_pends;
+                  fx_brk_counts = brk_counts;
+                  fx_brk_pends = brk_pends;
+                }
             end
+          in
+          (* roll the batch at chain position [j] (instruction index [i])
+             back to the reference's exact state: every counter charged
+             through position [j] inclusive, nothing after it.  Shared by
+             the fault unwinder and the speculation guards; the pair
+             accounting is selected by [t.block_cont], which the dispatch
+             prologue records. *)
+          let unwind_after fx j =
+            let d_ins = n_ins - (j + 1) in
+            let d_cyc = cyc - fx.fx_cyc.(j) in
+            let d_loads = nloads - fx.fx_loads.(j) in
+            let d_stores = nstores - fx.fx_stores.(j) in
+            let d_calls = ncalls_mid - fx.fx_calls.(j) in
+            let d_cbr = nbr_mid - fx.fx_cbr.(j) in
+            let d_taken = ntaken_mid - fx.fx_taken.(j) in
+            let d_pair_cont = pc_cont - fx.fx_cont_counts.(j) in
+            let d_pair_brk = pc_brk - fx.fx_brk_counts.(j) in
+            let pend_cont = fx.fx_cont_pends.(j) in
+            let pend_brk = fx.fx_brk_pends.(j) in
+            fun () ->
+              t.insns <- t.insns - d_ins;
+              t.cycles <- t.cycles - d_cyc;
+              t.loads <- t.loads - d_loads;
+              t.stores <- t.stores - d_stores;
+              t.calls <- t.calls - d_calls;
+              t.cond_branches <- t.cond_branches - d_cbr;
+              t.taken <- t.taken - d_taken;
+              t.fuel <- t.fuel + d_ins;
+              if t.block_cont then begin
+                t.pair_cycles <- t.pair_cycles - d_pair_cont;
+                t.pending_pair <- pend_cont
+              end
+              else begin
+                t.pair_cycles <- t.pair_cycles - d_pair_brk;
+                t.pending_pair <- pend_brk
+              end
           in
           let wrap_mem j i (eff : unit -> unit) : unit -> unit =
             match fix with
             | None -> eff
-            | Some
-                ( p_cyc,
-                  p_loads,
-                  p_stores,
-                  p_calls,
-                  cont_counts,
-                  cont_pends,
-                  brk_counts,
-                  brk_pends ) ->
+            | Some fx ->
                 let fx_pc = base + (4 * i) in
-                let d_ins = n_ins - (j + 1) in
-                let d_cyc = cyc - p_cyc.(j) in
-                let d_loads = nloads - p_loads.(j) in
-                let d_stores = nstores - p_stores.(j) in
-                let d_calls = ncalls_mid - p_calls.(j) in
-                let d_pair_cont = pc_cont - cont_counts.(j) in
-                let d_pair_brk = pc_brk - brk_counts.(j) in
-                let pend_cont = cont_pends.(j) in
-                let pend_brk = brk_pends.(j) in
+                let unwind = unwind_after fx j in
                 let unbatch () =
-                  t.insns <- t.insns - d_ins;
-                  t.cycles <- t.cycles - d_cyc;
-                  t.loads <- t.loads - d_loads;
-                  t.stores <- t.stores - d_stores;
-                  t.calls <- t.calls - d_calls;
-                  t.fuel <- t.fuel + d_ins;
-                  if t.block_cont then begin
-                    t.pair_cycles <- t.pair_cycles - d_pair_cont;
-                    t.pending_pair <- pend_cont
-                  end
-                  else begin
-                    t.pair_cycles <- t.pair_cycles - d_pair_brk;
-                    t.pending_pair <- pend_brk
-                  end;
+                  unwind ();
                   t.prev_pc <- fx_pc;
                   t.pc <- fx_pc
                 in
@@ -1144,9 +1246,15 @@ let translate t =
                       unbatch ();
                       raise (Faulted (Fault.Mem_limit { limit; pc = fx_pc }))
           in
-          (* the chain's architectural effects, in program order *)
-          let effs = ref [] in
-          let add = function Some f -> effs := f :: !effs | None -> () in
+          (* the chain's architectural effects, in program order, grouped
+             by piece so the speculation guards can sit between pieces *)
+          let piece_effs = Array.make npieces [] in
+          let guard_pos = Array.make npieces (-1) in
+          (* chain position of each non-final piece's merged terminator *)
+          let addp pi = function
+            | Some f -> piece_effs.(pi) <- f :: piece_effs.(pi)
+            | None -> ()
+          in
           let posr = ref 0 in
           List.iteri
             (fun pi (lo, hi) ->
@@ -1157,23 +1265,29 @@ let translate t =
                 if last_piece && has_term && i = hi then
                   () (* the terminator's effect lives in [term] *)
                 else if (not last_piece) && i = hi then begin
-                  (* the merged branch: only its link write survives (its
-                     call count is batched into the prologue) *)
-                  match insns.(i) with
-                  | Insn.Br { ra; _ } when ra <> 31 ->
+                  guard_pos.(pi) <- j;
+                  (* the merged terminator: an unconditional branch leaves
+                     only its optional link write (its call count is
+                     batched into the prologue); a speculated conditional
+                     leaves nothing — its statistics are batched and its
+                     condition test is the inter-piece guard *)
+                  match (links_arr.(pi), insns.(i)) with
+                  | L_br, Insn.Br { ra; _ } when ra <> 31 ->
                       let nxt64 = Int64.of_int (base + (4 * (i + 1))) in
-                      add (Some (fun () -> Array.unsafe_set regs ra nxt64))
+                      addp pi (Some (fun () -> Array.unsafe_set regs ra nxt64))
                   | _ -> ()
                 end
                 else
                   match insns.(i) with
-                  | Insn.Mem { op = Lda | Ldah; _ } -> add (effect insns.(i))
+                  | Insn.Mem { op = Lda | Ldah; _ } -> addp pi (effect insns.(i))
                   | Insn.Mem _ ->
-                      add (Option.map (wrap_mem j i) (effect insns.(i)))
-                  | _ -> add (effect insns.(i))
+                      addp pi (Option.map (wrap_mem j i) (effect insns.(i)))
+                  | _ -> addp pi (effect insns.(i))
               done)
             pieces;
-          let effs = ref (List.rev !effs) in
+          for pi = 0 to npieces - 1 do
+            piece_effs.(pi) <- List.rev piece_effs.(pi)
+          done;
           let term : unit -> unit =
             if not has_term then dispatch_to (e_last + 1)
             else begin
@@ -1349,33 +1463,38 @@ let translate t =
               | _ -> assert false
             end
           in
-          (* straight-line body: small blocks are unrolled, longer ones loop
-             over the effect array *)
-          let body : unit -> unit =
-            match !effs with
-            | [] -> term
+          (* straight-line run of effects in front of a continuation,
+             fully unrolled in groups of eight.  Unrolling matters beyond
+             code size: every effect position gets its own call site, so
+             the host's indirect-branch predictor learns each target —
+             a single looped call site flip-flops between targets and
+             mispredicts on nearly every effect. *)
+          let rec seq (effs : (unit -> unit) list) (tail : unit -> unit) :
+              unit -> unit =
+            match effs with
+            | [] -> tail
             | [ e1 ] ->
                 fun () ->
                   e1 ();
-                  term ()
+                  tail ()
             | [ e1; e2 ] ->
                 fun () ->
                   e1 ();
                   e2 ();
-                  term ()
+                  tail ()
             | [ e1; e2; e3 ] ->
                 fun () ->
                   e1 ();
                   e2 ();
                   e3 ();
-                  term ()
+                  tail ()
             | [ e1; e2; e3; e4 ] ->
                 fun () ->
                   e1 ();
                   e2 ();
                   e3 ();
                   e4 ();
-                  term ()
+                  tail ()
             | [ e1; e2; e3; e4; e5 ] ->
                 fun () ->
                   e1 ();
@@ -1383,7 +1502,7 @@ let translate t =
                   e3 ();
                   e4 ();
                   e5 ();
-                  term ()
+                  tail ()
             | [ e1; e2; e3; e4; e5; e6 ] ->
                 fun () ->
                   e1 ();
@@ -1392,19 +1511,180 @@ let translate t =
                   e4 ();
                   e5 ();
                   e6 ();
-                  term ()
-            | l ->
-                let arr = Array.of_list l in
-                let m = Array.length arr in
+                  tail ()
+            | [ e1; e2; e3; e4; e5; e6; e7 ] ->
                 fun () ->
-                  for i = 0 to m - 1 do
-                    (Array.unsafe_get arr i) ()
-                  done;
-                  term ()
+                  e1 ();
+                  e2 ();
+                  e3 ();
+                  e4 ();
+                  e5 ();
+                  e6 ();
+                  e7 ();
+                  tail ()
+            | e1 :: e2 :: e3 :: e4 :: e5 :: e6 :: e7 :: e8 :: rest ->
+                let tl = seq rest tail in
+                fun () ->
+                  e1 ();
+                  e2 ();
+                  e3 ();
+                  e4 ();
+                  e5 ();
+                  e6 ();
+                  e7 ();
+                  e8 ();
+                  tl ()
+          in
+          (* the guard between a speculated branch's piece and the next:
+             on the predicted outcome it falls straight through into the
+             continuation; on a misprediction it unwinds every counter
+             batched past the branch — which the reference did execute
+             and charge, with the actual direction — and dispatches to
+             the actual successor *)
+          let guard pred i j (next : unit -> unit) : unit -> unit =
+            let fx =
+              match fix with Some fx -> fx | None -> assert false
+              (* [fix] is built whenever the chain has a guard *)
+            in
+            let bpc = base + (4 * i) in
+            let unwind = unwind_after fx j in
+            (* the batched [taken] at position [j] counted the predicted
+               direction; the actual direction is its opposite *)
+            let taken_corr = if pred then -1 else 1 in
+            let actual : unit -> unit =
+              match insns.(i) with
+              | Insn.Cbr { disp = d; _ } | Insn.Fbr { disp = d; _ } ->
+                  if pred then dispatch_to (i + 1)
+                  else goto_block (bpc + 4 + (4 * d))
+              | _ -> assert false
+            in
+            let miss () =
+              unwind ();
+              t.taken <- t.taken + taken_corr;
+              t.prev_pc <- bpc;
+              actual ()
+            in
+            match insns.(i) with
+            | Insn.Cbr { cond; ra; _ } -> (
+                (* inlined per constructor, like the block terminators:
+                   the guard sits on the hottest paths of all *)
+                match (cond, pred) with
+                | Insn.Beq, true ->
+                    fun () ->
+                      if Int64.equal (Array.unsafe_get regs ra) 0L then next ()
+                      else miss ()
+                | Insn.Beq, false ->
+                    fun () ->
+                      if Int64.equal (Array.unsafe_get regs ra) 0L then miss ()
+                      else next ()
+                | Insn.Bne, true ->
+                    fun () ->
+                      if Int64.equal (Array.unsafe_get regs ra) 0L then miss ()
+                      else next ()
+                | Insn.Bne, false ->
+                    fun () ->
+                      if Int64.equal (Array.unsafe_get regs ra) 0L then next ()
+                      else miss ()
+                | Insn.Blt, true ->
+                    fun () ->
+                      if Int64.compare (Array.unsafe_get regs ra) 0L < 0 then
+                        next ()
+                      else miss ()
+                | Insn.Blt, false ->
+                    fun () ->
+                      if Int64.compare (Array.unsafe_get regs ra) 0L < 0 then
+                        miss ()
+                      else next ()
+                | Insn.Ble, true ->
+                    fun () ->
+                      if Int64.compare (Array.unsafe_get regs ra) 0L <= 0 then
+                        next ()
+                      else miss ()
+                | Insn.Ble, false ->
+                    fun () ->
+                      if Int64.compare (Array.unsafe_get regs ra) 0L <= 0 then
+                        miss ()
+                      else next ()
+                | Insn.Bgt, true ->
+                    fun () ->
+                      if Int64.compare (Array.unsafe_get regs ra) 0L > 0 then
+                        next ()
+                      else miss ()
+                | Insn.Bgt, false ->
+                    fun () ->
+                      if Int64.compare (Array.unsafe_get regs ra) 0L > 0 then
+                        miss ()
+                      else next ()
+                | Insn.Bge, true ->
+                    fun () ->
+                      if Int64.compare (Array.unsafe_get regs ra) 0L >= 0 then
+                        next ()
+                      else miss ()
+                | Insn.Bge, false ->
+                    fun () ->
+                      if Int64.compare (Array.unsafe_get regs ra) 0L >= 0 then
+                        miss ()
+                      else next ()
+                | Insn.Blbc, true ->
+                    fun () ->
+                      if Int64.logand (Array.unsafe_get regs ra) 1L = 0L then
+                        next ()
+                      else miss ()
+                | Insn.Blbc, false ->
+                    fun () ->
+                      if Int64.logand (Array.unsafe_get regs ra) 1L = 0L then
+                        miss ()
+                      else next ()
+                | Insn.Blbs, true ->
+                    fun () ->
+                      if Int64.logand (Array.unsafe_get regs ra) 1L = 1L then
+                        next ()
+                      else miss ()
+                | Insn.Blbs, false ->
+                    fun () ->
+                      if Int64.logand (Array.unsafe_get regs ra) 1L = 1L then
+                        miss ()
+                      else next ())
+            | Insn.Fbr { cond; fa; _ } ->
+                let test = fbr_taken cond in
+                if pred then fun () ->
+                  if test (Int64.float_of_bits (Array.unsafe_get fregs fa))
+                  then next ()
+                  else miss ()
+                else fun () ->
+                  if test (Int64.float_of_bits (Array.unsafe_get fregs fa))
+                  then miss ()
+                  else next ()
+            | _ -> assert false
+          in
+          let body : unit -> unit =
+            if nbr_mid = 0 then
+              (* no speculation: one flat effect array, as before *)
+              seq (List.concat (Array.to_list piece_effs)) term
+            else begin
+              (* speculative chain: glue the pieces right to left, with a
+                 guard closure at every speculated crossing *)
+              let pieces_arr = Array.of_list pieces in
+              let tail = ref (seq piece_effs.(npieces - 1) term) in
+              for pi = npieces - 2 downto 0 do
+                let next = !tail in
+                let glue =
+                  match links_arr.(pi) with
+                  | L_br -> next
+                  | L_spec pred ->
+                      let _, hi = pieces_arr.(pi) in
+                      guard pred hi guard_pos.(pi) next
+                in
+                tail := seq piece_effs.(pi) glue
+              done;
+              !tail
+            end
           in
           let slow = Array.unsafe_get fns l in
           disp.(l) <-
-            (if nloads = 0 && nstores = 0 && ncalls_mid = 0 then fun () ->
+            (if
+               nloads = 0 && nstores = 0 && ncalls_mid = 0 && nbr_mid = 0
+             then fun () ->
                if t.fuel < n_ins then slow ()
                  (* per-step fuel checks stop inside the block *)
                else begin
@@ -1422,27 +1702,6 @@ let translate t =
                  t.prev_pc <- last_pc;
                  t.insns <- t.insns + n_ins;
                  t.cycles <- t.cycles + cyc;
-                 body ()
-               end
-             else if ncalls_mid = 0 then fun () ->
-               if t.fuel < n_ins then slow ()
-               else begin
-                 t.fuel <- t.fuel - n_ins;
-                 if t.pending_pair && base_pc = t.prev_pc + 4 then begin
-                   t.block_cont <- true;
-                   t.pair_cycles <- t.pair_cycles + pc_cont;
-                   t.pending_pair <- ep_cont
-                 end
-                 else begin
-                   t.block_cont <- false;
-                   t.pair_cycles <- t.pair_cycles + pc_brk;
-                   t.pending_pair <- ep_brk
-                 end;
-                 t.prev_pc <- last_pc;
-                 t.insns <- t.insns + n_ins;
-                 t.cycles <- t.cycles + cyc;
-                 t.loads <- t.loads + nloads;
-                 t.stores <- t.stores + nstores;
                  body ()
                end
              else fun () ->
@@ -1465,6 +1724,8 @@ let translate t =
                  t.loads <- t.loads + nloads;
                  t.stores <- t.stores + nstores;
                  t.calls <- t.calls + ncalls_mid;
+                 t.cond_branches <- t.cond_branches + nbr_mid;
+                 t.taken <- t.taken + ntaken_mid;
                  body ()
                end)
         end

@@ -1,0 +1,22 @@
+(* An edge profile for the fast engine: for each conditional branch
+   (keyed by its PC) the direction a previous run took predominantly.
+   The table is produced from the trace tool's flow facts
+   ([Wcet.Facts.predictions]) or synthesized by tests; the fast engine
+   consults it at translation time to extend turbo superblocks across
+   conditional branches along the hot edge, guarding each speculated
+   crossing at run time.
+
+   A profile can only ever change how execution is *batched*, never what
+   it computes: a wrong or stale table costs guard misses, not
+   correctness. *)
+
+type t = (int, bool) Hashtbl.t
+
+let of_predictions preds =
+  let h = Hashtbl.create (max 16 (List.length preds)) in
+  List.iter (fun (pc, taken) -> Hashtbl.replace h pc taken) preds;
+  h
+
+let predict t pc = Hashtbl.find_opt t pc
+let cardinal t = Hashtbl.length t
+let invert t : (int * bool) list = Hashtbl.fold (fun pc b acc -> (pc, not b) :: acc) t []

@@ -1,0 +1,24 @@
+(** Edge profiles for profile-guided superblock formation.
+
+    A profile maps the PC of a conditional branch to the direction
+    ([true] = taken) a prior run predominantly took.  The fast engine
+    ({!Exec}) uses it at translation time to speculate the predicted
+    successor into its turbo superblocks; every speculated crossing is
+    guarded at run time, so a wrong or stale profile only costs speed,
+    never changes any observable behaviour. *)
+
+type t
+
+val of_predictions : (int * bool) list -> t
+(** [of_predictions preds] builds a profile from [(branch_pc, taken)]
+    pairs.  Later pairs win on duplicate PCs. *)
+
+val predict : t -> int -> bool option
+(** Predicted direction for the conditional branch at [pc], if any. *)
+
+val cardinal : t -> int
+(** Number of branches the profile predicts. *)
+
+val invert : t -> (int * bool) list
+(** Every prediction, flipped — a deliberately wrong profile for
+    misprediction testing.  Feed back through {!of_predictions}. *)

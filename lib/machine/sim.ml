@@ -65,9 +65,11 @@ type image = {
   im_stack_top : int;
   im_entry : int;
   im_break : int;
+  im_profile : Profile.t option;
+      (* edge profile applied to every machine started from this image *)
 }
 
-let prepare exe =
+let prepare ?profile exe =
   let code =
     List.filter_map
       (fun seg ->
@@ -105,6 +107,7 @@ let prepare exe =
     im_stack_top = Objfile.Exe.stack_top exe;
     im_entry = exe.Objfile.Exe.x_entry;
     im_break = exe.Objfile.Exe.x_break;
+    im_profile = profile;
   }
 
 let image_exe im = im.im_exe
@@ -157,15 +160,16 @@ let start ?(engine = Fast) ?(stdin = "") ?(inputs = []) ?(protect = true)
       calls = 0;
       syscalls = 0;
       trace = None;
+      profile = im.im_profile;
     }
   in
   t.regs.(Reg.sp) <- Int64.of_int (im.im_stack_top - 64);
   t
 
 let load ?engine ?stdin ?inputs ?protect ?max_pages ?stack_bytes ?brk_max
-    ?strict_align exe =
+    ?strict_align ?profile exe =
   start ?engine ?stdin ?inputs ?protect ?max_pages ?stack_bytes ?brk_max
-    ?strict_align (prepare exe)
+    ?strict_align (prepare ?profile exe)
 
 let fetch t pc =
   let rec go = function

@@ -75,9 +75,17 @@ type image
     re-parsing it.  The image is immutable; per-run state (memory, VFS,
     registers, statistics, fast-engine translations) lives in {!t}. *)
 
-val prepare : Objfile.Exe.t -> image
+val prepare : ?profile:Profile.t -> Objfile.Exe.t -> image
 (** Decode the executable's code segments and derive its protection
-    regions.  This is the expensive, shareable half of the old [load]. *)
+    regions.  This is the expensive, shareable half of the old [load].
+
+    [profile] attaches an edge profile (see {!Profile}) to the image:
+    every machine started from it lets the fast engine speculate turbo
+    superblocks across conditional branches along the predicted
+    direction, guarded at run time.  Observable behaviour — outcome,
+    registers, memory, the full statistics record, trace stream — is
+    unchanged even under a wrong or stale profile; only speed varies.
+    The reference engine ignores profiles entirely. *)
 
 val image_exe : image -> Objfile.Exe.t
 (** The executable the image was prepared from. *)
@@ -106,11 +114,12 @@ val load :
   ?stack_bytes:int ->
   ?brk_max:int ->
   ?strict_align:bool ->
+  ?profile:Profile.t ->
   Objfile.Exe.t ->
   t
 (** [prepare] + [start]: build a machine with the image mapped, [$sp] set, and registered input
     files available to [open].  [engine] selects the execution engine used
-    by {!run} (default [Fast]).
+    by {!run} (default [Fast]); [profile] is forwarded to {!prepare}.
 
     By default ([protect = true]) a protection map derived from the
     executable is installed: each segment is readable (writable only when

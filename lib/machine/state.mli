@@ -56,6 +56,9 @@ type t = {
   mutable calls : int;
   mutable syscalls : int;
   mutable trace : (int -> Insn.t -> unit) option;
+  profile : Profile.t option;
+      (** edge profile for profile-guided superblock formation; consulted
+          only by the fast engine's translator *)
 }
 
 type outcome = Exit of int | Fault of Fault.t | Out_of_fuel

@@ -106,7 +106,8 @@ let put_options b (o : Atom.Instrument.options) =
     (match o.call_style with
     | Atom.Instrument.Wrapper -> '\000'
     | Atom.Instrument.Inline_saves -> '\001'
-    | Atom.Instrument.Inline_body -> '\002');
+    | Atom.Instrument.Inline_body -> '\002'
+    | Atom.Instrument.Specialized -> '\003');
   match o.heap_mode with
   | Atom.Instrument.Linked ->
       Buffer.add_char b '\000';
@@ -128,6 +129,7 @@ let get_options c : Atom.Instrument.options =
     | '\000' -> Atom.Instrument.Wrapper
     | '\001' -> Atom.Instrument.Inline_saves
     | '\002' -> Atom.Instrument.Inline_body
+    | '\003' -> Atom.Instrument.Specialized
     | ch -> fail "bad call style %d" (Char.code ch)
   in
   let heap_tag = get_byte c in

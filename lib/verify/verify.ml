@@ -299,11 +299,14 @@ let check_image ~original ~instrumented ~(info : I.info) =
   let strategy = au.I.au_options.I.save_strategy in
   let style = au.I.au_options.I.call_style in
   let orig_prog = lazy (Om.Build.program original) in
+  (* liveness mirrors the engine: the [Specialized] style live-filters
+     its save sets regardless of the save strategy *)
   let live_table =
     lazy
-      (match strategy with
-      | I.Summary_and_live -> Some (Om.Liveness.compute (Lazy.force orig_prog))
-      | I.Summary | I.Save_all -> None)
+      (match (strategy, style) with
+      | I.Summary_and_live, _ | _, I.Specialized ->
+          Some (Om.Liveness.compute (Lazy.force orig_prog))
+      | (I.Summary | I.Save_all), _ -> None)
   in
   let live_at pc place =
     match Lazy.force live_table with
@@ -375,7 +378,7 @@ let check_image ~original ~instrumented ~(info : I.info) =
           match f.f_calls with
           | [] ->
               (* spliced body: everything must be protected at the site *)
-              if style <> I.Inline_body then
+              if style <> I.Inline_body && style <> I.Specialized then
                 flag "stub-callee" ~addr:ext.Om.Codegen.e_addr
                   "%s: no analysis call emitted" what;
               (saved, true)
@@ -383,7 +386,7 @@ let check_image ~original ~instrumented ~(info : I.info) =
               let expected_wrapper =
                 match style with
                 | I.Wrapper -> List.assoc_opt site.I.as_proc au.I.au_wrappers
-                | I.Inline_saves | I.Inline_body -> None
+                | I.Inline_saves | I.Inline_body | I.Specialized -> None
               in
               let expected_proc = List.assoc_opt site.I.as_proc au.I.au_procs in
               match expected_wrapper with
@@ -438,7 +441,26 @@ let check_image ~original ~instrumented ~(info : I.info) =
             flag "stub-saves" ~addr:ext.Om.Codegen.e_addr
               "%s: may clobber %s but only protects %s" what
               (Format.asprintf "%a" Regset.pp (Regset.diff required protected_))
-              (Format.asprintf "%a" Regset.pp protected_)
+              (Format.asprintf "%a" Regset.pp protected_);
+          (* When saves are live-filtered, validate the specialization
+             really happened: every site save must be live at the site,
+             an argument register (whose original value can feed a later
+             argument and so needs a slot), or the floating transfer
+             scratch [$f1].  Dead spills here mean the engine fell back
+             to a fixed save set. *)
+          (match live_at site.I.as_pc site.I.as_place with
+          | Some live ->
+              let allowed =
+                List.fold_left
+                  (fun acc k -> Regset.add (16 + k) acc)
+                  (Regset.add_f 1 live)
+                  (List.init site.I.as_nargs Fun.id)
+              in
+              if not (Regset.subset saved allowed) then
+                flag "stub-saves" ~addr:ext.Om.Codegen.e_addr
+                  "%s: spills dead register(s) %s" what
+                  (Format.asprintf "%a" Regset.pp (Regset.diff saved allowed))
+          | None -> ())
         end
   in
   (* pair each audit action with the stub extent codegen emitted for it *)
@@ -501,7 +523,8 @@ let first_diff a b =
   go 0
 
 let differential ?(engine = Machine.Sim.Fast) ?(max_insns = 2_000_000_000)
-    ?stdin ?inputs ~original ~instrumented ~heap_mode () =
+    ?stdin ?inputs ?profile_original ?profile_instrumented ~original
+    ~instrumented ~heap_mode () =
   let issues = ref [] in
   let flag check fmt =
     Printf.ksprintf
@@ -509,13 +532,13 @@ let differential ?(engine = Machine.Sim.Fast) ?(max_insns = 2_000_000_000)
         issues := { v_check = check; v_addr = None; v_detail } :: !issues)
       fmt
   in
-  let run exe =
-    let m = Machine.Sim.load ~engine ?stdin ?inputs exe in
+  let run ?profile exe =
+    let m = Machine.Sim.load ~engine ?stdin ?inputs ?profile exe in
     let outcome = Machine.Sim.run ~max_insns m in
     (outcome, m)
   in
-  let o1, m1 = run original in
-  let o2, m2 = run instrumented in
+  let o1, m1 = run ?profile:profile_original original in
+  let o2, m2 = run ?profile:profile_instrumented instrumented in
   if o1 <> o2 then
     flag "diff-exit" "uninstrumented run: %s; instrumented run: %s"
       (outcome_to_string o1) (outcome_to_string o2);
@@ -566,11 +589,12 @@ let differential ?(engine = Machine.Sim.Fast) ?(max_insns = 2_000_000_000)
           "instrumented break %#x shrank below the original %#x" b2 b1);
   { r_checks = differential_checks; r_issues = List.rev !issues }
 
-let verify ?engine ?max_insns ?stdin ?inputs ~original ~instrumented
-    ~(info : I.info) () =
+let verify ?engine ?max_insns ?stdin ?inputs ?profile_original
+    ?profile_instrumented ~original ~instrumented ~(info : I.info) () =
   let s = check_image ~original ~instrumented ~info in
   let d =
-    differential ?engine ?max_insns ?stdin ?inputs ~original ~instrumented
+    differential ?engine ?max_insns ?stdin ?inputs ?profile_original
+      ?profile_instrumented ~original ~instrumented
       ~heap_mode:info.I.i_audit.I.au_options.I.heap_mode ()
   in
   merge s d

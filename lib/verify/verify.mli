@@ -64,6 +64,8 @@ val differential :
   ?max_insns:int ->
   ?stdin:string ->
   ?inputs:(string * string) list ->
+  ?profile_original:Machine.Profile.t ->
+  ?profile_instrumented:Machine.Profile.t ->
   original:Objfile.Exe.t ->
   instrumented:Objfile.Exe.t ->
   heap_mode:Atom.Instrument.heap_mode ->
@@ -81,9 +83,14 @@ val verify :
   ?max_insns:int ->
   ?stdin:string ->
   ?inputs:(string * string) list ->
+  ?profile_original:Machine.Profile.t ->
+  ?profile_instrumented:Machine.Profile.t ->
   original:Objfile.Exe.t ->
   instrumented:Objfile.Exe.t ->
   info:Atom.Instrument.info ->
   unit ->
   report
-(** {!check_image} followed by {!differential}, merged. *)
+(** {!check_image} followed by {!differential}, merged.  The optional
+    profiles guide the fast engine's speculation on the corresponding
+    side of the diff (the instrumented side's profile must be keyed by
+    relocated branch addresses — map through [info.i_map]). *)

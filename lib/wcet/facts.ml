@@ -76,6 +76,43 @@ let merge a b =
     loop_max = Array.map2 max a.loop_max b.loop_max;
   }
 
+(* Edge profile for the fast engine: for every conditional branch whose
+   recorded counts show a clearly dominant direction, predict it.  The
+   thresholds keep cold or balanced branches out of the table — wrong
+   speculation is never incorrect, only slower, but a branch that goes
+   both ways would pay a guard miss on every other crossing. *)
+let predictions (cfg : Om.Cfg.t) t : (int * bool) list =
+  if t.nb <> cfg.Om.Cfg.nblocks || t.ne <> Array.length cfg.Om.Cfg.edges then
+    invalid_arg "Facts.predictions: facts do not match this executable's CFG";
+  let preds = ref [] in
+  for gid = 0 to cfg.Om.Cfg.nblocks - 1 do
+    let b = cfg.Om.Cfg.blocks.(gid) in
+    let ni = Array.length b.Om.Ir.b_insts in
+    if ni > 0 then begin
+      let last = b.Om.Ir.b_insts.(ni - 1) in
+      match last.Om.Ir.i_insn with
+      | Alpha.Insn.Cbr _ | Alpha.Insn.Fbr _ -> (
+          let count kind =
+            List.fold_left
+              (fun acc eid ->
+                let e = cfg.Om.Cfg.edges.(eid) in
+                if e.Om.Cfg.e_kind = kind then Some t.edge_counts.(eid)
+                else acc)
+              None
+              cfg.Om.Cfg.succs.(gid)
+          in
+          match (count Om.Cfg.Taken, count Om.Cfg.Fallthrough) with
+          | Some tk, Some ft ->
+              let hot, dir = if tk >= ft then (tk, true) else (ft, false) in
+              let cold = min tk ft in
+              if hot >= 8 && hot >= 4 * cold then
+                preds := (last.Om.Ir.i_pc, dir) :: !preds
+          | _ -> ())
+      | _ -> ()
+    end
+  done;
+  !preds
+
 let to_json ?cfg t =
   let b = Buffer.create 1024 in
   let addr_of gid =

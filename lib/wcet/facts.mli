@@ -24,6 +24,16 @@ val merge : t -> t -> t
     run: counts add, loop maxima take the max.
     @raise Invalid_argument on mismatched shapes. *)
 
+val predictions : Om.Cfg.t -> t -> (int * bool) list
+(** Derive an edge profile for the fast engine: for every conditional
+    branch with a clearly dominant recorded direction (hot side at least
+    8 traversals and at least 4x the cold side), a
+    [(branch_pc, predicted_taken)] pair.  Feed through
+    {!Machine.Profile.of_predictions} and attach via
+    [Machine.Sim.prepare ?profile].  The [cfg] must be built from the
+    same executable the facts were recorded against.
+    @raise Invalid_argument if the fact shapes do not match the CFG. *)
+
 val to_json : ?cfg:Om.Cfg.t -> t -> string
 (** A JSON rendering of the fact set, with block/edge addresses resolved
     when the CFG is supplied (the [--facts] artifact of [atom_cli]). *)

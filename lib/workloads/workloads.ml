@@ -627,7 +627,7 @@ let generated ?size ~seed ~count () =
 
 (* the fuel default is Sim's: one documented constant for every run path *)
 let run_exe ?(engine = Machine.Sim.Fast)
-    ?(max_insns = Machine.Sim.default_max_insns) exe =
-  let m = Machine.Sim.load ~engine exe in
+    ?(max_insns = Machine.Sim.default_max_insns) ?profile exe =
+  let m = Machine.Sim.load ~engine ?profile exe in
   let outcome = Machine.Sim.run ~max_insns m in
   (outcome, m)

@@ -27,10 +27,14 @@ val compile : t -> Objfile.Exe.t
 val run_exe :
   ?engine:Machine.Sim.engine ->
   ?max_insns:int ->
+  ?profile:Machine.Profile.t ->
   Objfile.Exe.t ->
   Machine.Sim.outcome * Machine.Sim.t
 (** Load and run an executable with no stdin and no input files, on the
     selected simulator engine (default [Fast]).  [max_insns] defaults to
     {!Machine.Sim.default_max_insns} — the same constant every other run
     path uses, so an outcome can never flip between [Out_of_fuel] and
-    completion depending on which path ran the program. *)
+    completion depending on which path ran the program.  [profile]
+    (Fast engine only) enables speculative superblock chaining across
+    the predicted sides of conditional branches; it is a performance
+    hint and never changes observable behaviour. *)

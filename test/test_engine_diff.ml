@@ -24,10 +24,14 @@ let outcome_str = function
   | Machine.Sim.Fault f -> "fault " ^ Machine.Fault.to_string f
   | Machine.Sim.Out_of_fuel -> "out of fuel"
 
-let check_cell label exe =
-  let run engine = Workloads.run_exe ~engine exe in
-  let o_ref, m_ref = run Machine.Sim.Ref in
-  let o_fast, m_fast = run Machine.Sim.Fast in
+let check_cell ?tag ?profile label exe =
+  let label =
+    match tag with None -> label | Some t -> label ^ " (" ^ t ^ ")"
+  in
+  let o_ref, m_ref = Workloads.run_exe ~engine:Machine.Sim.Ref exe in
+  let o_fast, m_fast =
+    Workloads.run_exe ~engine:Machine.Sim.Fast ?profile exe
+  in
   if o_ref <> o_fast then
     Alcotest.failf "%s: outcome ref=%s fast=%s" label (outcome_str o_ref)
       (outcome_str o_fast);
@@ -64,6 +68,97 @@ let test_tool tool () =
       check_cell (tool.Tools.Tool.name ^ "/" ^ w.Workloads.w_name) exe')
     Workloads.all
 
+(* -- profile-guided speculation ------------------------------------------ *)
+
+(* Record a genuine edge profile exactly the way `runsim --profile` does:
+   instrument with the packaged trace tool, run, parse the flow-fact
+   sexp, and derive per-branch direction predictions over the original
+   program's CFG.  The profiled fast engine speculates turbo superblocks
+   across the predicted side of each conditional branch; every crossing
+   is guarded, so even a deliberately inverted ("stale") profile must
+   leave every observable identical to the reference interpreter. *)
+let record_predictions exe =
+  let trace =
+    match Tools.Registry.find "trace" with
+    | Some t -> t
+    | None -> Alcotest.fail "no packaged trace tool"
+  in
+  let exe_t, _ = Tools.Tool.apply trace exe in
+  let m = Machine.Sim.load exe_t in
+  (match Machine.Sim.run m with
+  | Machine.Sim.Exit 0 -> ()
+  | o -> Alcotest.failf "trace run: %s" (outcome_str o));
+  let facts =
+    match List.assoc_opt "trace.out" (Machine.Sim.output_files m) with
+    | Some text -> Wcet.Facts.parse text
+    | None -> Alcotest.fail "trace tool produced no trace.out"
+  in
+  Wcet.Facts.predictions (Om.Cfg.build (Om.Build.program exe)) facts
+
+let test_profiled () =
+  List.iter
+    (fun w ->
+      let exe = Workloads.compile w in
+      let preds = record_predictions exe in
+      if preds = [] then
+        Alcotest.failf "%s: trace run yielded an empty profile"
+          w.Workloads.w_name;
+      let profile = Machine.Profile.of_predictions preds in
+      let stale =
+        Machine.Profile.of_predictions (Machine.Profile.invert profile)
+      in
+      check_cell ~tag:"profiled" ~profile w.Workloads.w_name exe;
+      check_cell ~tag:"stale profile" ~profile:stale w.Workloads.w_name exe)
+    Workloads.all
+
+(* A profile recorded on the original program, remapped through the
+   instrumenter's address map onto the instrumented binary — the
+   atom_cli `--profile` path. *)
+let test_tool_profiled tool () =
+  List.iter
+    (fun w ->
+      let exe = Workloads.compile w in
+      let preds = record_predictions exe in
+      let exe', info = Tools.Tool.apply tool exe in
+      let mapped =
+        List.map
+          (fun (pc, d) -> (info.Atom.Instrument.i_map pc, d))
+          preds
+      in
+      check_cell ~tag:"profiled"
+        ~profile:(Machine.Profile.of_predictions mapped)
+        (tool.Tools.Tool.name ^ "/" ^ w.Workloads.w_name)
+        exe')
+    Workloads.all
+
+let profiled_tools =
+  List.filter
+    (fun t -> List.mem t.Tools.Tool.name [ "trace"; "gprof"; "cache" ])
+    Tools.Registry.all
+
+(* -- specialized analysis-call stubs ------------------------------------- *)
+
+let spec_options =
+  {
+    Atom.Instrument.default_options with
+    Atom.Instrument.call_style = Atom.Instrument.Specialized;
+  }
+
+let spec_workloads =
+  List.filter
+    (fun w -> List.mem w.Workloads.w_name [ "compress"; "sieve"; "qsort" ])
+    Workloads.all
+
+let test_tool_specialized tool () =
+  List.iter
+    (fun w ->
+      let exe = Workloads.compile w in
+      let exe', _ = Tools.Tool.apply ~options:spec_options tool exe in
+      check_cell ~tag:"specialized"
+        (tool.Tools.Tool.name ^ "/" ^ w.Workloads.w_name)
+        exe')
+    spec_workloads
+
 let () =
   Alcotest.run "engine-diff"
     [
@@ -73,5 +168,22 @@ let () =
         List.map
           (fun tool ->
             Alcotest.test_case tool.Tools.Tool.name `Slow (test_tool tool))
+          Tools.Registry.all );
+      ( "profiled",
+        [
+          Alcotest.test_case "genuine and inverted profiles" `Quick
+            test_profiled;
+        ] );
+      ( "profiled instrumented",
+        List.map
+          (fun tool ->
+            Alcotest.test_case tool.Tools.Tool.name `Slow
+              (test_tool_profiled tool))
+          profiled_tools );
+      ( "specialized stubs",
+        List.map
+          (fun tool ->
+            Alcotest.test_case tool.Tools.Tool.name `Slow
+              (test_tool_specialized tool))
           Tools.Registry.all );
     ]

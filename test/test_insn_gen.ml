@@ -310,6 +310,73 @@ let test_program_faults () =
     end
   done
 
+(* -- random profiles over generated branchy programs --------------------- *)
+
+(* Forward-only conditional branches over random register states, run
+   three ways: reference, fast, and fast under a profile that predicts a
+   random direction for every branch in the program.  Predictions are
+   right or wrong at random, so the speculative superblock guards and
+   their statistics unwind are exercised on arbitrary miss patterns; all
+   three runs must agree on outcome, PC, every register and the full
+   statistics record. *)
+let test_random_profiles () =
+  let st = Random.State.make [| seed lxor 0x6A0F11E |] in
+  for i = 1 to 200 do
+    let n = 8 + Random.State.int st 24 in
+    let words =
+      List.init n (fun _ ->
+          if Random.State.int st 3 = 0 then
+            enc
+              (Alpha.Insn.Cbr
+                 {
+                   cond = pick st br_conds;
+                   ra = Random.State.int st 8;
+                   disp = Random.State.int st 6;
+                 })
+          else safe_op st)
+    in
+    let exe = make_prog words in
+    let preds =
+      List.concat
+        (List.mapi
+           (fun j w ->
+             match Alpha.Code.decode w with
+             | Alpha.Insn.Cbr _ ->
+                 [ (Objfile.Exe.text_base + (4 * j), Random.State.bool st) ]
+             | _ -> [])
+           words)
+    in
+    let profile = Machine.Profile.of_predictions preds in
+    let regs = Array.init 8 (fun _ -> Int64.of_int (Random.State.int st 512)) in
+    let run engine profile =
+      let m = Machine.Sim.load ~engine ?profile exe in
+      Array.iteri (fun r v -> Machine.Sim.set_reg m r v) regs;
+      let o = Machine.Sim.run ~max_insns:2000 m in
+      (o, m)
+    in
+    let o_ref, m_ref = run Machine.Sim.Ref None in
+    let o_fast, m_fast = run Machine.Sim.Fast None in
+    let o_prof, m_prof = run Machine.Sim.Fast (Some profile) in
+    let ctx = Printf.sprintf "branchy program %d (%d insns)" i n in
+    let agree tag o m =
+      if o_ref <> o then
+        Alcotest.failf "%s: outcome ref=%s %s=%s" ctx (outcome_str o_ref) tag
+          (outcome_str o);
+      if Machine.Sim.pc m_ref <> Machine.Sim.pc m then
+        Alcotest.failf "%s: pc ref=%#x %s=%#x" ctx (Machine.Sim.pc m_ref) tag
+          (Machine.Sim.pc m);
+      for r = 0 to 31 do
+        if Machine.Sim.reg m_ref r <> Machine.Sim.reg m r then
+          Alcotest.failf "%s: $%d ref=%Lx %s=%Lx" ctx r
+            (Machine.Sim.reg m_ref r) tag (Machine.Sim.reg m r)
+      done;
+      if Machine.Sim.stats m_ref <> Machine.Sim.stats m then
+        Alcotest.failf "%s: statistics records differ (%s)" ctx tag
+    in
+    agree "fast" o_fast m_fast;
+    agree "profiled" o_prof m_prof
+  done
+
 (* illegal words and unhandled PAL calls must fault identically *)
 let test_fault_symmetry () =
   List.iter
@@ -336,5 +403,7 @@ let () =
             test_step_agreement;
           Alcotest.test_case "fault symmetry" `Quick test_fault_symmetry;
           Alcotest.test_case "faulting programs" `Quick test_program_faults;
+          Alcotest.test_case "random profiles over branchy programs" `Quick
+            test_random_profiles;
         ] );
     ]

@@ -105,6 +105,100 @@ let test_dataflow () =
   Alcotest.(check bool) "unknown = all caller saves" true
     (Alpha.Regset.equal (Om.Dataflow.modified_by df "nosuch") Om.Dataflow.all_caller_saves)
 
+(* -- modified_by soundness ------------------------------------------------- *)
+
+(* [Dataflow.modified_by] drives the specialized call stubs: a register
+   the summary excludes gets no save slot, so an under-approximation
+   would corrupt live state.  Check it dynamically: trace one run,
+   snapshot the register file at every call to a known procedure, diff
+   it at the matching return, and require every observed caller-save
+   modification to lie inside the procedure's summary.  $ra is excluded
+   — the call instruction itself writes it before the callee runs. *)
+let observed_modifications exe =
+  let prog = Om.Build.program exe in
+  let entries = Hashtbl.create 64 in
+  Array.iter
+    (fun p -> Hashtbl.replace entries p.Om.Ir.p_addr p.Om.Ir.p_name)
+    prog.Om.Ir.procs;
+  let m = Machine.Sim.load ~engine:Machine.Sim.Ref exe in
+  let observed = Hashtbl.create 64 in
+  let stack = ref [] in
+  let snap () =
+    ( Array.init 31 (fun r -> Machine.Sim.reg m r),
+      Array.init 31 (fun r -> Machine.Sim.freg_bits m r) )
+  in
+  Machine.Sim.set_trace m (fun pc insn ->
+      (match !stack with
+      | (name, ret_pc, (regs, fregs)) :: rest when pc = ret_pc ->
+          stack := rest;
+          let changed = ref Alpha.Regset.empty in
+          for r = 0 to 30 do
+            if r <> Alpha.Reg.ra && Machine.Sim.reg m r <> regs.(r) then
+              changed := Alpha.Regset.add r !changed;
+            if Machine.Sim.freg_bits m r <> fregs.(r) then
+              changed := Alpha.Regset.add_f r !changed
+          done;
+          let cur =
+            match Hashtbl.find_opt observed name with
+            | Some s -> s
+            | None -> Alpha.Regset.empty
+          in
+          Hashtbl.replace observed name (Alpha.Regset.union cur !changed)
+      | _ -> ());
+      let target =
+        match insn with
+        | Alpha.Insn.Br { link = true; disp; _ } -> Some (pc + 4 + (4 * disp))
+        | Alpha.Insn.Jump { kind = Alpha.Insn.Jsr; rb; _ } ->
+            Some (Int64.to_int (Machine.Sim.reg m rb) land lnot 3)
+        | _ -> None
+      in
+      match target with
+      | Some tgt -> (
+          match Hashtbl.find_opt entries tgt with
+          | Some name -> stack := (name, pc + 4, snap ()) :: !stack
+          | None -> ())
+      | None -> ());
+  ignore (Machine.Sim.run ~max_insns:50_000_000 m);
+  (prog, observed)
+
+let check_modified_by what exe =
+  let prog, observed = observed_modifications exe in
+  let df = Om.Dataflow.compute prog in
+  Hashtbl.iter
+    (fun name changed ->
+      let caller_save_changes =
+        Alpha.Regset.inter changed Om.Dataflow.all_caller_saves
+      in
+      let summary = Om.Dataflow.modified_by df name in
+      if not (Alpha.Regset.subset caller_save_changes summary) then
+        Alcotest.failf
+          "%s: %s observed modifying %s outside its summary %s" what name
+          (Format.asprintf "%a" Alpha.Regset.pp
+             (Alpha.Regset.diff caller_save_changes summary))
+          (Format.asprintf "%a" Alpha.Regset.pp summary))
+    observed;
+  Alcotest.(check bool)
+    (what ^ ": at least one call observed")
+    true
+    (Hashtbl.length observed > 0)
+
+let test_modified_by_workloads () =
+  List.iter
+    (fun w -> check_modified_by w.Workloads.w_name (Workloads.compile w))
+    (List.filter
+       (fun w -> List.mem w.Workloads.w_name [ "compress"; "sieve"; "qsort" ])
+       Workloads.all)
+
+let prop_modified_by =
+  QCheck.Test.make ~count:10
+    ~name:"modified_by over-approximates observed modification (progen)"
+    QCheck.small_nat
+    (fun seed ->
+      List.iter
+        (fun w -> check_modified_by w.Workloads.w_name (Workloads.compile w))
+        (Workloads.generated ~seed:(7000 + seed) ~count:1 ());
+      true)
+
 let test_codegen_identity () =
   let exe = Lazy.force sample_exe in
   let prog = program () in
@@ -296,7 +390,13 @@ let () =
             test_fast_builder_matches_ref;
           QCheck_alcotest.to_alcotest prop_partition;
         ] );
-      ("dataflow", [ Alcotest.test_case "summaries" `Quick test_dataflow ]);
+      ( "dataflow",
+        [
+          Alcotest.test_case "summaries" `Quick test_dataflow;
+          Alcotest.test_case "modified_by covers observed modification"
+            `Quick test_modified_by_workloads;
+          QCheck_alcotest.to_alcotest prop_modified_by;
+        ] );
       ( "liveness",
         [
           Alcotest.test_case "basic facts" `Quick test_liveness_basic;
